@@ -1,0 +1,346 @@
+//! GLIN-lite — the learned spatial index for extended geometries
+//! (Table 1).
+//!
+//! GLIN maps geometries onto a 1-D sort order, fits an error-bounded
+//! learned CDF over the keys, and answers range queries by a learned
+//! position lookup plus a local scan, augmented with extent information
+//! so geometries with extents are not missed. We reproduce that recipe:
+//! rectangles are sorted by center-x; a piecewise-linear approximation
+//! (PLA, "radix-spline"-style greedy fit with bounded error ε) predicts
+//! key positions; queries expand their x-range by the maximum half-width
+//! so every candidate is inside the scanned band, then filter exactly.
+//!
+//! The defining trade-offs this reproduces (Figs. 7, 8, 10a): cheap
+//! construction (sort + linear fit), competitive low-selectivity lookups,
+//! and badly degrading high-selectivity range queries (wide scan bands).
+
+use std::time::Instant;
+
+use geom::{Coord, Rect};
+use rayon::prelude::*;
+
+use crate::QueryTiming;
+
+/// Maximum prediction error (in positions) of the learned model.
+const EPSILON: usize = 32;
+
+/// One linear segment of the PLA model: `pos ≈ slope * (key - key0) +
+/// pos0` for keys in `[key0, next.key0)`.
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    key0: f64,
+    pos0: f64,
+    slope: f64,
+}
+
+/// GLIN-lite learned index over rectangles.
+#[derive(Clone, Debug)]
+pub struct Glin<C: Coord> {
+    /// Rectangles sorted by center-x.
+    rects: Vec<Rect<C, 2>>,
+    /// Sorted slot → original id.
+    ids: Vec<u32>,
+    /// Sort keys (center-x), ascending.
+    keys: Vec<f64>,
+    /// PLA segments over (key → position).
+    segments: Vec<Segment>,
+    /// Maximum half-width over all rectangles — the extent augmentation.
+    max_half_width: f64,
+}
+
+impl<C: Coord> Glin<C> {
+    /// Builds the learned index: sort by center-x + greedy PLA fit.
+    pub fn build(rects: &[Rect<C, 2>]) -> Self {
+        let mut keyed: Vec<(f64, u32)> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.center().x().to_f64(), i as u32))
+            .collect();
+        keyed.par_sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let keys: Vec<f64> = keyed.iter().map(|&(k, _)| k).collect();
+        let ids: Vec<u32> = keyed.iter().map(|&(_, i)| i).collect();
+        let sorted: Vec<Rect<C, 2>> = ids.iter().map(|&i| rects[i as usize]).collect();
+        let max_half_width = rects
+            .iter()
+            .map(|r| r.extent(0).to_f64() * 0.5)
+            .fold(0.0, f64::max);
+        let segments = fit_pla(&keys, EPSILON);
+        Self {
+            rects: sorted,
+            ids,
+            keys,
+            segments,
+            max_half_width,
+        }
+    }
+
+    /// Number of rectangles indexed.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Learned position lookup: predicted slot for `key`, clamped.
+    fn predict(&self, key: f64) -> usize {
+        if self.segments.is_empty() {
+            return 0;
+        }
+        // Binary search the segment whose key0 <= key.
+        let seg_idx = match self
+            .segments
+            .binary_search_by(|s| s.key0.partial_cmp(&key).unwrap())
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let s = self.segments[seg_idx];
+        let pos = s.slope * (key - s.key0) + s.pos0;
+        (pos.max(0.0) as usize).min(self.rects.len().saturating_sub(1))
+    }
+
+    /// First slot whose key >= `key`, found by learned prediction plus
+    /// bounded exponential correction (the ε-guarantee makes the
+    /// correction O(log ε)).
+    fn lower_bound(&self, key: f64) -> usize {
+        let n = self.keys.len();
+        if n == 0 {
+            return 0;
+        }
+        let guess = self.predict(key);
+        let mut lo = guess.saturating_sub(EPSILON);
+        let mut hi = (guess + EPSILON + 1).min(n);
+        // The PLA error bound is per-build; widen defensively if needed.
+        while lo > 0 && self.keys[lo] >= key {
+            lo = lo.saturating_sub(EPSILON * 2);
+        }
+        while hi < n && self.keys[hi - 1] < key && self.keys[hi..].first().is_some_and(|&k| k < key)
+        {
+            hi = (hi + EPSILON * 2).min(n);
+        }
+        lo + self.keys[lo..hi].partition_point(|&k| k < key)
+    }
+
+    /// Ids of rectangles satisfying `pred`, scanning the learned band
+    /// for the query's x-range expanded by the extent augmentation.
+    fn query_band<F>(&self, q: &Rect<C, 2>, pred: F, out: &mut Vec<u32>)
+    where
+        F: Fn(&Rect<C, 2>) -> bool,
+    {
+        // Candidate centers lie in [q.xmin - maxw, q.xmax + maxw].
+        let lo_key = q.min.x().to_f64() - self.max_half_width;
+        let hi_key = q.max.x().to_f64() + self.max_half_width;
+        let start = self.lower_bound(lo_key);
+        for slot in start..self.rects.len() {
+            if self.keys[slot] > hi_key {
+                break;
+            }
+            if pred(&self.rects[slot]) {
+                out.push(self.ids[slot]);
+            }
+        }
+    }
+
+    /// Rect ids containing `q` (Definition 2).
+    pub fn query_contains(&self, q: &Rect<C, 2>, out: &mut Vec<u32>) {
+        self.query_band(q, |r| r.contains_rect(q), out);
+    }
+
+    /// Rect ids intersecting `q` (Definition 3).
+    pub fn query_intersects(&self, q: &Rect<C, 2>, out: &mut Vec<u32>) {
+        self.query_band(q, |r| r.intersects(q), out);
+    }
+
+    /// Batch Range-Contains over all cores.
+    pub fn batch_contains(&self, queries: &[Rect<C, 2>]) -> QueryTiming {
+        let start = Instant::now();
+        let results: u64 = queries
+            .par_iter()
+            .map_init(Vec::new, |buf, q| {
+                buf.clear();
+                self.query_contains(q, buf);
+                buf.len() as u64
+            })
+            .sum();
+        QueryTiming {
+            results,
+            wall_time: start.elapsed(),
+            device_time: None,
+        }
+    }
+
+    /// Batch Range-Intersects over all cores.
+    pub fn batch_intersects(&self, queries: &[Rect<C, 2>]) -> QueryTiming {
+        let start = Instant::now();
+        let results: u64 = queries
+            .par_iter()
+            .map_init(Vec::new, |buf, q| {
+                buf.clear();
+                self.query_intersects(q, buf);
+                buf.len() as u64
+            })
+            .sum();
+        QueryTiming {
+            results,
+            wall_time: start.elapsed(),
+            device_time: None,
+        }
+    }
+
+    /// Model size in segments (learned indexes advertise tiny models).
+    pub fn model_segments(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+/// Greedy shrinking-cone PLA fit with maximum vertical error `eps`.
+fn fit_pla(keys: &[f64], eps: usize) -> Vec<Segment> {
+    let n = keys.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let eps = eps as f64;
+    let mut segments = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let key0 = keys[start];
+        let mut lo_slope = f64::NEG_INFINITY;
+        let mut hi_slope = f64::INFINITY;
+        let mut end = start + 1;
+        while end < n {
+            let dx = keys[end] - key0;
+            if dx <= 0.0 {
+                // Duplicate keys: any slope already covers them within eps
+                // as long as the run is shorter than eps; otherwise break.
+                if (end - start) as f64 > eps {
+                    break;
+                }
+                end += 1;
+                continue;
+            }
+            let dy = (end - start) as f64;
+            let lo = (dy - eps) / dx;
+            let hi = (dy + eps) / dx;
+            let new_lo = lo_slope.max(lo);
+            let new_hi = hi_slope.min(hi);
+            if new_lo > new_hi {
+                break;
+            }
+            lo_slope = new_lo;
+            hi_slope = new_hi;
+            end += 1;
+        }
+        let slope = match (lo_slope.is_finite(), hi_slope.is_finite()) {
+            (true, true) => (lo_slope + hi_slope) * 0.5,
+            (true, false) => lo_slope,
+            (false, true) => hi_slope,
+            (false, false) => 0.0,
+        };
+        segments.push(Segment {
+            key0,
+            pos0: start as f64,
+            slope: slope.max(0.0),
+        });
+        start = end;
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rects(n: usize) -> Vec<Rect<f32, 2>> {
+        (0..n)
+            .map(|i| {
+                // Deterministic scatter with varied widths.
+                let x = ((i * 2654435761) % 100_000) as f32 / 100.0;
+                let y = ((i * 40503) % 100_000) as f32 / 100.0;
+                let w = 1.0 + (i % 7) as f32;
+                Rect::xyxy(x, y, x + w, y + 2.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn intersects_matches_brute_force() {
+        let rs = rects(2000);
+        let glin = Glin::build(&rs);
+        for q in [
+            Rect::xyxy(100.0f32, 100.0, 150.0, 180.0),
+            Rect::xyxy(0.0, 0.0, 1000.0, 1000.0),
+            Rect::xyxy(-50.0, -50.0, -10.0, -10.0),
+        ] {
+            let mut got = vec![];
+            glin.query_intersects(&q, &mut got);
+            got.sort_unstable();
+            let want: Vec<u32> = (0..rs.len() as u32)
+                .filter(|&i| rs[i as usize].intersects(&q))
+                .collect();
+            assert_eq!(got, want, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn contains_matches_brute_force() {
+        let rs = rects(1500);
+        let glin = Glin::build(&rs);
+        let q = Rect::xyxy(500.0f32, 500.0, 500.5, 500.5);
+        let mut got = vec![];
+        glin.query_contains(&q, &mut got);
+        got.sort_unstable();
+        let want: Vec<u32> = (0..rs.len() as u32)
+            .filter(|&i| rs[i as usize].contains_rect(&q))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pla_is_compact() {
+        // Nearly uniform keys should compress to very few segments.
+        let keys: Vec<f64> = (0..100_000).map(|i| i as f64 * 0.001).collect();
+        let segs = fit_pla(&keys, 32);
+        assert!(segs.len() < 50, "got {} segments", segs.len());
+    }
+
+    #[test]
+    fn duplicate_keys_handled() {
+        let rs = vec![Rect::xyxy(5.0f32, 0.0, 6.0, 1.0); 500];
+        let glin = Glin::build(&rs);
+        let mut got = vec![];
+        glin.query_intersects(&Rect::xyxy(5.5, 0.5, 5.6, 0.6), &mut got);
+        assert_eq!(got.len(), 500);
+    }
+
+    #[test]
+    fn empty_index() {
+        let glin = Glin::<f32>::build(&[]);
+        assert!(glin.is_empty());
+        let mut out = vec![];
+        glin.query_intersects(&Rect::xyxy(0.0, 0.0, 1.0, 1.0), &mut out);
+        assert!(out.is_empty());
+        let t = glin.batch_intersects(&[Rect::xyxy(0.0, 0.0, 1.0, 1.0)]);
+        assert_eq!(t.results, 0);
+    }
+
+    #[test]
+    fn batch_counts() {
+        let rs = rects(1000);
+        let glin = Glin::build(&rs);
+        let qs: Vec<Rect<f32, 2>> = rs
+            .iter()
+            .take(50)
+            .map(|r| r.scaled_about_center(0.5))
+            .collect();
+        let t = glin.batch_contains(&qs);
+        let want: u64 = qs
+            .iter()
+            .map(|q| rs.iter().filter(|r| r.contains_rect(q)).count() as u64)
+            .sum();
+        assert_eq!(t.results, want);
+    }
+}

@@ -1,0 +1,286 @@
+//! KD-tree over points — the CGAL / ParGeo stand-in (Table 1).
+//!
+//! Like the paper's point-based baselines, it indexes the *query points*;
+//! a point query `Q(R, S)` is answered by iterating the rectangles `R`
+//! and range-searching the tree for contained points. This gives the
+//! nearly-constant-in-`|S|` behaviour of Fig. 6(b).
+
+use std::time::Instant;
+
+use geom::{Coord, Point, Rect};
+use rayon::prelude::*;
+
+use crate::QueryTiming;
+
+/// Default bucket size of leaves.
+const LEAF_SIZE: usize = 16;
+
+#[derive(Clone, Debug)]
+enum Node<C: Coord> {
+    /// Split at `value` on `axis`; children indices.
+    Internal {
+        axis: usize,
+        value: C,
+        left: u32,
+        right: u32,
+        bounds: Rect<C, 2>,
+    },
+    /// Range into the permuted point array.
+    Leaf {
+        first: u32,
+        count: u32,
+        bounds: Rect<C, 2>,
+    },
+}
+
+/// A 2-D KD-tree over points.
+#[derive(Clone, Debug)]
+pub struct KdTree<C: Coord> {
+    nodes: Vec<Node<C>>,
+    /// Permuted point storage.
+    points: Vec<Point<C, 2>>,
+    /// Slot → original point id.
+    ids: Vec<u32>,
+    leaf_size: usize,
+}
+
+impl<C: Coord> KdTree<C> {
+    /// Builds by recursive median split on the wider axis.
+    pub fn build(points: &[Point<C, 2>]) -> Self {
+        Self::build_with_leaf(points, LEAF_SIZE)
+    }
+
+    /// Builds with an explicit leaf bucket size — the CGAL and ParGeo
+    /// configurations in the evaluation differ only in this constant.
+    pub fn build_with_leaf(points: &[Point<C, 2>], leaf_size: usize) -> Self {
+        let mut tree = Self {
+            nodes: Vec::new(),
+            points: points.to_vec(),
+            ids: (0..points.len() as u32).collect(),
+            leaf_size: leaf_size.max(1),
+        };
+        if points.is_empty() {
+            return tree;
+        }
+        let n = points.len();
+        let mut scratch_pts = std::mem::take(&mut tree.points);
+        let mut scratch_ids = std::mem::take(&mut tree.ids);
+        tree.build_rec(&mut scratch_pts, &mut scratch_ids, 0, n);
+        tree.points = scratch_pts;
+        tree.ids = scratch_ids;
+        tree
+    }
+
+    fn build_rec(
+        &mut self,
+        pts: &mut [Point<C, 2>],
+        ids: &mut [u32],
+        offset: usize,
+        total: usize,
+    ) -> u32 {
+        let _ = total;
+        let bounds = pts.iter().fold(Rect::empty(), |mut b, p| {
+            b.expand_point(p);
+            b
+        });
+        let my = self.nodes.len() as u32;
+        if pts.len() <= self.leaf_size {
+            self.nodes.push(Node::Leaf {
+                first: offset as u32,
+                count: pts.len() as u32,
+                bounds,
+            });
+            return my;
+        }
+        // Wider axis; median split.
+        let axis = if bounds.extent(0) >= bounds.extent(1) {
+            0
+        } else {
+            1
+        };
+        let mid = pts.len() / 2;
+        // Co-sort points and ids by the chosen axis around the median.
+        let mut perm: Vec<usize> = (0..pts.len()).collect();
+        perm.select_nth_unstable_by(mid, |&a, &b| {
+            pts[a].coords[axis]
+                .partial_cmp(&pts[b].coords[axis])
+                .unwrap()
+        });
+        apply_permutation(pts, ids, &perm);
+        let value = pts[mid].coords[axis];
+        self.nodes.push(Node::Leaf {
+            first: 0,
+            count: 0,
+            bounds,
+        }); // placeholder
+        let (lp, rp) = pts.split_at_mut(mid);
+        let (li, ri) = ids.split_at_mut(mid);
+        let left = self.build_rec(lp, li, offset, total);
+        let right = self.build_rec(rp, ri, offset + mid, total);
+        self.nodes[my as usize] = Node::Internal {
+            axis,
+            value,
+            left,
+            right,
+            bounds,
+        };
+        my
+    }
+
+    /// Number of points indexed.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Reports ids of all points inside `q`.
+    pub fn query_rect(&self, q: &Rect<C, 2>, out: &mut Vec<u32>) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let mut stack = vec![0u32];
+        while let Some(n) = stack.pop() {
+            match &self.nodes[n as usize] {
+                Node::Leaf {
+                    first,
+                    count,
+                    bounds,
+                } => {
+                    if !q.intersects(bounds) {
+                        continue;
+                    }
+                    for slot in *first as usize..(*first + *count) as usize {
+                        if q.contains_point(&self.points[slot]) {
+                            out.push(self.ids[slot]);
+                        }
+                    }
+                }
+                Node::Internal {
+                    axis,
+                    value,
+                    bounds,
+                    left,
+                    right,
+                } => {
+                    if !q.intersects(bounds) {
+                        continue;
+                    }
+                    // Split-plane pruning: skip a side when the query
+                    // cannot reach past the median value.
+                    if q.min.coords[*axis] <= *value {
+                        stack.push(*left);
+                    }
+                    if q.max.coords[*axis] >= *value {
+                        stack.push(*right);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Answers a point query `Q(R, S)` by iterating the rectangles in
+    /// parallel and range-searching the indexed points — the inverted
+    /// strategy of the point-indexing baselines (§6.2).
+    pub fn batch_point_query_inverted(&self, rects: &[Rect<C, 2>]) -> QueryTiming {
+        let start = Instant::now();
+        let results: u64 = rects
+            .par_iter()
+            .map_init(Vec::new, |buf, r| {
+                buf.clear();
+                self.query_rect(r, buf);
+                buf.len() as u64
+            })
+            .sum();
+        QueryTiming {
+            results,
+            wall_time: start.elapsed(),
+            device_time: None,
+        }
+    }
+}
+
+/// Applies `perm` to both arrays (perm is consumed positionally).
+fn apply_permutation<C: Coord>(pts: &mut [Point<C, 2>], ids: &mut [u32], perm: &[usize]) {
+    let pts_copy: Vec<Point<C, 2>> = pts.to_vec();
+    let ids_copy: Vec<u32> = ids.to_vec();
+    for (dst, &src) in perm.iter().enumerate() {
+        pts[dst] = pts_copy[src];
+        ids[dst] = ids_copy[src];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point<f32, 2>> {
+        (0..n)
+            .map(|i| Point::xy((i % 37) as f32, (i / 37) as f32 * 1.5))
+            .collect()
+    }
+
+    #[test]
+    fn range_search_matches_brute_force() {
+        let points = pts(1000);
+        let tree = KdTree::build(&points);
+        assert_eq!(tree.len(), 1000);
+        for q in [
+            Rect::xyxy(0.0f32, 0.0, 10.0, 10.0),
+            Rect::xyxy(15.5, 3.5, 22.0, 9.0),
+            Rect::xyxy(100.0, 100.0, 110.0, 110.0),
+        ] {
+            let mut got = vec![];
+            tree.query_rect(&q, &mut got);
+            got.sort_unstable();
+            let want: Vec<u32> = (0..points.len() as u32)
+                .filter(|&i| q.contains_point(&points[i as usize]))
+                .collect();
+            assert_eq!(got, want, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn inverted_point_query_counts() {
+        let points = pts(500);
+        let tree = KdTree::build(&points);
+        let rects = vec![
+            Rect::xyxy(0.0f32, 0.0, 5.0, 5.0),
+            Rect::xyxy(-10.0, -10.0, -5.0, -5.0),
+        ];
+        let t = tree.batch_point_query_inverted(&rects);
+        let want: u64 = rects
+            .iter()
+            .map(|r| points.iter().filter(|p| r.contains_point(p)).count() as u64)
+            .sum();
+        assert_eq!(t.results, want);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let tree = KdTree::<f32>::build(&[]);
+        assert!(tree.is_empty());
+        let mut out = vec![];
+        tree.query_rect(&Rect::xyxy(0.0, 0.0, 1.0, 1.0), &mut out);
+        assert!(out.is_empty());
+
+        let tree1 = KdTree::build(&[Point::xy(2.0f32, 3.0)]);
+        let mut out1 = vec![];
+        tree1.query_rect(&Rect::xyxy(0.0, 0.0, 5.0, 5.0), &mut out1);
+        assert_eq!(out1, vec![0]);
+    }
+
+    #[test]
+    fn duplicate_points() {
+        let points = vec![Point::xy(1.0f32, 1.0); 100];
+        let tree = KdTree::build(&points);
+        let mut out = vec![];
+        tree.query_rect(&Rect::xyxy(0.0, 0.0, 2.0, 2.0), &mut out);
+        assert_eq!(out.len(), 100);
+        out.sort_unstable();
+        assert_eq!(out, (0..100u32).collect::<Vec<_>>());
+    }
+}

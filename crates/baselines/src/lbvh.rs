@@ -1,0 +1,247 @@
+//! LBVH — the software-GPU BVH control \[28\] (Table 1).
+//!
+//! The paper includes LBVH precisely because OptiX cannot disable the RT
+//! cores: it is "the same algorithm, minus the hardware". Here we build
+//! the Morton-sorted BVH through `rtcore`'s fast-build path and traverse
+//! it in software, pricing node steps at the *software* rate of the SIMT
+//! cost model — the exact control the paper constructs.
+
+use std::time::Instant;
+
+use geom::{Coord, Point, Ray, Rect};
+use rayon::prelude::*;
+use rtcore::{BuildQuality, Bvh, Control, CostModel, RayStats, TraversalBackend, WARP_SIZE};
+
+use crate::QueryTiming;
+
+/// A linear BVH over 2-D rectangles with software traversal.
+#[derive(Clone, Debug)]
+pub struct Lbvh<C: Coord> {
+    bvh: Bvh<C>,
+    aabbs: Vec<Rect<C, 3>>,
+    rects: Vec<Rect<C, 2>>,
+    model: CostModel,
+}
+
+impl<C: Coord> Lbvh<C> {
+    /// Builds the Morton-ordered BVH (Karras-style fast build).
+    pub fn build(rects: &[Rect<C, 2>]) -> Self {
+        Self::build_with_model(rects, CostModel::default())
+    }
+
+    /// Builds with an explicit cost model (benches share one with
+    /// LibRTS so device-time comparisons are apples-to-apples).
+    pub fn build_with_model(rects: &[Rect<C, 2>], model: CostModel) -> Self {
+        let aabbs: Vec<Rect<C, 3>> = rects.iter().map(|r| r.lift(C::ZERO, C::ZERO)).collect();
+        let bvh = Bvh::build(&aabbs, BuildQuality::PreferFastBuild, 4);
+        Self {
+            bvh,
+            aabbs,
+            rects: rects.to_vec(),
+            model,
+        }
+    }
+
+    /// Number of rectangles indexed.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Rect ids whose rectangle contains the point.
+    pub fn query_point(&self, p: &Point<C, 2>, out: &mut Vec<u32>, stats: &mut RayStats) {
+        let ray = Ray::point_probe(*p).lift();
+        stats.rays += 1;
+        self.bvh.traverse(&ray, &self.aabbs, stats, |prim, stats| {
+            stats.is_calls += 1;
+            if self.rects[prim as usize].contains_point(p) {
+                out.push(prim);
+            }
+            Control::Continue
+        });
+    }
+
+    /// Rect ids containing `q` (Definition 2). A software BVH can range-
+    /// search with a box directly (no ray formulation needed).
+    pub fn query_contains(&self, q: &Rect<C, 2>, out: &mut Vec<u32>, stats: &mut RayStats) {
+        self.box_search(q, stats, |r| r.contains_rect(q), out);
+    }
+
+    /// Rect ids intersecting `q` (Definition 3).
+    pub fn query_intersects(&self, q: &Rect<C, 2>, out: &mut Vec<u32>, stats: &mut RayStats) {
+        self.box_search(q, stats, |r| r.intersects(q), out);
+    }
+
+    fn box_search<F>(&self, q: &Rect<C, 2>, stats: &mut RayStats, pred: F, out: &mut Vec<u32>)
+    where
+        F: Fn(&Rect<C, 2>) -> bool,
+    {
+        if self.bvh.is_empty() {
+            return;
+        }
+        stats.rays += 1;
+        let q3 = q.lift(C::ZERO, C::ZERO);
+        let mut stack = vec![0u32];
+        while let Some(n) = stack.pop() {
+            let node = &self.bvh.nodes[n as usize];
+            stats.nodes_visited += 1;
+            if !node.bounds.intersects(&q3) {
+                continue;
+            }
+            if node.is_leaf() {
+                let first = node.right_or_first as usize;
+                for slot in first..first + node.count as usize {
+                    let prim = self.bvh.prim_order[slot];
+                    stats.prim_tests += 1;
+                    stats.is_calls += 1;
+                    if pred(&self.rects[prim as usize]) {
+                        out.push(prim);
+                    }
+                }
+            } else {
+                stack.push(node.right_or_first);
+                stack.push(n + 1);
+            }
+        }
+    }
+
+    /// Batch point query: parallel over points, software-priced SIMT
+    /// device time.
+    pub fn batch_point_query(&self, points: &[Point<C, 2>]) -> QueryTiming {
+        self.batch(points.len(), |i, out, stats| {
+            self.query_point(&points[i], out, stats)
+        })
+    }
+
+    /// Batch Range-Contains.
+    pub fn batch_contains(&self, queries: &[Rect<C, 2>]) -> QueryTiming {
+        self.batch(queries.len(), |i, out, stats| {
+            self.query_contains(&queries[i], out, stats)
+        })
+    }
+
+    /// Batch Range-Intersects.
+    pub fn batch_intersects(&self, queries: &[Rect<C, 2>]) -> QueryTiming {
+        self.batch(queries.len(), |i, out, stats| {
+            self.query_intersects(&queries[i], out, stats)
+        })
+    }
+
+    fn batch<F>(&self, width: usize, run: F) -> QueryTiming
+    where
+        F: Fn(usize, &mut Vec<u32>, &mut RayStats) + Sync,
+    {
+        let start = Instant::now();
+        let per_warp: Vec<(u64, Vec<f64>)> = (0..width)
+            .into_par_iter()
+            .step_by(WARP_SIZE)
+            .map(|warp_start| {
+                let mut results = 0u64;
+                let mut lanes = Vec::with_capacity(WARP_SIZE);
+                let mut buf = Vec::new();
+                for lane in 0..WARP_SIZE.min(width - warp_start) {
+                    let mut stats = RayStats::default();
+                    buf.clear();
+                    run(warp_start + lane, &mut buf, &mut stats);
+                    results += buf.len() as u64;
+                    stats.hits_reported = buf.len() as u64;
+                    lanes.push(self.model.ray_time_ns(&stats, TraversalBackend::Software));
+                }
+                (results, lanes)
+            })
+            .collect();
+        let mut results = 0;
+        let mut lane_times = Vec::with_capacity(width);
+        for (r, lanes) in &per_warp {
+            results += r;
+            lane_times.extend_from_slice(lanes);
+        }
+        QueryTiming {
+            results,
+            wall_time: start.elapsed(),
+            device_time: Some(self.model.device_time(&lane_times)),
+        }
+    }
+
+    /// Simulated device build time (software path) — used for Fig. 10(a).
+    pub fn model_build_time(&self) -> std::time::Duration {
+        self.model
+            .build_time(self.len(), TraversalBackend::Software)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Rect<f32, 2>> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 25) as f32 * 4.0;
+                let y = (i / 25) as f32 * 4.0;
+                Rect::xyxy(x, y, x + 3.0, y + 3.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn point_query_matches_brute_force() {
+        let rects = grid(500);
+        let lbvh = Lbvh::build(&rects);
+        let p = Point::xy(41.0f32, 17.0);
+        let mut out = vec![];
+        let mut stats = RayStats::default();
+        lbvh.query_point(&p, &mut out, &mut stats);
+        out.sort_unstable();
+        let want: Vec<u32> = (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].contains_point(&p))
+            .collect();
+        assert_eq!(out, want);
+        assert!(stats.nodes_visited > 0);
+    }
+
+    #[test]
+    fn range_queries_match_brute_force() {
+        let rects = grid(400);
+        let lbvh = Lbvh::build(&rects);
+        let q = Rect::xyxy(10.0f32, 10.0, 30.0, 30.0);
+        let mut got_i = vec![];
+        lbvh.query_intersects(&q, &mut got_i, &mut RayStats::default());
+        got_i.sort_unstable();
+        let want_i: Vec<u32> = (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].intersects(&q))
+            .collect();
+        assert_eq!(got_i, want_i);
+
+        let small = Rect::xyxy(4.5f32, 0.5, 6.0, 2.0);
+        let mut got_c = vec![];
+        lbvh.query_contains(&small, &mut got_c, &mut RayStats::default());
+        got_c.sort_unstable();
+        let want_c: Vec<u32> = (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].contains_rect(&small))
+            .collect();
+        assert_eq!(got_c, want_c);
+    }
+
+    #[test]
+    fn batch_reports_software_device_time() {
+        let rects = grid(300);
+        let lbvh = Lbvh::build(&rects);
+        let pts: Vec<Point<f32, 2>> = rects.iter().map(|r| r.center()).collect();
+        let t = lbvh.batch_point_query(&pts);
+        assert_eq!(t.results, 300);
+        assert!(t.device_time.unwrap().as_nanos() > 0);
+    }
+
+    #[test]
+    fn empty_lbvh() {
+        let lbvh = Lbvh::<f32>::build(&[]);
+        assert!(lbvh.is_empty());
+        let t = lbvh.batch_point_query(&[Point::xy(0.0, 0.0)]);
+        assert_eq!(t.results, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # baselines — the comparison systems of the LibRTS evaluation
+//!
+//! Rust reimplementations of every artifact in Table 1 of the paper
+//! (see DESIGN.md §2 for the substitution rationale):
+//!
+//! | paper artifact | module | role |
+//! |---|---|---|
+//! | Boost R-tree | [`rtree`] | CPU rectangle index (point + range) |
+//! | CGAL / ParGeo KD-tree | [`kdtree`] | CPU point index (queries indexed) |
+//! | LBVH \[28\] | [`lbvh`] | software GPU BVH — the "RT cores off" control |
+//! | GLIN | [`glin`] | learned spatial index for extended geometries |
+//! | cuSpatial | [`quadtree`] | GPU point-quadtree (point query + PIP) |
+//! | RayJoin | [`rayjoin`] | RT-based segment-level PIP |
+//!
+//! CPU baselines parallelize read-only query batches over all cores with
+//! rayon, mirroring §6.1 ("we evenly distribute all queries across all
+//! CPU cores"). GPU baselines (LBVH, quadtree, RayJoin) also report
+//! simulated device time through `rtcore`'s SIMT cost model.
+
+#![warn(missing_docs)]
+
+pub mod glin;
+pub mod kdtree;
+pub mod lbvh;
+pub mod quadtree;
+pub mod rayjoin;
+pub mod rtree;
+
+use std::time::Duration;
+
+/// Uniform timing envelope for baseline queries: result count, wall time
+/// and (for GPU-modelled baselines) simulated device time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryTiming {
+    /// Number of result pairs produced.
+    pub results: u64,
+    /// Host wall-clock time of the batch.
+    pub wall_time: Duration,
+    /// Simulated device time, for baselines that model a GPU.
+    pub device_time: Option<Duration>,
+}

@@ -1,0 +1,315 @@
+//! Point-region quadtree — the cuSpatial stand-in (Table 1).
+//!
+//! cuSpatial "constructs the index based on query points" (§6.9): a
+//! quadtree over the points, with rectangles/polygons probing it. This
+//! is why it is nearly constant in the number of queries (Fig. 6b) and
+//! why its PIP filtering is weak (Fig. 12). GPU execution is modelled at
+//! the software node rate of the shared SIMT cost model.
+
+use std::time::Instant;
+
+use geom::{Coord, Point, Polygon, Rect};
+use rayon::prelude::*;
+use rtcore::{CostModel, RayStats, TraversalBackend, WARP_SIZE};
+
+use crate::QueryTiming;
+
+/// Bucket capacity of quadtree leaves.
+const BUCKET: usize = 32;
+/// Maximum subdivision depth.
+const MAX_DEPTH: usize = 24;
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// Children indices in NW, NE, SW, SE order.
+    Internal([u32; 4]),
+    /// Indices into the point array.
+    Leaf(Vec<u32>),
+}
+
+/// A PR quadtree over 2-D points.
+#[derive(Clone, Debug)]
+pub struct QuadTree<C: Coord> {
+    nodes: Vec<Node>,
+    bounds: Vec<Rect<C, 2>>,
+    points: Vec<Point<C, 2>>,
+    model: CostModel,
+}
+
+impl<C: Coord> QuadTree<C> {
+    /// Builds over the given points (cuSpatial indexes the query side).
+    pub fn build(points: &[Point<C, 2>]) -> Self {
+        Self::build_with_model(points, CostModel::default())
+    }
+
+    /// Builds with an explicit cost model.
+    pub fn build_with_model(points: &[Point<C, 2>], model: CostModel) -> Self {
+        let mut world = Rect::empty();
+        for p in points {
+            world.expand_point(p);
+        }
+        if world.is_empty() {
+            world = Rect::xyxy(C::ZERO, C::ZERO, C::ONE, C::ONE);
+        }
+        let mut tree = Self {
+            nodes: Vec::new(),
+            bounds: Vec::new(),
+            points: points.to_vec(),
+            model,
+        };
+        let all: Vec<u32> = (0..points.len() as u32).collect();
+        tree.build_rec(world, all, 0);
+        tree
+    }
+
+    fn build_rec(&mut self, bounds: Rect<C, 2>, ids: Vec<u32>, depth: usize) -> u32 {
+        let my = self.nodes.len() as u32;
+        self.nodes.push(Node::Leaf(Vec::new()));
+        self.bounds.push(bounds);
+        if ids.len() <= BUCKET || depth >= MAX_DEPTH {
+            self.nodes[my as usize] = Node::Leaf(ids);
+            return my;
+        }
+        let c = bounds.center();
+        let mut quads: [Vec<u32>; 4] = Default::default();
+        for id in ids {
+            let p = &self.points[id as usize];
+            let east = p.x() > c.x();
+            let north = p.y() > c.y();
+            let q = match (north, east) {
+                (true, false) => 0,
+                (true, true) => 1,
+                (false, false) => 2,
+                (false, true) => 3,
+            };
+            quads[q].push(id);
+        }
+        let quad_bounds = [
+            Rect::xyxy(bounds.min.x(), c.y(), c.x(), bounds.max.y()),
+            Rect::xyxy(c.x(), c.y(), bounds.max.x(), bounds.max.y()),
+            Rect::xyxy(bounds.min.x(), bounds.min.y(), c.x(), c.y()),
+            Rect::xyxy(c.x(), bounds.min.y(), bounds.max.x(), c.y()),
+        ];
+        let mut children = [0u32; 4];
+        for (q, ids_q) in quads.into_iter().enumerate() {
+            children[q] = self.build_rec(quad_bounds[q], ids_q, depth + 1);
+        }
+        self.nodes[my as usize] = Node::Internal(children);
+        my
+    }
+
+    /// Number of points indexed.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Point ids inside `q`.
+    pub fn query_rect(&self, q: &Rect<C, 2>, out: &mut Vec<u32>, stats: &mut RayStats) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let mut stack = vec![0u32];
+        while let Some(n) = stack.pop() {
+            stats.nodes_visited += 1;
+            if !self.bounds[n as usize].intersects(q) {
+                continue;
+            }
+            match &self.nodes[n as usize] {
+                Node::Internal(children) => stack.extend_from_slice(children),
+                Node::Leaf(ids) => {
+                    for &id in ids {
+                        stats.prim_tests += 1;
+                        if q.contains_point(&self.points[id as usize]) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Point query `Q(R, S)` in cuSpatial style: iterate the rectangles,
+    /// probe the point tree. Results counted; software device pricing.
+    pub fn batch_point_query_inverted(&self, rects: &[Rect<C, 2>]) -> QueryTiming {
+        let start = Instant::now();
+        let per_warp: Vec<(u64, Vec<f64>)> = (0..rects.len())
+            .into_par_iter()
+            .step_by(WARP_SIZE)
+            .map(|warp_start| {
+                let mut results = 0u64;
+                let mut lanes = Vec::with_capacity(WARP_SIZE);
+                let mut buf = Vec::new();
+                for lane in 0..WARP_SIZE.min(rects.len() - warp_start) {
+                    let mut stats = RayStats {
+                        rays: 1,
+                        ..Default::default()
+                    };
+                    buf.clear();
+                    self.query_rect(&rects[warp_start + lane], &mut buf, &mut stats);
+                    stats.hits_reported = buf.len() as u64;
+                    results += buf.len() as u64;
+                    lanes.push(self.model.ray_time_ns(&stats, TraversalBackend::Software));
+                }
+                (results, lanes)
+            })
+            .collect();
+        let mut results = 0;
+        let mut lane_times = Vec::new();
+        for (r, lanes) in &per_warp {
+            results += r;
+            lane_times.extend_from_slice(lanes);
+        }
+        QueryTiming {
+            results,
+            wall_time: start.elapsed(),
+            device_time: Some(self.model.device_time(&lane_times)),
+        }
+    }
+
+    /// cuSpatial-style PIP: for each polygon, probe its bbox against the
+    /// point tree, then run the exact test on candidates.
+    pub fn batch_pip(&self, polygons: &[Polygon<C>]) -> QueryTiming {
+        let start = Instant::now();
+        let per_warp: Vec<(u64, Vec<f64>)> = (0..polygons.len())
+            .into_par_iter()
+            .step_by(WARP_SIZE)
+            .map(|warp_start| {
+                let mut results = 0u64;
+                let mut lanes = Vec::with_capacity(WARP_SIZE);
+                let mut buf = Vec::new();
+                for lane in 0..WARP_SIZE.min(polygons.len() - warp_start) {
+                    let poly = &polygons[warp_start + lane];
+                    let mut stats = RayStats {
+                        rays: 1,
+                        ..Default::default()
+                    };
+                    buf.clear();
+                    self.query_rect(&poly.bounds(), &mut buf, &mut stats);
+                    // Exact test: edge-count work is SM (IS-priced) work.
+                    for &pid in &buf {
+                        stats.is_calls += poly.len() as u64;
+                        if poly.contains_point(&self.points[pid as usize]) {
+                            results += 1;
+                            stats.hits_reported += 1;
+                        }
+                    }
+                    lanes.push(self.model.ray_time_ns(&stats, TraversalBackend::Software));
+                }
+                (results, lanes)
+            })
+            .collect();
+        let mut results = 0;
+        let mut lane_times = Vec::new();
+        for (r, lanes) in &per_warp {
+            results += r;
+            lane_times.extend_from_slice(lanes);
+        }
+        QueryTiming {
+            results,
+            wall_time: start.elapsed(),
+            device_time: Some(self.model.device_time(&lane_times)),
+        }
+    }
+
+    /// Simulated device build time (software path).
+    pub fn model_build_time(&self) -> std::time::Duration {
+        self.model
+            .build_time(self.len(), TraversalBackend::Software)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point<f32, 2>> {
+        (0..n)
+            .map(|i| {
+                Point::xy(
+                    ((i * 7919) % 1000) as f32 / 10.0,
+                    ((i * 104729) % 1000) as f32 / 10.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let points = pts(2000);
+        let tree = QuadTree::build(&points);
+        for q in [
+            Rect::xyxy(10.0f32, 10.0, 30.0, 30.0),
+            Rect::xyxy(0.0, 0.0, 100.0, 100.0),
+            Rect::xyxy(-10.0, -10.0, -1.0, -1.0),
+        ] {
+            let mut got = vec![];
+            tree.query_rect(&q, &mut got, &mut RayStats::default());
+            got.sort_unstable();
+            let want: Vec<u32> = (0..points.len() as u32)
+                .filter(|&i| q.contains_point(&points[i as usize]))
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn inverted_batch_counts() {
+        let points = pts(500);
+        let tree = QuadTree::build(&points);
+        let rects = vec![Rect::xyxy(0.0f32, 0.0, 50.0, 50.0); 10];
+        let t = tree.batch_point_query_inverted(&rects);
+        let per = points.iter().filter(|p| rects[0].contains_point(p)).count() as u64;
+        assert_eq!(t.results, per * 10);
+        assert!(t.device_time.unwrap().as_nanos() > 0);
+    }
+
+    #[test]
+    fn pip_counts_exact() {
+        let points = vec![
+            Point::xy(1.0f32, 0.5), // inside triangle
+            Point::xy(0.1, 1.8),    // in bbox, outside triangle
+            Point::xy(9.0, 9.0),    // far away
+        ];
+        let tree = QuadTree::build(&points);
+        let tri = Polygon::new(vec![
+            Point::xy(0.0f32, 0.0),
+            Point::xy(2.0, 0.0),
+            Point::xy(1.0, 2.0),
+        ]);
+        let t = tree.batch_pip(&[tri]);
+        assert_eq!(t.results, 1);
+    }
+
+    #[test]
+    fn duplicate_points_deep_recursion_guard() {
+        // Identical points cannot be separated; MAX_DEPTH must stop the
+        // subdivision.
+        let points = vec![Point::xy(5.0f32, 5.0); 200];
+        let tree = QuadTree::build(&points);
+        let mut out = vec![];
+        tree.query_rect(
+            &Rect::xyxy(0.0, 0.0, 10.0, 10.0),
+            &mut out,
+            &mut RayStats::default(),
+        );
+        assert_eq!(out.len(), 200);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = QuadTree::<f32>::build(&[]);
+        assert!(tree.is_empty());
+        let mut out = vec![];
+        tree.query_rect(
+            &Rect::xyxy(0.0, 0.0, 1.0, 1.0),
+            &mut out,
+            &mut RayStats::default(),
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,724 @@
+//! R-tree — the Boost `rtree` stand-in (Table 1): the strongest CPU
+//! baseline for rectangle indexing.
+//!
+//! Construction uses Sort-Tile-Recursive (STR) bulk loading; dynamic
+//! insertion uses Guttman's quadratic split. Queries run the classical
+//! bounding-box descent and parallelize over the batch with rayon, as
+//! §6.1 does for all CPU baselines.
+
+use std::time::Instant;
+
+use geom::{Coord, Point, Rect};
+use rayon::prelude::*;
+
+use crate::QueryTiming;
+
+/// Maximum entries per node.
+const MAX_ENTRIES: usize = 16;
+/// Minimum fill on split.
+const MIN_ENTRIES: usize = 6;
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    /// Child node indices.
+    Internal(Vec<u32>),
+    /// (bbox id) entries.
+    Leaf(Vec<u32>),
+}
+
+#[derive(Clone, Debug)]
+struct Node<C: Coord> {
+    bounds: Rect<C, 2>,
+    kind: NodeKind,
+}
+
+/// An R-tree over 2-D rectangles.
+#[derive(Clone, Debug)]
+pub struct RTree<C: Coord> {
+    nodes: Vec<Node<C>>,
+    root: u32,
+    rects: Vec<Rect<C, 2>>,
+}
+
+impl<C: Coord> RTree<C> {
+    /// Bulk-loads via Sort-Tile-Recursive — the construction path used
+    /// for the Fig. 10(a) comparison.
+    pub fn bulk_load(rects: &[Rect<C, 2>]) -> Self {
+        let mut tree = Self {
+            nodes: Vec::new(),
+            root: 0,
+            rects: rects.to_vec(),
+        };
+        if rects.is_empty() {
+            tree.nodes.push(Node {
+                bounds: Rect::empty(),
+                kind: NodeKind::Leaf(Vec::new()),
+            });
+            return tree;
+        }
+        // STR: sort by center x, slice into vertical strips, sort each
+        // strip by center y, pack runs of MAX_ENTRIES into leaves.
+        let mut ids: Vec<u32> = (0..rects.len() as u32).collect();
+        ids.par_sort_unstable_by(|&a, &b| {
+            let ca = rects[a as usize].center().x();
+            let cb = rects[b as usize].center().x();
+            ca.partial_cmp(&cb).unwrap()
+        });
+        let n = ids.len();
+        let leaf_count = n.div_ceil(MAX_ENTRIES);
+        let strips = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = n.div_ceil(strips);
+        let mut level: Vec<u32> = Vec::with_capacity(leaf_count);
+        for strip in ids.chunks_mut(per_strip.max(1)) {
+            strip.par_sort_unstable_by(|&a, &b| {
+                let ca = rects[a as usize].center().y();
+                let cb = rects[b as usize].center().y();
+                ca.partial_cmp(&cb).unwrap()
+            });
+            for run in strip.chunks(MAX_ENTRIES) {
+                let bounds = run
+                    .iter()
+                    .fold(Rect::empty(), |b, &i| b.union(&rects[i as usize]));
+                level.push(tree.push_node(Node {
+                    bounds,
+                    kind: NodeKind::Leaf(run.to_vec()),
+                }));
+            }
+        }
+        // Pack upper levels until a single root remains.
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
+            for run in level.chunks(MAX_ENTRIES) {
+                let bounds = run.iter().fold(Rect::empty(), |b, &i| {
+                    b.union(&tree.nodes[i as usize].bounds)
+                });
+                next.push(tree.push_node(Node {
+                    bounds,
+                    kind: NodeKind::Internal(run.to_vec()),
+                }));
+            }
+            level = next;
+        }
+        tree.root = level[0];
+        tree
+    }
+
+    /// Creates an empty tree for dynamic insertion.
+    pub fn new() -> Self {
+        let mut tree = Self {
+            nodes: Vec::new(),
+            root: 0,
+            rects: Vec::new(),
+        };
+        tree.root = tree.push_node(Node {
+            bounds: Rect::empty(),
+            kind: NodeKind::Leaf(Vec::new()),
+        });
+        tree
+    }
+
+    /// Number of indexed rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The stored rectangles, id-ordered.
+    pub fn rects(&self) -> &[Rect<C, 2>] {
+        &self.rects
+    }
+
+    fn push_node(&mut self, node: Node<C>) -> u32 {
+        self.nodes.push(node);
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Inserts a rectangle dynamically (Guttman: least-enlargement
+    /// descent, quadratic split on overflow). Returns the new id.
+    pub fn insert(&mut self, rect: Rect<C, 2>) -> u32 {
+        let id = self.rects.len() as u32;
+        self.rects.push(rect);
+        if let Some((a, b)) = self.insert_rec(self.root, id, &rect) {
+            // Root split: grow the tree.
+            let bounds = self.nodes[a as usize]
+                .bounds
+                .union(&self.nodes[b as usize].bounds);
+            self.root = self.push_node(Node {
+                bounds,
+                kind: NodeKind::Internal(vec![a, b]),
+            });
+        }
+        id
+    }
+
+    /// Recursive insert; returns `Some((left, right))` if `node` split.
+    fn insert_rec(&mut self, node: u32, id: u32, rect: &Rect<C, 2>) -> Option<(u32, u32)> {
+        let ni = node as usize;
+        self.nodes[ni].bounds.expand(rect);
+        match &self.nodes[ni].kind {
+            NodeKind::Leaf(_) => {
+                if let NodeKind::Leaf(entries) = &mut self.nodes[ni].kind {
+                    entries.push(id);
+                    if entries.len() <= MAX_ENTRIES {
+                        return None;
+                    }
+                }
+                Some(self.split(node))
+            }
+            NodeKind::Internal(children) => {
+                // Least-enlargement child.
+                let mut best = children[0];
+                let mut best_enl = C::MAX;
+                let mut best_area = C::MAX;
+                for &c in children {
+                    let b = &self.nodes[c as usize].bounds;
+                    let enl = b.union(rect).area() - b.area();
+                    if enl < best_enl || (enl == best_enl && b.area() < best_area) {
+                        best = c;
+                        best_enl = enl;
+                        best_area = b.area();
+                    }
+                }
+                if let Some((a, b)) = self.insert_rec(best, id, rect) {
+                    if let NodeKind::Internal(children) = &mut self.nodes[ni].kind {
+                        children.retain(|&c| c != best);
+                        children.push(a);
+                        children.push(b);
+                        if children.len() > MAX_ENTRIES {
+                            return Some(self.split(node));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Quadratic split of an overflowing node; reuses `node` as the left
+    /// half and returns (left, right).
+    fn split(&mut self, node: u32) -> (u32, u32) {
+        let ni = node as usize;
+        enum Items {
+            Ids(Vec<u32>),
+            Kids(Vec<u32>),
+        }
+        type BoundsOf<'a, C> = Box<dyn Fn(&RTree<C>, u32) -> Rect<C, 2> + 'a>;
+        let (items, bounds_of): (Items, BoundsOf<'_, C>) = match &self.nodes[ni].kind {
+            NodeKind::Leaf(e) => (Items::Ids(e.clone()), Box::new(|t, i| t.rects[i as usize])),
+            NodeKind::Internal(c) => (
+                Items::Kids(c.clone()),
+                Box::new(|t, i| t.nodes[i as usize].bounds),
+            ),
+        };
+        let ids = match &items {
+            Items::Ids(v) | Items::Kids(v) => v.clone(),
+        };
+        // Quadratic seed pick: pair with maximal dead space.
+        let mut seed = (0, 1);
+        let mut worst = C::MIN;
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                let bi = bounds_of(self, ids[i]);
+                let bj = bounds_of(self, ids[j]);
+                let d = bi.union(&bj).area() - bi.area() - bj.area();
+                if d > worst {
+                    worst = d;
+                    seed = (i, j);
+                }
+            }
+        }
+        let mut left = vec![ids[seed.0]];
+        let mut right = vec![ids[seed.1]];
+        let mut lb = bounds_of(self, ids[seed.0]);
+        let mut rb = bounds_of(self, ids[seed.1]);
+        for (pos, &id) in ids.iter().enumerate() {
+            if pos == seed.0 || pos == seed.1 {
+                continue;
+            }
+            let b = bounds_of(self, id);
+            let remaining = ids.len() - pos;
+            // Force min fill.
+            if left.len() + remaining <= MIN_ENTRIES {
+                left.push(id);
+                lb.expand(&b);
+                continue;
+            }
+            if right.len() + remaining <= MIN_ENTRIES {
+                right.push(id);
+                rb.expand(&b);
+                continue;
+            }
+            let dl = lb.union(&b).area() - lb.area();
+            let dr = rb.union(&b).area() - rb.area();
+            if dl <= dr {
+                left.push(id);
+                lb.expand(&b);
+            } else {
+                right.push(id);
+                rb.expand(&b);
+            }
+        }
+        let is_leaf = matches!(items, Items::Ids(_));
+        self.nodes[ni] = Node {
+            bounds: lb,
+            kind: if is_leaf {
+                NodeKind::Leaf(left)
+            } else {
+                NodeKind::Internal(left)
+            },
+        };
+        let rnode = self.push_node(Node {
+            bounds: rb,
+            kind: if is_leaf {
+                NodeKind::Leaf(right)
+            } else {
+                NodeKind::Internal(right)
+            },
+        });
+        (node, rnode)
+    }
+
+    /// Removes a rectangle by id (Boost `rtree::remove` analogue):
+    /// locates the hosting leaf by bounding-box descent, removes the
+    /// entry, and condenses the path — underfull nodes are dissolved and
+    /// their entries reinserted. Returns `false` if the id is absent
+    /// (already removed or out of range). O(log n) expected.
+    pub fn remove(&mut self, id: u32) -> bool {
+        if id as usize >= self.rects.len() {
+            return false;
+        }
+        let rect = self.rects[id as usize];
+        let mut orphans: Vec<u32> = Vec::new();
+        let found = self.remove_rec(self.root, id, &rect, &mut orphans);
+        if !found {
+            return false;
+        }
+        // Tombstone the slot so the id is never reported again (ids are
+        // positions, so the backing store cannot shift).
+        self.rects[id as usize] = Rect::empty();
+        // Reinsert orphans from dissolved nodes.
+        for orphan in orphans {
+            let r = self.rects[orphan as usize];
+            if let Some((a, b)) = self.insert_rec(self.root, orphan, &r) {
+                let bounds = self.nodes[a as usize]
+                    .bounds
+                    .union(&self.nodes[b as usize].bounds);
+                self.root = self.push_node(Node {
+                    bounds,
+                    kind: NodeKind::Internal(vec![a, b]),
+                });
+            }
+        }
+        // Collapse a root with a single child.
+        while let NodeKind::Internal(children) = &self.nodes[self.root as usize].kind {
+            if children.len() == 1 {
+                self.root = children[0];
+            } else {
+                break;
+            }
+        }
+        true
+    }
+
+    /// Recursive removal; returns true when the id was found. Underfull
+    /// leaves along the path dump their remaining entries into
+    /// `orphans` and become empty (pruned from their parents).
+    fn remove_rec(
+        &mut self,
+        node: u32,
+        id: u32,
+        rect: &Rect<C, 2>,
+        orphans: &mut Vec<u32>,
+    ) -> bool {
+        let ni = node as usize;
+        match &self.nodes[ni].kind {
+            NodeKind::Leaf(entries) => {
+                if !entries.contains(&id) {
+                    return false;
+                }
+                if let NodeKind::Leaf(entries) = &mut self.nodes[ni].kind {
+                    entries.retain(|&e| e != id);
+                    if entries.len() < MIN_ENTRIES && node != self.root {
+                        orphans.append(entries);
+                    }
+                }
+                self.recompute_bounds(node);
+                true
+            }
+            NodeKind::Internal(children) => {
+                let candidates: Vec<u32> = children
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        let b = &self.nodes[c as usize].bounds;
+                        !b.is_empty() && b.intersects(rect)
+                    })
+                    .collect();
+                for c in candidates {
+                    if self.remove_rec(c, id, rect, orphans) {
+                        // Prune children that dissolved to empty (probe
+                        // emptiness first to appease the borrow checker).
+                        let kept: Vec<u32> = match &self.nodes[ni].kind {
+                            NodeKind::Internal(children) => children
+                                .iter()
+                                .copied()
+                                .filter(|&ch| match &self.nodes[ch as usize].kind {
+                                    NodeKind::Leaf(e) => !e.is_empty(),
+                                    NodeKind::Internal(cs) => !cs.is_empty(),
+                                })
+                                .collect(),
+                            NodeKind::Leaf(_) => unreachable!(),
+                        };
+                        if kept.len() < 2 && node != self.root {
+                            // Dissolve this internal node too: push all
+                            // reachable entries as orphans.
+                            self.nodes[ni].kind = NodeKind::Internal(Vec::new());
+                            for ch in kept {
+                                self.collect_entries(ch, orphans);
+                            }
+                        } else {
+                            self.nodes[ni].kind = NodeKind::Internal(kept);
+                        }
+                        self.recompute_bounds(node);
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn collect_entries(&self, node: u32, out: &mut Vec<u32>) {
+        match &self.nodes[node as usize].kind {
+            NodeKind::Leaf(entries) => out.extend_from_slice(entries),
+            NodeKind::Internal(children) => {
+                for &c in children {
+                    self.collect_entries(c, out);
+                }
+            }
+        }
+    }
+
+    fn recompute_bounds(&mut self, node: u32) {
+        let ni = node as usize;
+        let bounds = match &self.nodes[ni].kind {
+            NodeKind::Leaf(entries) => entries
+                .iter()
+                .fold(Rect::empty(), |b, &id| b.union(&self.rects[id as usize])),
+            NodeKind::Internal(children) => children.iter().fold(Rect::empty(), |b, &c| {
+                b.union(&self.nodes[c as usize].bounds)
+            }),
+        };
+        self.nodes[ni].bounds = bounds;
+    }
+
+    /// Rectangles containing the point, via bounding-box descent.
+    pub fn query_point(&self, p: &Point<C, 2>, out: &mut Vec<u32>) {
+        self.query_filter(|b| b.contains_point(p), |r| r.contains_point(p), out);
+    }
+
+    /// Rectangles containing `q` (Definition 2).
+    pub fn query_contains(&self, q: &Rect<C, 2>, out: &mut Vec<u32>) {
+        self.query_filter(|b| b.intersects(q), |r| r.contains_rect(q), out);
+    }
+
+    /// Rectangles intersecting `q` (Definition 3).
+    pub fn query_intersects(&self, q: &Rect<C, 2>, out: &mut Vec<u32>) {
+        self.query_filter(|b| b.intersects(q), |r| r.intersects(q), out);
+    }
+
+    fn query_filter<FB, FR>(&self, hit_node: FB, hit_rect: FR, out: &mut Vec<u32>)
+    where
+        FB: Fn(&Rect<C, 2>) -> bool,
+        FR: Fn(&Rect<C, 2>) -> bool,
+    {
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            if node.bounds.is_empty() || !hit_node(&node.bounds) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal(children) => stack.extend_from_slice(children),
+                NodeKind::Leaf(entries) => {
+                    for &id in entries {
+                        if hit_rect(&self.rects[id as usize]) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batch point query over all cores; returns count + wall time.
+    pub fn batch_point_query(&self, points: &[Point<C, 2>]) -> QueryTiming {
+        let start = Instant::now();
+        let results: u64 = points
+            .par_iter()
+            .map_init(Vec::new, |buf, p| {
+                buf.clear();
+                self.query_point(p, buf);
+                buf.len() as u64
+            })
+            .sum();
+        QueryTiming {
+            results,
+            wall_time: start.elapsed(),
+            device_time: None,
+        }
+    }
+
+    /// Batch Range-Contains query.
+    pub fn batch_contains(&self, queries: &[Rect<C, 2>]) -> QueryTiming {
+        let start = Instant::now();
+        let results: u64 = queries
+            .par_iter()
+            .map_init(Vec::new, |buf, q| {
+                buf.clear();
+                self.query_contains(q, buf);
+                buf.len() as u64
+            })
+            .sum();
+        QueryTiming {
+            results,
+            wall_time: start.elapsed(),
+            device_time: None,
+        }
+    }
+
+    /// Batch Range-Intersects query.
+    pub fn batch_intersects(&self, queries: &[Rect<C, 2>]) -> QueryTiming {
+        let start = Instant::now();
+        let results: u64 = queries
+            .par_iter()
+            .map_init(Vec::new, |buf, q| {
+                buf.clear();
+                self.query_intersects(q, buf);
+                buf.len() as u64
+            })
+            .sum();
+        QueryTiming {
+            results,
+            wall_time: start.elapsed(),
+            device_time: None,
+        }
+    }
+
+    /// Structural invariant check for tests: node bounds enclose their
+    /// subtrees and every live (non-removed) id appears exactly once.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.rects.len()];
+        self.validate_rec(self.root, &mut seen)?;
+        for (id, present) in seen.iter().enumerate() {
+            let removed = self.rects[id].is_empty();
+            if !present && !removed {
+                return Err(format!("live rectangle {id} missing from the tree"));
+            }
+            if *present && removed {
+                return Err(format!("removed rectangle {id} still reachable"));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_rec(&self, n: u32, seen: &mut [bool]) -> Result<(), String> {
+        let node = &self.nodes[n as usize];
+        match &node.kind {
+            NodeKind::Leaf(entries) => {
+                for &id in entries {
+                    if seen[id as usize] {
+                        return Err(format!("rect {id} appears twice"));
+                    }
+                    seen[id as usize] = true;
+                    let r = &self.rects[id as usize];
+                    if node.bounds.union(r) != node.bounds {
+                        return Err(format!("leaf {n} does not enclose rect {id}"));
+                    }
+                }
+            }
+            NodeKind::Internal(children) => {
+                if children.is_empty() {
+                    return Err(format!("internal {n} has no children"));
+                }
+                for &c in children {
+                    let cb = self.nodes[c as usize].bounds;
+                    if node.bounds.union(&cb) != node.bounds {
+                        return Err(format!("internal {n} does not enclose child {c}"));
+                    }
+                    self.validate_rec(c, seen)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<C: Coord> Default for RTree<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Rect<f32, 2>> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 32) as f32 * 3.0;
+                let y = (i / 32) as f32 * 3.0;
+                Rect::xyxy(x, y, x + 2.0, y + 2.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_valid_and_queryable() {
+        let rects = grid(1000);
+        let tree = RTree::bulk_load(&rects);
+        tree.validate().unwrap();
+        let mut out = vec![];
+        tree.query_point(&Point::xy(1.0, 1.0), &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn dynamic_insert_matches_bulk() {
+        let rects = grid(300);
+        let bulk = RTree::bulk_load(&rects);
+        let mut dyn_tree = RTree::new();
+        for r in &rects {
+            dyn_tree.insert(*r);
+        }
+        dyn_tree.validate().unwrap();
+        for q in [
+            Rect::xyxy(0.0f32, 0.0, 10.0, 10.0),
+            Rect::xyxy(50.0, 20.0, 60.0, 30.0),
+        ] {
+            let mut a = vec![];
+            bulk.query_intersects(&q, &mut a);
+            let mut b = vec![];
+            dyn_tree.query_intersects(&q, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn queries_match_brute_force() {
+        let rects = grid(500);
+        let tree = RTree::bulk_load(&rects);
+        let q = Rect::xyxy(10.0f32, 10.0, 40.0, 25.0);
+        let mut got = vec![];
+        tree.query_intersects(&q, &mut got);
+        got.sort_unstable();
+        let want: Vec<u32> = (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].intersects(&q))
+            .collect();
+        assert_eq!(got, want);
+
+        let mut got_c = vec![];
+        tree.query_contains(&Rect::xyxy(3.5f32, 0.5, 4.5, 1.5), &mut got_c);
+        got_c.sort_unstable();
+        let want_c: Vec<u32> = (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].contains_rect(&Rect::xyxy(3.5, 0.5, 4.5, 1.5)))
+            .collect();
+        assert_eq!(got_c, want_c);
+    }
+
+    #[test]
+    fn batch_queries_count() {
+        let rects = grid(200);
+        let tree = RTree::bulk_load(&rects);
+        let pts: Vec<Point<f32, 2>> = rects.iter().map(|r| r.center()).collect();
+        let t = tree.batch_point_query(&pts);
+        assert_eq!(t.results, 200);
+        assert!(t.device_time.is_none());
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RTree::<f32>::bulk_load(&[]);
+        let mut out = vec![];
+        tree.query_point(&Point::xy(0.0, 0.0), &mut out);
+        assert!(out.is_empty());
+        assert!(tree.is_empty());
+        let tree2 = RTree::<f32>::new();
+        tree2.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_then_queries_exclude() {
+        let rects = grid(200);
+        let mut tree = RTree::bulk_load(&rects);
+        assert!(tree.remove(0));
+        assert!(tree.remove(100));
+        assert!(!tree.remove(0), "double remove must fail");
+        assert!(!tree.remove(9999), "unknown id must fail");
+        tree.validate().unwrap();
+        let mut out = vec![];
+        tree.query_point(&rects[0].center(), &mut out);
+        assert!(!out.contains(&0));
+        out.clear();
+        tree.query_intersects(&Rect::xyxy(-1e6, -1e6, 1e6, 1e6), &mut out);
+        assert_eq!(out.len(), 198);
+        assert!(!out.contains(&0) && !out.contains(&100));
+    }
+
+    #[test]
+    fn remove_everything() {
+        let rects = grid(64);
+        let mut tree = RTree::bulk_load(&rects);
+        for id in 0..64u32 {
+            assert!(tree.remove(id), "remove {id}");
+            tree.validate().unwrap();
+        }
+        let mut out = vec![];
+        tree.query_intersects(&Rect::xyxy(-1e6, -1e6, 1e6, 1e6), &mut out);
+        assert!(out.is_empty());
+        // The tree is reusable after total removal.
+        let id = tree.insert(Rect::xyxy(0.0, 0.0, 1.0, 1.0));
+        out.clear();
+        tree.query_point(&Point::xy(0.5, 0.5), &mut out);
+        assert_eq!(out, vec![id]);
+    }
+
+    #[test]
+    fn remove_interleaved_with_insert() {
+        let mut tree = RTree::new();
+        let mut live = std::collections::HashSet::new();
+        for i in 0..300u32 {
+            let x = (i % 20) as f32 * 2.0;
+            let y = (i / 20) as f32 * 2.0;
+            let id = tree.insert(Rect::xyxy(x, y, x + 1.0, y + 1.0));
+            live.insert(id);
+            if i % 3 == 2 {
+                let victim = *live.iter().min().unwrap();
+                assert!(tree.remove(victim));
+                live.remove(&victim);
+            }
+        }
+        tree.validate().unwrap();
+        let mut out = vec![];
+        tree.query_intersects(&Rect::xyxy(-1e6, -1e6, 1e6, 1e6), &mut out);
+        let got: std::collections::HashSet<u32> = out.into_iter().collect();
+        assert_eq!(got, live);
+    }
+
+    #[test]
+    fn split_respects_min_fill() {
+        let mut tree = RTree::new();
+        for i in 0..(MAX_ENTRIES * 4) {
+            tree.insert(Rect::xyxy(i as f32, 0.0, i as f32 + 0.5, 0.5));
+        }
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), MAX_ENTRIES * 4);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests: every baseline index must agree with the brute-force
+//! oracle on arbitrary inputs — the same bar LibRTS is held to.
+
+use baselines::{glin::Glin, kdtree::KdTree, lbvh::Lbvh, quadtree::QuadTree, rtree::RTree};
+use geom::{Point, Rect};
+use proptest::prelude::*;
+use rtcore::RayStats;
+
+fn arb_rect() -> impl Strategy<Value = Rect<f32, 2>> {
+    (
+        -100.0f32..100.0,
+        -100.0f32..100.0,
+        0.01f32..30.0,
+        0.01f32..30.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::xyxy(x, y, x + w, y + h))
+}
+
+fn arb_point() -> impl Strategy<Value = Point<f32, 2>> {
+    (-120.0f32..120.0, -120.0f32..120.0).prop_map(|(x, y)| Point::xy(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rtree_bulk_equals_oracle(
+        rects in prop::collection::vec(arb_rect(), 1..150),
+        q in arb_rect(),
+        p in arb_point(),
+    ) {
+        let tree = RTree::bulk_load(&rects);
+        tree.validate().unwrap();
+
+        let mut got = vec![];
+        tree.query_intersects(&q, &mut got);
+        got.sort_unstable();
+        let want: Vec<u32> = (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].intersects(&q))
+            .collect();
+        prop_assert_eq!(got, want);
+
+        let mut got_p = vec![];
+        tree.query_point(&p, &mut got_p);
+        got_p.sort_unstable();
+        let want_p: Vec<u32> = (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].contains_point(&p))
+            .collect();
+        prop_assert_eq!(got_p, want_p);
+    }
+
+    #[test]
+    fn rtree_dynamic_equals_bulk(
+        rects in prop::collection::vec(arb_rect(), 1..120),
+        q in arb_rect(),
+    ) {
+        let bulk = RTree::bulk_load(&rects);
+        let mut dynamic = RTree::new();
+        for r in &rects {
+            dynamic.insert(*r);
+        }
+        dynamic.validate().unwrap();
+        let mut a = vec![];
+        bulk.query_intersects(&q, &mut a);
+        let mut b = vec![];
+        dynamic.query_intersects(&q, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lbvh_equals_oracle(
+        rects in prop::collection::vec(arb_rect(), 1..150),
+        q in arb_rect(),
+        p in arb_point(),
+    ) {
+        let lbvh = Lbvh::build(&rects);
+        let mut stats = RayStats::default();
+
+        let mut got = vec![];
+        lbvh.query_intersects(&q, &mut got, &mut stats);
+        got.sort_unstable();
+        let want: Vec<u32> = (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].intersects(&q))
+            .collect();
+        prop_assert_eq!(got, want);
+
+        let mut got_c = vec![];
+        lbvh.query_contains(&q, &mut got_c, &mut stats);
+        got_c.sort_unstable();
+        let want_c: Vec<u32> = (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].contains_rect(&q))
+            .collect();
+        prop_assert_eq!(got_c, want_c);
+
+        let mut got_p = vec![];
+        lbvh.query_point(&p, &mut got_p, &mut stats);
+        got_p.sort_unstable();
+        let want_p: Vec<u32> = (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].contains_point(&p))
+            .collect();
+        prop_assert_eq!(got_p, want_p);
+    }
+
+    #[test]
+    fn glin_equals_oracle(
+        rects in prop::collection::vec(arb_rect(), 1..150),
+        q in arb_rect(),
+    ) {
+        let glin = Glin::build(&rects);
+        let mut got = vec![];
+        glin.query_intersects(&q, &mut got);
+        got.sort_unstable();
+        let want: Vec<u32> = (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].intersects(&q))
+            .collect();
+        prop_assert_eq!(got, want, "glin intersects");
+
+        let mut got_c = vec![];
+        glin.query_contains(&q, &mut got_c);
+        got_c.sort_unstable();
+        let want_c: Vec<u32> = (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].contains_rect(&q))
+            .collect();
+        prop_assert_eq!(got_c, want_c, "glin contains");
+    }
+
+    #[test]
+    fn point_trees_equal_oracle(
+        pts in prop::collection::vec(arb_point(), 1..200),
+        q in arb_rect(),
+        leaf in 1usize..40,
+    ) {
+        let kd = KdTree::build_with_leaf(&pts, leaf);
+        let mut got = vec![];
+        kd.query_rect(&q, &mut got);
+        got.sort_unstable();
+        let want: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| q.contains_point(&pts[i as usize]))
+            .collect();
+        prop_assert_eq!(&got, &want, "kdtree");
+
+        let qt = QuadTree::build(&pts);
+        let mut got_q = vec![];
+        qt.query_rect(&q, &mut got_q, &mut RayStats::default());
+        got_q.sort_unstable();
+        prop_assert_eq!(&got_q, &want, "quadtree");
+    }
+}

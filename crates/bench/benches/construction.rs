@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 10(a): index construction wall time.
+
+use baselines::{glin::Glin, lbvh::Lbvh, rtree::RTree};
+use bench::EvalConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::Dataset;
+use librts::RTSIndex;
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
+
+    let mut g = c.benchmark_group("fig10a_construction");
+    g.sample_size(10);
+
+    g.bench_function("librts", |b| {
+        b.iter(|| black_box(RTSIndex::with_rects(black_box(&rects), Default::default()).unwrap()))
+    });
+    g.bench_function("lbvh", |b| {
+        b.iter(|| black_box(Lbvh::build(black_box(&rects))))
+    });
+    g.bench_function("boost_rtree_bulk", |b| {
+        b.iter(|| black_box(RTree::bulk_load(black_box(&rects))))
+    });
+    g.bench_function("glin", |b| {
+        b.iter(|| black_box(Glin::build(black_box(&rects))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 9: Ray-Multicast k sweep on the backward
+//! casting pass of Range-Intersects.
+
+use bench::EvalConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::{queries, Dataset};
+use librts::{CountingHandler, RTSIndex};
+use std::hint::black_box;
+
+fn bench_multicast(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
+    let qs = queries::intersects_queries(&rects, cfg.queries(50_000), 0.001, cfg.seed + 4);
+    let index = RTSIndex::with_rects(&rects, Default::default()).unwrap();
+
+    let mut g = c.benchmark_group("fig9_multicast_k");
+    g.sample_size(10);
+    for k in [1usize, 4, 16, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let h = CountingHandler::new();
+                index.range_intersects_with_k(black_box(&qs), &h, k);
+                black_box(h.count())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_multicast);
+criterion_main!(benches);

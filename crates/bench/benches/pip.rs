@@ -1,0 +1,45 @@
+//! Criterion bench for Fig. 12: end-to-end point-in-polygon time of the
+//! three PIP engines.
+
+use baselines::{quadtree::QuadTree, rayjoin::RayJoin};
+use bench::EvalConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::{polygons::polygons_from_rects, queries, Dataset};
+use librts::{CountingHandler, PipIndex};
+use std::hint::black_box;
+
+fn bench_pip(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let boxes = Dataset::UsCounty.generate(cfg.scale, cfg.seed);
+    let polys = polygons_from_rects(&boxes, 16, cfg.seed + 10);
+    let pts = queries::point_queries(&boxes, cfg.queries(100_000), cfg.seed + 11);
+
+    let mut g = c.benchmark_group("fig12_pip_end_to_end");
+    g.sample_size(10);
+
+    // End-to-end = build + query, as in the paper's Fig. 12.
+    g.bench_function("librts", |b| {
+        b.iter(|| {
+            let pip = PipIndex::build(polys.clone(), Default::default()).unwrap();
+            let h = CountingHandler::new();
+            pip.query(black_box(&pts), &h);
+            black_box(h.count())
+        })
+    });
+    g.bench_function("rayjoin", |b| {
+        b.iter(|| {
+            let rj = RayJoin::build(black_box(&polys));
+            black_box(rj.batch_pip(black_box(&pts)).results)
+        })
+    });
+    g.bench_function("cuspatial", |b| {
+        b.iter(|| {
+            let qt = QuadTree::build(black_box(&pts));
+            black_box(qt.batch_pip(black_box(&polys)).results)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pip);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Fig. 6: point-query wall time of every engine on
+//! a scaled USCensus workload.
+
+use baselines::{kdtree::KdTree, lbvh::Lbvh, quadtree::QuadTree, rtree::RTree};
+use bench::EvalConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::{queries, Dataset};
+use librts::{CountingHandler, RTSIndex};
+use std::hint::black_box;
+
+fn bench_point_query(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
+    let pts = queries::point_queries(&rects, cfg.queries(100_000), cfg.seed + 1);
+
+    let mut g = c.benchmark_group("fig6_point_query");
+    g.sample_size(10);
+
+    let index = RTSIndex::with_rects(&rects, Default::default()).unwrap();
+    g.bench_function("librts", |b| {
+        b.iter(|| {
+            let h = CountingHandler::new();
+            index.point_query(black_box(&pts), &h);
+            black_box(h.count())
+        })
+    });
+
+    let lbvh = Lbvh::build(&rects);
+    g.bench_function("lbvh", |b| {
+        b.iter(|| black_box(lbvh.batch_point_query(black_box(&pts))).results)
+    });
+
+    let rtree = RTree::bulk_load(&rects);
+    g.bench_function("boost_rtree", |b| {
+        b.iter(|| black_box(rtree.batch_point_query(black_box(&pts))).results)
+    });
+
+    let kd = KdTree::build(&pts);
+    g.bench_function("cgal_kdtree_inverted", |b| {
+        b.iter(|| black_box(kd.batch_point_query_inverted(black_box(&rects))).results)
+    });
+
+    let qt = QuadTree::build(&pts);
+    g.bench_function("cuspatial_quadtree_inverted", |b| {
+        b.iter(|| black_box(qt.batch_point_query_inverted(black_box(&rects))).results)
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_point_query);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Fig. 7: Range-Contains wall time.
+
+use baselines::{glin::Glin, lbvh::Lbvh, rtree::RTree};
+use bench::EvalConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::{queries, Dataset};
+use librts::{CountingHandler, Predicate, RTSIndex};
+use std::hint::black_box;
+
+fn bench_range_contains(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
+    let qs = queries::contains_queries(&rects, cfg.queries(100_000), cfg.seed + 2);
+
+    let mut g = c.benchmark_group("fig7_range_contains");
+    g.sample_size(10);
+
+    let index = RTSIndex::with_rects(&rects, Default::default()).unwrap();
+    g.bench_function("librts", |b| {
+        b.iter(|| {
+            let h = CountingHandler::new();
+            index.range_query(Predicate::Contains, black_box(&qs), &h);
+            black_box(h.count())
+        })
+    });
+
+    let lbvh = Lbvh::build(&rects);
+    g.bench_function("lbvh", |b| {
+        b.iter(|| black_box(lbvh.batch_contains(black_box(&qs))).results)
+    });
+
+    let rtree = RTree::bulk_load(&rects);
+    g.bench_function("boost_rtree", |b| {
+        b.iter(|| black_box(rtree.batch_contains(black_box(&qs))).results)
+    });
+
+    let glin = Glin::build(&rects);
+    g.bench_function("glin", |b| {
+        b.iter(|| black_box(glin.batch_contains(black_box(&qs))).results)
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_range_contains);
+criterion_main!(benches);

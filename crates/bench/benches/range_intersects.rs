@@ -1,0 +1,49 @@
+//! Criterion bench for Fig. 8: Range-Intersects wall time across the
+//! paper's three selectivity levels.
+
+use baselines::{glin::Glin, lbvh::Lbvh, rtree::RTree};
+use bench::EvalConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::{queries, Dataset};
+use librts::{CountingHandler, Predicate, RTSIndex};
+use std::hint::black_box;
+
+fn bench_range_intersects(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
+
+    let mut g = c.benchmark_group("fig8_range_intersects");
+    g.sample_size(10);
+
+    for sel in [0.0001f64, 0.001, 0.01] {
+        let qs = queries::intersects_queries(&rects, cfg.queries(10_000), sel, cfg.seed + 3);
+
+        let index = RTSIndex::with_rects(&rects, Default::default()).unwrap();
+        g.bench_with_input(BenchmarkId::new("librts", sel), &qs, |b, qs| {
+            b.iter(|| {
+                let h = CountingHandler::new();
+                index.range_query(Predicate::Intersects, black_box(qs), &h);
+                black_box(h.count())
+            })
+        });
+
+        let lbvh = Lbvh::build(&rects);
+        g.bench_with_input(BenchmarkId::new("lbvh", sel), &qs, |b, qs| {
+            b.iter(|| black_box(lbvh.batch_intersects(black_box(qs))).results)
+        });
+
+        let rtree = RTree::bulk_load(&rects);
+        g.bench_with_input(BenchmarkId::new("boost_rtree", sel), &qs, |b, qs| {
+            b.iter(|| black_box(rtree.batch_intersects(black_box(qs))).results)
+        });
+
+        let glin = Glin::build(&rects);
+        g.bench_with_input(BenchmarkId::new("glin", sel), &qs, |b, qs| {
+            b.iter(|| black_box(glin.batch_intersects(black_box(qs))).results)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_range_intersects);
+criterion_main!(benches);

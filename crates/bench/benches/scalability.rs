@@ -1,0 +1,51 @@
+//! Criterion bench for Fig. 11: LibRTS query scalability on Spider
+//! uniform / Gaussian data.
+
+use bench::EvalConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::queries;
+use datasets::spider::{generate_rects, SpiderDistribution, SpiderParams};
+use librts::{CountingHandler, RTSIndex};
+use std::hint::black_box;
+
+fn bench_scalability(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let mut g = c.benchmark_group("fig11_scalability");
+    g.sample_size(10);
+
+    for n in [20_000usize, 40_000] {
+        for (label, dist) in [
+            ("uniform", SpiderDistribution::Uniform),
+            (
+                "gaussian",
+                SpiderDistribution::Gaussian {
+                    mu: 0.5,
+                    sigma: 0.1,
+                },
+            ),
+        ] {
+            let params = SpiderParams {
+                distribution: dist,
+                ..Default::default()
+            };
+            let rects = generate_rects(&params, n, cfg.seed);
+            let index = RTSIndex::with_rects(&rects, Default::default()).unwrap();
+            let pts = queries::point_queries(&rects, cfg.queries(10_000), cfg.seed + 8);
+            g.bench_with_input(
+                BenchmarkId::new(format!("point_{label}"), n),
+                &pts,
+                |b, pts| {
+                    b.iter(|| {
+                        let h = CountingHandler::new();
+                        index.point_query(black_box(pts), &h);
+                        black_box(h.count())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench for Fig. 10(b)/(c): mutation throughput and refit
+//! costs of the LibRTS index.
+
+use bench::EvalConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::{spider, Dataset};
+use geom::Point;
+use librts::RTSIndex;
+use std::hint::black_box;
+
+fn bench_updates(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let params = spider::SpiderParams::default();
+
+    let mut g = c.benchmark_group("fig10b_mutations");
+    g.sample_size(10);
+
+    for batch in [1_000usize, 10_000] {
+        let rects = spider::generate_rects(&params, batch * 3, cfg.seed);
+        g.bench_with_input(BenchmarkId::new("insert", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let mut index = RTSIndex::<f32>::new(Default::default());
+                index.insert(&rects[..batch]).unwrap();
+                index.insert(&rects[batch..2 * batch]).unwrap();
+                black_box(index.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("delete", batch), &batch, |b, &batch| {
+            b.iter_batched(
+                || {
+                    let mut index = RTSIndex::<f32>::new(Default::default());
+                    index.insert(&rects[..2 * batch]).unwrap();
+                    index
+                },
+                |mut index| {
+                    let ids: Vec<u32> = (0..batch as u32).collect();
+                    index.delete(&ids).unwrap();
+                    black_box(index.len())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // Fig. 10(c) flavour: refit-heavy update round on EUParks.
+    let rects = Dataset::EuParks.generate(cfg.scale, cfg.seed);
+    let ids: Vec<u32> = (0..(rects.len() / 50) as u32).collect();
+    let moved: Vec<_> = ids
+        .iter()
+        .map(|&i| rects[i as usize].translated(&Point::xy(100.0, -50.0)))
+        .collect();
+    g.bench_function("update_2pct_euparks", |b| {
+        b.iter_batched(
+            || RTSIndex::with_rects(&rects, Default::default()).unwrap(),
+            |mut index| {
+                index.update(&ids, &moved).unwrap();
+                black_box(index.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! `paper_eval` — regenerates every table and figure of the LibRTS
+//! evaluation (§6) as text tables.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin paper_eval -- all
+//! cargo run --release -p bench --bin paper_eval -- fig8 --scale 32 --queries 5
+//! ```
+//!
+//! Experiments: `table1 table2 fig6a fig6b fig7a fig7b fig8 fig8d fig9a
+//! fig9b fig10a fig10b fig10c fig11 fig12 all`.
+//!
+//! Flags: `--scale N` divides dataset cardinalities (default 64),
+//! `--queries N` divides query counts (default 10), `--seed N`,
+//! `--full` restores paper scale.
+
+use bench::figures;
+use bench::EvalConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = EvalConfig::default();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                cfg.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale takes a positive integer");
+            }
+            "--queries" => {
+                cfg.query_div = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queries takes a positive integer");
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            "--full" => cfg = EvalConfig::full(),
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".into());
+    }
+
+    println!(
+        "LibRTS reproduction harness — scale 1/{}, queries 1/{}, seed {}",
+        cfg.scale, cfg.query_div, cfg.seed
+    );
+    println!("(*) = simulated RT-device time from the SIMT cost model; other columns are host wall time.");
+
+    for exp in &experiments {
+        run(exp, &cfg);
+    }
+}
+
+fn run(exp: &str, cfg: &EvalConfig) {
+    match exp {
+        "table1" => figures::table1().print(),
+        "table2" => figures::table2(cfg).print(),
+        "fig6a" => figures::fig6a(cfg).print(),
+        "fig6b" => figures::fig6b(cfg).print(),
+        "fig7a" => figures::fig7a(cfg).print(),
+        "fig7b" => figures::fig7b(cfg).print(),
+        "fig8" => {
+            for t in figures::fig8(cfg) {
+                t.print();
+            }
+        }
+        "fig8d" => figures::fig8d(cfg).print(),
+        "fig9a" => figures::fig9a(cfg).print(),
+        "fig9b" => figures::fig9b(cfg).print(),
+        "fig10a" => figures::fig10a(cfg).print(),
+        "fig10b" => figures::fig10b(cfg).print(),
+        "fig10c" => figures::fig10c(cfg).print(),
+        "fig11" => figures::fig11(cfg).print(),
+        "fig12" => figures::fig12(cfg).print(),
+        "all" => {
+            for e in [
+                "table1", "table2", "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig8d", "fig9a",
+                "fig9b", "fig10a", "fig10b", "fig10c", "fig11", "fig12",
+            ] {
+                run(e, cfg);
+            }
+        }
+        other => eprintln!("unknown experiment '{other}' (see --help text in the source)"),
+    }
+}

@@ -1,0 +1,88 @@
+//! `runme` — the artifact-evaluation entry point, mirroring the paper's
+//! Appendix A (`./runme.sh`): checks the environment, runs a smoke
+//! verification of every engine, then regenerates all tables and
+//! figures at the configured scale.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin runme            # smoke + full eval
+//! cargo run --release -p bench --bin runme -- --smoke-only
+//! ```
+
+use std::time::Instant;
+
+use baselines::{lbvh::Lbvh, rtree::RTree};
+use bench::{figures, EvalConfig};
+use datasets::{queries, Dataset};
+use librts::{CountingHandler, Predicate, RTSIndex};
+
+fn main() {
+    let smoke_only = std::env::args().any(|a| a == "--smoke-only");
+    println!("LibRTS reproduction — artifact evaluation runner");
+    println!(
+        "host: {} logical CPUs, simulated RT device (see DESIGN.md §2)\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    // ---- Stage 1: smoke verification -----------------------------------
+    // A miniature end-to-end run with result cross-checking; failure here
+    // means the installation is broken, as runme.sh's early steps would.
+    let t = Instant::now();
+    let cfg = EvalConfig::smoke();
+    let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
+    let pts = queries::point_queries(&rects, 500, cfg.seed);
+    let iqs = queries::intersects_queries(&rects, 200, 0.001, cfg.seed);
+
+    let index = RTSIndex::with_rects(&rects, Default::default()).expect("index build");
+    let rtree = RTree::bulk_load(&rects);
+    let lbvh = Lbvh::build(&rects);
+
+    let h = CountingHandler::new();
+    index.point_query(&pts, &h);
+    let rt = rtree.batch_point_query(&pts);
+    let lb = lbvh.batch_point_query(&pts);
+    assert_eq!(h.count(), rt.results, "point query: LibRTS vs RTree");
+    assert_eq!(h.count(), lb.results, "point query: LibRTS vs LBVH");
+
+    let h = CountingHandler::new();
+    index.range_query(Predicate::Intersects, &iqs, &h);
+    let rt = rtree.batch_intersects(&iqs);
+    assert_eq!(h.count(), rt.results, "intersects: LibRTS vs RTree");
+
+    println!(
+        "smoke verification passed in {:?} ({} rects, {} point / {} range queries, all engines agree)\n",
+        t.elapsed(),
+        rects.len(),
+        pts.len(),
+        iqs.len()
+    );
+    if smoke_only {
+        return;
+    }
+
+    // ---- Stage 2: the full evaluation -----------------------------------
+    let cfg = EvalConfig::default();
+    println!(
+        "regenerating all tables and figures (scale 1/{}, queries 1/{})...",
+        cfg.scale, cfg.query_div
+    );
+    figures::table1().print();
+    figures::table2(&cfg).print();
+    figures::fig6a(&cfg).print();
+    figures::fig6b(&cfg).print();
+    figures::fig7a(&cfg).print();
+    figures::fig7b(&cfg).print();
+    for t in figures::fig8(&cfg) {
+        t.print();
+    }
+    figures::fig8d(&cfg).print();
+    figures::fig9a(&cfg).print();
+    figures::fig9b(&cfg).print();
+    figures::fig10a(&cfg).print();
+    figures::fig10b(&cfg).print();
+    figures::fig10c(&cfg).print();
+    figures::fig11(&cfg).print();
+    figures::fig12(&cfg).print();
+    println!("\nall experiments completed; see EXPERIMENTS.md for interpretation.");
+}

@@ -1,0 +1,64 @@
+//! Evaluation configuration shared by `paper_eval` and the criterion
+//! benches.
+
+/// Scaling knobs for the paper-reproduction harness. The paper's full
+/// workloads (11.5M rectangles, 800K queries) are divided down so the
+/// whole evaluation runs on one machine; `EvalConfig::full()` restores
+/// paper scale.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalConfig {
+    /// Dataset cardinalities are divided by this (Table 2 sizes / scale).
+    pub scale: usize,
+    /// Query counts are divided by this (e.g. 100K points → 100K/div).
+    pub query_div: usize,
+    /// Base RNG seed; every workload derives deterministically from it.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            scale: 64,
+            query_div: 10,
+            seed: 42,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// Paper-scale configuration (hours of runtime on one core).
+    pub fn full() -> Self {
+        Self {
+            scale: 1,
+            query_div: 1,
+            seed: 42,
+        }
+    }
+
+    /// A very small configuration for smoke tests and criterion benches.
+    pub fn smoke() -> Self {
+        Self {
+            scale: 512,
+            query_div: 100,
+            seed: 42,
+        }
+    }
+
+    /// Scaled query count (floor 100 so tiny configs stay meaningful).
+    pub fn queries(&self, paper_count: usize) -> usize {
+        (paper_count / self.query_div.max(1)).max(100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling() {
+        let cfg = EvalConfig::default();
+        assert_eq!(cfg.queries(100_000), 10_000);
+        assert_eq!(cfg.queries(500), 100);
+        assert_eq!(EvalConfig::full().queries(100_000), 100_000);
+    }
+}

@@ -1,0 +1,14 @@
+//! # bench — the evaluation harness of the LibRTS reproduction
+//!
+//! [`figures`] contains one runner per table/figure of the paper's §6;
+//! the `paper_eval` binary drives them from the command line, and the
+//! criterion benches under `benches/` wrap the same workloads for
+//! statistically sampled wall-time measurements.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod figures;
+pub mod table;
+
+pub use config::EvalConfig;

@@ -1,0 +1,119 @@
+//! Minimal aligned-text table printer for `paper_eval` output.
+
+use std::time::Duration;
+
+/// A printable table with a title, column headers and string rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row must match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Left-align first column, right-align the rest.
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", c, width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>width$}", c, width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Human-friendly duration: µs/ms/s with 3 significant-ish digits.
+pub fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Format a speedup factor.
+pub fn fmt_x(factor: f64) -> String {
+    if factor >= 100.0 {
+        format!("{factor:.0}x")
+    } else {
+        format!("{factor:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "time"]);
+        t.row(vec!["a".into(), "1.00ms".into()]);
+        t.row(vec!["longer".into(), "2.5s".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_dur(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_dur(Duration::from_millis(2500)), "2.50s");
+        assert_eq!(fmt_x(3.125), "3.1x");
+        assert_eq!(fmt_x(302.0), "302x");
+    }
+}

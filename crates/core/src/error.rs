@@ -1,0 +1,71 @@
+//! Error types of the LibRTS public API.
+
+use rtcore::AccelError;
+
+/// Errors from index mutations and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A supplied rectangle has NaN/infinite coordinates or `min > max`.
+    InvalidRect {
+        /// Position of the offending rectangle in the caller's array.
+        index: usize,
+    },
+    /// A supplied id does not exist in the index.
+    UnknownId {
+        /// The offending id.
+        id: u32,
+    },
+    /// A supplied id refers to an already-deleted rectangle.
+    AlreadyDeleted {
+        /// The offending id.
+        id: u32,
+    },
+    /// `ids` and `rectangles` arrays have different lengths in `Update`.
+    LengthMismatch {
+        /// Number of ids supplied.
+        ids: usize,
+        /// Number of rectangles supplied.
+        rects: usize,
+    },
+    /// The underlying acceleration structure rejected the operation.
+    Accel(AccelError),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::InvalidRect { index } => {
+                write!(f, "rectangle {index} is invalid (NaN/inf or min > max)")
+            }
+            IndexError::UnknownId { id } => write!(f, "id {id} does not exist"),
+            IndexError::AlreadyDeleted { id } => write!(f, "id {id} was already deleted"),
+            IndexError::LengthMismatch { ids, rects } => {
+                write!(f, "{ids} ids vs {rects} rectangles")
+            }
+            IndexError::Accel(e) => write!(f, "acceleration structure error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<AccelError> for IndexError {
+    fn from(e: AccelError) -> Self {
+        IndexError::Accel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(IndexError::InvalidRect { index: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(IndexError::UnknownId { id: 9 }.to_string().contains("9"));
+        let e: IndexError = AccelError::UpdateNotAllowed.into();
+        assert!(matches!(e, IndexError::Accel(_)));
+    }
+}

@@ -1,0 +1,251 @@
+//! Query-result handlers — the `RTSIndex_handler` of the paper's API
+//! (Algorithm 2). LibRTS ships two built-ins: the **Counting Handler**
+//! and the **Collecting Handler** (§5). Handlers run inside IS shaders
+//! on many threads concurrently, so they must be `Sync` and internally
+//! synchronized.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// A (rect\_id, query\_id) result pair, the unit every LibRTS query
+/// produces.
+pub type ResultPair = (u32, u32);
+
+/// Receives qualified `(rect_id, query_id)` pairs from query shaders.
+pub trait QueryHandler: Sync {
+    /// Called once per qualifying pair. `rect_id` is the *global*
+    /// primitive id (stable across insert batches, §4.1); `query_id`
+    /// indexes the caller's query array.
+    fn handle(&self, rect_id: u32, query_id: u32);
+}
+
+/// Counts results without storing them (paper's "Counting Handler").
+#[derive(Debug, Default)]
+pub struct CountingHandler {
+    count: AtomicU64,
+}
+
+impl CountingHandler {
+    /// Fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of results seen so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl QueryHandler for CountingHandler {
+    #[inline]
+    fn handle(&self, _rect_id: u32, _query_id: u32) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Number of shards in the collecting handler. Sharding by worker thread
+/// keeps appends contention-free; matches the per-SM result queues a GPU
+/// implementation would use.
+const SHARDS: usize = 64;
+
+/// Stores results in a sharded queue (paper's "Collecting Handler").
+pub struct CollectingHandler {
+    shards: Vec<Mutex<Vec<ResultPair>>>,
+}
+
+impl Default for CollectingHandler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CollectingHandler {
+    /// Fresh, empty handler.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Pre-sizes each shard for an expected total result count.
+    pub fn with_capacity(total: usize) -> Self {
+        Self {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Vec::with_capacity(total / SHARDS + 1)))
+                .collect(),
+        }
+    }
+
+    /// Total results collected so far.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// `true` when nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Drains all shards into a single vector (unspecified order).
+    pub fn into_vec(self) -> Vec<ResultPair> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            out.append(&mut shard.lock());
+        }
+        out
+    }
+
+    /// Drains into a vector sorted by `(rect_id, query_id)` — handy for
+    /// comparing against oracles in tests.
+    pub fn into_sorted_vec(self) -> Vec<ResultPair> {
+        let mut v = self.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl QueryHandler for CollectingHandler {
+    #[inline]
+    fn handle(&self, rect_id: u32, query_id: u32) {
+        // Shard by the rayon worker index when available so concurrent
+        // appends rarely contend; fall back to hashing the pair.
+        let shard = rayon::current_thread_index().unwrap_or((rect_id ^ query_id) as usize) % SHARDS;
+        self.shards[shard].lock().push((rect_id, query_id));
+    }
+}
+
+/// Lock-free collecting handler backed by a crossbeam `SegQueue` — the
+/// closest software analogue of the per-SM atomic result queues a GPU
+/// implementation appends to. Compared with [`CollectingHandler`]'s
+/// sharded mutexes, appends never block; drain order is unspecified.
+#[derive(Default)]
+pub struct LockFreeCollectingHandler {
+    queue: crossbeam::queue::SegQueue<ResultPair>,
+}
+
+impl LockFreeCollectingHandler {
+    /// Fresh, empty handler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of results collected so far.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Drains into a vector (unspecified order).
+    pub fn into_vec(self) -> Vec<ResultPair> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(p) = self.queue.pop() {
+            out.push(p);
+        }
+        out
+    }
+
+    /// Drains into a vector sorted by `(rect_id, query_id)`.
+    pub fn into_sorted_vec(self) -> Vec<ResultPair> {
+        let mut v = self.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl QueryHandler for LockFreeCollectingHandler {
+    #[inline]
+    fn handle(&self, rect_id: u32, query_id: u32) {
+        self.queue.push((rect_id, query_id));
+    }
+}
+
+/// Adapter: any `Fn(u32, u32) + Sync` is a handler — the "implement a
+/// handler in a header file" story of §5, Rust-style.
+pub struct FnHandler<F: Fn(u32, u32) + Sync>(pub F);
+
+impl<F: Fn(u32, u32) + Sync> QueryHandler for FnHandler<F> {
+    #[inline]
+    fn handle(&self, rect_id: u32, query_id: u32) {
+        (self.0)(rect_id, query_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn counting_handler_concurrent() {
+        let h = CountingHandler::new();
+        (0..10_000u32).into_par_iter().for_each(|i| h.handle(i, i));
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn collecting_handler_concurrent_complete() {
+        let h = CollectingHandler::new();
+        (0..5_000u32)
+            .into_par_iter()
+            .for_each(|i| h.handle(i, i + 1));
+        assert_eq!(h.len(), 5_000);
+        let v = h.into_sorted_vec();
+        assert_eq!(v.len(), 5_000);
+        for (i, &(r, q)) in v.iter().enumerate() {
+            assert_eq!(r as usize, i);
+            assert_eq!(q, r + 1);
+        }
+    }
+
+    #[test]
+    fn collecting_handler_empty() {
+        let h = CollectingHandler::new();
+        assert!(h.is_empty());
+        assert_eq!(h.into_vec(), vec![]);
+    }
+
+    #[test]
+    fn fn_handler_adapts_closures() {
+        let count = AtomicU64::new(0);
+        let h = FnHandler(|r, q| {
+            count.fetch_add((r + q) as u64, Ordering::Relaxed);
+        });
+        h.handle(1, 2);
+        h.handle(3, 4);
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn lock_free_handler_concurrent_complete() {
+        let h = LockFreeCollectingHandler::new();
+        (0..5_000u32)
+            .into_par_iter()
+            .for_each(|i| h.handle(i, i + 1));
+        assert_eq!(h.len(), 5_000);
+        let v = h.into_sorted_vec();
+        for (i, &(r, q)) in v.iter().enumerate() {
+            assert_eq!(r as usize, i);
+            assert_eq!(q, r + 1);
+        }
+    }
+
+    #[test]
+    fn lock_free_handler_empty() {
+        let h = LockFreeCollectingHandler::new();
+        assert!(h.is_empty());
+        assert_eq!(h.into_vec(), vec![]);
+    }
+
+    #[test]
+    fn with_capacity_behaves() {
+        let h = CollectingHandler::with_capacity(1000);
+        h.handle(7, 9);
+        assert_eq!(h.into_vec(), vec![(7, 9)]);
+    }
+}

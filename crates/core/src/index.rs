@@ -1,0 +1,454 @@
+//! The `RTSIndex` — LibRTS's central type (Algorithm 2).
+//!
+//! The index keeps every inserted rectangle in a per-batch GAS; an IAS
+//! with identity transforms links the batches (§4.1). Global primitive
+//! ids are derived from a prefix-sum array over batch sizes plus the
+//! instance id and per-GAS primitive index, in O(1). Deletion degenerates
+//! rectangles and refits (§4.2); updates overwrite cached coordinates and
+//! refit.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+use geom::{Coord, Point, Rect};
+use rtcore::{BuildOptions, Device, Gas, Ias, Instance};
+
+use crate::config::{IndexOptions, Predicate};
+use crate::error::IndexError;
+use crate::handlers::{CollectingHandler, QueryHandler, ResultPair};
+use crate::queries;
+use crate::report::{MutationReport, QueryReport};
+
+/// A mutable spatial index over 2-D rectangles, accelerated by the
+/// (simulated) RT cores. The paper's `RTSIndex<COORD_T, N_DIMS>` with
+/// `N_DIMS = 2`; `COORD_T` is the `C` type parameter (`f32` in the
+/// paper's evaluation, `f64` supported).
+///
+/// ```
+/// use geom::{Point, Rect};
+/// use librts::{CollectingHandler, Predicate, RTSIndex};
+///
+/// let mut index = RTSIndex::<f32>::new(Default::default());
+/// index
+///     .insert(&[Rect::xyxy(0.0, 0.0, 10.0, 10.0), Rect::xyxy(20.0, 20.0, 30.0, 30.0)])
+///     .unwrap();
+///
+/// let handler = CollectingHandler::new();
+/// index.point_query(&[Point::xy(5.0, 5.0)], &handler);
+/// assert_eq!(handler.into_sorted_vec(), vec![(0, 0)]);
+/// ```
+pub struct RTSIndex<C: Coord> {
+    opts: IndexOptions,
+    device: Device,
+    /// Global primitive cache: every rectangle ever inserted, in id
+    /// order; deleted entries are degenerated (§4.2) but keep their slot
+    /// so ids stay stable.
+    rects: Vec<Rect<C, 2>>,
+    /// Deletion bitmap (degenerate extent alone cannot distinguish a
+    /// deleted rect from a user-supplied zero-area one).
+    deleted: Vec<bool>,
+    live: usize,
+    /// One GAS per insert batch (bottom level).
+    gases: Vec<Arc<Gas<C>>>,
+    /// Prefix sums: `batch_offsets[i]` is the global id of batch `i`'s
+    /// first rectangle; `batch_offsets[batches]` == total count (the
+    /// array `A` of §4.1).
+    batch_offsets: Vec<u32>,
+    /// Top level; rebuilt after every mutation (cheap — stores no
+    /// primitives).
+    ias: Ias<C>,
+}
+
+impl<C: Coord> Default for RTSIndex<C> {
+    fn default() -> Self {
+        Self::new(IndexOptions::default())
+    }
+}
+
+impl<C: Coord> RTSIndex<C> {
+    /// Creates an empty index (the paper's `Init`; PTX loading has no
+    /// analogue here — programs are compiled Rust).
+    pub fn new(opts: IndexOptions) -> Self {
+        let device = Device {
+            cost_model: opts.cost_model,
+        };
+        Self {
+            opts,
+            device,
+            rects: Vec::new(),
+            deleted: Vec::new(),
+            live: 0,
+            gases: Vec::new(),
+            batch_offsets: vec![0],
+            ias: Ias::build(&[]).expect("empty IAS build cannot fail"),
+        }
+    }
+
+    /// Convenience: creates an index pre-loaded with one batch.
+    pub fn with_rects(rects: &[Rect<C, 2>], opts: IndexOptions) -> Result<Self, IndexError> {
+        let mut idx = Self::new(opts);
+        idx.insert(rects)?;
+        Ok(idx)
+    }
+
+    /// Options the index was created with.
+    pub fn options(&self) -> &IndexOptions {
+        &self.opts
+    }
+
+    /// Total rectangles ever inserted (including deleted slots).
+    pub fn capacity_ids(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Live (non-deleted) rectangles.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no live rectangles remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of insert batches (GASes) currently linked by the IAS.
+    pub fn batch_count(&self) -> usize {
+        self.gases.len()
+    }
+
+    /// The rectangle stored under `id` (deleted entries return `None`).
+    pub fn get(&self, id: u32) -> Option<Rect<C, 2>> {
+        let i = id as usize;
+        if i < self.rects.len() && !self.deleted[i] {
+            Some(self.rects[i])
+        } else {
+            None
+        }
+    }
+
+    /// Device-memory footprint of the index: host-side rectangle cache
+    /// + deletion bitmap + acceleration structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.rects.len() * std::mem::size_of::<Rect<C, 2>>()
+            + self.deleted.len()
+            + self.batch_offsets.len() * std::mem::size_of::<u32>()
+            + self.ias.memory_bytes()
+    }
+
+    /// World bounds of the live data (empty rect when empty).
+    pub fn bounds(&self) -> Rect<C, 2> {
+        let mut b = Rect::empty();
+        for (r, &dead) in self.rects.iter().zip(&self.deleted) {
+            if !dead {
+                b.expand(r);
+            }
+        }
+        b
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations (§4)
+    // ------------------------------------------------------------------
+
+    /// Inserts a batch of rectangles, returning their new global ids
+    /// (contiguous). Builds one new GAS for the batch and rebuilds the
+    /// IAS (§4.1). Rejects invalid rectangles before mutating anything.
+    pub fn insert(&mut self, batch: &[Rect<C, 2>]) -> Result<Range<u32>, IndexError> {
+        let (range, _report) = self.insert_timed(batch)?;
+        Ok(range)
+    }
+
+    /// As [`RTSIndex::insert`], also returning timing (Fig. 10b).
+    pub fn insert_timed(
+        &mut self,
+        batch: &[Rect<C, 2>],
+    ) -> Result<(Range<u32>, MutationReport), IndexError> {
+        let start = Instant::now();
+        for (i, r) in batch.iter().enumerate() {
+            if !(r.min.is_finite() && r.max.is_finite()) || r.is_empty() {
+                return Err(IndexError::InvalidRect { index: i });
+            }
+        }
+        let first = self.rects.len() as u32;
+        if batch.is_empty() {
+            return Ok((
+                first..first,
+                MutationReport {
+                    affected: 0,
+                    device_time: Default::default(),
+                    wall_time: start.elapsed(),
+                },
+            ));
+        }
+        let aabbs: Vec<Rect<C, 3>> = batch.iter().map(|r| lift(r)).collect();
+        let gas = Gas::build(
+            aabbs,
+            BuildOptions {
+                allow_update: true,
+                quality: self.opts.quality,
+                leaf_size: self.opts.leaf_size,
+            },
+        )?;
+        self.rects.extend_from_slice(batch);
+        self.deleted.extend(std::iter::repeat_n(false, batch.len()));
+        self.live += batch.len();
+        self.gases.push(Arc::new(gas));
+        self.batch_offsets.push(self.rects.len() as u32);
+        self.rebuild_ias();
+
+        let model = &self.device.cost_model;
+        let device_time = model.build_time(batch.len(), rtcore::TraversalBackend::RtCore)
+            + model.ias_build_time(self.gases.len());
+        Ok((
+            first..self.rects.len() as u32,
+            MutationReport {
+                affected: batch.len(),
+                device_time,
+                wall_time: start.elapsed(),
+            },
+        ))
+    }
+
+    /// Deletes rectangles by id: degenerates their AABBs so rays cannot
+    /// hit them, then refits the affected GASes and the IAS (§4.2).
+    /// Fails (without mutating) on unknown or already-deleted ids.
+    pub fn delete(&mut self, ids: &[u32]) -> Result<MutationReport, IndexError> {
+        let start = Instant::now();
+        self.check_ids(ids)?;
+        let touched = self.apply_and_refit(ids, |rects, slot, _| {
+            rects[slot] = rects[slot].degenerated();
+        })?;
+        for &id in ids {
+            self.deleted[id as usize] = true;
+        }
+        self.live -= ids.len();
+        self.rebuild_ias();
+        let model = &self.device.cost_model;
+        let device_time = model.refit_time(touched) + model.ias_refit_time(self.gases.len());
+        Ok(MutationReport {
+            affected: ids.len(),
+            device_time,
+            wall_time: start.elapsed(),
+        })
+    }
+
+    /// Updates rectangle coordinates in place: overwrites the cached
+    /// primitives and refits (§4.2). Quality may degrade after large
+    /// displacements (§6.7) — see [`RTSIndex::rebuild`].
+    pub fn update(
+        &mut self,
+        ids: &[u32],
+        rects: &[Rect<C, 2>],
+    ) -> Result<MutationReport, IndexError> {
+        let start = Instant::now();
+        if ids.len() != rects.len() {
+            return Err(IndexError::LengthMismatch {
+                ids: ids.len(),
+                rects: rects.len(),
+            });
+        }
+        self.check_ids(ids)?;
+        for (i, r) in rects.iter().enumerate() {
+            if !(r.min.is_finite() && r.max.is_finite()) || r.is_empty() {
+                return Err(IndexError::InvalidRect { index: i });
+            }
+        }
+        let touched = self.apply_and_refit(ids, |cache, slot, pos| {
+            cache[slot] = rects[pos];
+        })?;
+        self.rebuild_ias();
+        let model = &self.device.cost_model;
+        let device_time = model.refit_time(touched) + model.ias_refit_time(self.gases.len());
+        Ok(MutationReport {
+            affected: ids.len(),
+            device_time,
+            wall_time: start.elapsed(),
+        })
+    }
+
+    /// Rebuilds every GAS from scratch over the current coordinates —
+    /// the recovery path when refit quality has degraded (§4.2, §6.7).
+    pub fn rebuild(&mut self) {
+        // Drop the IAS's shared references so make_mut does not clone.
+        self.ias = Ias::build(&[]).expect("empty IAS");
+        for gas in &mut self.gases {
+            Arc::make_mut(gas).rebuild();
+        }
+        self.rebuild_ias();
+    }
+
+    /// Compacts the index into a single batch, dropping deleted slots.
+    /// **Ids are remapped**: the returned vector maps old id → new id
+    /// (`u32::MAX` for deleted). This is an extension beyond the paper's
+    /// API, useful after heavy churn.
+    pub fn compact(&mut self) -> Vec<u32> {
+        let mut remap = vec![u32::MAX; self.rects.len()];
+        let mut kept = Vec::with_capacity(self.live);
+        for (i, (r, &dead)) in self.rects.iter().zip(&self.deleted).enumerate() {
+            if !dead {
+                remap[i] = kept.len() as u32;
+                kept.push(*r);
+            }
+        }
+        *self = Self::new(self.opts.clone());
+        if !kept.is_empty() {
+            self.insert(&kept)
+                .expect("kept rects were already validated");
+        }
+        remap
+    }
+
+    fn check_ids(&self, ids: &[u32]) -> Result<(), IndexError> {
+        for &id in ids {
+            let i = id as usize;
+            if i >= self.rects.len() {
+                return Err(IndexError::UnknownId { id });
+            }
+            if self.deleted[i] {
+                return Err(IndexError::AlreadyDeleted { id });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies `mutate(global_cache, slot, position_in_ids)` for each id,
+    /// then refits every touched GAS from the global cache. Returns the
+    /// total primitive count of the touched GASes (refit work).
+    fn apply_and_refit<F>(&mut self, ids: &[u32], mutate: F) -> Result<usize, IndexError>
+    where
+        F: Fn(&mut [Rect<C, 2>], usize, usize),
+    {
+        for (pos, &id) in ids.iter().enumerate() {
+            mutate(&mut self.rects, id as usize, pos);
+        }
+        // Which batches were touched?
+        let mut touched: Vec<usize> = ids.iter().map(|&id| self.batch_of(id)).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        // Drop the IAS's Arcs so make_mut refits in place (no deep copy).
+        self.ias = Ias::build(&[]).expect("empty IAS");
+        let mut total = 0usize;
+        for &b in &touched {
+            let lo = self.batch_offsets[b] as usize;
+            let hi = self.batch_offsets[b + 1] as usize;
+            let fresh: Vec<Rect<C, 3>> = self.rects[lo..hi].iter().map(lift).collect();
+            Arc::make_mut(&mut self.gases[b]).refit(fresh)?;
+            total += hi - lo;
+        }
+        Ok(total)
+    }
+
+    /// Batch containing global id `id` (binary search over prefix sums).
+    fn batch_of(&self, id: u32) -> usize {
+        match self.batch_offsets.binary_search(&id) {
+            Ok(b) if b < self.gases.len() => b,
+            Ok(b) => b - 1,
+            Err(b) => b - 1,
+        }
+    }
+
+    fn rebuild_ias(&mut self) {
+        let instances: Vec<Instance<C>> = self
+            .gases
+            .iter()
+            .enumerate()
+            .map(|(i, gas)| Instance::identity(Arc::clone(gas), i as u32))
+            .collect();
+        self.ias = Ias::build(&instances).expect("identity instances cannot fail");
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (§3)
+    // ------------------------------------------------------------------
+
+    /// Point query `Q(R, S)` (§3.1): calls `handler(rect_id, point_id)`
+    /// for every indexed rectangle containing each query point.
+    pub fn point_query<H: QueryHandler>(&self, points: &[Point<C, 2>], handler: &H) -> QueryReport {
+        queries::point::run(self.snapshot(), points, handler)
+    }
+
+    /// Range query `Q(R, S)` with the given predicate (§3.2–§3.3).
+    pub fn range_query<H: QueryHandler>(
+        &self,
+        predicate: Predicate,
+        queries_in: &[Rect<C, 2>],
+        handler: &H,
+    ) -> QueryReport {
+        match predicate {
+            Predicate::Contains => queries::contains::run(self.snapshot(), queries_in, handler),
+            Predicate::Intersects => {
+                queries::intersects::run(self.snapshot(), queries_in, handler, None)
+            }
+        }
+    }
+
+    /// Range-Intersects with an explicit multicast `k` (Fig. 9a sweep);
+    /// bypasses the cost-model prediction.
+    pub fn range_intersects_with_k<H: QueryHandler>(
+        &self,
+        queries_in: &[Rect<C, 2>],
+        handler: &H,
+        k: usize,
+    ) -> QueryReport {
+        queries::intersects::run(self.snapshot(), queries_in, handler, Some(k))
+    }
+
+    /// Convenience: point query collecting `(rect_id, point_id)` pairs.
+    pub fn collect_point_query(&self, points: &[Point<C, 2>]) -> Vec<ResultPair> {
+        let h = CollectingHandler::new();
+        self.point_query(points, &h);
+        h.into_sorted_vec()
+    }
+
+    /// Convenience: range query collecting `(rect_id, query_id)` pairs.
+    pub fn collect_range_query(
+        &self,
+        predicate: Predicate,
+        queries_in: &[Rect<C, 2>],
+    ) -> Vec<ResultPair> {
+        let h = CollectingHandler::new();
+        self.range_query(predicate, queries_in, &h);
+        h.into_sorted_vec()
+    }
+
+    /// Read-only view shared with the query implementations.
+    pub(crate) fn snapshot(&self) -> Snapshot<'_, C> {
+        Snapshot {
+            rects: &self.rects,
+            deleted: &self.deleted,
+            batch_offsets: &self.batch_offsets,
+            ias: &self.ias,
+            device: &self.device,
+            opts: &self.opts,
+            live: self.live,
+        }
+    }
+}
+
+/// Read-only index state handed to query programs.
+#[derive(Clone, Copy)]
+pub(crate) struct Snapshot<'a, C: Coord> {
+    pub rects: &'a [Rect<C, 2>],
+    pub deleted: &'a [bool],
+    pub batch_offsets: &'a [u32],
+    pub ias: &'a Ias<C>,
+    pub device: &'a Device,
+    pub opts: &'a IndexOptions,
+    pub live: usize,
+}
+
+impl<C: Coord> Snapshot<'_, C> {
+    /// Global primitive id from an instance id (batch) and the per-GAS
+    /// primitive index — the O(1) prefix-sum mapping of §4.1.
+    #[inline]
+    pub fn global_id(&self, instance_id: u32, primitive_index: u32) -> u32 {
+        self.batch_offsets[instance_id as usize] + primitive_index
+    }
+}
+
+/// Embeds a 2-D rectangle into the 3-D primitive space at `z = 0` (§3.1).
+#[inline]
+pub(crate) fn lift<C: Coord>(r: &Rect<C, 2>) -> Rect<C, 3> {
+    r.lift(C::ZERO, C::ZERO)
+}

@@ -1,0 +1,389 @@
+//! 3-D spatial index — the `N_DIMS = 3` instantiation the paper's API
+//! advertises (§5: `N_DIMS` is 2 or 3; §3: "extending to 3D is
+//! straightforward since OptiX operates natively in 3D space").
+//!
+//! Point queries and Range-Contains carry over verbatim: a point probe
+//! ray works in any dimension (Case-2 detection + exact filtering), and
+//! the center-point reduction of §3.2 is dimension-independent.
+//! Range-Intersects does *not* carry over: Theorem 1 is a planar
+//! statement — in 3-D, two boxes can overlap without either box's main
+//! diagonal entering the other (their intersection can be a thin slab
+//! hugging one face, missed by both diagonals). This module therefore
+//! executes Range-Intersects as one backward-style **Minkowski
+//! center-probe** pass: a per-batch GAS over the query boxes expanded
+//! by the index-wide maximum data half-extent, probed by a point ray
+//! from every data-box center, with Definition 3 confirming candidates
+//! exactly (see [`RTSIndex3::intersects_query`]).
+
+use geom::{Coord, Point, Ray, Rect};
+use rtcore::{BuildOptions, Device, Gas, HitContext, IsResult, RtProgram};
+
+use crate::config::IndexOptions;
+use crate::error::IndexError;
+use crate::handlers::{CollectingHandler, QueryHandler, ResultPair};
+use crate::report::{Breakdown, Phase, QueryReport};
+
+/// An immutable 3-D rectangle (box) index supporting point queries,
+/// Range-Contains and Range-Intersects. Unlike [`crate::RTSIndex`], the
+/// 3-D variant is build-once (the evaluation only exercises 2-D
+/// mutability; instancing works identically and could be layered on).
+pub struct RTSIndex3<C: Coord> {
+    device: Device,
+    boxes: Vec<Rect<C, 3>>,
+    gas: Gas<C>,
+    /// Largest half-extent per axis over all indexed boxes — the
+    /// Minkowski bound used by the intersects candidate pass.
+    max_half: Point<C, 3>,
+}
+
+struct Point3Program<'a, C: Coord, H: QueryHandler> {
+    boxes: &'a [Rect<C, 3>],
+    points: &'a [Point<C, 3>],
+    handler: &'a H,
+}
+
+impl<C: Coord, H: QueryHandler> RtProgram<C> for Point3Program<'_, C, H> {
+    type Payload = u32;
+
+    #[inline]
+    fn intersection(&self, ctx: &HitContext<'_, C>, qid: &mut u32) -> IsResult<C> {
+        let r = &self.boxes[ctx.primitive_index as usize];
+        if r.contains_point(&self.points[*qid as usize]) {
+            self.handler.handle(ctx.primitive_index, *qid);
+        }
+        IsResult::Ignore
+    }
+}
+
+struct Contains3Program<'a, C: Coord, H: QueryHandler> {
+    boxes: &'a [Rect<C, 3>],
+    queries: &'a [Rect<C, 3>],
+    handler: &'a H,
+}
+
+impl<C: Coord, H: QueryHandler> RtProgram<C> for Contains3Program<'_, C, H> {
+    type Payload = u32;
+
+    #[inline]
+    fn intersection(&self, ctx: &HitContext<'_, C>, qid: &mut u32) -> IsResult<C> {
+        let r = &self.boxes[ctx.primitive_index as usize];
+        if r.contains_rect(&self.queries[*qid as usize]) {
+            self.handler.handle(ctx.primitive_index, *qid);
+        }
+        IsResult::Ignore
+    }
+}
+
+/// Backward-style 3-D intersects program: primitives are the *queries*
+/// (Minkowski-expanded), rays are point probes from data-box centers.
+struct Intersects3Program<'a, C: Coord, H: QueryHandler> {
+    boxes: &'a [Rect<C, 3>],
+    queries: &'a [Rect<C, 3>],
+    handler: &'a H,
+}
+
+impl<C: Coord, H: QueryHandler> RtProgram<C> for Intersects3Program<'_, C, H> {
+    /// Payload: the probing data-box id.
+    type Payload = u32;
+
+    #[inline]
+    fn intersection(&self, ctx: &HitContext<'_, C>, rid: &mut u32) -> IsResult<C> {
+        let qid = ctx.primitive_index;
+        let r = &self.boxes[*rid as usize];
+        if r.intersects(&self.queries[qid as usize]) {
+            self.handler.handle(*rid, qid);
+        }
+        IsResult::Ignore
+    }
+}
+
+impl<C: Coord> RTSIndex3<C> {
+    /// Builds the index over 3-D boxes.
+    pub fn build(boxes: &[Rect<C, 3>], opts: IndexOptions) -> Result<Self, IndexError> {
+        for (i, b) in boxes.iter().enumerate() {
+            if !(b.min.is_finite() && b.max.is_finite()) || b.is_empty() {
+                return Err(IndexError::InvalidRect { index: i });
+            }
+        }
+        let mut max_half: Point<C, 3> = Point::origin();
+        for b in boxes {
+            for d in 0..3 {
+                max_half.coords[d] = max_half.coords[d].max_c(b.extent(d) * C::HALF);
+            }
+        }
+        let gas = Gas::build(
+            boxes.to_vec(),
+            BuildOptions {
+                allow_update: false,
+                quality: opts.quality,
+                leaf_size: opts.leaf_size,
+            },
+        )?;
+        Ok(Self {
+            device: Device {
+                cost_model: opts.cost_model,
+            },
+            boxes: boxes.to_vec(),
+            gas,
+            max_half,
+        })
+    }
+
+    /// Number of indexed boxes.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// 3-D point query (§3.1 in three dimensions): one probe ray per
+    /// point, Case-2 detection, exact filtering in IS.
+    pub fn point_query<H: QueryHandler>(&self, points: &[Point<C, 3>], handler: &H) -> QueryReport {
+        let program = Point3Program {
+            boxes: &self.boxes,
+            points,
+            handler,
+        };
+        let launch = self.device.launch::<C, _>(points.len(), |i, session| {
+            let p = points[i];
+            if !p.is_finite() {
+                return;
+            }
+            session.trace(&self.gas, &program, &Ray::point_probe(p), &mut (i as u32));
+        });
+        wrap(launch)
+    }
+
+    /// 3-D Range-Contains: center-point reduction (§3.2), exact filter.
+    pub fn contains_query<H: QueryHandler>(
+        &self,
+        queries: &[Rect<C, 3>],
+        handler: &H,
+    ) -> QueryReport {
+        let program = Contains3Program {
+            boxes: &self.boxes,
+            queries,
+            handler,
+        };
+        let launch = self.device.launch::<C, _>(queries.len(), |i, session| {
+            let q = &queries[i];
+            if !(q.min.is_finite() && q.max.is_finite()) || q.is_empty() {
+                return;
+            }
+            session.trace(
+                &self.gas,
+                &program,
+                &Ray::point_probe(q.center()),
+                &mut (i as u32),
+            );
+        });
+        wrap(launch)
+    }
+
+    /// 3-D Range-Intersects via the Minkowski center-probe formulation.
+    ///
+    /// Theorem 1 is planar and does **not** extend to 3-D (two boxes can
+    /// overlap in a thin slab missed by both main diagonals), so the 3-D
+    /// query runs one backward-style pass instead: a per-batch GAS is
+    /// built over the *query* boxes, each expanded by the index-wide
+    /// maximum data half-extent `h_max` (Minkowski upper bound), and
+    /// every data box casts a point probe from its center. Completeness:
+    /// `Intersects(r, q)` ⟹ `center(r) ∈ q ⊕ half(r) ⊆ q ⊕ h_max`, so
+    /// the probe's Case-2 hit fires; Definition 3 confirms exactly in
+    /// the IS shader. The expansion is conservative when extents vary
+    /// wildly — the price of exactness in 3-D.
+    pub fn intersects_query<H: QueryHandler>(
+        &self,
+        queries: &[Rect<C, 3>],
+        handler: &H,
+    ) -> QueryReport {
+        if queries.is_empty() || self.boxes.is_empty() {
+            return QueryReport {
+                chosen_k: 1,
+                ..Default::default()
+            };
+        }
+        let expanded: Vec<Rect<C, 3>> = queries
+            .iter()
+            .map(|q| {
+                let mut e = *q;
+                for d in 0..3 {
+                    e.min.coords[d] -= self.max_half.coords[d];
+                    e.max.coords[d] += self.max_half.coords[d];
+                }
+                e
+            })
+            .collect();
+        let query_gas = Gas::build(
+            expanded,
+            BuildOptions {
+                allow_update: false,
+                quality: rtcore::BuildQuality::PreferFastTrace,
+                leaf_size: 4,
+            },
+        )
+        .expect("expanded finite queries");
+        let program = Intersects3Program {
+            boxes: &self.boxes,
+            queries,
+            handler,
+        };
+        let launch = self.device.launch::<C, _>(self.boxes.len(), |i, session| {
+            let c = self.boxes[i].center();
+            session.trace(&query_gas, &program, &Ray::point_probe(c), &mut (i as u32));
+        });
+        wrap(launch)
+    }
+
+    /// Convenience collectors.
+    pub fn collect_point_query(&self, points: &[Point<C, 3>]) -> Vec<ResultPair> {
+        let h = CollectingHandler::new();
+        self.point_query(points, &h);
+        h.into_sorted_vec()
+    }
+
+    /// Collects Range-Intersects pairs, sorted.
+    pub fn collect_intersects(&self, queries: &[Rect<C, 3>]) -> Vec<ResultPair> {
+        let h = CollectingHandler::new();
+        self.intersects_query(queries, &h);
+        h.into_sorted_vec()
+    }
+
+    /// Collects Range-Contains pairs, sorted.
+    pub fn collect_contains(&self, queries: &[Rect<C, 3>]) -> Vec<ResultPair> {
+        let h = CollectingHandler::new();
+        self.contains_query(queries, &h);
+        h.into_sorted_vec()
+    }
+}
+
+fn wrap(launch: rtcore::LaunchReport) -> QueryReport {
+    let forward = Phase {
+        device: launch.device_time,
+        wall: launch.wall_time,
+    };
+    QueryReport {
+        launch,
+        breakdown: Breakdown {
+            forward,
+            ..Default::default()
+        },
+        chosen_k: 1,
+        estimated_selectivity: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid3(n_per_axis: usize) -> Vec<Rect<f32, 3>> {
+        let mut out = vec![];
+        for x in 0..n_per_axis {
+            for y in 0..n_per_axis {
+                for z in 0..n_per_axis {
+                    let (x, y, z) = (x as f32 * 3.0, y as f32 * 3.0, z as f32 * 3.0);
+                    out.push(Rect::xyzxyz(x, y, z, x + 2.0, y + 2.0, z + 2.0));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn point_query_3d_matches_oracle() {
+        let boxes = grid3(6);
+        let index = RTSIndex3::build(&boxes, IndexOptions::default()).unwrap();
+        let pts = vec![
+            Point::xyz(1.0f32, 1.0, 1.0),
+            Point::xyz(4.0, 4.0, 4.0),
+            Point::xyz(2.5, 1.0, 1.0), // in a gap on x
+            Point::xyz(100.0, 0.0, 0.0),
+        ];
+        let got = index.collect_point_query(&pts);
+        let mut want = vec![];
+        for (ri, r) in boxes.iter().enumerate() {
+            for (pi, p) in pts.iter().enumerate() {
+                if r.contains_point(p) {
+                    want.push((ri as u32, pi as u32));
+                }
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn intersects_3d_matches_oracle() {
+        let boxes = grid3(5);
+        let index = RTSIndex3::build(&boxes, IndexOptions::default()).unwrap();
+        let qs = vec![
+            Rect::xyzxyz(1.0f32, 1.0, 1.0, 4.0, 4.0, 4.0),
+            Rect::xyzxyz(-1.0, -1.0, -1.0, 0.5, 0.5, 0.5),
+            Rect::xyzxyz(50.0, 50.0, 50.0, 60.0, 60.0, 60.0),
+            // Slab-like overlap that 3-D diagonals would miss: thin in z.
+            Rect::xyzxyz(0.0, 0.0, 1.9, 14.0, 14.0, 2.0),
+        ];
+        let got = index.collect_intersects(&qs);
+        let mut want = vec![];
+        for (ri, r) in boxes.iter().enumerate() {
+            for (qi, q) in qs.iter().enumerate() {
+                if r.intersects(q) {
+                    want.push((ri as u32, qi as u32));
+                }
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn contains_3d_matches_oracle() {
+        let boxes = grid3(4);
+        let index = RTSIndex3::build(&boxes, IndexOptions::default()).unwrap();
+        let qs = vec![
+            Rect::xyzxyz(0.5f32, 0.5, 0.5, 1.5, 1.5, 1.5),
+            Rect::xyzxyz(0.0, 0.0, 0.0, 2.0, 2.0, 2.0),
+            Rect::xyzxyz(0.5, 0.5, 0.5, 3.5, 3.5, 3.5), // spans a gap
+        ];
+        let got = index.collect_contains(&qs);
+        let mut want = vec![];
+        for (ri, r) in boxes.iter().enumerate() {
+            for (qi, q) in qs.iter().enumerate() {
+                if r.contains_rect(q) {
+                    want.push((ri as u32, qi as u32));
+                }
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rejects_invalid_boxes() {
+        // min > max on x (constructed raw — `Rect::new` debug-asserts):
+        // build must reject it as empty.
+        let bad = vec![Rect {
+            min: Point::xyz(0.0f32, 0.0, 0.0),
+            max: Point::xyz(-1.0, 1.0, 1.0),
+        }];
+        let r = RTSIndex3::build(&bad, IndexOptions::default());
+        assert!(matches!(r, Err(IndexError::InvalidRect { index: 0 })));
+        let nan = vec![Rect {
+            min: Point::xyz(f32::NAN, 0.0, 0.0),
+            max: Point::xyz(1.0, 1.0, 1.0),
+        }];
+        let r = RTSIndex3::build(&nan, IndexOptions::default());
+        assert!(matches!(r, Err(IndexError::InvalidRect { index: 0 })));
+    }
+
+    #[test]
+    fn empty_index_3d() {
+        let index = RTSIndex3::<f32>::build(&[], IndexOptions::default()).unwrap();
+        assert!(index.is_empty());
+        assert_eq!(
+            index.collect_point_query(&[Point::xyz(0.0, 0.0, 0.0)]),
+            vec![]
+        );
+    }
+}

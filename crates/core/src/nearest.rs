@@ -1,0 +1,277 @@
+//! Nearest-rectangle queries — an *extension* beyond the paper's API.
+//!
+//! The paper's related work (RTNN \[74\], TrueKNN \[49\]) shows RT cores
+//! excel at neighbor search via expanding-radius probes; LibRTS itself
+//! stops at point/range queries. This module layers the same idea on
+//! the existing mutable index: cast a growing Range-Intersects box
+//! around the query point until candidates appear, then shrink-verify —
+//! every probe reuses the stock LibRTS query machinery (and therefore
+//! the RT substrate), no new shader types needed.
+
+use geom::{Coord, Point, Rect};
+
+use crate::handlers::CollectingHandler;
+use crate::index::RTSIndex;
+
+/// Result of a nearest query: the winning rectangle id and its
+/// axis-aligned (box) distance to the query point (0 when the point is
+/// inside the rectangle).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Nearest<C> {
+    /// Global id of the closest live rectangle.
+    pub id: u32,
+    /// Euclidean point-to-box distance.
+    pub distance: C,
+}
+
+/// Point-to-rectangle distance (0 inside).
+pub(crate) fn point_rect_distance<C: Coord>(p: &Point<C, 2>, r: &Rect<C, 2>) -> C {
+    let mut acc = C::ZERO;
+    for d in 0..2 {
+        let lo = r.min.coords[d];
+        let hi = r.max.coords[d];
+        let v = p.coords[d];
+        let diff = if v < lo {
+            lo - v
+        } else if v > hi {
+            v - hi
+        } else {
+            C::ZERO
+        };
+        acc += diff * diff;
+    }
+    acc.sqrt()
+}
+
+impl<C: Coord> RTSIndex<C> {
+    /// Finds the live rectangle nearest to `p` (ties broken by lowest
+    /// id). Returns `None` on an empty index.
+    ///
+    /// Strategy (TrueKNN-style unbounded search): start from a radius
+    /// seeded by the data extent, double until the probe box intersects
+    /// something, then do one final exact pass at the best candidate's
+    /// distance (candidates inside radius `r` guarantee the true nearest
+    /// is within `r`, but a closer rect may hide in the probe's corner
+    /// regions — the verification probe closes that gap).
+    pub fn nearest(&self, p: &Point<C, 2>) -> Option<Nearest<C>> {
+        if self.is_empty() || !p.is_finite() {
+            return None;
+        }
+        let world = self.bounds();
+        // Seed: a small fraction of the world diagonal.
+        let diag = world.min.dist(&world.max);
+        let mut radius = (diag * C::from_f64(1.0 / 1024.0)).max_c(C::TINY.sqrt());
+        // If p is far outside the world, start at its distance to the
+        // world box so the first probes are not hopeless.
+        let to_world = point_rect_distance(p, &world);
+        if to_world > radius {
+            radius = to_world + radius;
+        }
+
+        let mut best: Option<Nearest<C>> = None;
+        for _ in 0..64 {
+            let probe = Rect::new(
+                Point::xy(p.x() - radius, p.y() - radius),
+                Point::xy(p.x() + radius, p.y() + radius),
+            );
+            best = self.closest_in(&probe, p);
+            if best.is_some() {
+                break;
+            }
+            radius = radius + radius;
+        }
+        let best = best?;
+        // Verification pass: the true nearest lies within a *circle* of
+        // radius `best.distance`; probe its bounding square once more.
+        // The radius is inflated by a few ulps — with an exact radius,
+        // f32 rounding can place the probe boundary a hair short of a
+        // rectangle that touches the circle, and the probe would miss
+        // the very candidate that defined it.
+        let r = best.distance * (C::ONE + C::EPSILON * C::from_f64(8.0)) + C::TINY;
+        if r > C::ZERO {
+            let probe = Rect::new(
+                Point::xy(p.x() - r, p.y() - r),
+                Point::xy(p.x() + r, p.y() + r),
+            );
+            // `best` is a valid witness; keep it if the (still
+            // conservative) re-probe somehow finds nothing better.
+            return self.closest_in(&probe, p).or(Some(best));
+        }
+        Some(best)
+    }
+
+    /// The `k` nearest live rectangles, ascending by distance (then id).
+    /// Simple expanding-probe loop until `k` candidates are verified.
+    pub fn k_nearest(&self, p: &Point<C, 2>, k: usize) -> Vec<Nearest<C>> {
+        if self.is_empty() || k == 0 || !p.is_finite() {
+            return Vec::new();
+        }
+        let world = self.bounds();
+        let diag = world.min.dist(&world.max);
+        let mut radius = (diag * C::from_f64(1.0 / 1024.0)).max_c(C::TINY.sqrt());
+        let to_world = point_rect_distance(p, &world);
+        if to_world > radius {
+            radius = to_world + radius;
+        }
+        let k = k.min(self.len());
+        for _ in 0..64 {
+            let probe = Rect::new(
+                Point::xy(p.x() - radius, p.y() - radius),
+                Point::xy(p.x() + radius, p.y() + radius),
+            );
+            let mut cands = self.candidates_in(&probe, p);
+            if cands.len() >= k {
+                cands.sort_by(|a, b| {
+                    a.distance
+                        .partial_cmp(&b.distance)
+                        .unwrap()
+                        .then(a.id.cmp(&b.id))
+                });
+                let kth = cands[k - 1].distance;
+                // Verified when the k-th candidate is inside the probe's
+                // inscribed circle; otherwise expand once more.
+                if kth <= radius {
+                    cands.truncate(k);
+                    return cands;
+                }
+            }
+            radius = radius + radius;
+        }
+        // Fallback (pathological coordinates): brute force.
+        let mut all = self.candidates_in(&world, p);
+        all.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
+        all.truncate(k);
+        all
+    }
+
+    /// Closest candidate intersecting `probe`, by exact distance.
+    fn closest_in(&self, probe: &Rect<C, 2>, p: &Point<C, 2>) -> Option<Nearest<C>> {
+        self.candidates_in(probe, p).into_iter().min_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        })
+    }
+
+    fn candidates_in(&self, probe: &Rect<C, 2>, p: &Point<C, 2>) -> Vec<Nearest<C>> {
+        let h = CollectingHandler::new();
+        self.range_query(crate::config::Predicate::Intersects, &[*probe], &h);
+        h.into_vec()
+            .into_iter()
+            .map(|(id, _)| Nearest {
+                id,
+                distance: point_rect_distance(p, &self.get(id).expect("live id")),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexOptions;
+
+    fn grid_index() -> (RTSIndex<f32>, Vec<Rect<f32, 2>>) {
+        let rects: Vec<Rect<f32, 2>> = (0..100)
+            .map(|i| {
+                let x = (i % 10) as f32 * 10.0;
+                let y = (i / 10) as f32 * 10.0;
+                Rect::xyxy(x, y, x + 4.0, y + 4.0)
+            })
+            .collect();
+        let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+        (index, rects)
+    }
+
+    fn brute_nearest(rects: &[Rect<f32, 2>], p: &Point<f32, 2>) -> (u32, f32) {
+        let mut best = (u32::MAX, f32::MAX);
+        for (i, r) in rects.iter().enumerate() {
+            let d = point_rect_distance(p, r);
+            if d < best.1 {
+                best = (i as u32, d);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn distance_function() {
+        let r = Rect::xyxy(0.0f32, 0.0, 2.0, 2.0);
+        assert_eq!(point_rect_distance(&Point::xy(1.0, 1.0), &r), 0.0);
+        assert_eq!(point_rect_distance(&Point::xy(5.0, 1.0), &r), 3.0);
+        assert_eq!(point_rect_distance(&Point::xy(5.0, 6.0), &r), 5.0);
+        assert_eq!(point_rect_distance(&Point::xy(-3.0, -4.0), &r), 5.0);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let (index, rects) = grid_index();
+        for p in [
+            Point::xy(2.0f32, 2.0),  // inside rect 0
+            Point::xy(7.0, 2.0),     // between columns
+            Point::xy(50.0, 50.0),   // mid-grid
+            Point::xy(-30.0, -30.0), // far outside
+            Point::xy(200.0, 95.0),  // far right
+        ] {
+            let got = index.nearest(&p).unwrap();
+            let (want_id, want_d) = brute_nearest(&rects, &p);
+            assert!(
+                (got.distance - want_d).abs() < 1e-4,
+                "{p:?}: got {} want {}",
+                got.distance,
+                want_d
+            );
+            // Ids must match unless distances tie.
+            if (point_rect_distance(&p, &rects[got.id as usize]) - want_d).abs() > 1e-4 {
+                assert_eq!(got.id, want_id, "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_ordering_and_exactness() {
+        let (index, rects) = grid_index();
+        let p = Point::xy(22.0f32, 22.0);
+        let got = index.k_nearest(&p, 5);
+        assert_eq!(got.len(), 5);
+        // Ascending distances.
+        for w in got.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        // Matches the brute-force top-5 distances.
+        let mut all: Vec<f32> = rects.iter().map(|r| point_rect_distance(&p, r)).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, w) in got.iter().zip(&all) {
+            assert!((g.distance - w).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn nearest_respects_deletions() {
+        let (mut index, rects) = grid_index();
+        let p = rects[0].center();
+        assert_eq!(index.nearest(&p).unwrap().id, 0);
+        index.delete(&[0]).unwrap();
+        let after = index.nearest(&p).unwrap();
+        assert_ne!(after.id, 0);
+        assert!(after.distance > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = RTSIndex::<f32>::new(IndexOptions::default());
+        assert_eq!(empty.nearest(&Point::xy(0.0, 0.0)), None);
+        assert!(empty.k_nearest(&Point::xy(0.0, 0.0), 3).is_empty());
+        let (index, _) = grid_index();
+        assert_eq!(index.nearest(&Point::xy(f32::NAN, 0.0)), None);
+        assert!(index.k_nearest(&Point::xy(1.0, 1.0), 0).is_empty());
+        // k larger than the index clamps.
+        assert_eq!(index.k_nearest(&Point::xy(1.0, 1.0), 1_000).len(), 100);
+    }
+}

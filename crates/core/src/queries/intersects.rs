@@ -1,0 +1,289 @@
+//! Range query with the `Intersects` predicate (§3.3, Algorithm 1),
+//! reformulated per Theorem 1 as two ray-casting passes:
+//!
+//! - **Forward casting**: diagonals of the queries `S` are cast against
+//!   the index BVH over `R`; the IS shader keeps `(r, s)` only when the
+//!   diagonal of `s` intersects `r` *and* the anti-diagonal of `r` does
+//!   not intersect `s` (the dedup rule of Algorithm 1 line 19).
+//! - **Backward casting**: anti-diagonals of every indexed rectangle are
+//!   cast against a freshly built BVH over `S`; all hits are kept.
+//!
+//! The backward pass is where the load-imbalance of §3.4 bites, so the
+//! query-side BVH is built in a Ray-Multicast layout: the `|S|` query
+//! boxes are placed round-robin in `k` disjoint sub-spaces and every
+//! anti-diagonal ray is duplicated into `k` offset copies.
+
+use std::time::Instant;
+
+use geom::{anti_diagonal, diagonal, Coord, Ray, Rect};
+use rtcore::{BuildOptions, Gas, HitContext, IsResult, RtProgram, TraversalBackend};
+
+use crate::config::DedupStrategy;
+use crate::handlers::QueryHandler;
+use crate::index::Snapshot;
+use crate::multicast::{choose_k, estimate_selectivity, MulticastLayout, MulticastMode};
+
+use crate::report::{Phase, QueryReport};
+
+/// Forward pass: rays are query diagonals, primitives are the index.
+struct ForwardProgram<'a, C: Coord, H: QueryHandler> {
+    snap: Snapshot<'a, C>,
+    queries: &'a [Rect<C, 2>],
+    handler: &'a H,
+    /// `true` for Algorithm 1's dedup rule; `false` emits every hit
+    /// (the hash-post-process ablation takes care of duplicates).
+    check_backward: bool,
+}
+
+impl<C: Coord, H: QueryHandler> RtProgram<C> for ForwardProgram<'_, C, H> {
+    /// Payload register 0: the query id (Algorithm 1 line 9).
+    type Payload = u32;
+
+    #[inline]
+    fn intersection(&self, ctx: &HitContext<'_, C>, qid: &mut u32) -> IsResult<C> {
+        let gid = self.snap.global_id(ctx.instance_id, ctx.primitive_index);
+        if !self.snap.deleted[gid as usize] {
+            let r = &self.snap.rects[gid as usize];
+            let s = &self.queries[*qid as usize];
+            // IS only reports *potential* hits (footnote 2): confirm with
+            // the slab method (Algorithm 1 line 18)...
+            if diagonal(s).intersects_rect(r) {
+                // ...and drop pairs the backward pass will also find
+                // (line 19), so the union is duplicate-free.
+                if !self.check_backward || !anti_diagonal(r).intersects_rect(s) {
+                    self.handler.handle(gid, *qid);
+                }
+            }
+        }
+        IsResult::Ignore
+    }
+}
+
+/// Backward pass: rays are index anti-diagonals (placed per sub-space),
+/// primitives are the multicast-placed query boxes.
+struct BackwardProgram<'a, C: Coord, H: QueryHandler> {
+    snap: Snapshot<'a, C>,
+    queries: &'a [Rect<C, 2>],
+    layout: &'a MulticastLayout<C>,
+    handler: &'a H,
+}
+
+/// Backward payload: the casting rectangle's global id and the sub-space
+/// this ray copy is responsible for.
+struct BackwardPayload {
+    gid: u32,
+    subspace: usize,
+}
+
+impl<C: Coord, H: QueryHandler> RtProgram<C> for BackwardProgram<'_, C, H> {
+    type Payload = BackwardPayload;
+
+    #[inline]
+    fn intersection(&self, ctx: &HitContext<'_, C>, p: &mut BackwardPayload) -> IsResult<C> {
+        // The query GAS is built directly over S, so the primitive index
+        // *is* the query id.
+        let qid = ctx.primitive_index;
+        // Sub-space ownership: a ray may graze boxes on the shared
+        // boundary of a neighbouring sub-space; only the owner emits.
+        if self.layout.subspace_of(qid as usize) != p.subspace {
+            return IsResult::Ignore;
+        }
+        let r = &self.snap.rects[p.gid as usize];
+        let s = &self.queries[qid as usize];
+        // Exact test in original coordinates; all backward hits are kept
+        // (deduplication already happened in the forward pass).
+        if anti_diagonal(r).intersects_rect(s) {
+            self.handler.handle(p.gid, qid);
+        }
+        IsResult::Ignore
+    }
+}
+
+/// A handler wrapper deduplicating pairs through a sharded hash set —
+/// the ablation strawman of DESIGN.md §5 (both passes emit everything,
+/// duplicates are removed after the fact).
+struct HashDedupHandler<'a, H: QueryHandler> {
+    inner: &'a H,
+    shards: Vec<parking_lot::Mutex<std::collections::HashSet<u64>>>,
+}
+
+impl<'a, H: QueryHandler> HashDedupHandler<'a, H> {
+    fn new(inner: &'a H) -> Self {
+        Self {
+            inner,
+            shards: (0..64).map(|_| Default::default()).collect(),
+        }
+    }
+}
+
+impl<H: QueryHandler> QueryHandler for HashDedupHandler<'_, H> {
+    fn handle(&self, rect_id: u32, query_id: u32) {
+        let key = ((rect_id as u64) << 32) | query_id as u64;
+        let shard = (key % self.shards.len() as u64) as usize;
+        if self.shards[shard].lock().insert(key) {
+            self.inner.handle(rect_id, query_id);
+        }
+    }
+}
+
+/// Runs the Range-Intersects query. `forced_k` bypasses the cost-model
+/// prediction (Fig. 9a sweep).
+pub(crate) fn run<C: Coord, H: QueryHandler>(
+    snap: Snapshot<'_, C>,
+    queries: &[Rect<C, 2>],
+    handler: &H,
+    forced_k: Option<usize>,
+) -> QueryReport {
+    match snap.opts.dedup {
+        DedupStrategy::ForwardCheck => run_inner(snap, queries, handler, forced_k, true),
+        DedupStrategy::HashPostProcess => {
+            let dedup = HashDedupHandler::new(handler);
+            run_inner(snap, queries, &dedup, forced_k, false)
+        }
+    }
+}
+
+fn run_inner<C: Coord, H: QueryHandler>(
+    snap: Snapshot<'_, C>,
+    queries: &[Rect<C, 2>],
+    handler: &H,
+    forced_k: Option<usize>,
+    check_backward: bool,
+) -> QueryReport {
+    let mut report = QueryReport {
+        chosen_k: 1,
+        ..Default::default()
+    };
+    if queries.is_empty() || snap.rects.is_empty() {
+        return report;
+    }
+    let model = &snap.device.cost_model;
+
+    // ---- Phase 1: k prediction (§3.4) --------------------------------
+    let t0 = Instant::now();
+    let k = match forced_k {
+        Some(k) => k.max(1),
+        None => match snap.opts.multicast.mode {
+            MulticastMode::Off => 1,
+            MulticastMode::Fixed(k) => k.max(1),
+            MulticastMode::Auto => {
+                let cfg = &snap.opts.multicast;
+                let s = estimate_selectivity(snap.rects, queries, cfg.sample_size);
+                report.estimated_selectivity = Some(s);
+                choose_k(snap.live, queries.len(), s, cfg.weight, cfg.max_k)
+            }
+        },
+    };
+    report.chosen_k = k;
+    // The sampling trial run is SM work — a brute-force pair count over
+    // sample² pairs, embarrassingly parallel on the device, so its
+    // simulated cost is tiny ("the prediction time is negligible
+    // compared to the total query time", §6.5).
+    let sample = snap.opts.multicast.sample_size as f64;
+    let k_pred_device = if forced_k.is_none() && snap.opts.multicast.mode == MulticastMode::Auto {
+        std::time::Duration::from_nanos((sample * sample * 0.05) as u64 + 2_000)
+    } else {
+        std::time::Duration::ZERO
+    };
+    report.breakdown.k_prediction = Phase {
+        device: k_pred_device,
+        wall: t0.elapsed(),
+    };
+
+    // ---- Phase 2: query-side BVH build (timed per §6.1) ---------------
+    let t1 = Instant::now();
+    let frame = frame_of(snap, queries);
+    let layout = MulticastLayout::with_axis(k, frame, snap.opts.multicast.axis);
+    let placed: Vec<Rect<C, 3>> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let z = layout.z_of(layout.subspace_of(i));
+            layout.place_rect(i, q).lift(z, z)
+        })
+        .collect();
+    let query_gas = Gas::build(
+        placed,
+        BuildOptions {
+            allow_update: false,
+            quality: snap.opts.quality,
+            leaf_size: snap.opts.leaf_size,
+        },
+    )
+    .expect("query AABBs were placed from finite inputs");
+    report.breakdown.bvh_build = Phase {
+        device: model.build_time(queries.len(), TraversalBackend::RtCore),
+        wall: t1.elapsed(),
+    };
+
+    // ---- Phase 3: forward casting -------------------------------------
+    let forward_prog = ForwardProgram {
+        snap,
+        queries,
+        handler,
+        check_backward,
+    };
+    let fwd = snap.device.launch::<C, _>(queries.len(), |i, session| {
+        let s = &queries[i];
+        if !(s.min.is_finite() && s.max.is_finite()) || s.is_empty() {
+            return;
+        }
+        let ray = Ray::from_segment(&diagonal(s)).lift();
+        session.trace(snap.ias, &forward_prog, &ray, &mut (i as u32));
+    });
+    report.breakdown.forward = Phase {
+        device: fwd.device_time,
+        wall: fwd.wall_time,
+    };
+    report.launch.merge(&fwd);
+
+    // ---- Phase 4: backward casting (multicast, §3.4) -------------------
+    let backward_prog = BackwardProgram {
+        snap,
+        queries,
+        layout: &layout,
+        handler,
+    };
+    let n_rects = snap.rects.len();
+    let bwd = snap
+        .device
+        .launch::<C, _>(n_rects * k, |launch_idx, session| {
+            let gid = launch_idx / k;
+            let subspace = launch_idx % k;
+            if snap.deleted[gid] {
+                return; // deleted rectangles cast no rays
+            }
+            let seg = layout.place_segment(subspace, &anti_diagonal(&snap.rects[gid]));
+            let z = layout.z_of(subspace);
+            let mut ray = Ray::from_segment(&seg).lift();
+            ray.origin.coords[2] = z;
+            let mut payload = BackwardPayload {
+                gid: gid as u32,
+                subspace,
+            };
+            session.trace(&query_gas, &backward_prog, &ray, &mut payload);
+        });
+    report.breakdown.backward = Phase {
+        device: bwd.device_time,
+        wall: bwd.wall_time,
+    };
+    report.launch.merge(&bwd);
+    report
+}
+
+/// Normalization frame: bounds of live data and queries combined, so
+/// every placed coordinate is near the unit box.
+fn frame_of<C: Coord>(snap: Snapshot<'_, C>, queries: &[Rect<C, 2>]) -> Rect<C, 2> {
+    let mut frame = Rect::empty();
+    for (r, &dead) in snap.rects.iter().zip(snap.deleted) {
+        if !dead {
+            frame.expand(r);
+        }
+    }
+    for q in queries {
+        if q.min.is_finite() && q.max.is_finite() {
+            frame.expand(q);
+        }
+    }
+    frame
+}

@@ -1,0 +1,5 @@
+//! Query implementations: the RT programs that realize §3 of the paper.
+
+pub(crate) mod contains;
+pub(crate) mod intersects;
+pub(crate) mod point;

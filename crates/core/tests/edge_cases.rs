@@ -1,0 +1,271 @@
+//! Edge-case and failure-injection tests for `RTSIndex`.
+
+use geom::{Point, Rect};
+use librts::{
+    CollectingHandler, IndexOptions, LockFreeCollectingHandler, MulticastConfig, MulticastMode,
+    Predicate, RTSIndex,
+};
+
+fn r(a: f32, b: f32, c: f32, d: f32) -> Rect<f32, 2> {
+    Rect::xyxy(a, b, c, d)
+}
+
+#[test]
+fn empty_batch_insert_is_noop() {
+    let mut index = RTSIndex::<f32>::new(IndexOptions::default());
+    let ids = index.insert(&[]).unwrap();
+    assert!(ids.is_empty());
+    assert_eq!(index.batch_count(), 0);
+    index.insert(&[r(0.0, 0.0, 1.0, 1.0)]).unwrap();
+    let ids2 = index.insert(&[]).unwrap();
+    assert_eq!(ids2, 1..1);
+    assert_eq!(index.batch_count(), 1);
+}
+
+#[test]
+fn delete_entire_batch_then_query() {
+    let mut index = RTSIndex::<f32>::new(IndexOptions::default());
+    index
+        .insert(&[r(0.0, 0.0, 1.0, 1.0), r(2.0, 2.0, 3.0, 3.0)])
+        .unwrap();
+    index.insert(&[r(10.0, 10.0, 11.0, 11.0)]).unwrap();
+    index.delete(&[0, 1]).unwrap();
+    assert_eq!(index.len(), 1);
+    // The emptied batch must not produce hits; the surviving one must.
+    assert_eq!(index.collect_point_query(&[Point::xy(0.5, 0.5)]), vec![]);
+    assert_eq!(
+        index.collect_point_query(&[Point::xy(10.5, 10.5)]),
+        vec![(2, 0)]
+    );
+}
+
+#[test]
+fn delete_spanning_batches_in_one_call() {
+    let mut index = RTSIndex::<f32>::new(IndexOptions::default());
+    for b in 0..5 {
+        let base = b as f32 * 10.0;
+        index
+            .insert(&[r(base, 0.0, base + 1.0, 1.0), r(base, 5.0, base + 1.0, 6.0)])
+            .unwrap();
+    }
+    // One id from each batch, interleaved order.
+    index.delete(&[8, 0, 4, 2, 6]).unwrap();
+    assert_eq!(index.len(), 5);
+    let survivors = index.collect_point_query(&[
+        Point::xy(0.5, 5.5),
+        Point::xy(10.5, 5.5),
+        Point::xy(20.5, 5.5),
+        Point::xy(30.5, 5.5),
+        Point::xy(40.5, 5.5),
+    ]);
+    assert_eq!(survivors, vec![(1, 0), (3, 1), (5, 2), (7, 3), (9, 4)]);
+    // All minima are gone.
+    assert_eq!(index.collect_point_query(&[Point::xy(0.5, 0.5)]), vec![]);
+}
+
+#[test]
+fn update_to_same_position_is_stable() {
+    let rects = vec![r(0.0, 0.0, 2.0, 2.0), r(5.0, 5.0, 6.0, 6.0)];
+    let mut index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+    for _ in 0..10 {
+        index.update(&[0, 1], &rects).unwrap();
+    }
+    assert_eq!(
+        index.collect_point_query(&[Point::xy(1.0, 1.0), Point::xy(5.5, 5.5)]),
+        vec![(0, 0), (1, 1)]
+    );
+}
+
+#[test]
+fn repeated_update_shrink_grow_cycle() {
+    let base = r(10.0, 10.0, 20.0, 20.0);
+    let mut index = RTSIndex::with_rects(&[base], IndexOptions::default()).unwrap();
+    for i in 1..=20 {
+        let s = if i % 2 == 0 { 2.0 } else { 0.25 };
+        let next = index.get(0).unwrap().scaled_about_center(s);
+        index.update(&[0], &[next]).unwrap();
+    }
+    // After 10 shrinks (0.25x) and 10 grows (2x) the rect is tiny but
+    // still centered at (15, 15).
+    let got = index.get(0).unwrap();
+    assert!((got.center().x() - 15.0).abs() < 1e-3);
+    assert_eq!(
+        index.collect_point_query(&[Point::xy(15.0, 15.0)]),
+        vec![(0, 0)]
+    );
+}
+
+#[test]
+fn zero_area_query_rect_intersects_only_containers() {
+    let rects = vec![r(0.0, 0.0, 4.0, 4.0), r(10.0, 10.0, 12.0, 12.0)];
+    let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+    // A degenerate (point) query rectangle.
+    let q = Rect::point(Point::xy(2.0, 2.0));
+    assert_eq!(
+        index.collect_range_query(Predicate::Intersects, &[q]),
+        vec![(0, 0)]
+    );
+    // Contains (Definition 2) requires a strictly non-degenerate inner
+    // rect, so the degenerate query matches nothing.
+    assert_eq!(index.collect_range_query(Predicate::Contains, &[q]), vec![]);
+}
+
+#[test]
+fn query_rect_larger_than_world() {
+    let rects = vec![r(0.0, 0.0, 1.0, 1.0), r(100.0, 100.0, 101.0, 101.0)];
+    let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+    let world = r(-1e6, -1e6, 1e6, 1e6);
+    assert_eq!(
+        index.collect_range_query(Predicate::Intersects, &[world]),
+        vec![(0, 0), (1, 0)]
+    );
+    assert_eq!(
+        index.collect_range_query(Predicate::Contains, &[world]),
+        vec![]
+    );
+}
+
+#[test]
+fn identical_rects_all_reported() {
+    let rects = vec![r(1.0, 1.0, 2.0, 2.0); 100];
+    let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+    let hits = index.collect_point_query(&[Point::xy(1.5, 1.5)]);
+    assert_eq!(hits.len(), 100);
+    let ihits = index.collect_range_query(Predicate::Intersects, &[r(0.0, 0.0, 3.0, 3.0)]);
+    assert_eq!(ihits.len(), 100);
+}
+
+#[test]
+fn negative_coordinates_work() {
+    let rects = vec![r(-100.0, -100.0, -90.0, -90.0), r(-5.0, -5.0, 5.0, 5.0)];
+    let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+    assert_eq!(
+        index.collect_point_query(&[Point::xy(-95.0, -95.0), Point::xy(0.0, 0.0)]),
+        vec![(0, 0), (1, 1)]
+    );
+    let q = r(-200.0, -200.0, -1.0, -1.0);
+    assert_eq!(
+        index.collect_range_query(Predicate::Intersects, &[q]),
+        vec![(0, 0), (1, 0)]
+    );
+}
+
+#[test]
+fn huge_k_with_few_rects() {
+    // k far larger than the number of queries / rects must stay correct.
+    let rects = vec![r(0.0, 0.0, 1.0, 1.0), r(3.0, 0.0, 4.0, 1.0)];
+    let opts = IndexOptions {
+        multicast: MulticastConfig {
+            mode: MulticastMode::Fixed(512),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let index = RTSIndex::with_rects(&rects, opts).unwrap();
+    let qs = vec![r(0.5, 0.5, 3.5, 0.75)];
+    assert_eq!(
+        index.collect_range_query(Predicate::Intersects, &qs),
+        vec![(0, 0), (1, 0)]
+    );
+}
+
+#[test]
+fn lock_free_handler_matches_sharded() {
+    let rects: Vec<Rect<f32, 2>> = (0..500)
+        .map(|i| {
+            let x = (i % 25) as f32 * 2.0;
+            let y = (i / 25) as f32 * 2.0;
+            r(x, y, x + 1.5, y + 1.5)
+        })
+        .collect();
+    let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+    let pts: Vec<Point<f32, 2>> = rects.iter().map(|rc| rc.center()).collect();
+
+    let sharded = CollectingHandler::new();
+    index.point_query(&pts, &sharded);
+    let lock_free = LockFreeCollectingHandler::new();
+    index.point_query(&pts, &lock_free);
+    assert_eq!(sharded.into_sorted_vec(), lock_free.into_sorted_vec());
+}
+
+#[test]
+fn interleaved_mutations_stress() {
+    let mut index = RTSIndex::<f32>::new(IndexOptions::default());
+    let mut live: Vec<(u32, Rect<f32, 2>)> = Vec::new();
+    let mut next_slot = 0u32;
+    for round in 0..30 {
+        let base = round as f32 * 7.0;
+        let batch: Vec<Rect<f32, 2>> = (0..10)
+            .map(|i| {
+                let x = base + (i % 5) as f32;
+                let y = (i / 5) as f32 * 3.0;
+                r(x, y, x + 0.8, y + 0.8)
+            })
+            .collect();
+        let ids = index.insert(&batch).unwrap();
+        assert_eq!(ids.start, next_slot);
+        next_slot = ids.end;
+        live.extend(ids.zip(batch.iter().copied()));
+
+        if round % 3 == 2 {
+            // Delete the three oldest live entries.
+            let victims: Vec<u32> = live.iter().take(3).map(|&(id, _)| id).collect();
+            index.delete(&victims).unwrap();
+            live.retain(|(id, _)| !victims.contains(id));
+        }
+        if round % 4 == 3 {
+            // Move the newest two entries.
+            let movers: Vec<u32> = live.iter().rev().take(2).map(|&(id, _)| id).collect();
+            let dest: Vec<Rect<f32, 2>> = movers
+                .iter()
+                .map(|&id| {
+                    live.iter()
+                        .find(|&&(lid, _)| lid == id)
+                        .unwrap()
+                        .1
+                        .translated(&Point::xy(0.0, 50.0))
+                })
+                .collect();
+            index.update(&movers, &dest).unwrap();
+            for (&id, d) in movers.iter().zip(&dest) {
+                live.iter_mut().find(|(lid, _)| *lid == id).unwrap().1 = *d;
+            }
+        }
+
+        // Oracle check on every live rect's center.
+        let centers: Vec<Point<f32, 2>> = live.iter().map(|(_, rc)| rc.center()).collect();
+        let got = index.collect_point_query(&centers);
+        for (qi, &(id, _)) in live.iter().enumerate() {
+            assert!(
+                got.contains(&(id, qi as u32)),
+                "round {round}: live rect {id} lost"
+            );
+        }
+    }
+    assert_eq!(index.len(), live.len());
+}
+
+#[test]
+fn query_report_diagnostics() {
+    let rects: Vec<Rect<f32, 2>> = (0..256)
+        .map(|i| {
+            let x = (i % 16) as f32 * 3.0;
+            let y = (i / 16) as f32 * 3.0;
+            r(x, y, x + 2.0, y + 2.0)
+        })
+        .collect();
+    let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+    let pts: Vec<Point<f32, 2>> = rects.iter().map(|rc| rc.center()).collect();
+    let h = CollectingHandler::new();
+    let report = index.point_query(&pts, &h);
+    let results = h.len() as u64;
+    assert_eq!(results, 256);
+    let precision = report.is_precision(results);
+    assert!(precision > 0.0 && precision <= 1.0, "precision {precision}");
+    assert!(report.nodes_per_ray() >= 1.0);
+    assert!(report.max_is_per_thread() >= 1);
+    // Empty launch edge cases.
+    let empty = index.point_query(&[], &CollectingHandler::new());
+    assert_eq!(empty.is_precision(0), 1.0);
+    assert_eq!(empty.nodes_per_ray(), 0.0);
+}

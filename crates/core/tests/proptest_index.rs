@@ -1,0 +1,155 @@
+//! Property tests: RTSIndex equals the brute-force oracle on arbitrary
+//! workloads, including mutation sequences.
+
+use geom::{Point, Rect};
+use librts::{IndexOptions, MulticastConfig, MulticastMode, Predicate, RTSIndex};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect<f32, 2>> {
+    (-50.0f32..50.0, -50.0f32..50.0, 0.01f32..20.0, 0.01f32..20.0)
+        .prop_map(|(x, y, w, h)| Rect::xyxy(x, y, x + w, y + h))
+}
+
+fn arb_point() -> impl Strategy<Value = Point<f32, 2>> {
+    (-60.0f32..60.0, -60.0f32..60.0).prop_map(|(x, y)| Point::xy(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn point_query_oracle(
+        rects in prop::collection::vec(arb_rect(), 1..80),
+        pts in prop::collection::vec(arb_point(), 0..60),
+    ) {
+        let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+        let mut want = vec![];
+        for (ri, r) in rects.iter().enumerate() {
+            for (pi, p) in pts.iter().enumerate() {
+                if r.contains_point(p) {
+                    want.push((ri as u32, pi as u32));
+                }
+            }
+        }
+        prop_assert_eq!(index.collect_point_query(&pts), want);
+    }
+
+    #[test]
+    fn contains_query_oracle(
+        rects in prop::collection::vec(arb_rect(), 1..60),
+        qs in prop::collection::vec(arb_rect(), 0..40),
+    ) {
+        let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+        let mut want = vec![];
+        for (ri, r) in rects.iter().enumerate() {
+            for (qi, q) in qs.iter().enumerate() {
+                if r.contains_rect(q) {
+                    want.push((ri as u32, qi as u32));
+                }
+            }
+        }
+        prop_assert_eq!(index.collect_range_query(Predicate::Contains, &qs), want);
+    }
+
+    #[test]
+    fn intersects_query_oracle_any_k(
+        rects in prop::collection::vec(arb_rect(), 1..60),
+        qs in prop::collection::vec(arb_rect(), 0..40),
+        k in 1usize..32,
+    ) {
+        let opts = IndexOptions {
+            multicast: MulticastConfig { mode: MulticastMode::Fixed(k), ..Default::default() },
+            ..Default::default()
+        };
+        let index = RTSIndex::with_rects(&rects, opts).unwrap();
+        let mut want = vec![];
+        for (ri, r) in rects.iter().enumerate() {
+            for (qi, q) in qs.iter().enumerate() {
+                if r.intersects(q) {
+                    want.push((ri as u32, qi as u32));
+                }
+            }
+        }
+        prop_assert_eq!(index.collect_range_query(Predicate::Intersects, &qs), want);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force(
+        rects in prop::collection::vec(arb_rect(), 1..60),
+        p in arb_point(),
+    ) {
+        let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+        let got = index.nearest(&p).unwrap();
+        let want = rects
+            .iter()
+            .map(|r| {
+                let dx = (r.min.x() - p.x()).max(p.x() - r.max.x()).max(0.0);
+                let dy = (r.min.y() - p.y()).max(p.y() - r.max.y()).max(0.0);
+                (dx * dx + dy * dy).sqrt()
+            })
+            .fold(f32::MAX, f32::min);
+        prop_assert!(
+            (got.distance - want).abs() <= 1e-3 * (1.0 + want),
+            "got {} want {}", got.distance, want
+        );
+    }
+
+    #[test]
+    fn mutation_sequence_oracle(
+        initial in prop::collection::vec(arb_rect(), 5..40),
+        extra in prop::collection::vec(arb_rect(), 1..20),
+        del_seed in 0usize..5,
+        pts in prop::collection::vec(arb_point(), 10..40),
+    ) {
+        let mut index = RTSIndex::with_rects(&initial, IndexOptions::default()).unwrap();
+        let mut oracle: Vec<Option<Rect<f32, 2>>> = initial.iter().copied().map(Some).collect();
+
+        // Insert a second batch.
+        index.insert(&extra).unwrap();
+        oracle.extend(extra.iter().copied().map(Some));
+
+        // Delete a deterministic subset.
+        let victims: Vec<u32> = (del_seed..oracle.len())
+            .step_by(4)
+            .map(|i| i as u32)
+            .collect();
+        if !victims.is_empty() {
+            index.delete(&victims).unwrap();
+            for &v in &victims {
+                oracle[v as usize] = None;
+            }
+        }
+
+        // Move a couple of survivors.
+        let movers: Vec<u32> = oracle
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| i as u32)
+            .take(3)
+            .collect();
+        let moved: Vec<Rect<f32, 2>> = movers
+            .iter()
+            .map(|&i| oracle[i as usize].unwrap().translated(&Point::xy(13.0, -7.0)))
+            .collect();
+        if !movers.is_empty() {
+            index.update(&movers, &moved).unwrap();
+            for (&i, r) in movers.iter().zip(&moved) {
+                oracle[i as usize] = Some(*r);
+            }
+        }
+
+        // Point query must match the oracle exactly.
+        let mut want = vec![];
+        for (ri, r) in oracle.iter().enumerate() {
+            if let Some(r) = r {
+                for (pi, p) in pts.iter().enumerate() {
+                    if r.contains_point(p) {
+                        want.push((ri as u32, pi as u32));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(index.collect_point_query(&pts), want);
+    }
+}

@@ -1,0 +1,272 @@
+//! Plain-text dataset I/O, so the harness can run on the *real* ArcGIS
+//! Hub / OpenStreetMap extracts when they are available (the synthetic
+//! profiles stand in for them by default — DESIGN.md §2).
+//!
+//! Two formats are supported:
+//!
+//! - **Rect CSV**: one rectangle per line, `xmin,ymin,xmax,ymax`
+//!   (comments with `#`, blank lines ignored) — the format the paper's
+//!   artifact scripts feed the index builders after enclosing polygons
+//!   in bounding boxes;
+//! - **WKT-lite polygons**: one `POLYGON ((x y, x y, …))` per line
+//!   (single outer ring, no holes), enough to ingest typical exports.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use geom::{Point, Polygon, Rect};
+
+/// Errors raised while parsing dataset files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not match the expected format.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Underlying I/O failure (message only, to stay `Eq`).
+    Io(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e.to_string())
+    }
+}
+
+/// Reads a rectangle CSV (`xmin,ymin,xmax,ymax` per line).
+pub fn read_rect_csv<R: Read>(reader: R) -> Result<Vec<Rect<f32, 2>>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(ParseError::BadLine {
+                line: i + 1,
+                reason: format!("expected 4 fields, got {}", fields.len()),
+            });
+        }
+        let mut vals = [0.0f32; 4];
+        for (j, f) in fields.iter().enumerate() {
+            vals[j] = f.parse().map_err(|e| ParseError::BadLine {
+                line: i + 1,
+                reason: format!("field {}: {e}", j + 1),
+            })?;
+        }
+        let r = Rect::from_corners(Point::xy(vals[0], vals[1]), Point::xy(vals[2], vals[3]));
+        if !r.is_valid() {
+            return Err(ParseError::BadLine {
+                line: i + 1,
+                reason: "non-finite rectangle".into(),
+            });
+        }
+        out.push(r);
+    }
+    Ok(out)
+}
+
+/// Writes rectangles as CSV (inverse of [`read_rect_csv`]).
+pub fn write_rect_csv<W: Write>(writer: &mut W, rects: &[Rect<f32, 2>]) -> std::io::Result<()> {
+    for r in rects {
+        writeln!(
+            writer,
+            "{},{},{},{}",
+            r.min.x(),
+            r.min.y(),
+            r.max.x(),
+            r.max.y()
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads WKT-lite polygons: one `POLYGON ((x y, x y, …))` per line.
+/// The closing vertex (repeating the first) is accepted and dropped.
+pub fn read_wkt_polygons<R: Read>(reader: R) -> Result<Vec<Polygon<f32>>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(parse_wkt_polygon(trimmed, i + 1)?);
+    }
+    Ok(out)
+}
+
+fn parse_wkt_polygon(s: &str, line: usize) -> Result<Polygon<f32>, ParseError> {
+    let bad = |reason: &str| ParseError::BadLine {
+        line,
+        reason: reason.into(),
+    };
+    let upper = s.to_ascii_uppercase();
+    let body = upper
+        .strip_prefix("POLYGON")
+        .ok_or_else(|| bad("missing POLYGON keyword"))?
+        .trim();
+    // Expect (( ... )); the inner text is in the ORIGINAL string to
+    // preserve number formatting (case doesn't matter for digits, but
+    // stay safe).
+    let open = s.find("((").ok_or_else(|| bad("missing '(('"))?;
+    let close = s.rfind("))").ok_or_else(|| bad("missing '))'"))?;
+    if close <= open + 1 {
+        return Err(bad("empty ring"));
+    }
+    let _ = body;
+    let ring = &s[open + 2..close];
+    let mut verts: Vec<Point<f32, 2>> = Vec::new();
+    for pair in ring.split(',') {
+        let mut it = pair.split_whitespace();
+        let x: f32 = it
+            .next()
+            .ok_or_else(|| bad("vertex missing x"))?
+            .parse()
+            .map_err(|e| bad(&format!("bad x: {e}")))?;
+        let y: f32 = it
+            .next()
+            .ok_or_else(|| bad("vertex missing y"))?
+            .parse()
+            .map_err(|e| bad(&format!("bad y: {e}")))?;
+        if it.next().is_some() {
+            return Err(bad("vertex has more than 2 coordinates"));
+        }
+        verts.push(Point::xy(x, y));
+    }
+    // Drop an explicit closing vertex.
+    if verts.len() >= 2 && verts.first() == verts.last() {
+        verts.pop();
+    }
+    if verts.len() < 3 {
+        return Err(bad("fewer than 3 distinct vertices"));
+    }
+    Ok(Polygon::new(verts))
+}
+
+/// Writes polygons as WKT-lite (inverse of [`read_wkt_polygons`]),
+/// repeating the first vertex as the closing one per WKT convention.
+pub fn write_wkt_polygons<W: Write>(
+    writer: &mut W,
+    polygons: &[Polygon<f32>],
+) -> std::io::Result<()> {
+    for poly in polygons {
+        write!(writer, "POLYGON ((")?;
+        for (i, v) in poly.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(writer, ", ")?;
+            }
+            write!(writer, "{} {}", v.x(), v.y())?;
+        }
+        // Close the ring.
+        let first = poly.vertices[0];
+        writeln!(writer, ", {} {}))", first.x(), first.y())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_csv_round_trip() {
+        let rects = vec![
+            Rect::xyxy(0.0f32, 1.0, 2.0, 3.0),
+            Rect::xyxy(-5.5, -6.25, -1.0, 0.0),
+        ];
+        let mut buf = Vec::new();
+        write_rect_csv(&mut buf, &rects).unwrap();
+        let parsed = read_rect_csv(&buf[..]).unwrap();
+        assert_eq!(parsed, rects);
+    }
+
+    #[test]
+    fn rect_csv_comments_and_blanks() {
+        let text = "# header\n\n 1,2,3,4 \n#tail\n5, 6, 7, 8\n";
+        let parsed = read_rect_csv(text.as_bytes()).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                Rect::xyxy(1.0, 2.0, 3.0, 4.0),
+                Rect::xyxy(5.0, 6.0, 7.0, 8.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn rect_csv_unordered_corners_fixed() {
+        let parsed = read_rect_csv("3,4,1,2\n".as_bytes()).unwrap();
+        assert_eq!(parsed, vec![Rect::xyxy(1.0, 2.0, 3.0, 4.0)]);
+    }
+
+    #[test]
+    fn rect_csv_errors() {
+        assert!(matches!(
+            read_rect_csv("1,2,3\n".as_bytes()),
+            Err(ParseError::BadLine { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_rect_csv("1,2,3,x\n".as_bytes()),
+            Err(ParseError::BadLine { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_rect_csv("ok\n1,2,3,inf\n".as_bytes()),
+            Err(ParseError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn wkt_round_trip() {
+        let polys = vec![Polygon::new(vec![
+            Point::xy(0.0f32, 0.0),
+            Point::xy(2.0, 0.0),
+            Point::xy(1.0, 2.0),
+        ])];
+        let mut buf = Vec::new();
+        write_wkt_polygons(&mut buf, &polys).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("POLYGON (("));
+        let parsed = read_wkt_polygons(&buf[..]).unwrap();
+        assert_eq!(parsed, polys);
+    }
+
+    #[test]
+    fn wkt_accepts_unclosed_ring_and_lowercase() {
+        let text = "polygon ((0 0, 4 0, 4 4, 0 4))\n";
+        let parsed = read_wkt_polygons(text.as_bytes()).unwrap();
+        assert_eq!(parsed[0].len(), 4);
+        assert_eq!(parsed[0].signed_area(), 16.0);
+    }
+
+    #[test]
+    fn wkt_errors() {
+        for bad in [
+            "POINT (1 2)",
+            "POLYGON (1 2, 3 4)",
+            "POLYGON ((1 2, 3 4))",            // only 2 distinct vertices
+            "POLYGON ((1 2 3, 4 5 6, 7 8 9))", // 3-D coordinates
+            "POLYGON ((a b, c d, e f))",
+        ] {
+            assert!(
+                read_wkt_polygons(bad.as_bytes()).is_err(),
+                "should reject {bad:?}"
+            );
+        }
+    }
+}

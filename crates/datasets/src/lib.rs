@@ -1,0 +1,24 @@
+//! # datasets — workload generation for the LibRTS evaluation
+//!
+//! - [`spider`]: Spider-like synthetic generators \[29\] (uniform,
+//!   Gaussian, diagonal, bit, Sierpinski, cluster mixtures) — the tool
+//!   the paper itself uses for §6.8;
+//! - [`profiles`]: the six Table-2 datasets, synthesized at matching
+//!   (scalable) cardinality and skew;
+//! - [`queries`]: §6.1-style query workloads — containment-guaranteed
+//!   point / Range-Contains queries and selectivity-calibrated
+//!   Range-Intersects queries;
+//! - [`polygons`]: polygon synthesis for the PIP study (§6.9);
+//! - [`io`]: CSV / WKT-lite readers so the harness can ingest the real
+//!   ArcGIS/OSM extracts when available.
+
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod polygons;
+pub mod profiles;
+pub mod queries;
+pub mod spider;
+
+pub use profiles::Dataset;
+pub use spider::{SpiderDistribution, SpiderParams};

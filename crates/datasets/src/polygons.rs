@@ -1,0 +1,91 @@
+//! Synthetic polygon datasets for the PIP experiment (§6.9).
+//!
+//! The real datasets are polygons (Table 2: "these datasets are in the
+//! form of polygons, for which we create rectangles to enclose" them for
+//! the rectangle experiments). The PIP study needs the polygons
+//! themselves, so each dataset rectangle is inflated into a random
+//! star-shaped polygon inscribed in it — preserving the location/extent
+//! distribution while exercising real vertex-level PIP work.
+
+use geom::{Point, Polygon, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a star-shaped (hence simple) polygon inscribed in `r`, with
+/// `vertices` vertices at randomized radii around the center.
+pub fn polygon_in_rect(r: &Rect<f32, 2>, vertices: usize, rng: &mut StdRng) -> Polygon<f32> {
+    assert!(vertices >= 3);
+    let c = r.center();
+    let rx = r.extent(0) * 0.5;
+    let ry = r.extent(1) * 0.5;
+    let verts = (0..vertices)
+        .map(|k| {
+            let angle = k as f32 / vertices as f32 * std::f32::consts::TAU;
+            // Radius in [0.4, 1.0] of the half-extent keeps the polygon
+            // simple (star-shaped about the center) and non-degenerate.
+            let rad = rng.gen_range(0.4f32..=1.0);
+            Point::xy(
+                c.x() + angle.cos() * rx * rad,
+                c.y() + angle.sin() * ry * rad,
+            )
+        })
+        .collect();
+    Polygon::new(verts)
+}
+
+/// Converts a rectangle dataset into polygons with `vertices` vertices
+/// each (the paper's county/park/lake boundaries average tens of
+/// vertices; we default benchmarks to 16).
+pub fn polygons_from_rects(
+    rects: &[Rect<f32, 2>],
+    vertices: usize,
+    seed: u64,
+) -> Vec<Polygon<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rects
+        .iter()
+        .map(|r| polygon_in_rect(r, vertices, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polygons_inscribed_in_rects() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = Rect::xyxy(10.0f32, 20.0, 14.0, 26.0);
+        let poly = polygon_in_rect(&r, 12, &mut rng);
+        assert_eq!(poly.len(), 12);
+        let b = poly.bounds();
+        assert!(r.contains_rect(&b) || r.intersects(&b));
+        // All vertices inside the source rect.
+        for v in &poly.vertices {
+            assert!(r.contains_point(v), "{v:?} outside {r:?}");
+        }
+    }
+
+    #[test]
+    fn star_shape_contains_center() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let r = Rect::xyxy(0.0f32, 0.0, 4.0, 4.0);
+            let poly = polygon_in_rect(&r, 8, &mut rng);
+            assert!(poly.contains_point(&r.center()));
+        }
+    }
+
+    #[test]
+    fn batch_conversion() {
+        let rects = vec![
+            Rect::xyxy(0.0f32, 0.0, 1.0, 1.0),
+            Rect::xyxy(5.0, 5.0, 7.0, 6.0),
+        ];
+        let polys = polygons_from_rects(&rects, 16, 3);
+        assert_eq!(polys.len(), 2);
+        assert!(polys.iter().all(|p| p.len() == 16));
+        // Deterministic.
+        assert_eq!(polys, polygons_from_rects(&rects, 16, 3));
+    }
+}

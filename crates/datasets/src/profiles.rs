@@ -1,0 +1,213 @@
+//! Dataset profiles matching Table 2 of the paper.
+//!
+//! The real ArcGIS Hub / OpenStreetMap extracts are not available here,
+//! so each profile synthesizes a dataset with the same cardinality
+//! (scaled by a harness-chosen factor), clustering skew and
+//! extent distribution class (see DESIGN.md §2). What the evaluation
+//! actually depends on — size, skew, extent mix — is preserved.
+
+use geom::Rect;
+
+use crate::spider::{generate_rects, SpiderDistribution, SpiderParams};
+
+/// One of the six paper datasets (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Boundaries of the U.S. counties — 12.2K large, tiling polygons.
+    UsCounty,
+    /// U.S. census block groups — 248.9K small, urban-clustered.
+    UsCensus,
+    /// U.S. water resources — 463.6K multi-scale scattered.
+    UsWater,
+    /// Parks and green areas in Europe — 1.9M clustered.
+    EuParks,
+    /// Water areas worldwide — 8.3M heavily clustered.
+    OsmLakes,
+    /// Parks worldwide — 11.5M heavily clustered.
+    OsmParks,
+}
+
+impl Dataset {
+    /// All six datasets, in the paper's size order.
+    pub const ALL: [Dataset; 6] = [
+        Dataset::UsCounty,
+        Dataset::UsCensus,
+        Dataset::UsWater,
+        Dataset::EuParks,
+        Dataset::OsmLakes,
+        Dataset::OsmParks,
+    ];
+
+    /// Paper name of the dataset.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::UsCounty => "USCounty",
+            Dataset::UsCensus => "USCensus",
+            Dataset::UsWater => "USWater",
+            Dataset::EuParks => "EUParks",
+            Dataset::OsmLakes => "OSMLakes",
+            Dataset::OsmParks => "OSMParks",
+        }
+    }
+
+    /// Table 2 description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Dataset::UsCounty => "Boundaries of the U.S. Counties",
+            Dataset::UsCensus => "U.S. Census block groups",
+            Dataset::UsWater => "Boundaries of U.S. water resources",
+            Dataset::EuParks => "Parks and green areas in Europe",
+            Dataset::OsmLakes => "Boundaries of water areas worldwide",
+            Dataset::OsmParks => "Parks and green areas worldwide",
+        }
+    }
+
+    /// Full cardinality reported in Table 2.
+    pub fn full_size(&self) -> usize {
+        match self {
+            Dataset::UsCounty => 12_200,
+            Dataset::UsCensus => 248_900,
+            Dataset::UsWater => 463_600,
+            Dataset::EuParks => 1_900_000,
+            Dataset::OsmLakes => 8_300_000,
+            Dataset::OsmParks => 11_500_000,
+        }
+    }
+
+    /// Cardinality after dividing by `scale` (min 1 000 so tiny scales
+    /// stay meaningful).
+    pub fn scaled_size(&self, scale: usize) -> usize {
+        (self.full_size() / scale.max(1)).max(1_000)
+    }
+
+    /// Spider parameters reproducing the dataset's character.
+    pub fn spider_params(&self) -> SpiderParams {
+        let world = Rect::xyxy(0.0, 0.0, 10_000.0, 10_000.0);
+        match self {
+            // Counties tile the country: large extents, near-uniform.
+            Dataset::UsCounty => SpiderParams {
+                distribution: SpiderDistribution::Uniform,
+                world,
+                extent_mu: -4.6, // ~1% of the world edge
+                extent_sigma: 0.5,
+                max_extent: 0.05,
+            },
+            // Census blocks: small, strongly urban-clustered.
+            Dataset::UsCensus => SpiderParams {
+                distribution: SpiderDistribution::Clusters {
+                    clusters: 48,
+                    sigma: 0.035,
+                },
+                world,
+                extent_mu: -7.0,
+                extent_sigma: 0.7,
+                max_extent: 0.01,
+            },
+            // Water bodies: multi-scale extents (ponds to great lakes),
+            // diagonal river systems. Real hydrography is scale-free, so
+            // the extent tail is heavy.
+            Dataset::UsWater => SpiderParams {
+                distribution: SpiderDistribution::Diagonal { buffer: 0.12 },
+                world,
+                extent_mu: -7.5,
+                extent_sigma: 2.0,
+                max_extent: 0.15,
+            },
+            // European parks: many city clusters, pocket parks to
+            // national parks.
+            Dataset::EuParks => SpiderParams {
+                distribution: SpiderDistribution::Clusters {
+                    clusters: 160,
+                    sigma: 0.02,
+                },
+                world,
+                extent_mu: -8.0,
+                extent_sigma: 1.5,
+                max_extent: 0.08,
+            },
+            // Worldwide lakes: heavy clustering + dyadic voids; the
+            // extent distribution spans ponds to the Caspian Sea — the
+            // heaviest tail of the six (this is the dataset where the
+            // paper's load imbalance bites hardest).
+            Dataset::OsmLakes => SpiderParams {
+                distribution: SpiderDistribution::Bit {
+                    probability: 0.4,
+                    digits: 18,
+                },
+                world,
+                extent_mu: -8.5,
+                extent_sigma: 2.2,
+                max_extent: 0.2,
+            },
+            // Worldwide parks: the largest, most skewed dataset.
+            Dataset::OsmParks => SpiderParams {
+                distribution: SpiderDistribution::Clusters {
+                    clusters: 512,
+                    sigma: 0.012,
+                },
+                world,
+                extent_mu: -8.8,
+                extent_sigma: 1.8,
+                max_extent: 0.1,
+            },
+        }
+    }
+
+    /// Generates the (scaled) dataset deterministically.
+    pub fn generate(&self, scale: usize, seed: u64) -> Vec<Rect<f32, 2>> {
+        let n = self.scaled_size(scale);
+        generate_rects(&self.spider_params(), n, seed ^ self.full_size() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_sizes() {
+        assert_eq!(Dataset::UsCounty.full_size(), 12_200);
+        assert_eq!(Dataset::OsmParks.full_size(), 11_500_000);
+        assert_eq!(Dataset::ALL.len(), 6);
+    }
+
+    #[test]
+    fn scaling_floors_at_1000() {
+        assert_eq!(Dataset::UsCounty.scaled_size(64), 1_000);
+        assert_eq!(Dataset::OsmParks.scaled_size(64), 11_500_000 / 64);
+        assert_eq!(Dataset::OsmParks.scaled_size(1), 11_500_000);
+    }
+
+    #[test]
+    fn generated_sets_valid() {
+        for d in Dataset::ALL {
+            let rects = d.generate(1024, 1);
+            assert_eq!(rects.len(), d.scaled_size(1024));
+            assert!(rects.iter().all(|r| r.is_valid()), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn clustered_sets_are_skewed() {
+        // Census must be visibly more clustered than County: compare the
+        // fraction of rects in the densest 10x10-cell of a grid.
+        let density = |rects: &[Rect<f32, 2>]| {
+            let mut cells = vec![0usize; 100];
+            for r in rects {
+                let c = r.center();
+                let ix = ((c.x() / 1000.0) as usize).min(9);
+                let iy = ((c.y() / 1000.0) as usize).min(9);
+                cells[iy * 10 + ix] += 1;
+            }
+            *cells.iter().max().unwrap() as f64 / rects.len() as f64
+        };
+        let county = Dataset::UsCounty.generate(4, 1);
+        let census = Dataset::UsCensus.generate(4, 1);
+        assert!(
+            density(&census) > density(&county) * 1.5,
+            "census {:.3} vs county {:.3}",
+            density(&census),
+            density(&county)
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Query workload generation (§6.1 "Queries").
+//!
+//! "The queries are generated to return a given ratio of the rectangles":
+//! point and Range-Contains queries are guaranteed to match at least one
+//! rectangle; Range-Intersects queries are sized by calibration to hit a
+//! target selectivity (0.01 % / 0.1 % / 1 % in Fig. 8).
+
+use geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Point queries, each inside at least one data rectangle (§6.1).
+pub fn point_queries(data: &[Rect<f32, 2>], n: usize, seed: u64) -> Vec<Point<f32, 2>> {
+    assert!(!data.is_empty(), "need data to anchor queries");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let r = &data[rng.gen_range(0..data.len())];
+            Point::xy(
+                rng.gen_range(r.min.x()..=r.max.x()),
+                rng.gen_range(r.min.y()..=r.max.y()),
+            )
+        })
+        .collect()
+}
+
+/// Range-Contains queries, each contained by at least one data rectangle:
+/// a random sub-rectangle of a random datum.
+pub fn contains_queries(data: &[Rect<f32, 2>], n: usize, seed: u64) -> Vec<Rect<f32, 2>> {
+    assert!(!data.is_empty(), "need data to anchor queries");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let r = &data[rng.gen_range(0..data.len())];
+            // Shrink about a random interior anchor to guarantee strict
+            // non-degeneracy and containment.
+            let fx = rng.gen_range(0.1f32..0.6);
+            let fy = rng.gen_range(0.1f32..0.6);
+            let cx = rng.gen_range(0.0f32..(1.0 - fx));
+            let cy = rng.gen_range(0.0f32..(1.0 - fy));
+            let w = r.extent(0);
+            let h = r.extent(1);
+            let xmin = r.min.x() + cx * w;
+            let ymin = r.min.y() + cy * h;
+            let q = Rect::xyxy(xmin, ymin, xmin + fx * w, ymin + fy * h);
+            if q.is_degenerate() {
+                // Tiny parents can collapse in f32; fall back to the
+                // parent itself (contained by definition, inclusive).
+                *r
+            } else {
+                q
+            }
+        })
+        .collect()
+}
+
+/// Range-Intersects queries calibrated so each query intersects about
+/// `selectivity · |data|` rectangles. Query centers follow the data
+/// distribution (sampled from data centers); the square side is found by
+/// bisection against a sampled estimate.
+pub fn intersects_queries(
+    data: &[Rect<f32, 2>],
+    n: usize,
+    selectivity: f64,
+    seed: u64,
+) -> Vec<Rect<f32, 2>> {
+    assert!(!data.is_empty(), "need data to anchor queries");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let world = Rect::bounding_all(data.iter());
+    let max_side = world.extent(0).max(world.extent(1));
+    let side = calibrate_side(data, selectivity, max_side, &mut rng);
+    (0..n)
+        .map(|_| {
+            let anchor = data[rng.gen_range(0..data.len())].center();
+            let jitter_x = rng.gen_range(-side..=side) * 0.25;
+            let jitter_y = rng.gen_range(-side..=side) * 0.25;
+            let half = side * 0.5;
+            Rect::xyxy(
+                anchor.x() + jitter_x - half,
+                anchor.y() + jitter_y - half,
+                anchor.x() + jitter_x + half,
+                anchor.y() + jitter_y + half,
+            )
+        })
+        .collect()
+}
+
+/// Average fraction of `sample` intersected by squares of side `side`
+/// placed at random data centers.
+fn measure_selectivity(data: &[Rect<f32, 2>], side: f32, rng: &mut StdRng) -> f64 {
+    const PROBES: usize = 24;
+    let stride = (data.len() / 2_000).max(1);
+    let sample: Vec<&Rect<f32, 2>> = data.iter().step_by(stride).collect();
+    let mut total = 0.0;
+    for _ in 0..PROBES {
+        let c = data[rng.gen_range(0..data.len())].center();
+        let half = side * 0.5;
+        let q = Rect::xyxy(c.x() - half, c.y() - half, c.x() + half, c.y() + half);
+        let hits = sample.iter().filter(|r| r.intersects(&q)).count();
+        total += hits as f64 / sample.len() as f64;
+    }
+    total / PROBES as f64
+}
+
+/// Bisection on the square side length to reach the target selectivity.
+fn calibrate_side(data: &[Rect<f32, 2>], target: f64, max_side: f32, rng: &mut StdRng) -> f32 {
+    let mut lo = 0.0f32;
+    let mut hi = max_side;
+    for _ in 0..24 {
+        let mid = (lo + hi) * 0.5;
+        let s = measure_selectivity(data, mid, rng);
+        if s < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    ((lo + hi) * 0.5).max(f32::EPSILON)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spider::{generate_rects, SpiderParams};
+
+    fn data() -> Vec<Rect<f32, 2>> {
+        generate_rects(&SpiderParams::default(), 20_000, 11)
+    }
+
+    #[test]
+    fn point_queries_hit_something() {
+        let d = data();
+        let pts = point_queries(&d, 500, 1);
+        assert_eq!(pts.len(), 500);
+        for p in &pts {
+            assert!(
+                d.iter().any(|r| r.contains_point(p)),
+                "query point {p:?} matches nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn contains_queries_contained() {
+        let d = data();
+        let qs = contains_queries(&d, 500, 2);
+        for q in &qs {
+            assert!(
+                d.iter().any(|r| r.contains_rect(q)),
+                "query {q:?} contained by nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn intersects_queries_near_target_selectivity() {
+        let d = data();
+        for target in [0.0001f64, 0.001, 0.01] {
+            let qs = intersects_queries(&d, 50, target, 3);
+            let mut total = 0usize;
+            for q in &qs {
+                total += d.iter().filter(|r| r.intersects(q)).count();
+            }
+            let measured = total as f64 / (qs.len() * d.len()) as f64;
+            assert!(
+                measured > target * 0.2 && measured < target * 5.0,
+                "target {target}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_workloads() {
+        let d = data();
+        assert_eq!(point_queries(&d, 100, 7), point_queries(&d, 100, 7));
+        assert_eq!(contains_queries(&d, 100, 7), contains_queries(&d, 100, 7));
+        assert_eq!(
+            intersects_queries(&d, 20, 0.001, 7),
+            intersects_queries(&d, 20, 0.001, 7)
+        );
+    }
+}

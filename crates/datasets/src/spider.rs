@@ -1,0 +1,426 @@
+//! Spider-like synthetic spatial data generation \[29\].
+//!
+//! Spider is the generator the paper itself uses for the scalability
+//! study (§6.8, uniform and Gaussian `μ = 0.5, σ = 0.1`). We implement
+//! its standard distribution families over the unit square, scaled to a
+//! target world box, with configurable rectangle extents.
+
+use geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Normal};
+
+/// Distribution families of the Spider generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpiderDistribution {
+    /// Uniform over the unit square.
+    Uniform,
+    /// Isotropic Gaussian around (μ, μ) with std σ — §6.8 uses
+    /// `μ = 0.5, σ = 0.1`.
+    Gaussian {
+        /// Mean of both coordinates.
+        mu: f64,
+        /// Standard deviation of both coordinates.
+        sigma: f64,
+    },
+    /// Concentrated around the main diagonal with jitter `buffer`.
+    Diagonal {
+        /// Perpendicular jitter around the diagonal.
+        buffer: f64,
+    },
+    /// Bit distribution: each coordinate is a sum of weighted random
+    /// bits, producing dyadic clustering.
+    Bit {
+        /// Probability of setting each bit.
+        probability: f64,
+        /// Number of bits (resolution).
+        digits: u32,
+    },
+    /// Sierpinski-gasket-like distribution via the chaos game.
+    Sierpinski,
+    /// Cluster mixture: `clusters` Gaussian blobs with per-blob sigma,
+    /// with blob weights following a Zipf law (like city populations) —
+    /// our stand-in for the skew of real OSM/ArcGIS data. The heaviest
+    /// blob holds a disproportionate share of the geometry, which is
+    /// what creates the paper's §3.4 load imbalance.
+    Clusters {
+        /// Number of Gaussian blobs.
+        clusters: usize,
+        /// Per-blob standard deviation.
+        sigma: f64,
+    },
+}
+
+/// Parameters of a synthetic rectangle dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct SpiderParams {
+    /// Distribution of rectangle centers.
+    pub distribution: SpiderDistribution,
+    /// World box the unit square is scaled to.
+    pub world: Rect<f64, 2>,
+    /// Log-normal extent parameters (of the unit-square edge length):
+    /// `ln N(mu, sigma)`, clamped to `max_extent`.
+    pub extent_mu: f64,
+    /// Log-normal sigma of extents.
+    pub extent_sigma: f64,
+    /// Upper clamp on edge length (unit-square scale).
+    pub max_extent: f64,
+}
+
+impl Default for SpiderParams {
+    fn default() -> Self {
+        Self {
+            distribution: SpiderDistribution::Uniform,
+            world: Rect::xyxy(0.0, 0.0, 1000.0, 1000.0),
+            extent_mu: -6.0,
+            extent_sigma: 0.8,
+            max_extent: 0.05,
+        }
+    }
+}
+
+/// Generates `n` rectangle centers in the unit square.
+pub fn generate_centers(
+    distribution: SpiderDistribution,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<Point<f64, 2>> {
+    let mut out = Vec::with_capacity(n);
+    match distribution {
+        SpiderDistribution::Uniform => {
+            for _ in 0..n {
+                out.push(Point::xy(rng.gen::<f64>(), rng.gen::<f64>()));
+            }
+        }
+        SpiderDistribution::Gaussian { mu, sigma } => {
+            let normal = Normal::new(mu, sigma).expect("valid sigma");
+            for _ in 0..n {
+                let x = normal.sample(rng).clamp(0.0, 1.0);
+                let y = normal.sample(rng).clamp(0.0, 1.0);
+                out.push(Point::xy(x, y));
+            }
+        }
+        SpiderDistribution::Diagonal { buffer } => {
+            let normal = Normal::new(0.0, buffer).expect("valid buffer");
+            for _ in 0..n {
+                let t = rng.gen::<f64>();
+                let off = normal.sample(rng);
+                out.push(Point::xy(
+                    (t + off).clamp(0.0, 1.0),
+                    (t - off).clamp(0.0, 1.0),
+                ));
+            }
+        }
+        SpiderDistribution::Bit {
+            probability,
+            digits,
+        } => {
+            let coord = |rng: &mut StdRng| {
+                let mut v = 0.0;
+                for d in 1..=digits {
+                    if rng.gen::<f64>() < probability {
+                        v += 0.5f64.powi(d as i32);
+                    }
+                }
+                v
+            };
+            for _ in 0..n {
+                let x = coord(rng);
+                let y = coord(rng);
+                out.push(Point::xy(x, y));
+            }
+        }
+        SpiderDistribution::Sierpinski => {
+            let corners = [
+                Point::xy(0.0, 0.0),
+                Point::xy(1.0, 0.0),
+                Point::xy(0.5, 0.866),
+            ];
+            let mut p = Point::xy(0.3, 0.3);
+            // Burn-in.
+            for _ in 0..16 {
+                let c = corners[rng.gen_range(0..3)];
+                p = p.midpoint(&c);
+            }
+            for _ in 0..n {
+                let c = corners[rng.gen_range(0..3)];
+                p = p.midpoint(&c);
+                out.push(p);
+            }
+        }
+        SpiderDistribution::Clusters { clusters, sigma } => {
+            let m = clusters.max(1);
+            let centers: Vec<Point<f64, 2>> = (0..m)
+                .map(|_| Point::xy(rng.gen::<f64>(), rng.gen::<f64>()))
+                .collect();
+            // Zipf cluster weights: w_i ∝ 1/(i+1); sample by inverse CDF.
+            let weights: Vec<f64> = (0..m).map(|i| 1.0 / (i + 1) as f64).collect();
+            let total: f64 = weights.iter().sum();
+            let cdf: Vec<f64> = weights
+                .iter()
+                .scan(0.0, |acc, w| {
+                    *acc += w / total;
+                    Some(*acc)
+                })
+                .collect();
+            let normal = Normal::new(0.0, sigma).expect("valid sigma");
+            for _ in 0..n {
+                let u = rng.gen::<f64>();
+                let ci = cdf.partition_point(|&c| c < u).min(m - 1);
+                let c = centers[ci];
+                let x = (c.x() + normal.sample(rng)).clamp(0.0, 1.0);
+                let y = (c.y() + normal.sample(rng)).clamp(0.0, 1.0);
+                out.push(Point::xy(x, y));
+            }
+        }
+    }
+    out
+}
+
+/// Generates `n` rectangles per the parameters, deterministically from
+/// `seed`.
+pub fn generate_rects(params: &SpiderParams, n: usize, seed: u64) -> Vec<Rect<f32, 2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = generate_centers(params.distribution, n, &mut rng);
+    let extent = LogNormal::new(params.extent_mu, params.extent_sigma).expect("valid extent");
+    let wx = params.world.extent(0);
+    let wy = params.world.extent(1);
+    centers
+        .into_iter()
+        .map(|c| {
+            let w = extent.sample(&mut rng).min(params.max_extent) * 0.5;
+            let h = extent.sample(&mut rng).min(params.max_extent) * 0.5;
+            let r = Rect::xyxy(
+                (c.x() - w).max(0.0),
+                (c.y() - h).max(0.0),
+                (c.x() + w).min(1.0),
+                (c.y() + h).min(1.0),
+            );
+            Rect::xyxy(
+                (params.world.min.x() + r.min.x() * wx) as f32,
+                (params.world.min.y() + r.min.y() * wy) as f32,
+                (params.world.min.x() + r.max.x() * wx) as f32,
+                (params.world.min.y() + r.max.y() * wy) as f32,
+            )
+        })
+        .map(|r| {
+            // Guard against f32 rounding collapsing tiny rects to empty.
+            let mut r = r;
+            if r.max.x() <= r.min.x() {
+                r.max.coords[0] = r.min.x() + f32::EPSILON * r.min.x().abs().max(1.0);
+            }
+            if r.max.y() <= r.min.y() {
+                r.max.coords[1] = r.min.y() + f32::EPSILON * r.min.y().abs().max(1.0);
+            }
+            r
+        })
+        .collect()
+}
+
+/// Generates `n` rectangles with Spider's **parcel** distribution: the
+/// unit square is split recursively (alternating axes, split position
+/// uniform in `[split_range, 1 - split_range]`) until `n` leaves exist;
+/// each leaf is dithered — shrunk by a random fraction up to `dither` —
+/// and scaled to the world box. Unlike the point-based families, parcel
+/// produces space-filling, non-overlapping rectangles (cadastral
+/// parcels), the workload R-trees like least.
+pub fn generate_parcel_rects(
+    n: usize,
+    split_range: f64,
+    dither: f64,
+    world: &Rect<f64, 2>,
+    seed: u64,
+) -> Vec<Rect<f32, 2>> {
+    assert!((0.0..0.5).contains(&split_range));
+    assert!((0.0..1.0).contains(&dither));
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Worklist of boxes; split the largest-area box until n leaves.
+    let mut leaves: Vec<Rect<f64, 2>> = vec![Rect::xyxy(0.0, 0.0, 1.0, 1.0)];
+    while leaves.len() < n {
+        // Split the earliest biggest box (linear scan keeps this simple
+        // and deterministic; n is a workload size, not a hot loop).
+        let (idx, _) = leaves
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.area().partial_cmp(&b.1.area()).unwrap())
+            .expect("non-empty");
+        let b = leaves.swap_remove(idx);
+        let axis = if b.extent(0) >= b.extent(1) { 0 } else { 1 };
+        let t = rng.gen_range(split_range..=1.0 - split_range);
+        let cut = b.min.coords[axis] + b.extent(axis) * t;
+        let mut lo = b;
+        let mut hi = b;
+        lo.max.coords[axis] = cut;
+        hi.min.coords[axis] = cut;
+        leaves.push(lo);
+        leaves.push(hi);
+    }
+    leaves.truncate(n);
+    let wx = world.extent(0);
+    let wy = world.extent(1);
+    leaves
+        .into_iter()
+        .map(|b| {
+            // Dither: shrink each side by an independent random fraction.
+            let sx = 1.0 - rng.gen_range(0.0..=dither);
+            let sy = 1.0 - rng.gen_range(0.0..=dither);
+            let c = b.center();
+            let hx = b.extent(0) * 0.5 * sx;
+            let hy = b.extent(1) * 0.5 * sy;
+            Rect::xyxy(
+                (world.min.x() + (c.x() - hx) * wx) as f32,
+                (world.min.y() + (c.y() - hy) * wy) as f32,
+                (world.min.x() + (c.x() + hx) * wx) as f32,
+                (world.min.y() + (c.y() + hy) * wy) as f32,
+            )
+        })
+        .collect()
+}
+
+/// Generates `n` points (for point-query workloads), scaled to `world`.
+pub fn generate_points(
+    distribution: SpiderDistribution,
+    world: &Rect<f64, 2>,
+    n: usize,
+    seed: u64,
+) -> Vec<Point<f32, 2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_centers(distribution, n, &mut rng)
+        .into_iter()
+        .map(|c| {
+            Point::xy(
+                (world.min.x() + c.x() * world.extent(0)) as f32,
+                (world.min.y() + c.y() * world.extent(1)) as f32,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let params = SpiderParams::default();
+        let a = generate_rects(&params, 100, 42);
+        let b = generate_rects(&params, 100, 42);
+        let c = generate_rects(&params, 100, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rects_valid_and_in_world() {
+        for dist in [
+            SpiderDistribution::Uniform,
+            SpiderDistribution::Gaussian {
+                mu: 0.5,
+                sigma: 0.1,
+            },
+            SpiderDistribution::Diagonal { buffer: 0.05 },
+            SpiderDistribution::Bit {
+                probability: 0.3,
+                digits: 16,
+            },
+            SpiderDistribution::Sierpinski,
+            SpiderDistribution::Clusters {
+                clusters: 8,
+                sigma: 0.03,
+            },
+        ] {
+            let params = SpiderParams {
+                distribution: dist,
+                ..Default::default()
+            };
+            let rects = generate_rects(&params, 500, 7);
+            assert_eq!(rects.len(), 500);
+            for r in &rects {
+                assert!(r.is_valid(), "{dist:?}: invalid {r:?}");
+                assert!(!r.is_degenerate(), "{dist:?}: degenerate {r:?}");
+                assert!(r.min.x() >= -1.0 && r.max.x() <= 1001.0, "{dist:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_is_concentrated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = generate_centers(
+            SpiderDistribution::Gaussian {
+                mu: 0.5,
+                sigma: 0.1,
+            },
+            5000,
+            &mut rng,
+        );
+        // ~95% within 2 sigma of the mean.
+        let near = pts
+            .iter()
+            .filter(|p| (p.x() - 0.5).abs() < 0.2 && (p.y() - 0.5).abs() < 0.2)
+            .count();
+        assert!(near as f64 > 0.85 * 5000.0, "only {near} near the center");
+    }
+
+    #[test]
+    fn uniform_spreads() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = generate_centers(SpiderDistribution::Uniform, 4000, &mut rng);
+        // Each quadrant gets roughly a quarter.
+        let q1 = pts.iter().filter(|p| p.x() < 0.5 && p.y() < 0.5).count();
+        assert!((800..1200).contains(&q1), "quadrant count {q1}");
+    }
+
+    #[test]
+    fn diagonal_hugs_diagonal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = generate_centers(
+            SpiderDistribution::Diagonal { buffer: 0.02 },
+            1000,
+            &mut rng,
+        );
+        let close = pts.iter().filter(|p| (p.x() - p.y()).abs() < 0.15).count();
+        assert!(close > 900, "only {close} near the diagonal");
+    }
+
+    #[test]
+    fn parcel_rects_tile_without_overlap() {
+        let world = Rect::xyxy(0.0, 0.0, 100.0, 100.0);
+        // Zero dither => leaves tile the square exactly (shared edges
+        // touch, interiors are disjoint).
+        let rects = generate_parcel_rects(64, 0.3, 0.0, &world, 9);
+        assert_eq!(rects.len(), 64);
+        let total: f64 = rects.iter().map(|r| r.area() as f64).sum();
+        assert!((total - 10_000.0).abs() < 10.0, "areas sum to {total}");
+        for (i, a) in rects.iter().enumerate() {
+            for b in rects.iter().skip(i + 1) {
+                let shrunk = a.scaled_about_center(0.99);
+                assert!(
+                    !shrunk.intersects(&b.scaled_about_center(0.99)),
+                    "parcels {a:?} and {b:?} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parcel_dither_shrinks() {
+        let world = Rect::xyxy(0.0, 0.0, 100.0, 100.0);
+        let tight = generate_parcel_rects(128, 0.3, 0.0, &world, 3);
+        let dithered = generate_parcel_rects(128, 0.3, 0.5, &world, 3);
+        let sum = |rs: &[Rect<f32, 2>]| rs.iter().map(|r| r.area() as f64).sum::<f64>();
+        assert!(sum(&dithered) < sum(&tight) * 0.95);
+        assert!(dithered.iter().all(|r| r.is_valid()));
+    }
+
+    #[test]
+    fn points_generation() {
+        let world = Rect::xyxy(0.0, 0.0, 100.0, 50.0);
+        let pts = generate_points(SpiderDistribution::Uniform, &world, 200, 5);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            assert!(p.x() >= 0.0 && p.x() <= 100.0);
+            assert!(p.y() >= 0.0 && p.y() <= 50.0);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Coordinate scalar abstraction.
+//!
+//! LibRTS is generic over the coordinate type (`COORD_T` in the paper's
+//! Algorithm 2): `f32` matches the paper's evaluation (RTX GPUs have few
+//! FP64 units), while `f64` is available for precision-sensitive users.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Scalar coordinate type: `f32` or `f64`.
+///
+/// All geometry in this workspace is generic over `Coord` so that indexes
+/// can be instantiated in either precision, mirroring the paper's
+/// `RTSIndex<COORD_T, N_DIMS>` template.
+pub trait Coord:
+    Copy
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// One half; used for rectangle centers.
+    const HALF: Self;
+    /// Smallest positive normal value; the paper uses `FLT_MIN` as the
+    /// `t_max` of point-query rays (§3.1).
+    const TINY: Self;
+    /// Largest finite value.
+    const MAX: Self;
+    /// Smallest finite value.
+    const MIN: Self;
+    /// Machine epsilon.
+    const EPSILON: Self;
+
+    /// Lossy conversion from `f64` (dataset generators work in `f64`).
+    fn from_f64(v: f64) -> Self;
+    /// Lossy conversion to `f64` (for statistics and cost models).
+    fn to_f64(self) -> f64;
+    /// Lossy conversion from `usize` (for sub-space offsets).
+    fn from_usize(v: usize) -> Self;
+    /// `true` if the value is finite (rejects NaN and infinities).
+    fn is_finite(self) -> bool;
+    /// `true` if the value is NaN.
+    fn is_nan(self) -> bool;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Binary minimum; NaN-propagating like IEEE `min` is not required —
+    /// callers must reject NaN at the API boundary.
+    fn min_c(self, other: Self) -> Self;
+    /// Binary maximum.
+    fn max_c(self, other: Self) -> Self;
+    /// Largest integer ≤ self, as Self.
+    fn floor_c(self) -> Self;
+    /// Multiply-accumulate `self * a + b`; maps to FMA where available.
+    fn mul_add_c(self, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_coord {
+    ($t:ty) => {
+        impl Coord for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const HALF: Self = 0.5;
+            const TINY: Self = <$t>::MIN_POSITIVE;
+            const MAX: Self = <$t>::MAX;
+            const MIN: Self = <$t>::MIN;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_usize(v: usize) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn is_nan(self) -> bool {
+                <$t>::is_nan(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn min_c(self, other: Self) -> Self {
+                if other < self {
+                    other
+                } else {
+                    self
+                }
+            }
+            #[inline(always)]
+            fn max_c(self, other: Self) -> Self {
+                if other > self {
+                    other
+                } else {
+                    self
+                }
+            }
+            #[inline(always)]
+            fn floor_c(self) -> Self {
+                <$t>::floor(self)
+            }
+            #[inline(always)]
+            fn mul_add_c(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+        }
+    };
+}
+
+impl_coord!(f32);
+impl_coord!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_f32() {
+        assert_eq!(<f32 as Coord>::ZERO, 0.0);
+        assert_eq!(<f32 as Coord>::ONE, 1.0);
+        assert_eq!(<f32 as Coord>::HALF, 0.5);
+        assert_eq!(<f32 as Coord>::TINY, f32::MIN_POSITIVE);
+        const { assert!(<f32 as Coord>::TINY > 0.0) };
+    }
+
+    #[test]
+    fn constants_f64() {
+        assert_eq!(<f64 as Coord>::TINY, f64::MIN_POSITIVE);
+        assert_eq!(<f64 as Coord>::MAX, f64::MAX);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let x: f32 = Coord::from_f64(0.25);
+        assert_eq!(x, 0.25f32);
+        assert_eq!(x.to_f64(), 0.25f64);
+        let y: f64 = Coord::from_usize(7);
+        assert_eq!(y, 7.0);
+    }
+
+    #[test]
+    fn min_max_prefer_first_on_ties() {
+        assert_eq!(1.0f32.min_c(1.0), 1.0);
+        assert_eq!(2.0f32.min_c(3.0), 2.0);
+        assert_eq!(2.0f32.max_c(3.0), 3.0);
+        assert_eq!((-2.0f64).max_c(-3.0), -2.0);
+    }
+
+    #[test]
+    fn nan_detection() {
+        assert!(f32::NAN.is_nan());
+        assert!(!1.0f32.is_nan());
+        assert!(!f32::INFINITY.is_finite());
+        assert!(1.0f64.is_finite());
+    }
+
+    #[test]
+    fn tiny_is_smallest_normal() {
+        // The point-query formulation relies on TINY being a positive value
+        // small enough that a ray of length TINY cannot cross from outside
+        // any non-degenerate AABB into it.
+        const { assert!(<f32 as Coord>::TINY < 1e-30) };
+        const { assert!(<f32 as Coord>::TINY > 0.0) };
+    }
+}

@@ -1,0 +1,31 @@
+//! # geom — geometry substrate for the LibRTS reproduction
+//!
+//! Coordinate-generic (`f32`/`f64`) points, axis-aligned rectangles,
+//! segments, rays, polygons, Morton codes and SRT transforms, with the
+//! exact predicate semantics of the paper:
+//!
+//! - [`Rect::contains_point`] — Definition 1 (closed boundaries),
+//! - [`Rect::contains_rect`] — Definition 2 (strictly non-degenerate inner),
+//! - [`Rect::intersects`] — Definition 3 (inclusive),
+//! - [`segment::diagonal`] / [`segment::anti_diagonal`] — Definition 4,
+//! - [`Segment::intersects_rect`] — Definition 5 via the slab method,
+//! - [`Ray::intersect_aabb`] — §2.2's two ray–AABB hit cases (Figure 1).
+
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod morton;
+pub mod point;
+pub mod polygon;
+pub mod ray;
+pub mod rect;
+pub mod segment;
+pub mod transform;
+
+pub use coord::Coord;
+pub use point::{Point, Point2d, Point2f, Point3f};
+pub use polygon::{Polygon, Polygonf};
+pub use ray::{HitKind, Ray, Ray2f, Ray3f};
+pub use rect::{Rect, Rect2d, Rect2f, Rect3f};
+pub use segment::{anti_diagonal, diagonal, diagonal_formulation_intersects, Segment, Segment2f};
+pub use transform::Srt;

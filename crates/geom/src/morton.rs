@@ -1,0 +1,174 @@
+//! Morton (Z-order) codes for 2-D and 3-D points.
+//!
+//! Used by the LBVH baseline [28] (Karras-style Morton-sorted build), by
+//! the GLIN-lite learned index (Z-curve keys), and by the STR-less fast
+//! build path of `rtcore`.
+
+use crate::coord::Coord;
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Spreads the lower 32 bits of `v` so each bit occupies every 2nd slot.
+#[inline]
+pub fn expand_bits_2d(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`expand_bits_2d`].
+#[inline]
+pub fn compact_bits_2d(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Spreads the lower 21 bits of `v` so each bit occupies every 3rd slot.
+#[inline]
+pub fn expand_bits_3d(v: u32) -> u64 {
+    let mut x = (v as u64) & 0x1F_FFFF; // 21 bits
+    x = (x | (x << 32)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Interleaves two 32-bit integers into a 64-bit 2-D Morton code.
+#[inline]
+pub fn morton2(x: u32, y: u32) -> u64 {
+    expand_bits_2d(x) | (expand_bits_2d(y) << 1)
+}
+
+/// De-interleaves a 2-D Morton code back into `(x, y)`.
+#[inline]
+pub fn demorton2(code: u64) -> (u32, u32) {
+    (compact_bits_2d(code), compact_bits_2d(code >> 1))
+}
+
+/// Interleaves three 21-bit integers into a 63-bit 3-D Morton code.
+#[inline]
+pub fn morton3(x: u32, y: u32, z: u32) -> u64 {
+    expand_bits_3d(x) | (expand_bits_3d(y) << 1) | (expand_bits_3d(z) << 2)
+}
+
+/// Quantizes `v ∈ [lo, hi]` to `bits`-bit integer grid coordinates,
+/// clamping out-of-range input.
+#[inline]
+pub fn quantize<C: Coord>(v: C, lo: C, hi: C, bits: u32) -> u32 {
+    let span = (hi - lo).to_f64();
+    let levels = (1u64 << bits) as f64;
+    if span <= 0.0 {
+        return 0;
+    }
+    let t = ((v - lo).to_f64() / span * levels).floor();
+    let max = (1u64 << bits) - 1;
+    t.clamp(0.0, max as f64) as u32
+}
+
+/// Morton code of a point within a reference frame, 2-D (32 bits/axis).
+#[inline]
+pub fn morton_of_point_2d<C: Coord>(p: &Point<C, 2>, frame: &Rect<C, 2>) -> u64 {
+    let qx = quantize(p.x(), frame.min.x(), frame.max.x(), 31);
+    let qy = quantize(p.y(), frame.min.y(), frame.max.y(), 31);
+    morton2(qx, qy)
+}
+
+/// Morton code of a rectangle's center within a reference frame — the key
+/// used by LBVH builds and the GLIN-lite Z-curve ordering.
+#[inline]
+pub fn morton_of_rect_2d<C: Coord>(r: &Rect<C, 2>, frame: &Rect<C, 2>) -> u64 {
+    morton_of_point_2d(&r.center(), frame)
+}
+
+/// Morton code of a 3-D point within a reference frame (21 bits/axis).
+#[inline]
+pub fn morton_of_point_3d<C: Coord>(p: &Point<C, 3>, frame: &Rect<C, 3>) -> u64 {
+    let qx = quantize(p.x(), frame.min.x(), frame.max.x(), 21);
+    let qy = quantize(p.y(), frame.min.y(), frame.max.y(), 21);
+    let qz = quantize(p.z(), frame.min.z(), frame.max.z(), 21);
+    morton3(qx, qy, qz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_compact_round_trip_2d() {
+        for v in [0u32, 1, 2, 0xFF, 0xDEAD, u32::MAX] {
+            assert_eq!(compact_bits_2d(expand_bits_2d(v)), v);
+        }
+    }
+
+    #[test]
+    fn morton2_interleaving() {
+        // x = 0b11, y = 0b00 -> bits at even positions.
+        assert_eq!(morton2(0b11, 0b00), 0b0101);
+        // x = 0b00, y = 0b11 -> bits at odd positions.
+        assert_eq!(morton2(0b00, 0b11), 0b1010);
+        assert_eq!(morton2(0b11, 0b11), 0b1111);
+    }
+
+    #[test]
+    fn demorton_round_trip() {
+        for (x, y) in [(0u32, 0u32), (1, 2), (12345, 54321), (u32::MAX, 0)] {
+            assert_eq!(demorton2(morton2(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn morton3_low_bits() {
+        assert_eq!(morton3(1, 0, 0), 0b001);
+        assert_eq!(morton3(0, 1, 0), 0b010);
+        assert_eq!(morton3(0, 0, 1), 0b100);
+        assert_eq!(morton3(1, 1, 1), 0b111);
+    }
+
+    #[test]
+    fn quantize_bounds() {
+        assert_eq!(quantize(0.0f32, 0.0, 1.0, 8), 0);
+        assert_eq!(quantize(1.0f32, 0.0, 1.0, 8), 255); // clamped top
+        assert_eq!(quantize(0.5f32, 0.0, 1.0, 8), 128);
+        // Out-of-range input clamps instead of wrapping.
+        assert_eq!(quantize(-5.0f32, 0.0, 1.0, 8), 0);
+        assert_eq!(quantize(5.0f32, 0.0, 1.0, 8), 255);
+        // Degenerate frame.
+        assert_eq!(quantize(3.0f32, 3.0, 3.0, 8), 0);
+    }
+
+    #[test]
+    fn morton_preserves_locality_coarsely() {
+        // Z-order guarantee: points in the same quadrant share the top
+        // bits; so codes of nearby points differ less than codes across
+        // the plane. We check the quadrant-prefix property.
+        let frame = Rect::xyxy(0.0f32, 0.0, 1.0, 1.0);
+        let a = morton_of_point_2d(&Point::xy(0.1, 0.1), &frame);
+        let b = morton_of_point_2d(&Point::xy(0.2, 0.2), &frame);
+        let c = morton_of_point_2d(&Point::xy(0.9, 0.9), &frame);
+        // Top 2 bits encode the quadrant.
+        let top = |v: u64| v >> 60;
+        assert_eq!(top(a), top(b));
+        assert_ne!(top(a), top(c));
+    }
+
+    #[test]
+    fn morton_monotone_along_axes() {
+        let frame = Rect::xyxy(0.0f32, 0.0, 1.0, 1.0);
+        // Within the lower-left quadrant, increasing both coordinates
+        // increases the code.
+        let m1 = morton_of_point_2d(&Point::xy(0.05, 0.05), &frame);
+        let m2 = morton_of_point_2d(&Point::xy(0.3, 0.3), &frame);
+        assert!(m1 < m2);
+    }
+}

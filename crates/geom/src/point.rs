@@ -1,0 +1,323 @@
+//! `D`-dimensional points.
+
+use crate::coord::Coord;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A point in `D`-dimensional Euclidean space.
+///
+/// LibRTS works in 2-D or 3-D (`N_DIMS` in the paper). OptiX itself is
+/// natively 3-D; 2-D data is embedded at `z = 0` (§3.1), which the
+/// `rtcore` crate handles when lowering primitives.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Point<C: Coord, const D: usize> {
+    /// Coordinates, one per dimension.
+    pub coords: [C; D],
+}
+
+impl<C: Coord, const D: usize> Default for Point<C, D> {
+    /// The origin.
+    fn default() -> Self {
+        Self::origin()
+    }
+}
+
+/// 2-D `f32` point, the common case in the paper's evaluation.
+pub type Point2f = Point<f32, 2>;
+/// 3-D `f32` point.
+pub type Point3f = Point<f32, 3>;
+/// 2-D `f64` point.
+pub type Point2d = Point<f64, 2>;
+
+impl<C: Coord, const D: usize> Point<C, D> {
+    /// Creates a point from its coordinate array.
+    #[inline]
+    pub const fn new(coords: [C; D]) -> Self {
+        Self { coords }
+    }
+
+    /// The origin (all coordinates zero).
+    #[inline]
+    pub fn origin() -> Self {
+        Self {
+            coords: [C::ZERO; D],
+        }
+    }
+
+    /// A point with every coordinate set to `v`.
+    #[inline]
+    pub fn splat(v: C) -> Self {
+        Self { coords: [v; D] }
+    }
+
+    /// `true` if every coordinate is finite (no NaN / ±inf).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.coords.iter().all(|c| c.is_finite())
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for d in 0..D {
+            out.coords[d] = self.coords[d].min_c(other.coords[d]);
+        }
+        out
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for d in 0..D {
+            out.coords[d] = self.coords[d].max_c(other.coords[d]);
+        }
+        out
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist2(&self, other: &Self) -> C {
+        let mut acc = C::ZERO;
+        for d in 0..D {
+            let diff = self.coords[d] - other.coords[d];
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Self) -> C {
+        self.dist2(other).sqrt()
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for d in 0..D {
+            out.coords[d] = (self.coords[d] + other.coords[d]) * C::HALF;
+        }
+        out
+    }
+
+    /// Linear interpolation `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(&self, other: &Self, t: C) -> Self {
+        let mut out = *self;
+        for d in 0..D {
+            out.coords[d] = (other.coords[d] - self.coords[d]).mul_add_c(t, self.coords[d]);
+        }
+        out
+    }
+
+    /// Converts every coordinate to `f64`.
+    #[inline]
+    pub fn to_f64(&self) -> Point<f64, D> {
+        let mut coords = [0.0f64; D];
+        for (out, c) in coords.iter_mut().zip(&self.coords) {
+            *out = c.to_f64();
+        }
+        Point { coords }
+    }
+
+    /// Builds a point by converting from `f64` coordinates.
+    #[inline]
+    pub fn from_f64(p: &Point<f64, D>) -> Self {
+        let mut coords = [C::ZERO; D];
+        for (out, c) in coords.iter_mut().zip(&p.coords) {
+            *out = C::from_f64(*c);
+        }
+        Self { coords }
+    }
+}
+
+impl<C: Coord> Point<C, 2> {
+    /// The x coordinate.
+    #[inline]
+    pub fn x(&self) -> C {
+        self.coords[0]
+    }
+    /// The y coordinate.
+    #[inline]
+    pub fn y(&self) -> C {
+        self.coords[1]
+    }
+    /// Shorthand 2-D constructor.
+    #[inline]
+    pub fn xy(x: C, y: C) -> Self {
+        Self { coords: [x, y] }
+    }
+    /// Embeds into 3-D at the given z (OptiX lowers 2-D data at `z = 0`).
+    #[inline]
+    pub fn lift(&self, z: C) -> Point<C, 3> {
+        Point {
+            coords: [self.coords[0], self.coords[1], z],
+        }
+    }
+    /// Z-component of the 2-D cross product `(b - a) × (c - a)`; the sign
+    /// gives the orientation of the triangle `(a, b, c)`.
+    #[inline]
+    pub fn orient2d(a: &Self, b: &Self, c: &Self) -> C {
+        (b.x() - a.x()) * (c.y() - a.y()) - (b.y() - a.y()) * (c.x() - a.x())
+    }
+}
+
+impl<C: Coord> Point<C, 3> {
+    /// The x coordinate.
+    #[inline]
+    pub fn x(&self) -> C {
+        self.coords[0]
+    }
+    /// The y coordinate.
+    #[inline]
+    pub fn y(&self) -> C {
+        self.coords[1]
+    }
+    /// The z coordinate.
+    #[inline]
+    pub fn z(&self) -> C {
+        self.coords[2]
+    }
+    /// Shorthand 3-D constructor.
+    #[inline]
+    pub fn xyz(x: C, y: C, z: C) -> Self {
+        Self { coords: [x, y, z] }
+    }
+    /// Projects to 2-D by dropping z.
+    #[inline]
+    pub fn drop_z(&self) -> Point<C, 2> {
+        Point {
+            coords: [self.coords[0], self.coords[1]],
+        }
+    }
+}
+
+impl<C: Coord, const D: usize> Index<usize> for Point<C, D> {
+    type Output = C;
+    #[inline]
+    fn index(&self, i: usize) -> &C {
+        &self.coords[i]
+    }
+}
+
+impl<C: Coord, const D: usize> IndexMut<usize> for Point<C, D> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut C {
+        &mut self.coords[i]
+    }
+}
+
+impl<C: Coord, const D: usize> Add for Point<C, D> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self;
+        for d in 0..D {
+            out.coords[d] += rhs.coords[d];
+        }
+        out
+    }
+}
+
+impl<C: Coord, const D: usize> Sub for Point<C, D> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = self;
+        for d in 0..D {
+            out.coords[d] -= rhs.coords[d];
+        }
+        out
+    }
+}
+
+impl<C: Coord, const D: usize> Mul<C> for Point<C, D> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: C) -> Self {
+        let mut out = self;
+        for d in 0..D {
+            out.coords[d] = out.coords[d] * rhs;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = Point2f::xy(1.0, 2.0);
+        assert_eq!(p.x(), 1.0);
+        assert_eq!(p.y(), 2.0);
+        assert_eq!(p[0], 1.0);
+        let q = Point3f::xyz(1.0, 2.0, 3.0);
+        assert_eq!(q.z(), 3.0);
+        assert_eq!(q.drop_z(), p);
+        assert_eq!(p.lift(3.0), q);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Point2f::xy(1.0, 2.0);
+        let b = Point2f::xy(3.0, 5.0);
+        assert_eq!(a + b, Point2f::xy(4.0, 7.0));
+        assert_eq!(b - a, Point2f::xy(2.0, 3.0));
+        assert_eq!(a * 2.0, Point2f::xy(2.0, 4.0));
+    }
+
+    #[test]
+    fn min_max_midpoint() {
+        let a = Point2f::xy(1.0, 5.0);
+        let b = Point2f::xy(3.0, 2.0);
+        assert_eq!(a.min(&b), Point2f::xy(1.0, 2.0));
+        assert_eq!(a.max(&b), Point2f::xy(3.0, 5.0));
+        assert_eq!(a.midpoint(&b), Point2f::xy(2.0, 3.5));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point2f::xy(0.0, 0.0);
+        let b = Point2f::xy(3.0, 4.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point2f::xy(0.0, 0.0);
+        let b = Point2f::xy(10.0, -10.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point2f::xy(5.0, -5.0));
+    }
+
+    #[test]
+    fn orientation_sign() {
+        let a = Point2f::xy(0.0, 0.0);
+        let b = Point2f::xy(1.0, 0.0);
+        let ccw = Point2f::xy(0.0, 1.0);
+        let cw = Point2f::xy(0.0, -1.0);
+        assert!(Point2f::orient2d(&a, &b, &ccw) > 0.0);
+        assert!(Point2f::orient2d(&a, &b, &cw) < 0.0);
+        assert_eq!(Point2f::orient2d(&a, &b, &Point2f::xy(2.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point2f::xy(1.0, 2.0).is_finite());
+        assert!(!Point2f::xy(f32::NAN, 2.0).is_finite());
+        assert!(!Point2f::xy(1.0, f32::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let p = Point2f::xy(0.5, -0.25);
+        let q = Point2f::from_f64(&p.to_f64());
+        assert_eq!(p, q);
+    }
+}

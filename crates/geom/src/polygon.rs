@@ -1,0 +1,215 @@
+//! Simple polygons and point-in-polygon (PIP) testing — the real-world
+//! application of §6.9.
+
+use crate::coord::Coord;
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::segment::Segment;
+
+/// A simple polygon given by its vertex ring (implicitly closed: the last
+/// vertex connects back to the first).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Polygon<C: Coord> {
+    /// Vertices in ring order (either orientation).
+    pub vertices: Vec<Point<C, 2>>,
+}
+
+/// `f32` polygon.
+pub type Polygonf = Polygon<f32>;
+
+impl<C: Coord> Polygon<C> {
+    /// Creates a polygon from its vertex ring. Panics if fewer than three
+    /// vertices are supplied.
+    pub fn new(vertices: Vec<Point<C, 2>>) -> Self {
+        assert!(
+            vertices.len() >= 3,
+            "polygon needs >= 3 vertices, got {}",
+            vertices.len()
+        );
+        Self { vertices }
+    }
+
+    /// Number of vertices (== number of edges).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always false — constructor enforces >= 3 vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Axis-aligned bounding box of the polygon; this is the rectangle a
+    /// LibRTS index stores for it (§6.9: "indexing polygons using
+    /// bounding boxes").
+    pub fn bounds(&self) -> Rect<C, 2> {
+        let mut r = Rect::empty();
+        for v in &self.vertices {
+            r.expand_point(v);
+        }
+        r
+    }
+
+    /// Iterator over the polygon's edges as segments.
+    pub fn edges(&self) -> impl Iterator<Item = Segment<C, 2>> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Signed area by the shoelace formula (positive when CCW).
+    pub fn signed_area(&self) -> C {
+        let n = self.vertices.len();
+        let mut acc = C::ZERO;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.x() * b.y() - b.x() * a.y();
+        }
+        acc * C::HALF
+    }
+
+    /// Point-in-polygon via the crossing-number (even-odd) rule. Points on
+    /// an edge are treated as inside. This is the exact test run after the
+    /// bbox filter in the PIP pipeline; RayJoin and cuSpatial use the same
+    /// rule.
+    pub fn contains_point(&self, p: &Point<C, 2>) -> bool {
+        let n = self.vertices.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            // Point exactly on this edge => inside by our convention.
+            if on_edge(&vi, &vj, p) {
+                return true;
+            }
+            // Half-open rule: count edges whose y-span straddles p.y.
+            if (vi.y() > p.y()) != (vj.y() > p.y()) {
+                let t = (p.y() - vi.y()) / (vj.y() - vi.y());
+                let x_cross = (vj.x() - vi.x()).mul_add_c(t, vi.x());
+                if p.x() < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+}
+
+/// `true` if `p` lies on the closed segment `[a, b]`.
+fn on_edge<C: Coord>(a: &Point<C, 2>, b: &Point<C, 2>, p: &Point<C, 2>) -> bool {
+    if Point::orient2d(a, b, p) != C::ZERO {
+        return false;
+    }
+    a.x().min_c(b.x()) <= p.x()
+        && p.x() <= a.x().max_c(b.x())
+        && a.y().min_c(b.y()) <= p.y()
+        && p.y() <= a.y().max_c(b.y())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Polygonf {
+        Polygon::new(vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(2.0, 0.0),
+            Point::xy(2.0, 2.0),
+            Point::xy(0.0, 2.0),
+        ])
+    }
+
+    /// Non-convex "L" shape.
+    fn ell() -> Polygonf {
+        Polygon::new(vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(3.0, 0.0),
+            Point::xy(3.0, 1.0),
+            Point::xy(1.0, 1.0),
+            Point::xy(1.0, 3.0),
+            Point::xy(0.0, 3.0),
+        ])
+    }
+
+    #[test]
+    fn square_containment() {
+        let p = square();
+        assert!(p.contains_point(&Point::xy(1.0, 1.0)));
+        assert!(!p.contains_point(&Point::xy(3.0, 1.0)));
+        assert!(!p.contains_point(&Point::xy(-0.5, 1.0)));
+    }
+
+    #[test]
+    fn boundary_points_inside() {
+        let p = square();
+        assert!(p.contains_point(&Point::xy(0.0, 1.0)));
+        assert!(p.contains_point(&Point::xy(2.0, 2.0)));
+        assert!(p.contains_point(&Point::xy(1.0, 0.0)));
+    }
+
+    #[test]
+    fn concave_shape() {
+        let p = ell();
+        assert!(p.contains_point(&Point::xy(0.5, 2.5)));
+        assert!(p.contains_point(&Point::xy(2.5, 0.5)));
+        // The notch of the L is outside.
+        assert!(!p.contains_point(&Point::xy(2.0, 2.0)));
+    }
+
+    #[test]
+    fn bbox_superset_of_polygon() {
+        let p = ell();
+        let b = p.bounds();
+        assert_eq!(b, Rect::xyxy(0.0, 0.0, 3.0, 3.0));
+        // bbox contains the notch even though the polygon does not: the
+        // PIP pipeline relies on bbox being a conservative filter.
+        assert!(b.contains_point(&Point::xy(2.0, 2.0)));
+        assert!(!p.contains_point(&Point::xy(2.0, 2.0)));
+    }
+
+    #[test]
+    fn signed_area_orientation() {
+        assert_eq!(square().signed_area(), 4.0);
+        let cw = Polygon::new(vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(0.0, 2.0),
+            Point::xy(2.0, 2.0),
+            Point::xy(2.0, 0.0),
+        ]);
+        assert_eq!(cw.signed_area(), -4.0);
+        assert_eq!(ell().signed_area(), 5.0);
+    }
+
+    #[test]
+    fn edges_count_and_closure() {
+        let p = square();
+        let edges: Vec<_> = p.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3].b, p.vertices[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "polygon needs >= 3 vertices")]
+    fn rejects_degenerate() {
+        let _ = Polygonf::new(vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn crossing_parity_vertex_grazing() {
+        // A ray through a vertex must not double count: the half-open rule
+        // (vi.y > p.y) != (vj.y > p.y) handles it.
+        let diamond = Polygon::new(vec![
+            Point::xy(0.0, -1.0),
+            Point::xy(1.0, 0.0),
+            Point::xy(0.0, 1.0),
+            Point::xy(-1.0, 0.0),
+        ]);
+        assert!(diamond.contains_point(&Point::xy(0.0, 0.0)));
+        assert!(!diamond.contains_point(&Point::xy(2.0, 0.0)));
+        assert!(!diamond.contains_point(&Point::xy(-2.0, 0.0)));
+    }
+}

@@ -1,0 +1,284 @@
+//! Line segments, rectangle diagonals and the slab-method intersection
+//! test used by the Range-Intersects formulation (§3.3, Definition 4–5).
+
+use crate::coord::Coord;
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A line segment between two endpoints.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Segment<C: Coord, const D: usize> {
+    /// First endpoint (`p1` in the paper's ray parameterization, Eq. 2).
+    pub a: Point<C, D>,
+    /// Second endpoint (`p2`).
+    pub b: Point<C, D>,
+}
+
+/// 2-D `f32` segment.
+pub type Segment2f = Segment<f32, 2>;
+
+impl<C: Coord, const D: usize> Segment<C, D> {
+    /// Creates a segment from its endpoints.
+    #[inline]
+    pub const fn new(a: Point<C, D>, b: Point<C, D>) -> Self {
+        Self { a, b }
+    }
+
+    /// Direction vector `b - a` (unnormalized, like the ray of Eq. 2).
+    #[inline]
+    pub fn dir(&self) -> Point<C, D> {
+        self.b - self.a
+    }
+
+    /// Point at parameter `t` (0 at `a`, 1 at `b`).
+    #[inline]
+    pub fn at(&self, t: C) -> Point<C, D> {
+        self.a.lerp(&self.b, t)
+    }
+
+    /// Bounding box of the segment.
+    #[inline]
+    pub fn bounds(&self) -> Rect<C, D> {
+        Rect::from_corners(self.a, self.b)
+    }
+
+    /// Segment–box intersection by the slab method (Kay & Kajiya [30]):
+    /// clips the parametric line `a + t (b - a)`, `t ∈ [0, 1]`, against the
+    /// per-axis slabs of `r`. Returns `true` if any `t` in `[0,1]` lies
+    /// inside all slabs — i.e. the segment touches the (closed) box. This
+    /// covers both paper cases: crossing the boundary and lying entirely
+    /// inside (Case 2: interval stays `[0, 1]`).
+    #[inline]
+    pub fn intersects_rect(&self, r: &Rect<C, D>) -> bool {
+        self.clip_to_rect(r).is_some()
+    }
+
+    /// Slab-method clip: the sub-interval `[t_enter, t_exit] ⊆ [0, 1]` of
+    /// the segment inside `r`, or `None` when they don't meet.
+    pub fn clip_to_rect(&self, r: &Rect<C, D>) -> Option<(C, C)> {
+        let mut t0 = C::ZERO;
+        let mut t1 = C::ONE;
+        for d in 0..D {
+            let o = self.a.coords[d];
+            let dv = self.b.coords[d] - o;
+            if dv == C::ZERO {
+                // Parallel to this slab: must already be inside it.
+                if o < r.min.coords[d] || o > r.max.coords[d] {
+                    return None;
+                }
+            } else {
+                let inv = C::ONE / dv;
+                let mut ta = (r.min.coords[d] - o) * inv;
+                let mut tb = (r.max.coords[d] - o) * inv;
+                if ta > tb {
+                    std::mem::swap(&mut ta, &mut tb);
+                }
+                t0 = t0.max_c(ta);
+                t1 = t1.min_c(tb);
+                if t0 > t1 {
+                    return None;
+                }
+            }
+        }
+        Some((t0, t1))
+    }
+}
+
+impl<C: Coord> Segment<C, 2> {
+    /// Proper 2-D segment–segment intersection test (shared endpoint and
+    /// collinear-overlap cases count as intersecting). Used by the polygon
+    /// substrate and the rayjoin-lite baseline.
+    pub fn intersects_segment(&self, other: &Self) -> bool {
+        let d1 = Point::orient2d(&other.a, &other.b, &self.a);
+        let d2 = Point::orient2d(&other.a, &other.b, &self.b);
+        let d3 = Point::orient2d(&self.a, &self.b, &other.a);
+        let d4 = Point::orient2d(&self.a, &self.b, &other.b);
+
+        if ((d1 > C::ZERO && d2 < C::ZERO) || (d1 < C::ZERO && d2 > C::ZERO))
+            && ((d3 > C::ZERO && d4 < C::ZERO) || (d3 < C::ZERO && d4 > C::ZERO))
+        {
+            return true;
+        }
+        // Collinear / endpoint-touching cases.
+        (d1 == C::ZERO && on_segment(&other.a, &other.b, &self.a))
+            || (d2 == C::ZERO && on_segment(&other.a, &other.b, &self.b))
+            || (d3 == C::ZERO && on_segment(&self.a, &self.b, &other.a))
+            || (d4 == C::ZERO && on_segment(&self.a, &self.b, &other.b))
+    }
+}
+
+/// `true` if collinear point `p` lies within the bounding box of `[a, b]`.
+#[inline]
+fn on_segment<C: Coord>(a: &Point<C, 2>, b: &Point<C, 2>, p: &Point<C, 2>) -> bool {
+    a.x().min_c(b.x()) <= p.x()
+        && p.x() <= a.x().max_c(b.x())
+        && a.y().min_c(b.y()) <= p.y()
+        && p.y() <= a.y().max_c(b.y())
+}
+
+/// Diagonal `D_r` of a rectangle (Definition 4): from `(xmin, ymax)` to
+/// `(xmax, ymin)`.
+#[inline]
+pub fn diagonal<C: Coord>(r: &Rect<C, 2>) -> Segment<C, 2> {
+    Segment::new(
+        Point::xy(r.min.x(), r.max.y()),
+        Point::xy(r.max.x(), r.min.y()),
+    )
+}
+
+/// Anti-diagonal `D̂_r` of a rectangle (Definition 4): from `(xmin, ymin)`
+/// to `(xmax, ymax)`.
+#[inline]
+pub fn anti_diagonal<C: Coord>(r: &Rect<C, 2>) -> Segment<C, 2> {
+    Segment::new(
+        Point::xy(r.min.x(), r.min.y()),
+        Point::xy(r.max.x(), r.max.y()),
+    )
+}
+
+/// Theorem 1's combined test evaluated directly in software: do `r1` and
+/// `r2` intersect according to the diagonal formulation? Equals
+/// `Intersects(r1, r2)` for all rectangles (including mutual containment,
+/// handled by slab Case 2). Used as an oracle in tests.
+pub fn diagonal_formulation_intersects<C: Coord>(r1: &Rect<C, 2>, r2: &Rect<C, 2>) -> bool {
+    diagonal(r2).intersects_rect(r1) || anti_diagonal(r1).intersects_rect(r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect2f;
+
+    fn r(a: f32, b: f32, c: f32, d: f32) -> Rect2f {
+        Rect2f::xyxy(a, b, c, d)
+    }
+
+    #[test]
+    fn diagonal_endpoints() {
+        let x = r(0.0, 0.0, 2.0, 1.0);
+        let d = diagonal(&x);
+        assert_eq!(d.a, Point::xy(0.0, 1.0));
+        assert_eq!(d.b, Point::xy(2.0, 0.0));
+        let ad = anti_diagonal(&x);
+        assert_eq!(ad.a, Point::xy(0.0, 0.0));
+        assert_eq!(ad.b, Point::xy(2.0, 1.0));
+    }
+
+    #[test]
+    fn slab_clip_crossing() {
+        let s = Segment2f::new(Point::xy(-1.0, 0.5), Point::xy(3.0, 0.5));
+        let x = r(0.0, 0.0, 2.0, 1.0);
+        let (t0, t1) = s.clip_to_rect(&x).unwrap();
+        assert!((t0 - 0.25).abs() < 1e-6);
+        assert!((t1 - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slab_inside_case2() {
+        // Segment entirely inside the box: paper Case 2 analogue.
+        let s = Segment2f::new(Point::xy(0.5, 0.5), Point::xy(0.6, 0.6));
+        let x = r(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(s.clip_to_rect(&x), Some((0.0, 1.0)));
+        assert!(s.intersects_rect(&x));
+    }
+
+    #[test]
+    fn slab_miss() {
+        let s = Segment2f::new(Point::xy(-1.0, 2.0), Point::xy(3.0, 2.0));
+        assert!(!s.intersects_rect(&r(0.0, 0.0, 2.0, 1.0)));
+        // Segment stops short of the box.
+        let s2 = Segment2f::new(Point::xy(-2.0, 0.5), Point::xy(-1.0, 0.5));
+        assert!(!s2.intersects_rect(&r(0.0, 0.0, 2.0, 1.0)));
+    }
+
+    #[test]
+    fn slab_axis_parallel_degenerate_direction() {
+        // Vertical segment, zero x-extent: exercises the dv == 0 branch.
+        let s = Segment2f::new(Point::xy(1.0, -1.0), Point::xy(1.0, 3.0));
+        assert!(s.intersects_rect(&r(0.0, 0.0, 2.0, 1.0)));
+        let s2 = Segment2f::new(Point::xy(3.0, -1.0), Point::xy(3.0, 3.0));
+        assert!(!s2.intersects_rect(&r(0.0, 0.0, 2.0, 1.0)));
+    }
+
+    #[test]
+    fn slab_touching_boundary_counts() {
+        let s = Segment2f::new(Point::xy(2.0, -1.0), Point::xy(2.0, 3.0));
+        assert!(s.intersects_rect(&r(0.0, 0.0, 2.0, 1.0)));
+    }
+
+    #[test]
+    fn segment_segment_proper_cross() {
+        let a = Segment2f::new(Point::xy(0.0, 0.0), Point::xy(2.0, 2.0));
+        let b = Segment2f::new(Point::xy(0.0, 2.0), Point::xy(2.0, 0.0));
+        assert!(a.intersects_segment(&b));
+    }
+
+    #[test]
+    fn segment_segment_shared_endpoint() {
+        let a = Segment2f::new(Point::xy(0.0, 0.0), Point::xy(1.0, 1.0));
+        let b = Segment2f::new(Point::xy(1.0, 1.0), Point::xy(2.0, 0.0));
+        assert!(a.intersects_segment(&b));
+    }
+
+    #[test]
+    fn segment_segment_collinear_overlap_and_gap() {
+        let a = Segment2f::new(Point::xy(0.0, 0.0), Point::xy(2.0, 0.0));
+        let b = Segment2f::new(Point::xy(1.0, 0.0), Point::xy(3.0, 0.0));
+        assert!(a.intersects_segment(&b));
+        let c = Segment2f::new(Point::xy(3.0, 0.0), Point::xy(4.0, 0.0));
+        assert!(!a.intersects_segment(&c));
+    }
+
+    #[test]
+    fn segment_segment_parallel_disjoint() {
+        let a = Segment2f::new(Point::xy(0.0, 0.0), Point::xy(2.0, 0.0));
+        let b = Segment2f::new(Point::xy(0.0, 1.0), Point::xy(2.0, 1.0));
+        assert!(!a.intersects_segment(&b));
+    }
+
+    #[test]
+    fn theorem1_cases_from_figure4() {
+        // (a) the diagonal of r2 intersects r1.
+        let r1 = r(0.0, 0.0, 2.0, 2.0);
+        let r2 = r(1.0, 1.0, 3.0, 3.0);
+        assert!(diagonal(&r2).intersects_rect(&r1));
+        assert!(diagonal_formulation_intersects(&r1, &r2));
+
+        // (b) only the anti-diagonal of r1 intersects r2: a wide flat r2
+        // crossing the upper-left of r1 misses r2's own diagonal.
+        let r1b = r(0.0, 0.0, 4.0, 4.0);
+        let r2b = r(-1.0, 3.0, 0.5, 5.0);
+        assert!(r1b.intersects(&r2b));
+        assert!(diagonal_formulation_intersects(&r1b, &r2b));
+
+        // (c) both directions hit.
+        let r2c = r(1.0, -1.0, 3.0, 5.0);
+        assert!(diagonal(&r2c).intersects_rect(&r1b));
+        assert!(anti_diagonal(&r1b).intersects_rect(&r2c));
+    }
+
+    #[test]
+    fn theorem1_containment_precondition_handled() {
+        // r1 contains r2: the diagonal of r2 starts inside r1 (Case 2).
+        let r1 = r(0.0, 0.0, 10.0, 10.0);
+        let r2 = r(4.0, 4.0, 5.0, 5.0);
+        assert!(diagonal_formulation_intersects(&r1, &r2));
+        assert!(diagonal_formulation_intersects(&r2, &r1));
+    }
+
+    #[test]
+    fn theorem1_disjoint_rects_fail() {
+        let r1 = r(0.0, 0.0, 1.0, 1.0);
+        let r2 = r(2.0, 2.0, 3.0, 3.0);
+        assert!(!diagonal_formulation_intersects(&r1, &r2));
+    }
+
+    #[test]
+    fn segment_at_parameterization() {
+        let s = Segment2f::new(Point::xy(0.0, 0.0), Point::xy(4.0, 2.0));
+        assert_eq!(s.at(0.0), s.a);
+        assert_eq!(s.at(1.0), s.b);
+        assert_eq!(s.at(0.5), Point::xy(2.0, 1.0));
+        assert_eq!(s.dir(), Point::xy(4.0, 2.0));
+    }
+}

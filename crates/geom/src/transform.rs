@@ -1,0 +1,236 @@
+//! Scale–Rotate–Translate (SRT) transforms as 3×4 row-major matrices —
+//! the object-to-world matrices attached to IAS instances (§2.3).
+
+use crate::coord::Coord;
+use crate::point::Point;
+use crate::ray::Ray;
+use crate::rect::Rect;
+
+/// A 3×4 row-major affine transform `[ R | t ]` mapping local (object)
+/// coordinates to world coordinates, mirroring OptiX instance transforms.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Srt<C: Coord> {
+    /// Rows of the 3×4 matrix.
+    pub rows: [[C; 4]; 3],
+}
+
+impl<C: Coord> Default for Srt<C> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl<C: Coord> Srt<C> {
+    /// The identity transform — what LibRTS attaches to every GAS when
+    /// using instancing purely for mutability (§4.1).
+    pub fn identity() -> Self {
+        let mut rows = [[C::ZERO; 4]; 3];
+        rows[0][0] = C::ONE;
+        rows[1][1] = C::ONE;
+        rows[2][2] = C::ONE;
+        Self { rows }
+    }
+
+    /// Pure translation.
+    pub fn translation(t: Point<C, 3>) -> Self {
+        let mut s = Self::identity();
+        s.rows[0][3] = t.x();
+        s.rows[1][3] = t.y();
+        s.rows[2][3] = t.z();
+        s
+    }
+
+    /// Axis-aligned scale about the origin.
+    pub fn scale(sx: C, sy: C, sz: C) -> Self {
+        let mut s = Self::identity();
+        s.rows[0][0] = sx;
+        s.rows[1][1] = sy;
+        s.rows[2][2] = sz;
+        s
+    }
+
+    /// Scale followed by translation (the only combinations LibRTS needs;
+    /// full rotations are supported via raw rows).
+    pub fn scale_translate(sx: C, sy: C, sz: C, t: Point<C, 3>) -> Self {
+        let mut s = Self::scale(sx, sy, sz);
+        s.rows[0][3] = t.x();
+        s.rows[1][3] = t.y();
+        s.rows[2][3] = t.z();
+        s
+    }
+
+    /// `true` if this is exactly the identity matrix — rtcore fast-paths
+    /// identity instances to skip ray re-transformation.
+    pub fn is_identity(&self) -> bool {
+        *self == Self::identity()
+    }
+
+    /// Applies the transform to a point (w = 1).
+    #[inline]
+    pub fn apply_point(&self, p: &Point<C, 3>) -> Point<C, 3> {
+        let mut out = [C::ZERO; 3];
+        for (i, row) in self.rows.iter().enumerate() {
+            out[i] = row[0] * p.coords[0] + row[1] * p.coords[1] + row[2] * p.coords[2] + row[3];
+        }
+        Point { coords: out }
+    }
+
+    /// Applies the linear part only (w = 0) — for direction vectors.
+    #[inline]
+    pub fn apply_vector(&self, v: &Point<C, 3>) -> Point<C, 3> {
+        let mut out = [C::ZERO; 3];
+        for (i, row) in self.rows.iter().enumerate() {
+            out[i] = row[0] * v.coords[0] + row[1] * v.coords[1] + row[2] * v.coords[2];
+        }
+        Point { coords: out }
+    }
+
+    /// Transforms an AABB conservatively: the exact image of the 8 corners
+    /// (Arvo's method, specialized to affine transforms).
+    pub fn apply_aabb(&self, r: &Rect<C, 3>) -> Rect<C, 3> {
+        let mut min = [C::ZERO; 3];
+        let mut max = [C::ZERO; 3];
+        for i in 0..3 {
+            let mut lo = self.rows[i][3];
+            let mut hi = self.rows[i][3];
+            for j in 0..3 {
+                let a = self.rows[i][j] * r.min.coords[j];
+                let b = self.rows[i][j] * r.max.coords[j];
+                lo += a.min_c(b);
+                hi += a.max_c(b);
+            }
+            min[i] = lo;
+            max[i] = hi;
+        }
+        Rect {
+            min: Point { coords: min },
+            max: Point { coords: max },
+        }
+    }
+
+    /// Transforms a ray: origin as a point, direction as a vector. The
+    /// `t` parameterization is preserved (direction is *not* normalized),
+    /// matching OptiX instance traversal semantics.
+    #[inline]
+    pub fn apply_ray(&self, ray: &Ray<C, 3>) -> Ray<C, 3> {
+        Ray {
+            origin: self.apply_point(&ray.origin),
+            dir: self.apply_vector(&ray.dir),
+            tmin: ray.tmin,
+            tmax: ray.tmax,
+        }
+    }
+
+    /// Inverse of the affine transform (world-to-object); `None` when the
+    /// linear part is singular.
+    pub fn inverse(&self) -> Option<Self> {
+        let m = &self.rows;
+        // 3x3 inverse by adjugate.
+        let det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+        if det.abs() <= C::EPSILON {
+            return None;
+        }
+        let inv_det = C::ONE / det;
+        let mut inv = [[C::ZERO; 4]; 3];
+        inv[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+        inv[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+        inv[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+        inv[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+        inv[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+        inv[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+        inv[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+        inv[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+        inv[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+        // Inverse translation: -R^-1 * t.
+        for (i, row) in inv.iter_mut().enumerate() {
+            let _ = i;
+            row[3] = C::ZERO;
+        }
+        let t = Point::xyz(m[0][3], m[1][3], m[2][3]);
+        let mut out = Self { rows: inv };
+        let ti = out.apply_vector(&t);
+        out.rows[0][3] = -ti.x();
+        out.rows[1][3] = -ti.y();
+        out.rows[2][3] = -ti.z();
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let id = Srt::<f32>::identity();
+        assert!(id.is_identity());
+        let p = Point::xyz(1.0, 2.0, 3.0);
+        assert_eq!(id.apply_point(&p), p);
+        assert_eq!(id.apply_vector(&p), p);
+    }
+
+    #[test]
+    fn translation_moves_points_not_vectors() {
+        let t = Srt::translation(Point::xyz(1.0f32, 2.0, 3.0));
+        assert_eq!(
+            t.apply_point(&Point::xyz(0.0, 0.0, 0.0)),
+            Point::xyz(1.0, 2.0, 3.0)
+        );
+        assert_eq!(
+            t.apply_vector(&Point::xyz(1.0, 0.0, 0.0)),
+            Point::xyz(1.0, 0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn scale_translate_composition() {
+        let st = Srt::scale_translate(2.0f32, 3.0, 1.0, Point::xyz(10.0, 0.0, 0.0));
+        assert_eq!(
+            st.apply_point(&Point::xyz(1.0, 1.0, 1.0)),
+            Point::xyz(12.0, 3.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn aabb_transform_handles_negative_scale() {
+        let flip = Srt::scale(-1.0f32, 1.0, 1.0);
+        let r = Rect::xyzxyz(1.0f32, 0.0, 0.0, 2.0, 1.0, 1.0);
+        let out = flip.apply_aabb(&r);
+        assert_eq!(out, Rect::xyzxyz(-2.0, 0.0, 0.0, -1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn ray_transform_preserves_t() {
+        let st = Srt::scale_translate(2.0f32, 2.0, 2.0, Point::xyz(1.0, 1.0, 1.0));
+        let ray = Ray::new(
+            Point::xyz(0.0f32, 0.0, 0.0),
+            Point::xyz(1.0, 0.0, 0.0),
+            0.25,
+            0.75,
+        );
+        let out = st.apply_ray(&ray);
+        assert_eq!(out.origin, Point::xyz(1.0, 1.0, 1.0));
+        assert_eq!(out.dir, Point::xyz(2.0, 0.0, 0.0));
+        assert_eq!(out.tmin, 0.25);
+        assert_eq!(out.tmax, 0.75);
+        // The point at any t maps consistently.
+        assert_eq!(st.apply_point(&ray.at(0.5)), out.at(0.5));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let st = Srt::scale_translate(2.0f64, 4.0, 0.5, Point::xyz(1.0, -2.0, 3.0));
+        let inv = st.inverse().unwrap();
+        let p = Point::xyz(5.0, 7.0, -1.0);
+        let q = inv.apply_point(&st.apply_point(&p));
+        assert!(p.dist(&q) < 1e-12);
+    }
+
+    #[test]
+    fn singular_has_no_inverse() {
+        let s = Srt::scale(0.0f32, 1.0, 1.0);
+        assert!(s.inverse().is_none());
+    }
+}

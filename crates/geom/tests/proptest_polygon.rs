@@ -1,0 +1,124 @@
+//! Property tests for polygons and PIP — the exact test behind §6.9.
+
+use geom::{Point, Polygon, Rect};
+use proptest::prelude::*;
+
+/// Strategy: a random star-shaped polygon about a random center —
+/// star-shapedness guarantees simplicity, and gives us an independent
+/// membership oracle (angular interpolation of the radius).
+fn arb_star() -> impl Strategy<Value = (Polygon<f32>, Point<f32, 2>, Vec<f32>)> {
+    (
+        -50.0f32..50.0,
+        -50.0f32..50.0,
+        3usize..24,
+        prop::collection::vec(0.5f32..4.0, 24),
+    )
+        .prop_map(|(cx, cy, n, radii)| {
+            let c = Point::xy(cx, cy);
+            let rs: Vec<f32> = radii[..n].to_vec();
+            let verts = (0..n)
+                .map(|k| {
+                    let a = k as f32 / n as f32 * std::f32::consts::TAU;
+                    Point::xy(c.x() + a.cos() * rs[k], c.y() + a.sin() * rs[k])
+                })
+                .collect();
+            (Polygon::new(verts), c, rs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The center of a star-shaped polygon is always inside.
+    #[test]
+    fn star_contains_center((poly, c, _) in arb_star()) {
+        prop_assert!(poly.contains_point(&c));
+    }
+
+    /// Points beyond the maximum radius are always outside; points well
+    /// within the minimum radius are always inside.
+    #[test]
+    fn radial_membership((poly, c, radii) in arb_star(), angle in 0.0f32..6.2) {
+        let r_max = radii.iter().cloned().fold(0.0f32, f32::max);
+        let r_min = radii.iter().cloned().fold(f32::MAX, f32::min);
+        let dir = Point::xy(angle.cos(), angle.sin());
+        let far = c + dir * (r_max * 1.5);
+        prop_assert!(!poly.contains_point(&far), "point beyond r_max inside");
+        // Strictly inside the inscribed circle: chord sagging between two
+        // adjacent vertices at radius >= r_min stays outside the circle of
+        // radius r_min*cos(pi/n); use a generous margin.
+        let n = poly.len() as f32;
+        let safe = r_min * (std::f32::consts::PI / n).cos() * 0.9;
+        let near = c + dir * safe;
+        prop_assert!(poly.contains_point(&near), "point within inscribed radius outside");
+    }
+
+    /// PIP implies bbox containment (the filter LibRTS uses is sound).
+    #[test]
+    fn pip_implies_bbox((poly, c, _) in arb_star(), dx in -6.0f32..6.0, dy in -6.0f32..6.0) {
+        let p = Point::xy(c.x() + dx, c.y() + dy);
+        let bbox = poly.bounds();
+        if poly.contains_point(&p) {
+            prop_assert!(bbox.contains_point(&p));
+        }
+    }
+
+    /// The shoelace area of a CCW star polygon is positive and bounded
+    /// by the bbox area.
+    #[test]
+    fn area_sane((poly, _, _) in arb_star()) {
+        let a = poly.signed_area();
+        prop_assert!(a > 0.0, "CCW star must have positive area, got {a}");
+        let bb = poly.bounds();
+        prop_assert!(a <= bb.area() * 1.0001);
+    }
+
+    /// Every edge endpoint is inside the polygon (closed-boundary
+    /// convention).
+    #[test]
+    fn vertices_are_inside((poly, _, _) in arb_star()) {
+        for v in &poly.vertices {
+            prop_assert!(poly.contains_point(v), "vertex {v:?} not inside");
+        }
+    }
+
+    /// Ray-crossing parity agrees with the edge-walk oracle: count
+    /// crossings of a horizontal ray explicitly and compare.
+    #[test]
+    fn crossing_parity_oracle((poly, c, _) in arb_star(), dx in -8.0f32..8.0, dy in -8.0f32..8.0) {
+        let p = Point::xy(c.x() + dx, c.y() + dy);
+        // Skip points suspiciously close to any edge line (float noise).
+        let near_edge = poly.edges().any(|e| {
+            let d = Point::orient2d(&e.a, &e.b, &p).abs();
+            let len2 = e.a.dist2(&e.b);
+            d * d < len2 * 1e-6
+        });
+        prop_assume!(!near_edge);
+        let mut crossings = 0;
+        for e in poly.edges() {
+            let (a, b) = (e.a, e.b);
+            if (a.y() > p.y()) != (b.y() > p.y()) {
+                let t = (p.y() - a.y()) / (b.y() - a.y());
+                let x = a.x() + t * (b.x() - a.x());
+                if x > p.x() {
+                    crossings += 1;
+                }
+            }
+        }
+        prop_assert_eq!(poly.contains_point(&p), crossings % 2 == 1);
+    }
+}
+
+#[test]
+fn rect_as_polygon_agrees_with_rect_contains() {
+    let r = Rect::xyxy(1.0f32, 2.0, 5.0, 7.0);
+    let poly = Polygon::new(r.corners().to_vec());
+    for (x, y) in [(3.0, 4.0), (0.0, 0.0), (1.0, 2.0), (5.0, 7.0), (4.9, 6.9)] {
+        let p = Point::xy(x, y);
+        assert_eq!(
+            poly.contains_point(&p),
+            r.contains_point(&p),
+            "disagreement at {p:?}"
+        );
+    }
+}

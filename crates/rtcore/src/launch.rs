@@ -1,0 +1,514 @@
+//! Launching ray-generation programs and tracing rays.
+//!
+//! `Device::launch(width, raygen)` mirrors `optixLaunch`: the raygen
+//! closure runs once per launch index, in parallel over a rayon pool
+//! (the SMs). Inside raygen, [`TraceSession::trace`] plays the role of
+//! `optixTrace`: it walks the acceleration structure, invoking the
+//! program's IS/AH/CH/MS shaders, while hardware counters accumulate
+//! per launch index so the SIMT cost model can price warp divergence.
+
+use std::time::Instant;
+
+use geom::{Coord, Ray};
+use rayon::prelude::*;
+
+use crate::bvh::Control;
+use crate::gas::Gas;
+use crate::ias::Ias;
+use crate::program::{AnyHitResult, ClosestHit, HitContext, IsResult, RtProgram};
+use crate::stats::{CostModel, LaunchReport, RayStats, TraversalBackend, WARP_SIZE};
+
+/// Anything a ray can be traced against — a GAS directly or an IAS
+/// (OptiX traversable handles).
+pub trait Traversable<C: Coord>: Sync {
+    /// Walks the structure for `ray`, driving the program's shaders.
+    /// Returns `true` if any hit was accepted (used for MS dispatch).
+    fn walk<P: RtProgram<C>>(
+        &self,
+        program: &P,
+        ray: &Ray<C, 3>,
+        payload: &mut P::Payload,
+        stats: &mut RayStats,
+        closest: &mut Option<ClosestHit>,
+    ) -> Control;
+}
+
+impl<C: Coord> Traversable<C> for Gas<C> {
+    fn walk<P: RtProgram<C>>(
+        &self,
+        program: &P,
+        ray: &Ray<C, 3>,
+        payload: &mut P::Payload,
+        stats: &mut RayStats,
+        closest: &mut Option<ClosestHit>,
+    ) -> Control {
+        walk_gas(self, u32::MAX, program, ray, payload, stats, closest)
+    }
+}
+
+impl<C: Coord> Traversable<C> for Ias<C> {
+    fn walk<P: RtProgram<C>>(
+        &self,
+        program: &P,
+        ray: &Ray<C, 3>,
+        payload: &mut P::Payload,
+        stats: &mut RayStats,
+        closest: &mut Option<ClosestHit>,
+    ) -> Control {
+        // Two-level traversal: TLAS leaves are instances; each transition
+        // transforms the ray into object space and descends into the GAS.
+        let mut result = Control::Continue;
+        self.tlas
+            .traverse(ray, &self.world_bounds, stats, |inst_idx, stats| {
+                let rec = &self.records[inst_idx as usize];
+                stats.instance_visits += 1;
+                let object_ray = match &rec.world_to_object {
+                    None => *ray,
+                    Some(w2o) => w2o.apply_ray(ray),
+                };
+                let ctl = walk_gas(
+                    &rec.gas,
+                    rec.instance_id,
+                    program,
+                    &object_ray,
+                    payload,
+                    stats,
+                    closest,
+                );
+                if ctl == Control::Terminate {
+                    result = Control::Terminate;
+                }
+                ctl
+            });
+        result
+    }
+}
+
+/// GAS traversal driving the IS/AH shader protocol.
+fn walk_gas<C: Coord, P: RtProgram<C>>(
+    gas: &Gas<C>,
+    instance_id: u32,
+    program: &P,
+    ray: &Ray<C, 3>,
+    payload: &mut P::Payload,
+    stats: &mut RayStats,
+    closest: &mut Option<ClosestHit>,
+) -> Control {
+    let aabbs = gas.aabbs();
+    gas.bvh().traverse(ray, aabbs, stats, |prim, stats| {
+        stats.is_calls += 1;
+        let ctx = HitContext {
+            primitive_index: prim,
+            instance_id,
+            aabb: &aabbs[prim as usize],
+            ray,
+        };
+        match program.intersection(&ctx, payload) {
+            IsResult::Ignore => Control::Continue,
+            IsResult::Report(t) => {
+                stats.hits_reported += 1;
+                stats.anyhit_calls += 1;
+                match program.any_hit(&ctx, t, payload) {
+                    AnyHitResult::IgnoreHit => Control::Continue,
+                    accept @ (AnyHitResult::Accept | AnyHitResult::Terminate) => {
+                        let t64 = t.to_f64();
+                        if closest.as_ref().is_none_or(|c| t64 < c.t) {
+                            *closest = Some(ClosestHit {
+                                t: t64,
+                                primitive_index: prim,
+                                instance_id,
+                            });
+                        }
+                        if accept == AnyHitResult::Terminate {
+                            Control::Terminate
+                        } else {
+                            Control::Continue
+                        }
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// A per-launch-index handle for casting rays (the `optixTrace` entry
+/// point). Created by [`Device::launch`]; accumulates this thread's
+/// hardware counters.
+pub struct TraceSession<'a, C: Coord> {
+    stats: RayStats,
+    _marker: std::marker::PhantomData<&'a C>,
+}
+
+impl<C: Coord> TraceSession<'_, C> {
+    /// Casts one ray against `handle`, running the program's shaders.
+    /// Equivalent to `optixTrace(handle, O, d, tmin, tmax, payload)`.
+    pub fn trace<P: RtProgram<C>>(
+        &mut self,
+        handle: &impl Traversable<C>,
+        program: &P,
+        ray: &Ray<C, 3>,
+        payload: &mut P::Payload,
+    ) {
+        debug_assert!(ray.is_valid(), "invalid ray: {ray:?}");
+        self.stats.rays += 1;
+        let mut closest: Option<ClosestHit> = None;
+        handle.walk(program, ray, payload, &mut self.stats, &mut closest);
+        match closest {
+            Some(hit) => program.closest_hit(&hit, payload),
+            None => program.miss(payload),
+        }
+    }
+
+    /// Counters accumulated by this launch index so far.
+    pub fn stats(&self) -> &RayStats {
+        &self.stats
+    }
+}
+
+/// The simulated RT device: a rayon thread pool standing in for the GPU,
+/// plus the cost model used to derive simulated device time.
+#[derive(Clone, Debug, Default)]
+pub struct Device {
+    /// Cost model for simulated timing.
+    pub cost_model: CostModel,
+}
+
+impl Device {
+    /// Creates a device with the default cost model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `raygen` once per launch index in `0..width`, in parallel.
+    /// Returns the aggregated hardware counters and simulated device
+    /// time for an RT-core backend.
+    pub fn launch<C, F>(&self, width: usize, raygen: F) -> LaunchReport
+    where
+        C: Coord,
+        F: Fn(usize, &mut TraceSession<'_, C>) + Sync,
+    {
+        self.launch_with_backend(width, TraversalBackend::RtCore, raygen)
+    }
+
+    /// As [`Device::launch`] but pricing node visits at the software rate
+    /// (used to model "RT cores disabled" controls).
+    pub fn launch_with_backend<C, F>(
+        &self,
+        width: usize,
+        backend: TraversalBackend,
+        raygen: F,
+    ) -> LaunchReport
+    where
+        C: Coord,
+        F: Fn(usize, &mut TraceSession<'_, C>) + Sync,
+    {
+        let start = Instant::now();
+        if width == 0 {
+            return LaunchReport::default();
+        }
+        // Warps of consecutive launch indices run as rayon tasks; lanes
+        // within a warp run sequentially on one worker — mirroring SIMT
+        // scheduling while keeping task overhead low.
+        let per_warp: Vec<(RayStats, [f64; WARP_SIZE], u64)> = (0..width)
+            .into_par_iter()
+            .step_by(WARP_SIZE)
+            .map(|warp_start| {
+                let mut warp_stats = RayStats::default();
+                let mut lane_times = [0.0f64; WARP_SIZE];
+                let mut max_is = 0u64;
+                let lanes = WARP_SIZE.min(width - warp_start);
+                for (lane, slot) in lane_times.iter_mut().enumerate().take(lanes) {
+                    let mut session = TraceSession {
+                        stats: RayStats::default(),
+                        _marker: std::marker::PhantomData,
+                    };
+                    raygen(warp_start + lane, &mut session);
+                    *slot = self.cost_model.ray_time_ns(&session.stats, backend);
+                    max_is = max_is.max(session.stats.is_calls);
+                    warp_stats += session.stats;
+                }
+                (warp_stats, lane_times, max_is)
+            })
+            .collect();
+
+        let mut totals = RayStats::default();
+        let mut max_is_per_thread = 0;
+        let mut lane_times = Vec::with_capacity(width);
+        for (s, lanes, max_is) in &per_warp {
+            totals += *s;
+            max_is_per_thread = max_is_per_thread.max(*max_is);
+            lane_times.extend_from_slice(lanes);
+        }
+        lane_times.truncate(width.next_multiple_of(WARP_SIZE).min(lane_times.len()));
+        let device_time = self.cost_model.device_time(&lane_times);
+        LaunchReport {
+            width,
+            totals,
+            max_is_per_thread,
+            device_time,
+            wall_time: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::BuildOptions;
+    use crate::ias::Instance;
+    use geom::{Point, Rect};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// A LibRTS-style program: does everything in IS, counts containment.
+    struct CountContains {
+        hits: AtomicU64,
+    }
+
+    impl RtProgram<f32> for CountContains {
+        type Payload = Point<f32, 3>;
+
+        fn intersection(
+            &self,
+            ctx: &HitContext<'_, f32>,
+            origin: &mut Self::Payload,
+        ) -> IsResult<f32> {
+            if ctx.aabb.contains_point(origin) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            IsResult::Ignore
+        }
+    }
+
+    fn grid_gas() -> Gas<f32> {
+        let aabbs: Vec<_> = (0..100)
+            .map(|i| {
+                let x = (i % 10) as f32 * 2.0;
+                let y = (i / 10) as f32 * 2.0;
+                Rect::xyzxyz(x, y, -0.5, x + 1.0, y + 1.0, 0.5)
+            })
+            .collect();
+        Gas::build(aabbs, BuildOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn launch_counts_point_hits() {
+        let gas = grid_gas();
+        let device = Device::new();
+        let program = CountContains {
+            hits: AtomicU64::new(0),
+        };
+        // Probe the center of every cell (in and out of boxes).
+        let report = device.launch::<f32, _>(400, |i, session| {
+            let x = (i % 20) as f32;
+            let y = (i / 20) as f32;
+            let mut p = Point::xyz(x + 0.5, y + 0.5, 0.0);
+            let ray = Ray::point_probe(p);
+            session.trace(&gas, &program, &ray, &mut p);
+        });
+        // Exactly the 100 box centers are contained.
+        assert_eq!(program.hits.load(Ordering::Relaxed), 100);
+        assert_eq!(report.width, 400);
+        assert_eq!(report.totals.rays, 400);
+        assert!(report.totals.nodes_visited > 0);
+        assert!(report.device_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn ias_traversal_equivalent_to_gas() {
+        // Split the same primitives across 4 GASes under an IAS; a LibRTS
+        // style count program must see the same hits.
+        let all: Vec<_> = (0..100)
+            .map(|i| {
+                let x = (i % 10) as f32 * 2.0;
+                let y = (i / 10) as f32 * 2.0;
+                Rect::xyzxyz(x, y, -0.5, x + 1.0, y + 1.0, 0.5)
+            })
+            .collect();
+        let mono = Gas::build(all.clone(), BuildOptions::default()).unwrap();
+        let instances: Vec<_> = all
+            .chunks(25)
+            .enumerate()
+            .map(|(k, chunk)| {
+                Instance::identity(
+                    Arc::new(Gas::build(chunk.to_vec(), BuildOptions::default()).unwrap()),
+                    k as u32,
+                )
+            })
+            .collect();
+        let ias = Ias::build(&instances).unwrap();
+
+        let device = Device::new();
+        for handle in 0..2 {
+            let program = CountContains {
+                hits: AtomicU64::new(0),
+            };
+            device.launch::<f32, _>(400, |i, session| {
+                let x = (i % 20) as f32;
+                let y = (i / 20) as f32;
+                let mut p = Point::xyz(x + 0.5, y + 0.5, 0.0);
+                let ray = Ray::point_probe(p);
+                if handle == 0 {
+                    session.trace(&mono, &program, &ray, &mut p);
+                } else {
+                    session.trace(&ias, &program, &ray, &mut p);
+                }
+            });
+            assert_eq!(program.hits.load(Ordering::Relaxed), 100, "handle {handle}");
+        }
+    }
+
+    #[test]
+    fn instance_ids_reported() {
+        struct RecordIds;
+        impl RtProgram<f32> for RecordIds {
+            type Payload = Vec<(u32, u32)>;
+            fn intersection(
+                &self,
+                ctx: &HitContext<'_, f32>,
+                seen: &mut Self::Payload,
+            ) -> IsResult<f32> {
+                seen.push((ctx.instance_id, ctx.primitive_index));
+                IsResult::Ignore
+            }
+        }
+        let gas = Arc::new(
+            Gas::build(
+                vec![Rect::xyzxyz(0.0f32, 0.0, -0.5, 1.0, 1.0, 0.5)],
+                BuildOptions::default(),
+            )
+            .unwrap(),
+        );
+        // Same GAS instanced twice with different translations.
+        let instances = vec![
+            Instance {
+                gas: Arc::clone(&gas),
+                transform: Srt::identity(),
+                instance_id: 10,
+                visible: true,
+            },
+            Instance {
+                gas,
+                transform: Srt::translation(Point::xyz(5.0f32, 0.0, 0.0)),
+                instance_id: 20,
+                visible: true,
+            },
+        ];
+        use geom::Srt;
+        let ias = Ias::build(&instances).unwrap();
+        let device = Device::new();
+        let program = RecordIds;
+        let seen = parking_lot::Mutex::new(Vec::new());
+        device.launch::<f32, _>(2, |i, session| {
+            let p = if i == 0 {
+                Point::xyz(0.5f32, 0.5, 0.0)
+            } else {
+                Point::xyz(5.5f32, 0.5, 0.0)
+            };
+            let mut payload = Vec::new();
+            session.trace(&ias, &program, &Ray::point_probe(p), &mut payload);
+            seen.lock().extend(payload);
+        });
+        let mut got = seen.into_inner();
+        got.sort_unstable();
+        assert_eq!(got, vec![(10, 0), (20, 0)]);
+    }
+
+    #[test]
+    fn miss_shader_runs() {
+        struct MissFlag;
+        impl RtProgram<f32> for MissFlag {
+            type Payload = bool;
+            fn intersection(&self, _ctx: &HitContext<'_, f32>, _p: &mut bool) -> IsResult<f32> {
+                IsResult::Report(0.0)
+            }
+            fn miss(&self, missed: &mut bool) {
+                *missed = true;
+            }
+        }
+        let gas = grid_gas();
+        let device = Device::new();
+        let program = MissFlag;
+        let flags = parking_lot::Mutex::new(vec![]);
+        device.launch::<f32, _>(2, |i, session| {
+            let p = if i == 0 {
+                Point::xyz(0.5f32, 0.5, 0.0) // inside a box
+            } else {
+                Point::xyz(-100.0f32, -100.0, 0.0) // far away
+            };
+            let mut missed = false;
+            session.trace(&gas, &program, &Ray::point_probe(p), &mut missed);
+            flags.lock().push((i, missed));
+        });
+        let mut got = flags.into_inner();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, false), (1, true)]);
+    }
+
+    #[test]
+    fn anyhit_terminate_stops() {
+        struct FirstHitOnly;
+        impl RtProgram<f32> for FirstHitOnly {
+            type Payload = u32;
+            fn intersection(&self, _ctx: &HitContext<'_, f32>, count: &mut u32) -> IsResult<f32> {
+                *count += 1;
+                IsResult::Report(0.5)
+            }
+            fn any_hit(
+                &self,
+                _ctx: &HitContext<'_, f32>,
+                _t: f32,
+                _count: &mut u32,
+            ) -> AnyHitResult {
+                AnyHitResult::Terminate
+            }
+        }
+        // 50 overlapping boxes, a ray through all of them.
+        let aabbs = vec![Rect::xyzxyz(0.0f32, 0.0, -0.5, 10.0, 10.0, 0.5); 50];
+        let gas = Gas::build(aabbs, BuildOptions::default()).unwrap();
+        let device = Device::new();
+        let program = FirstHitOnly;
+        let count = parking_lot::Mutex::new(0u32);
+        device.launch::<f32, _>(1, |_, session| {
+            let mut c = 0;
+            let ray = Ray::new(
+                Point::xyz(5.0f32, 5.0, 0.0),
+                Point::xyz(1.0, 0.0, 0.0),
+                0.0,
+                100.0,
+            );
+            session.trace(&gas, &program, &ray, &mut c);
+            *count.lock() = c;
+        });
+        assert_eq!(count.into_inner(), 1);
+    }
+
+    #[test]
+    fn software_backend_costs_more() {
+        let gas = grid_gas();
+        let device = Device::new();
+        let run = |backend| {
+            let program = CountContains {
+                hits: AtomicU64::new(0),
+            };
+            device.launch_with_backend::<f32, _>(1024, backend, |i, session| {
+                let x = (i % 32) as f32 * 0.6;
+                let y = (i / 32) as f32 * 0.6;
+                let mut p = Point::xyz(x, y, 0.0);
+                session.trace(&gas, &program, &Ray::point_probe(p), &mut p);
+            })
+        };
+        let hw = run(TraversalBackend::RtCore);
+        let sw = run(TraversalBackend::Software);
+        assert_eq!(hw.totals, sw.totals, "same work, different pricing");
+        assert!(sw.device_time > hw.device_time);
+    }
+
+    #[test]
+    fn zero_width_launch() {
+        let device = Device::new();
+        let report = device.launch::<f32, _>(0, |_, _: &mut TraceSession<'_, f32>| {});
+        assert_eq!(report.width, 0);
+        assert_eq!(report.device_time.as_nanos(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The single-ray shader programming model (§2.4).
+//!
+//! OptiX programs are a set of callbacks compiled into a pipeline:
+//! RayGen casts rays, IsIntersection (IS) inspects potential AABB hits,
+//! AnyHit (AH) runs on reported hits, ClosestHit (CH) on the nearest
+//! reported hit, Miss (MS) when nothing was reported. Here the callbacks
+//! are trait methods; the per-ray payload registers become an associated
+//! type. As in OptiX, shaders must be side-effect-free except through
+//! the payload and user-provided sinks — the trait is `Sync` because a
+//! launch executes raygen invocations concurrently.
+
+use geom::{Coord, Ray, Rect};
+
+/// What the IS shader decided about a potential hit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IsResult<C> {
+    /// Not an actual intersection (or handled entirely inside IS, the
+    /// LibRTS style) — traversal continues, nothing is reported.
+    Ignore,
+    /// Report an intersection at parameter `t` (`optixReportIntersection`);
+    /// the AH shader will run and may accept or terminate.
+    Report(C),
+}
+
+/// AH-shader verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnyHitResult {
+    /// Accept the hit and keep searching (`optixIgnoreIntersection` *not*
+    /// called): the hit becomes a candidate for closest-hit.
+    Accept,
+    /// Reject this hit but keep traversing.
+    IgnoreHit,
+    /// Accept and terminate traversal (`optixTerminateRay`).
+    Terminate,
+}
+
+/// Read-only context available inside IS/AH/CH shaders — the subset of
+/// the `optixGet*` device API that LibRTS uses.
+#[derive(Clone, Copy, Debug)]
+pub struct HitContext<'a, C: Coord> {
+    /// `optixGetPrimitiveIndex`: index of the primitive within its GAS
+    /// (renumbered from zero per GAS — §4.1 relies on this).
+    pub primitive_index: u32,
+    /// `optixGetInstanceId`: user-assigned id of the instance whose GAS
+    /// is being traversed; `u32::MAX` when tracing a GAS directly.
+    pub instance_id: u32,
+    /// The primitive's AABB in object space.
+    pub aabb: &'a Rect<C, 3>,
+    /// The ray in object space (post instance transform).
+    pub ray: &'a Ray<C, 3>,
+}
+
+/// A pipeline of shader callbacks plus a payload type. The payload `P`
+/// plays the role of OptiX's eight 32-bit payload registers carried by
+/// `optixTrace` (Algorithm 1 carries the query id in payload 0).
+pub trait RtProgram<C: Coord>: Sync {
+    /// Per-ray mutable payload.
+    type Payload;
+
+    /// IS shader: invoked whenever the hardware box test passes for a
+    /// primitive ("potentially hits", footnote 2 — false positives are
+    /// possible and must be filtered here, as LibRTS does).
+    fn intersection(&self, ctx: &HitContext<'_, C>, payload: &mut Self::Payload) -> IsResult<C>;
+
+    /// AH shader: runs for every reported hit. Default accepts.
+    fn any_hit(
+        &self,
+        _ctx: &HitContext<'_, C>,
+        _t: C,
+        _payload: &mut Self::Payload,
+    ) -> AnyHitResult {
+        AnyHitResult::Accept
+    }
+
+    /// CH shader: runs once per trace with the closest accepted hit.
+    /// Default does nothing (LibRTS-style programs do their work in IS).
+    fn closest_hit(&self, _hit: &ClosestHit, _payload: &mut Self::Payload) {}
+
+    /// MS shader: runs when no hit was accepted.
+    fn miss(&self, _payload: &mut Self::Payload) {}
+}
+
+/// The closest accepted hit of a trace, fed to the CH shader.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClosestHit {
+    /// `t` parameter of the hit (widened to `f64` for cross-instance
+    /// comparison).
+    pub t: f64,
+    /// Primitive index within its GAS.
+    pub primitive_index: u32,
+    /// Instance id (or `u32::MAX` when tracing a GAS directly).
+    pub instance_id: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Point;
+
+    struct CountingProgram;
+
+    impl RtProgram<f32> for CountingProgram {
+        type Payload = (u32, bool);
+
+        fn intersection(
+            &self,
+            ctx: &HitContext<'_, f32>,
+            payload: &mut Self::Payload,
+        ) -> IsResult<f32> {
+            payload.0 += 1;
+            let _ = ctx.primitive_index;
+            IsResult::Ignore
+        }
+
+        fn miss(&self, payload: &mut Self::Payload) {
+            payload.1 = true;
+        }
+    }
+
+    #[test]
+    fn default_shader_behaviour() {
+        let prog = CountingProgram;
+        let aabb = Rect::xyzxyz(0.0f32, 0.0, 0.0, 1.0, 1.0, 0.0);
+        let ray = Ray::point_probe(Point::xyz(0.5f32, 0.5, 0.0));
+        let ctx = HitContext {
+            primitive_index: 7,
+            instance_id: u32::MAX,
+            aabb: &aabb,
+            ray: &ray,
+        };
+        let mut payload = (0u32, false);
+        assert_eq!(prog.intersection(&ctx, &mut payload), IsResult::Ignore);
+        assert_eq!(prog.any_hit(&ctx, 0.5, &mut payload), AnyHitResult::Accept);
+        prog.closest_hit(
+            &ClosestHit {
+                t: 0.5,
+                primitive_index: 7,
+                instance_id: u32::MAX,
+            },
+            &mut payload,
+        );
+        prog.miss(&mut payload);
+        assert_eq!(payload, (1, true));
+    }
+}

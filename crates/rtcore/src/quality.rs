@@ -1,0 +1,178 @@
+//! BVH quality metrics — the quantities behind §6.7's observation that
+//! "the quality of the BVH can degrade when the spatial location of the
+//! data changes significantly" after refit.
+
+use geom::Coord;
+
+use crate::bvh::Bvh;
+
+/// Quality report for a BVH.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualityReport {
+    /// Surface-area-heuristic cost: `Σ_internal SA(n)/SA(root) · 2 +
+    /// Σ_leaf SA(n)/SA(root) · count(n)` — the expected number of node
+    /// and primitive tests for a random ray (lower is better).
+    pub sah_cost: f64,
+    /// Mean leaf depth, weighted by primitive count.
+    pub mean_leaf_depth: f64,
+    /// Maximum leaf depth.
+    pub max_depth: usize,
+    /// Sum of pairwise sibling-overlap areas divided by the root area —
+    /// the refit-degradation signal (disjoint siblings ⇒ 0).
+    pub sibling_overlap: f64,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+}
+
+/// Computes the quality metrics of a BVH.
+pub fn analyze<C: Coord>(bvh: &Bvh<C>) -> QualityReport {
+    if bvh.nodes.is_empty() {
+        return QualityReport {
+            sah_cost: 0.0,
+            mean_leaf_depth: 0.0,
+            max_depth: 0,
+            sibling_overlap: 0.0,
+            nodes: 0,
+            leaves: 0,
+        };
+    }
+    let root_sa = bvh.nodes[0].bounds.half_perimeter().to_f64().max(1e-30);
+    let root_area = bvh.nodes[0].bounds.area().to_f64().max(1e-30);
+
+    // Depths via an explicit walk (children of node i are i+1 and
+    // right_or_first for internal nodes).
+    let mut depth = vec![0usize; bvh.nodes.len()];
+    let mut sah = 0.0f64;
+    let mut overlap = 0.0f64;
+    let mut leaf_depth_sum = 0.0f64;
+    let mut prim_total = 0usize;
+    let mut max_depth = 0usize;
+    let mut leaves = 0usize;
+    let mut stack = vec![0usize];
+    while let Some(i) = stack.pop() {
+        let node = &bvh.nodes[i];
+        let sa = node.bounds.half_perimeter().to_f64();
+        max_depth = max_depth.max(depth[i]);
+        if node.is_leaf() {
+            leaves += 1;
+            let count = node.count as usize;
+            sah += sa / root_sa * count as f64;
+            leaf_depth_sum += depth[i] as f64 * count as f64;
+            prim_total += count;
+        } else {
+            sah += sa / root_sa * 2.0;
+            let l = i + 1;
+            let r = node.right_or_first as usize;
+            depth[l] = depth[i] + 1;
+            depth[r] = depth[i] + 1;
+            overlap += bvh.nodes[l]
+                .bounds
+                .overlap_area(&bvh.nodes[r].bounds)
+                .to_f64()
+                / root_area;
+            stack.push(l);
+            stack.push(r);
+        }
+    }
+    QualityReport {
+        sah_cost: sah,
+        mean_leaf_depth: if prim_total > 0 {
+            leaf_depth_sum / prim_total as f64
+        } else {
+            0.0
+        },
+        max_depth,
+        sibling_overlap: overlap,
+        nodes: bvh.nodes.len(),
+        leaves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bvh::BuildQuality;
+    use geom::{Point, Rect};
+
+    fn grid(n: usize) -> Vec<Rect<f32, 3>> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 64) as f32 * 2.0;
+                let y = (i / 64) as f32 * 2.0;
+                Rect::xyzxyz(x, y, 0.0, x + 1.0, y + 1.0, 0.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_bvh_quality() {
+        let q = analyze(&Bvh::<f32>::build(&[], BuildQuality::PreferFastTrace, 4));
+        assert_eq!(q.nodes, 0);
+        assert_eq!(q.sah_cost, 0.0);
+    }
+
+    #[test]
+    fn sah_build_beats_fast_build() {
+        let boxes = grid(4096);
+        let sah = analyze(&Bvh::build(&boxes, BuildQuality::PreferFastTrace, 4));
+        let fast = analyze(&Bvh::build(&boxes, BuildQuality::PreferFastBuild, 4));
+        assert!(
+            sah.sah_cost <= fast.sah_cost * 1.1,
+            "SAH {} vs fast {}",
+            sah.sah_cost,
+            fast.sah_cost
+        );
+        assert!(sah.leaves > 0 && sah.nodes == 2 * sah.leaves - 1);
+    }
+
+    #[test]
+    fn refit_degrades_quality_monotonically() {
+        // The Fig 10(c) mechanism made measurable: scattering ever more
+        // primitives and refitting must monotonically inflate SAH cost
+        // and sibling overlap versus the fresh build.
+        let boxes = grid(2048);
+        let fresh = Bvh::build(&boxes, BuildQuality::PreferFastTrace, 4);
+        let base = analyze(&fresh);
+        let mut prev_cost = base.sah_cost;
+        for scatter_pct in [1usize, 10, 30] {
+            let mut moved = boxes.clone();
+            let step = 100 / scatter_pct;
+            for (i, b) in moved.iter_mut().enumerate() {
+                if i % step == 0 {
+                    *b = b.translated(&Point::xyz(
+                        ((i * 37) % 500) as f32,
+                        ((i * 61) % 400) as f32,
+                        0.0,
+                    ));
+                }
+            }
+            let mut refit = fresh.clone();
+            refit.refit(&moved);
+            let q = analyze(&refit);
+            assert!(
+                q.sah_cost >= prev_cost * 0.95,
+                "{scatter_pct}%: cost {} fell below previous {}",
+                q.sah_cost,
+                prev_cost
+            );
+            assert!(q.sah_cost > base.sah_cost, "{scatter_pct}%: no degradation");
+            // A rebuild restores quality.
+            let rebuilt = analyze(&Bvh::build(&moved, BuildQuality::PreferFastTrace, 4));
+            assert!(rebuilt.sah_cost < q.sah_cost);
+            prev_cost = q.sah_cost;
+        }
+    }
+
+    #[test]
+    fn depth_metrics_consistent() {
+        let boxes = grid(1000);
+        let q = analyze(&Bvh::build(&boxes, BuildQuality::PreferFastTrace, 4));
+        assert!(q.mean_leaf_depth > 1.0);
+        assert!(q.mean_leaf_depth <= q.max_depth as f64);
+        // A 1000-prim tree with leaf size 4 needs at least ceil(log2(250))
+        // levels.
+        assert!(q.max_depth >= 8);
+    }
+}

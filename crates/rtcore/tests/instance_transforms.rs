@@ -1,0 +1,226 @@
+//! Instance-transform correctness: traversal through a transformed IAS
+//! instance must hit exactly the primitives whose *world-space* images
+//! the ray intersects — the §2.3 "copy & transform" semantics.
+
+use std::sync::Arc;
+
+use geom::{Point, Ray, Rect, Srt};
+use rtcore::{BuildOptions, Device, Gas, HitContext, Ias, Instance, IsResult, RtProgram};
+
+struct Collect;
+
+impl RtProgram<f32> for Collect {
+    type Payload = Vec<(u32, u32)>;
+    fn intersection(&self, ctx: &HitContext<'_, f32>, out: &mut Self::Payload) -> IsResult<f32> {
+        out.push((ctx.instance_id, ctx.primitive_index));
+        IsResult::Ignore
+    }
+}
+
+/// A local-space model: a 3×3 grid of unit boxes at the origin.
+fn model() -> Arc<Gas<f32>> {
+    let boxes: Vec<Rect<f32, 3>> = (0..9)
+        .map(|i| {
+            let x = (i % 3) as f32 * 2.0;
+            let y = (i / 3) as f32 * 2.0;
+            Rect::xyzxyz(x, y, -0.5, x + 1.0, y + 1.0, 0.5)
+        })
+        .collect();
+    Arc::new(Gas::build(boxes, BuildOptions::default()).unwrap())
+}
+
+fn trace_ias(ias: &Ias<f32>, ray: &Ray<f32, 3>) -> Vec<(u32, u32)> {
+    let device = Device::new();
+    let out = parking_lot::Mutex::new(Vec::new());
+    device.launch::<f32, _>(1, |_, session| {
+        let mut payload = Vec::new();
+        session.trace(ias, &Collect, ray, &mut payload);
+        out.lock().extend(payload);
+    });
+    let mut v = out.into_inner();
+    v.sort_unstable();
+    v
+}
+
+/// World-space image of model primitive `p` under `t`.
+fn world_box(t: &Srt<f32>, p: u32) -> Rect<f32, 3> {
+    let x = (p % 3) as f32 * 2.0;
+    let y = (p / 3) as f32 * 2.0;
+    t.apply_aabb(&Rect::xyzxyz(x, y, -0.5, x + 1.0, y + 1.0, 0.5))
+}
+
+fn brute_force(transforms: &[Srt<f32>], ray: &Ray<f32, 3>) -> Vec<(u32, u32)> {
+    let mut out = vec![];
+    for (inst, t) in transforms.iter().enumerate() {
+        for p in 0..9u32 {
+            if ray.hits_aabb(&world_box(t, p)) {
+                out.push((inst as u32, p));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn assert_matches(ias: &Ias<f32>, transforms: &[Srt<f32>], ray: Ray<f32, 3>) {
+    let got = trace_ias(ias, &ray);
+    let want = brute_force(transforms, &ray);
+    // Conservative hardware tests may add grazes; true hits must all be
+    // present, extras must at least pass the padded world-space test.
+    for w in &want {
+        assert!(got.contains(w), "missing hit {w:?} for ray {ray:?}");
+    }
+    for g in &got {
+        assert!(
+            ray.hits_aabb_conservative(&world_box(&transforms[g.0 as usize], g.1)),
+            "spurious hit {g:?} for ray {ray:?}"
+        );
+    }
+}
+
+#[test]
+fn translated_instances() {
+    let gas = model();
+    let transforms = vec![
+        Srt::identity(),
+        Srt::translation(Point::xyz(20.0f32, 0.0, 0.0)),
+        Srt::translation(Point::xyz(0.0f32, 20.0, 0.0)),
+    ];
+    let instances: Vec<Instance<f32>> = transforms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Instance {
+            gas: Arc::clone(&gas),
+            transform: *t,
+            instance_id: i as u32,
+            visible: true,
+        })
+        .collect();
+    let ias = Ias::build(&instances).unwrap();
+
+    for ray in [
+        // Horizontal ray through the first row of every copy.
+        Ray::new(
+            Point::xyz(-5.0f32, 0.5, 0.0),
+            Point::xyz(1.0, 0.0, 0.0),
+            0.0,
+            100.0,
+        ),
+        // Diagonal across the scene.
+        Ray::new(
+            Point::xyz(-1.0f32, -1.0, 0.0),
+            Point::xyz(1.0, 1.0, 0.0),
+            0.0,
+            60.0,
+        ),
+        // Probe inside copy #2.
+        Ray::point_probe(Point::xyz(0.5f32, 20.5, 0.0)),
+        // Complete miss.
+        Ray::new(
+            Point::xyz(-5.0f32, -5.0, 0.0),
+            Point::xyz(0.0, -1.0, 0.0),
+            0.0,
+            10.0,
+        ),
+    ] {
+        assert_matches(&ias, &transforms, ray);
+    }
+}
+
+#[test]
+fn scaled_instances() {
+    let gas = model();
+    let transforms = vec![
+        Srt::scale(2.0f32, 2.0, 1.0),
+        Srt::scale_translate(0.5f32, 0.5, 1.0, Point::xyz(30.0, 0.0, 0.0)),
+    ];
+    let instances: Vec<Instance<f32>> = transforms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Instance {
+            gas: Arc::clone(&gas),
+            transform: *t,
+            instance_id: i as u32,
+            visible: true,
+        })
+        .collect();
+    let ias = Ias::build(&instances).unwrap();
+
+    for ray in [
+        Ray::new(
+            Point::xyz(-5.0f32, 1.0, 0.0),
+            Point::xyz(1.0, 0.0, 0.0),
+            0.0,
+            100.0,
+        ),
+        Ray::new(
+            Point::xyz(29.0f32, 0.25, 0.0),
+            Point::xyz(1.0, 0.1, 0.0),
+            0.0,
+            10.0,
+        ),
+        Ray::point_probe(Point::xyz(1.0f32, 1.0, 0.0)),
+    ] {
+        assert_matches(&ias, &transforms, ray);
+    }
+}
+
+#[test]
+fn rotated_instance() {
+    // 90° rotation about z, expressed as raw SRT rows; the ray must be
+    // transformed into object space correctly.
+    let gas = model();
+    let mut rot = Srt::<f32>::identity();
+    rot.rows[0] = [0.0, -1.0, 0.0, 0.0]; // x' = -y
+    rot.rows[1] = [1.0, 0.0, 0.0, 0.0]; // y' = x
+    let transforms = vec![rot];
+    let instances = vec![Instance {
+        gas,
+        transform: rot,
+        instance_id: 0,
+        visible: true,
+    }];
+    let ias = Ias::build(&instances).unwrap();
+    // The model occupied x ∈ [0, 5], y ∈ [0, 5]; rotated it occupies
+    // x ∈ [-5, 0], y ∈ [0, 5].
+    assert!(ias.bounds().min.x() < -4.0);
+
+    for ray in [
+        Ray::point_probe(Point::xyz(-0.5f32, 0.5, 0.0)), // inside prim 0's image
+        Ray::new(
+            Point::xyz(-6.0f32, 0.5, 0.0),
+            Point::xyz(1.0, 0.0, 0.0),
+            0.0,
+            12.0,
+        ),
+        Ray::point_probe(Point::xyz(0.5f32, 0.5, 0.0)), // outside (pre-rotation spot)
+    ] {
+        assert_matches(&ias, &transforms, ray);
+    }
+}
+
+#[test]
+fn nested_world_bounds_consistency() {
+    // IAS bounds must enclose every instance's world bounds.
+    let gas = model();
+    let transforms = [
+        Srt::identity(),
+        Srt::scale_translate(3.0f32, 1.0, 1.0, Point::xyz(-40.0, 7.0, 0.0)),
+    ];
+    let instances: Vec<Instance<f32>> = transforms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Instance {
+            gas: Arc::clone(&gas),
+            transform: *t,
+            instance_id: i as u32,
+            visible: true,
+        })
+        .collect();
+    let ias = Ias::build(&instances).unwrap();
+    let b = ias.bounds();
+    for inst in &instances {
+        let wb = inst.world_bounds();
+        assert!(b.union(&wb) == b, "IAS bounds {b:?} missing {wb:?}");
+    }
+}

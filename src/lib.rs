@@ -1,0 +1,12 @@
+//! Workspace façade for the LibRTS reproduction: re-exports the public
+//! crates so examples and integration tests have a single import root.
+//!
+//! See the individual crates for documentation:
+//! [`librts`] (the paper's contribution), [`rtcore`] (simulated OptiX
+//! substrate), [`geom`], [`baselines`] and [`datasets`].
+
+pub use baselines;
+pub use datasets;
+pub use geom;
+pub use librts;
+pub use rtcore;

@@ -1,0 +1,239 @@
+//! Cross-crate integration: every engine in the workspace must agree on
+//! query results for shared workloads — LibRTS, the rtcore substrate,
+//! and all six baselines.
+
+use baselines::{
+    glin::Glin, kdtree::KdTree, lbvh::Lbvh, quadtree::QuadTree, rayjoin::RayJoin, rtree::RTree,
+};
+use datasets::polygons::polygons_from_rects;
+use datasets::{queries, Dataset};
+use geom::{Point, Rect};
+use librts::{CollectingHandler, PipIndex, Predicate, RTSIndex};
+use rtcore::RayStats;
+
+type Workload = (Vec<Rect<f32, 2>>, Vec<Point<f32, 2>>, Vec<Rect<f32, 2>>);
+
+fn workload() -> Workload {
+    let rects = Dataset::UsCensus.generate(512, 7);
+    let pts = queries::point_queries(&rects, 400, 8);
+    let qs = queries::intersects_queries(&rects, 200, 0.002, 9);
+    (rects, pts, qs)
+}
+
+#[test]
+fn point_query_all_engines_agree() {
+    let (rects, pts, _) = workload();
+
+    // Oracle.
+    let mut want: Vec<(u32, u32)> = vec![];
+    for (ri, r) in rects.iter().enumerate() {
+        for (pi, p) in pts.iter().enumerate() {
+            if r.contains_point(p) {
+                want.push((ri as u32, pi as u32));
+            }
+        }
+    }
+
+    // LibRTS.
+    let index = RTSIndex::with_rects(&rects, Default::default()).unwrap();
+    assert_eq!(index.collect_point_query(&pts), want, "LibRTS");
+
+    // R-tree (rect-indexing).
+    let rtree = RTree::bulk_load(&rects);
+    let mut got = vec![];
+    for (pi, p) in pts.iter().enumerate() {
+        let mut buf = vec![];
+        rtree.query_point(p, &mut buf);
+        got.extend(buf.into_iter().map(|ri| (ri, pi as u32)));
+    }
+    got.sort_unstable();
+    assert_eq!(got, want, "RTree");
+
+    // LBVH (rect-indexing).
+    let lbvh = Lbvh::build(&rects);
+    let mut got = vec![];
+    for (pi, p) in pts.iter().enumerate() {
+        let mut buf = vec![];
+        lbvh.query_point(p, &mut buf, &mut RayStats::default());
+        got.extend(buf.into_iter().map(|ri| (ri, pi as u32)));
+    }
+    got.sort_unstable();
+    assert_eq!(got, want, "LBVH");
+
+    // KD-tree and quadtree (point-indexing, inverted iteration).
+    let kd = KdTree::build(&pts);
+    let mut got = vec![];
+    for (ri, r) in rects.iter().enumerate() {
+        let mut buf = vec![];
+        kd.query_rect(r, &mut buf);
+        got.extend(buf.into_iter().map(|pi| (ri as u32, pi)));
+    }
+    got.sort_unstable();
+    assert_eq!(got, want, "KdTree");
+
+    let qt = QuadTree::build(&pts);
+    let mut got = vec![];
+    for (ri, r) in rects.iter().enumerate() {
+        let mut buf = vec![];
+        qt.query_rect(r, &mut buf, &mut RayStats::default());
+        got.extend(buf.into_iter().map(|pi| (ri as u32, pi)));
+    }
+    got.sort_unstable();
+    assert_eq!(got, want, "QuadTree");
+}
+
+#[test]
+fn range_intersects_all_engines_agree() {
+    let (rects, _, qs) = workload();
+    let mut want: Vec<(u32, u32)> = vec![];
+    for (ri, r) in rects.iter().enumerate() {
+        for (qi, q) in qs.iter().enumerate() {
+            if r.intersects(q) {
+                want.push((ri as u32, qi as u32));
+            }
+        }
+    }
+
+    let index = RTSIndex::with_rects(&rects, Default::default()).unwrap();
+    assert_eq!(
+        index.collect_range_query(Predicate::Intersects, &qs),
+        want,
+        "LibRTS"
+    );
+
+    let rtree = RTree::bulk_load(&rects);
+    let glin = Glin::build(&rects);
+    let lbvh = Lbvh::build(&rects);
+    for (name, got) in [
+        ("RTree", {
+            let mut got = vec![];
+            for (qi, q) in qs.iter().enumerate() {
+                let mut buf = vec![];
+                rtree.query_intersects(q, &mut buf);
+                got.extend(buf.into_iter().map(|ri| (ri, qi as u32)));
+            }
+            got
+        }),
+        ("GLIN", {
+            let mut got = vec![];
+            for (qi, q) in qs.iter().enumerate() {
+                let mut buf = vec![];
+                glin.query_intersects(q, &mut buf);
+                got.extend(buf.into_iter().map(|ri| (ri, qi as u32)));
+            }
+            got
+        }),
+        ("LBVH", {
+            let mut got = vec![];
+            for (qi, q) in qs.iter().enumerate() {
+                let mut buf = vec![];
+                lbvh.query_intersects(q, &mut buf, &mut RayStats::default());
+                got.extend(buf.into_iter().map(|ri| (ri, qi as u32)));
+            }
+            got
+        }),
+    ] {
+        let mut got = got;
+        got.sort_unstable();
+        assert_eq!(got, want, "{name}");
+    }
+}
+
+#[test]
+fn range_contains_engines_agree() {
+    let (rects, _, _) = workload();
+    let qs = queries::contains_queries(&rects, 300, 11);
+    let mut want: Vec<(u32, u32)> = vec![];
+    for (ri, r) in rects.iter().enumerate() {
+        for (qi, q) in qs.iter().enumerate() {
+            if r.contains_rect(q) {
+                want.push((ri as u32, qi as u32));
+            }
+        }
+    }
+    let index = RTSIndex::with_rects(&rects, Default::default()).unwrap();
+    assert_eq!(
+        index.collect_range_query(Predicate::Contains, &qs),
+        want,
+        "LibRTS"
+    );
+    let rtree = RTree::bulk_load(&rects);
+    let glin = Glin::build(&rects);
+    let mut got_r = vec![];
+    let mut got_g = vec![];
+    for (qi, q) in qs.iter().enumerate() {
+        let mut buf = vec![];
+        rtree.query_contains(q, &mut buf);
+        got_r.extend(buf.drain(..).map(|ri| (ri, qi as u32)));
+        glin.query_contains(q, &mut buf);
+        got_g.extend(buf.into_iter().map(|ri| (ri, qi as u32)));
+    }
+    got_r.sort_unstable();
+    got_g.sort_unstable();
+    assert_eq!(got_r, want, "RTree");
+    assert_eq!(got_g, want, "GLIN");
+}
+
+#[test]
+fn pip_engines_agree() {
+    let boxes = Dataset::UsCounty.generate(512, 13);
+    let polys = polygons_from_rects(&boxes, 12, 14);
+    let pts = queries::point_queries(&boxes, 500, 15);
+
+    // Oracle: exact polygon test.
+    let mut want: Vec<(u32, u32)> = vec![];
+    for (pi, poly) in polys.iter().enumerate() {
+        for (qi, p) in pts.iter().enumerate() {
+            if poly.contains_point(p) {
+                want.push((pi as u32, qi as u32));
+            }
+        }
+    }
+
+    let pip = PipIndex::build(polys.clone(), Default::default()).unwrap();
+    assert_eq!(pip.collect(&pts), want, "LibRTS PIP");
+
+    let rj = RayJoin::build(&polys);
+    assert_eq!(rj.collect_pip(&pts), want, "RayJoin");
+
+    let qt = QuadTree::build(&pts);
+    let t = qt.batch_pip(&polys);
+    assert_eq!(t.results as usize, want.len(), "QuadTree PIP count");
+}
+
+#[test]
+fn handler_composition_across_crates() {
+    // The FnHandler adapter lets integration code bridge LibRTS results
+    // into arbitrary sinks; verify it against CollectingHandler.
+    let (rects, pts, _) = workload();
+    let index = RTSIndex::with_rects(&rects, Default::default()).unwrap();
+    let collected = CollectingHandler::new();
+    index.point_query(&pts, &collected);
+    let sink = parking_lot_free_sink();
+    index.point_query(&pts, &librts::FnHandler(|r, q| sink.push(r, q)));
+    let mut a = collected.into_sorted_vec();
+    let mut b = sink.take();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+}
+
+/// Tiny mutex-based sink used by the FnHandler test.
+struct Sink(std::sync::Mutex<Vec<(u32, u32)>>);
+
+impl Sink {
+    fn push(&self, r: u32, q: u32) {
+        self.0.lock().unwrap().push((r, q));
+    }
+    fn take(&self) -> Vec<(u32, u32)> {
+        std::mem::take(&mut self.0.lock().unwrap())
+    }
+}
+
+fn parity_free() -> Sink {
+    Sink(std::sync::Mutex::new(Vec::new()))
+}
+
+fn parking_lot_free_sink() -> Sink {
+    parity_free()
+}
