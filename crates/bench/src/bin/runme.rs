@@ -6,7 +6,11 @@
 //! ```sh
 //! cargo run --release -p bench --bin runme            # smoke + full eval
 //! cargo run --release -p bench --bin runme -- --smoke-only
+//! cargo run --release -p bench --bin runme -- --seed 7   # replayable run
 //! ```
+//!
+//! `--seed N` pins every workload generator, making the whole run
+//! byte-for-byte replayable; the default is the paper's seed 42.
 
 use std::time::Instant;
 
@@ -16,7 +20,19 @@ use datasets::{queries, Dataset};
 use librts::{CountingHandler, Predicate, RTSIndex};
 
 fn main() {
-    let smoke_only = std::env::args().any(|a| a == "--smoke-only");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke_only = args.iter().any(|a| a == "--smoke-only");
+    let mut seed: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            seed = Some(
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes an integer"),
+            );
+        }
+    }
     println!("LibRTS reproduction — artifact evaluation runner");
     println!(
         "host: {} logical CPUs, simulated RT device (see DESIGN.md §2)\n",
@@ -29,7 +45,10 @@ fn main() {
     // A miniature end-to-end run with result cross-checking; failure here
     // means the installation is broken, as runme.sh's early steps would.
     let t = Instant::now();
-    let cfg = EvalConfig::smoke();
+    let mut cfg = EvalConfig::smoke();
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
     let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
     let pts = queries::point_queries(&rects, 500, cfg.seed);
     let iqs = queries::intersects_queries(&rects, 200, 0.001, cfg.seed);
@@ -62,10 +81,13 @@ fn main() {
     }
 
     // ---- Stage 2: the full evaluation -----------------------------------
-    let cfg = EvalConfig::default();
+    let mut cfg = EvalConfig::default();
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
     println!(
-        "regenerating all tables and figures (scale 1/{}, queries 1/{})...",
-        cfg.scale, cfg.query_div
+        "regenerating all tables and figures (scale 1/{}, queries 1/{}, seed {})...",
+        cfg.scale, cfg.query_div, cfg.seed
     );
     figures::table1().print();
     figures::table2(&cfg).print();

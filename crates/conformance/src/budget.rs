@@ -1,0 +1,159 @@
+//! Counter-budget regression guards.
+//!
+//! Wall-clock benchmarks flake; hardware counters don't. Because the
+//! whole pipeline is deterministic (seeded generators, sequential
+//! execution), the `rtcore` counters a canonical scenario produces are
+//! exact integers, reproducible to the last ray. We snapshot them into
+//! a checked-in JSON baseline ([`crate::json`]) and fail the suite the
+//! moment a change makes any counter *worse* — a perf regression guard
+//! with zero timing noise.
+//!
+//! Semantics:
+//! - any counter **above** its baseline fails (a traversal regression
+//!   deterministically visits more nodes / casts more rays);
+//! - counters **below** baseline pass but are reported, so an
+//!   intentional improvement prompts a re-bless;
+//! - a scenario missing from the baseline fails (budgets must be
+//!   checked in with the scenario that produces them).
+//!
+//! Re-bless after an intentional change with
+//! `CONFORMANCE_BLESS=1 cargo test -p conformance --test budgets`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use rtcore::RayStats;
+
+use crate::json::{self, Baseline};
+use crate::runner::RunOutcome;
+
+/// The environment variable that switches enforcement to re-blessing.
+pub const BLESS_ENV: &str = "CONFORMANCE_BLESS";
+
+/// One scenario's counter snapshot, in baseline form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BudgetEntry {
+    /// Scenario name (baseline key).
+    pub name: String,
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Flattens a run outcome into the counters we guard. 2-D and 3-D
+/// launches are tracked separately so a regression in one index can't
+/// hide behind an improvement in the other. `prim_tests` and
+/// `hits_reported` ride along for diagnosis; the headline counters are
+/// the paper's: nodes visited, IS calls, rays cast.
+pub fn entry_for(outcome: &RunOutcome) -> BudgetEntry {
+    fn put(counters: &mut BTreeMap<String, u64>, prefix: &str, s: &RayStats) {
+        counters.insert(format!("{prefix}rays"), s.rays);
+        counters.insert(format!("{prefix}nodes_visited"), s.nodes_visited);
+        counters.insert(format!("{prefix}prim_tests"), s.prim_tests);
+        counters.insert(format!("{prefix}is_calls"), s.is_calls);
+        counters.insert(format!("{prefix}hits_reported"), s.hits_reported);
+        counters.insert(format!("{prefix}instance_visits"), s.instance_visits);
+    }
+    let mut counters = BTreeMap::new();
+    put(&mut counters, "", &outcome.totals);
+    put(&mut counters, "d3_", &outcome.totals3);
+    counters.insert("pairs_checked".into(), outcome.pairs_checked);
+    BudgetEntry {
+        name: outcome.name.to_string(),
+        counters,
+    }
+}
+
+/// Path of the checked-in baseline.
+pub fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("budgets.json")
+}
+
+/// Enforces (or, under [`BLESS_ENV`], rewrites) the baseline for the
+/// given outcomes. Returns human-readable violation lines; the caller
+/// asserts emptiness so one test reports every drift at once.
+pub fn check_budgets(outcomes: &[RunOutcome]) -> Result<Vec<String>, String> {
+    let path = baseline_path();
+    let mut current: Baseline = BTreeMap::new();
+    for o in outcomes {
+        let e = entry_for(o);
+        current.insert(e.name, e.counters);
+    }
+
+    if std::env::var_os(BLESS_ENV).is_some() {
+        std::fs::write(&path, json::to_string(&current))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        return Ok(Vec::new());
+    }
+
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "reading {}: {e}\nrun `{BLESS_ENV}=1 cargo test -p conformance --test budgets` \
+             to create the baseline",
+            path.display()
+        )
+    })?;
+    let baseline = json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+
+    let mut violations = Vec::new();
+    for (name, counters) in &current {
+        let Some(base) = baseline.get(name) else {
+            violations.push(format!(
+                "scenario '{name}' has no checked-in budget — re-bless to add it"
+            ));
+            continue;
+        };
+        for (key, &value) in counters {
+            match base.get(key) {
+                None => violations.push(format!(
+                    "scenario '{name}': counter '{key}' missing from baseline — re-bless"
+                )),
+                Some(&b) if value > b => violations.push(format!(
+                    "scenario '{name}': counter '{key}' regressed: {value} > budget {b} (+{:.1}%)",
+                    (value - b) as f64 * 100.0 / b.max(1) as f64
+                )),
+                Some(&b) if value < b => {
+                    // An improvement: loudly suggest a re-bless, but pass.
+                    eprintln!(
+                        "budget note: scenario '{name}' counter '{key}' improved: \
+                         {value} < budget {b} — consider re-blessing"
+                    );
+                }
+                _ => {}
+            }
+        }
+        for key in base.keys() {
+            if !counters.contains_key(key) {
+                violations.push(format!(
+                    "scenario '{name}': baseline counter '{key}' no longer produced — re-bless"
+                ));
+            }
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &'static str, rays: u64) -> RunOutcome {
+        RunOutcome {
+            name,
+            query_ops: 1,
+            pairs_checked: 10,
+            totals: RayStats {
+                rays,
+                ..Default::default()
+            },
+            totals3: RayStats::default(),
+        }
+    }
+
+    #[test]
+    fn entry_flattens_both_dimensions() {
+        let e = entry_for(&outcome("x", 7));
+        assert_eq!(e.counters["rays"], 7);
+        assert_eq!(e.counters["d3_rays"], 0);
+        assert_eq!(e.counters["pairs_checked"], 10);
+    }
+}

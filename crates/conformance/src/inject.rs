@@ -1,0 +1,334 @@
+//! The failure-injection table: hostile inputs and lifecycle misuse,
+//! with the exact error (or exact benign behaviour) each must produce.
+//!
+//! One table, one contract per row. Error rows pin the `IndexError`
+//! variant *and* that the failed call mutated nothing (checked by
+//! differential query against the oracle afterwards). Benign rows pin
+//! that the engine still agrees with brute force on the edge case.
+
+use geom::{Point, Rect};
+use librts::{IndexError, IndexOptions, Predicate, RTSIndex, RTSIndex3};
+
+use crate::oracle::Oracle;
+
+/// A single injection case. `run` panics (with context) on contract
+/// violation.
+pub struct InjectionCase {
+    /// Stable row name, surfaced in test output.
+    pub name: &'static str,
+    /// Executes the case against a fresh engine.
+    pub run: fn(),
+}
+
+/// Builds a rect through the public fields, bypassing `Rect::new`'s
+/// debug assertion — modelling untrusted input (deserialized wire data,
+/// FFI) that never went through a constructor.
+fn raw_rect(xmin: f32, ymin: f32, xmax: f32, ymax: f32) -> Rect<f32, 2> {
+    Rect {
+        min: Point::xy(xmin, ymin),
+        max: Point::xy(xmax, ymax),
+    }
+}
+
+fn raw_box(min: [f32; 3], max: [f32; 3]) -> Rect<f32, 3> {
+    Rect {
+        min: Point::xyz(min[0], min[1], min[2]),
+        max: Point::xyz(max[0], max[1], max[2]),
+    }
+}
+
+fn base_rects() -> Vec<Rect<f32, 2>> {
+    vec![
+        Rect::xyxy(0.0, 0.0, 10.0, 10.0),
+        Rect::xyxy(5.0, 5.0, 20.0, 20.0),
+        Rect::xyxy(-30.0, -30.0, -20.0, -25.0),
+    ]
+}
+
+/// Asserts the index still answers exactly like an oracle over
+/// `expected_live` — the "failed calls mutate nothing" post-condition.
+fn assert_agrees(index: &RTSIndex<f32>, expected_live: &[(u32, Rect<f32, 2>)]) {
+    let mut oracle: Oracle<2> = Oracle::new();
+    let max_id = expected_live
+        .iter()
+        .map(|&(id, _)| id)
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut slots = vec![None; max_id as usize];
+    for &(id, r) in expected_live {
+        slots[id as usize] = Some(r);
+    }
+    // Rebuild oracle state id-for-id.
+    for slot in &slots {
+        match slot {
+            Some(r) => {
+                oracle.insert(&[*r]);
+            }
+            None => {
+                let ids = oracle.insert(&[Rect::xyxy(0.0, 0.0, 1.0, 1.0)]);
+                oracle.delete(&[ids.start]);
+            }
+        }
+    }
+    let pts: Vec<Point<f32, 2>> = vec![
+        Point::xy(1.0, 1.0),
+        Point::xy(7.5, 7.5),
+        Point::xy(-25.0, -27.0),
+        Point::xy(100.0, 100.0),
+    ];
+    assert_eq!(index.collect_point_query(&pts), oracle.point_query(&pts));
+    let qs = vec![
+        Rect::xyxy(4.0, 4.0, 6.0, 6.0),
+        Rect::xyxy(-100.0, -100.0, 100.0, 100.0),
+    ];
+    assert_eq!(
+        index.collect_range_query(Predicate::Intersects, &qs),
+        oracle.intersects(&qs)
+    );
+}
+
+fn live_of(rects: &[Rect<f32, 2>]) -> Vec<(u32, Rect<f32, 2>)> {
+    rects
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i as u32, *r))
+        .collect()
+}
+
+/// The table. Every row is independently runnable.
+pub fn cases() -> Vec<InjectionCase> {
+    vec![
+        InjectionCase {
+            name: "nan_coordinate_insert_rejected",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                let bad = raw_rect(f32::NAN, 0.0, 1.0, 1.0);
+                assert_eq!(
+                    index.insert(&[bad]),
+                    Err(IndexError::InvalidRect { index: 0 }),
+                );
+                assert_agrees(&index, &live_of(&base_rects()));
+            },
+        },
+        InjectionCase {
+            name: "infinite_coordinate_insert_rejected",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                let bad = raw_rect(0.0, 0.0, f32::INFINITY, 1.0);
+                assert_eq!(
+                    index.insert(&[bad]),
+                    Err(IndexError::InvalidRect { index: 0 }),
+                );
+                assert_agrees(&index, &live_of(&base_rects()));
+            },
+        },
+        InjectionCase {
+            name: "inverted_rect_insert_rejected",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                let bad = raw_rect(10.0, 10.0, 0.0, 0.0);
+                assert_eq!(
+                    index.insert(&[bad]),
+                    Err(IndexError::InvalidRect { index: 0 }),
+                );
+                assert_agrees(&index, &live_of(&base_rects()));
+            },
+        },
+        InjectionCase {
+            name: "invalid_rect_mid_batch_is_atomic",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                let batch = vec![
+                    Rect::xyxy(50.0, 50.0, 60.0, 60.0),
+                    Rect::xyxy(70.0, 70.0, 80.0, 80.0),
+                    raw_rect(f32::NAN, 0.0, 1.0, 1.0),
+                ];
+                // The error names the offending element, and nothing from
+                // the batch (not even the valid prefix) lands.
+                assert_eq!(
+                    index.insert(&batch),
+                    Err(IndexError::InvalidRect { index: 2 }),
+                );
+                assert_eq!(index.len(), 3);
+                assert_agrees(&index, &live_of(&base_rects()));
+            },
+        },
+        InjectionCase {
+            name: "zero_extent_rect_accepted_and_queryable",
+            run: || {
+                // min == max is not empty under closed-interval
+                // semantics: it covers exactly one point and must behave
+                // like the oracle says — insertable, hit by a point probe
+                // at its location, missed everywhere else.
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                let dot = Rect::point(Point::xy(42.0, 43.0));
+                index.insert(&[dot]).unwrap();
+                let mut live = live_of(&base_rects());
+                live.push((3, dot));
+                assert_agrees(&index, &live);
+                let pts = vec![Point::xy(42.0, 43.0), Point::xy(42.0, 43.1)];
+                assert_eq!(index.collect_point_query(&pts), vec![(3, 0)]);
+            },
+        },
+        InjectionCase {
+            name: "empty_insert_batch_is_a_noop",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                let ids = index.insert(&[]).unwrap();
+                assert!(ids.is_empty());
+                assert_eq!(index.len(), 3);
+                assert_agrees(&index, &live_of(&base_rects()));
+            },
+        },
+        InjectionCase {
+            name: "double_delete_rejected",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                index.delete(&[1]).unwrap();
+                assert_eq!(
+                    index.delete(&[1]),
+                    Err(IndexError::AlreadyDeleted { id: 1 })
+                );
+                let live: Vec<_> = live_of(&base_rects())
+                    .into_iter()
+                    .filter(|&(id, _)| id != 1)
+                    .collect();
+                assert_agrees(&index, &live);
+            },
+        },
+        InjectionCase {
+            name: "unknown_id_delete_rejected",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                assert_eq!(index.delete(&[99]), Err(IndexError::UnknownId { id: 99 }));
+                assert_agrees(&index, &live_of(&base_rects()));
+            },
+        },
+        InjectionCase {
+            name: "update_length_mismatch_rejected",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                assert_eq!(
+                    index.update(&[0, 1], &[Rect::xyxy(0.0, 0.0, 1.0, 1.0)]),
+                    Err(IndexError::LengthMismatch { ids: 2, rects: 1 }),
+                );
+                assert_agrees(&index, &live_of(&base_rects()));
+            },
+        },
+        InjectionCase {
+            name: "update_to_invalid_rect_rejected",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                let bad = raw_rect(0.0, f32::NAN, 1.0, 1.0);
+                assert_eq!(
+                    index.update(&[0], &[bad]),
+                    Err(IndexError::InvalidRect { index: 0 }),
+                );
+                assert_agrees(&index, &live_of(&base_rects()));
+            },
+        },
+        InjectionCase {
+            name: "query_before_first_insert_is_empty",
+            run: || {
+                let index: RTSIndex<f32> = RTSIndex::new(IndexOptions::default());
+                let pts = vec![Point::xy(0.0, 0.0), Point::xy(1.0, 1.0)];
+                assert!(index.collect_point_query(&pts).is_empty());
+                let qs = vec![Rect::xyxy(-1.0, -1.0, 1.0, 1.0)];
+                assert!(index
+                    .collect_range_query(Predicate::Contains, &qs)
+                    .is_empty());
+                assert!(index
+                    .collect_range_query(Predicate::Intersects, &qs)
+                    .is_empty());
+                assert!(index.is_empty());
+            },
+        },
+        InjectionCase {
+            name: "fully_deleted_index_queries_empty",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                index.delete(&[0, 1, 2]).unwrap();
+                let pts = vec![Point::xy(7.5, 7.5)];
+                assert!(index.collect_point_query(&pts).is_empty());
+                let qs = vec![Rect::xyxy(-100.0, -100.0, 100.0, 100.0)];
+                assert!(index
+                    .collect_range_query(Predicate::Intersects, &qs)
+                    .is_empty());
+                assert_eq!(index.len(), 0);
+            },
+        },
+        InjectionCase {
+            name: "empty_query_batches_are_noops",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                assert!(index.collect_point_query(&[]).is_empty());
+                assert!(index
+                    .collect_range_query(Predicate::Intersects, &[])
+                    .is_empty());
+            },
+        },
+        InjectionCase {
+            name: "nan_query_point_matches_nothing",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                // NaN compares false to everything, so the oracle matches
+                // nothing; the engine must neither panic nor hit.
+                let pts = vec![Point::xy(f32::NAN, 5.0), Point::xy(7.5, 7.5)];
+                let mut oracle: Oracle<2> = Oracle::new();
+                oracle.insert(&base_rects());
+                assert_eq!(index.collect_point_query(&pts), oracle.point_query(&pts));
+            },
+        },
+        InjectionCase {
+            name: "index3_invalid_box_rejected",
+            run: || {
+                let boxes = vec![
+                    Rect::xyzxyz(0.0, 0.0, 0.0, 1.0, 1.0, 1.0),
+                    raw_box([0.0, 0.0, f32::NAN], [1.0, 1.0, 1.0]),
+                ];
+                assert_eq!(
+                    RTSIndex3::build(&boxes, IndexOptions::default()).err(),
+                    Some(IndexError::InvalidRect { index: 1 }),
+                );
+            },
+        },
+        InjectionCase {
+            name: "index3_empty_build_queries_empty",
+            run: || {
+                let index = RTSIndex3::<f32>::build(&[], IndexOptions::default())
+                    .expect("empty build is legal");
+                assert!(index.is_empty());
+                let pts = vec![Point::xyz(0.0, 0.0, 0.0)];
+                assert!(index.collect_point_query(&pts).is_empty());
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_are_uniquely_named() {
+        let cases = cases();
+        let mut names: Vec<_> = cases.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cases.len());
+        assert!(cases.len() >= 12, "the pack must stay comprehensive");
+    }
+}

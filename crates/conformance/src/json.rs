@@ -1,0 +1,202 @@
+//! A deliberately tiny JSON subset codec for the counter-budget
+//! baseline: an object of objects of unsigned integers.
+//!
+//! ```json
+//! { "scenario": { "rays": 123, "is_calls": 456 }, ... }
+//! ```
+//!
+//! The build environment is offline (no serde), and the baseline never
+//! needs more than this shape, so the codec parses exactly it —
+//! strings (with `\"`/`\\` escapes only), `u64` integers, and the two
+//! levels of object nesting — and rejects everything else loudly.
+
+use std::collections::BTreeMap;
+
+/// `scenario name → counter name → value`, ordered so serialization is
+/// canonical and diffs are stable.
+pub type Baseline = BTreeMap<String, BTreeMap<String, u64>>;
+
+/// Serializes a baseline in canonical, human-diffable form.
+pub fn to_string(baseline: &Baseline) -> String {
+    let mut out = String::from("{\n");
+    for (si, (name, counters)) in baseline.iter().enumerate() {
+        out.push_str("  \"");
+        out.push_str(&escape(name));
+        out.push_str("\": {");
+        for (ci, (key, value)) in counters.iter().enumerate() {
+            if ci > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            out.push_str(&escape(key));
+            out.push_str("\": ");
+            out.push_str(&value.to_string());
+        }
+        out.push_str("\n  }");
+        if si + 1 < baseline.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parses what [`to_string`] writes (plus arbitrary whitespace).
+pub fn from_str(input: &str) -> Result<Baseline, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let baseline = p.object(|p| p.object(|p| p.integer()))?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(baseline)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&b| b as char)
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    match self.bytes.get(self.pos + 1) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected integer at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("integer at byte {start}: {e}"))
+    }
+
+    fn object<T>(
+        &mut self,
+        mut value: impl FnMut(&mut Self) -> Result<T, String>,
+    ) -> Result<BTreeMap<String, T>, String> {
+        self.expect(b'{')?;
+        let mut out = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let v = value(self)?;
+            if out.insert(key.clone(), v).is_some() {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b: Baseline = BTreeMap::new();
+        b.entry("alpha".into())
+            .or_default()
+            .insert("rays".into(), 42);
+        b.entry("alpha".into())
+            .or_default()
+            .insert("is_calls".into(), 0);
+        b.entry("beta \"q\"".into())
+            .or_default()
+            .insert("nodes".into(), u64::MAX);
+        let text = to_string(&b);
+        assert_eq!(from_str(&text).unwrap(), b);
+    }
+
+    #[test]
+    fn parses_empty_and_rejects_garbage() {
+        assert!(from_str("{}").unwrap().is_empty());
+        assert!(from_str("{} x").is_err());
+        assert!(
+            from_str("{\"a\": 1}").is_err(),
+            "inner value must be an object"
+        );
+        assert!(
+            from_str("{\"a\": {\"b\": -1}}").is_err(),
+            "negative integers rejected"
+        );
+    }
+}

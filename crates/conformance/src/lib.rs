@@ -1,0 +1,76 @@
+//! # conformance — the workspace-wide differential-testing subsystem
+//!
+//! LibRTS's contribution is a *translation*: point queries become short
+//! probe rays, Range-Contains becomes a center probe plus filter, and
+//! Range-Intersects becomes forward/backward diagonal casting with a
+//! dedup rule (paper §3.1–§3.3). Every later performance PR is only
+//! trustworthy if that translation is pinned by an oracle. This crate
+//! provides the pin, in four layers:
+//!
+//! 1. [`oracle`] — a standalone brute-force reference engine over the
+//!    `geom` data model (point / Range-Contains / Range-Intersects in
+//!    2-D and 3-D, plus point-in-polygon), with the same id-stable
+//!    mutation semantics as [`librts::RTSIndex`].
+//! 2. [`scenario`] + [`runner`] — a seeded, fully deterministic
+//!    lifecycle DSL (`Init/Query/Insert/Delete/Update` with skewed
+//!    `datasets` generators) replayed simultaneously against
+//!    `RTSIndex`, `RTSIndex3`, every baseline (rtree, kdtree, lbvh,
+//!    glin, quadtree, rayjoin), and the oracle, asserting exact
+//!    result-set equality after every query op.
+//! 3. [`metamorphic`] — reusable property checks: Theorem-1
+//!    equivalence, Ray-Multicast result invariance across forced `k`,
+//!    refit-BVH enclosure, and both-passes dedup = brute-force pair
+//!    set.
+//! 4. [`budget`] — counter-budget regression guards that snapshot
+//!    `rtcore` hardware counters (nodes visited, IS calls, rays cast)
+//!    per canonical scenario into a checked-in JSON baseline and fail
+//!    on deterministic counter regressions: perf guarding without
+//!    wall-clock flakiness.
+//!
+//! Determinism is end-to-end: dataset generation, query generation,
+//! and traversal order are all seeded, and the offline `rayon` shim
+//! executes sequentially, so two runs of the same scenario produce
+//! byte-identical result sets *and* byte-identical counters.
+//!
+//! Run the smoke tier with `cargo test -p conformance`; the deep tier
+//! with `cargo test -p conformance -- --ignored`. Re-bless counter
+//! baselines after an intentional traversal change with
+//! `CONFORMANCE_BLESS=1 cargo test -p conformance --test budgets`.
+
+pub mod budget;
+pub mod inject;
+pub mod json;
+pub mod metamorphic;
+pub mod oracle;
+pub mod runner;
+pub mod scenario;
+
+pub use budget::{check_budgets, BudgetEntry};
+pub use oracle::{Oracle, PipOracle};
+pub use runner::{run_scenario, RunOutcome};
+pub use scenario::{deep_suite, smoke_suite, DataSpec, Op, OptionsSpec, Scenario};
+
+/// SplitMix64 step — the crate's standard way to derive independent
+/// sub-seeds from a scenario seed. Identical constants to the `rand`
+/// shim's `seed_from_u64`, but exposed so scenario replay can mix op
+/// indices into the stream without constructing an RNG.
+pub fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(salt.wrapping_add(1)))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_seed_is_deterministic_and_spreads() {
+        assert_eq!(mix_seed(7, 0), mix_seed(7, 0));
+        assert_ne!(mix_seed(7, 0), mix_seed(7, 1));
+        assert_ne!(mix_seed(7, 0), mix_seed(8, 0));
+    }
+}

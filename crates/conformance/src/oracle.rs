@@ -1,0 +1,200 @@
+//! Brute-force oracle engine.
+//!
+//! The oracle mirrors [`librts::RTSIndex`]'s id-stable mutation
+//! semantics — ids are assigned densely in insertion order and never
+//! reused; deletion tombstones the slot — but answers every query by
+//! exhaustive scan over the live set. It is the ground truth the
+//! scenario runner holds every engine against.
+//!
+//! All query methods return `(rect_id, query_id)` pairs sorted
+//! lexicographically, matching `CollectingHandler::into_sorted_vec`.
+
+use geom::{Point, Polygon, Rect};
+
+/// Id-stable brute-force reference index over axis-aligned boxes of
+/// dimension `D` (2 for `RTSIndex`, 3 for `RTSIndex3`).
+#[derive(Clone, Debug, Default)]
+pub struct Oracle<const D: usize> {
+    slots: Vec<Option<Rect<f32, D>>>,
+}
+
+impl<const D: usize> Oracle<D> {
+    /// Empty oracle (the `Init` state of a scenario).
+    pub fn new() -> Self {
+        Self { slots: Vec::new() }
+    }
+
+    /// Appends a batch, returning the id range it occupies.
+    pub fn insert(&mut self, rects: &[Rect<f32, D>]) -> std::ops::Range<u32> {
+        let start = self.slots.len() as u32;
+        self.slots.extend(rects.iter().copied().map(Some));
+        start..self.slots.len() as u32
+    }
+
+    /// Tombstones `ids`. Panics on unknown or already-deleted ids —
+    /// the scenario generator never produces them, and the engines
+    /// under test are expected to report them as errors (covered by
+    /// the failure-injection pack, not the oracle).
+    pub fn delete(&mut self, ids: &[u32]) {
+        for &id in ids {
+            let slot = &mut self.slots[id as usize];
+            assert!(slot.is_some(), "oracle: double delete of id {id}");
+            *slot = None;
+        }
+    }
+
+    /// Replaces the rects at `ids`.
+    pub fn update(&mut self, ids: &[u32], rects: &[Rect<f32, D>]) {
+        assert_eq!(ids.len(), rects.len());
+        for (&id, r) in ids.iter().zip(rects) {
+            let slot = &mut self.slots[id as usize];
+            assert!(slot.is_some(), "oracle: update of deleted id {id}");
+            *slot = Some(*r);
+        }
+    }
+
+    /// Live `(id, rect)` pairs in id order.
+    pub fn live(&self) -> Vec<(u32, Rect<f32, D>)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.map(|r| (i as u32, r)))
+            .collect()
+    }
+
+    /// Live rects in id order (ids implicit via [`Self::live`]).
+    pub fn live_rects(&self) -> Vec<Rect<f32, D>> {
+        self.slots.iter().filter_map(|r| *r).collect()
+    }
+
+    /// Number of live rects.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// True when no live rect remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slots ever allocated (live + tombstoned).
+    pub fn capacity_ids(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// The rect stored at `id`, if live.
+    pub fn get(&self, id: u32) -> Option<Rect<f32, D>> {
+        self.slots.get(id as usize).copied().flatten()
+    }
+
+    fn scan(
+        &self,
+        mut pred: impl FnMut(&Rect<f32, D>, usize) -> bool,
+        n: usize,
+    ) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (ri, r) in self.slots.iter().enumerate() {
+            if let Some(r) = r {
+                for qi in 0..n {
+                    if pred(r, qi) {
+                        out.push((ri as u32, qi as u32));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All `(rect_id, point_id)` pairs with `rect ∋ point` (closed).
+    pub fn point_query(&self, points: &[Point<f32, D>]) -> Vec<(u32, u32)> {
+        self.scan(|r, qi| r.contains_point(&points[qi]), points.len())
+    }
+
+    /// All `(rect_id, query_id)` pairs with `rect ⊇ query`.
+    pub fn contains(&self, queries: &[Rect<f32, D>]) -> Vec<(u32, u32)> {
+        self.scan(|r, qi| r.contains_rect(&queries[qi]), queries.len())
+    }
+
+    /// All `(rect_id, query_id)` pairs with `rect ∩ query ≠ ∅`.
+    pub fn intersects(&self, queries: &[Rect<f32, D>]) -> Vec<(u32, u32)> {
+        self.scan(|r, qi| r.intersects(&queries[qi]), queries.len())
+    }
+}
+
+/// Brute-force point-in-polygon oracle (crossing-number semantics via
+/// [`Polygon::contains_point`], the same predicate the PIP engines
+/// refine to).
+#[derive(Clone, Debug, Default)]
+pub struct PipOracle {
+    polygons: Vec<Polygon<f32>>,
+}
+
+impl PipOracle {
+    /// Oracle over a fixed polygon set.
+    pub fn new(polygons: Vec<Polygon<f32>>) -> Self {
+        Self { polygons }
+    }
+
+    /// Number of polygons.
+    pub fn len(&self) -> usize {
+        self.polygons.len()
+    }
+
+    /// True when the polygon set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.polygons.is_empty()
+    }
+
+    /// All `(polygon_id, point_id)` pairs with the point inside.
+    pub fn query(&self, points: &[Point<f32, 2>]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (pi, poly) in self.polygons.iter().enumerate() {
+            for (qi, p) in points.iter().enumerate() {
+                if poly.contains_point(p) {
+                    out.push((pi as u32, qi as u32));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_matches_manual_bookkeeping() {
+        let mut o: Oracle<2> = Oracle::new();
+        let ids = o.insert(&[
+            Rect::xyxy(0.0, 0.0, 10.0, 10.0),
+            Rect::xyxy(5.0, 5.0, 15.0, 15.0),
+        ]);
+        assert_eq!(ids, 0..2);
+        o.delete(&[0]);
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.get(0), None);
+        o.update(&[1], &[Rect::xyxy(100.0, 100.0, 110.0, 110.0)]);
+        let pts = [Point::xy(105.0, 105.0), Point::xy(7.0, 7.0)];
+        assert_eq!(o.point_query(&pts), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn queries_are_sorted_pairs() {
+        let mut o: Oracle<2> = Oracle::new();
+        o.insert(&[
+            Rect::xyxy(0.0, 0.0, 100.0, 100.0),
+            Rect::xyxy(0.0, 0.0, 50.0, 50.0),
+        ]);
+        let qs = [
+            Rect::xyxy(1.0, 1.0, 2.0, 2.0),
+            Rect::xyxy(40.0, 40.0, 60.0, 60.0),
+        ];
+        let got = o.intersects(&qs);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(got, sorted);
+        assert_eq!(got, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert_eq!(o.contains(&qs), vec![(0, 0), (0, 1), (1, 0)]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Counter-budget enforcement: replay the canonical scenarios and hold
+//! their deterministic `rtcore` counters to the checked-in baseline in
+//! `crates/conformance/budgets.json`.
+//!
+//! After an *intentional* traversal change, re-bless with:
+//! `CONFORMANCE_BLESS=1 cargo test -p conformance --test budgets`
+
+use conformance::{check_budgets, run_scenario, smoke_suite};
+
+#[test]
+fn counters_stay_within_checked_in_budgets() {
+    let outcomes: Vec<_> = smoke_suite().iter().map(run_scenario).collect();
+    let violations = check_budgets(&outcomes).expect("baseline readable");
+    assert!(
+        violations.is_empty(),
+        "counter budgets violated:\n  {}",
+        violations.join("\n  ")
+    );
+}

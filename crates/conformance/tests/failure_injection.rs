@@ -1,0 +1,26 @@
+//! Drives the table-driven failure-injection pack
+//! (`conformance::inject`): hostile coordinates, lifecycle misuse, and
+//! empty-state queries, each pinned to its exact error or benign
+//! behaviour.
+
+#[test]
+fn injection_table_contracts_hold() {
+    let mut failures = Vec::new();
+    for case in conformance::inject::cases() {
+        // Run every row even if an earlier one fails, so a regression
+        // reports its full blast radius at once.
+        if let Err(panic) = std::panic::catch_unwind(case.run) {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic");
+            failures.push(format!("{}: {msg}", case.name));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "failure-injection contracts violated:\n  {}",
+        failures.join("\n  ")
+    );
+}

@@ -1,0 +1,104 @@
+//! Metamorphic properties over the scenario data families: Theorem-1
+//! equivalence, Ray-Multicast invariance, refit enclosure, and dedup
+//! equivalence — the invariants the LibRTS translation rests on.
+
+use conformance::metamorphic::{
+    check_contains_subset_of_intersects, check_dedup_equivalence, check_multicast_invariance,
+    check_refit_enclosure, check_theorem1,
+};
+use conformance::{mix_seed, DataSpec};
+use geom::Rect;
+
+fn families(n: usize) -> Vec<(&'static str, DataSpec)> {
+    vec![
+        ("uniform", DataSpec::Uniform { n }),
+        ("gaussian", DataSpec::Gaussian { n }),
+        ("diagonal", DataSpec::Diagonal { n }),
+        ("bit", DataSpec::Bit { n }),
+        ("clusters", DataSpec::Clusters { n }),
+    ]
+}
+
+#[test]
+fn theorem1_diagonal_formulation_equals_overlap() {
+    for (name, spec) in families(250) {
+        let rects = spec.generate(mix_seed(0xA11CE, 1));
+        let queries = DataSpec::Uniform { n: 120 }.generate(mix_seed(0xA11CE, 2));
+        check_theorem1(&rects, &queries);
+        // Self-join shape too: data vs data stresses shared edges.
+        check_theorem1(&rects[..60.min(rects.len())], &rects[..60.min(rects.len())]);
+        let _ = name;
+    }
+}
+
+#[test]
+fn multicast_k_never_changes_results() {
+    for (_, spec) in families(220) {
+        let rects = spec.generate(mix_seed(0xBEE, 1));
+        let queries = DataSpec::Gaussian { n: 70 }.generate(mix_seed(0xBEE, 2));
+        check_multicast_invariance(&rects, &queries, &[1, 2, 7, 16, 64]);
+    }
+}
+
+#[test]
+fn dedup_strategies_equal_brute_force_pair_set() {
+    for (_, spec) in families(220) {
+        let rects = spec.generate(mix_seed(0xDED, 1));
+        let queries = DataSpec::Clusters { n: 70 }.generate(mix_seed(0xDED, 2));
+        check_dedup_equivalence(&rects, &queries);
+    }
+}
+
+#[test]
+fn contains_is_subset_of_intersects() {
+    for (_, spec) in families(220) {
+        let rects = spec.generate(mix_seed(0xC0, 1));
+        let queries = DataSpec::Uniform { n: 90 }.generate(mix_seed(0xC0, 2));
+        check_contains_subset_of_intersects(&rects, &queries);
+    }
+}
+
+#[test]
+fn refit_preserves_enclosure_under_translation_shrink_and_degeneration() {
+    for (_, spec) in families(150) {
+        let before: Vec<Rect<f32, 3>> = spec
+            .generate(mix_seed(0xF17, 1))
+            .iter()
+            .map(|r| r.lift(0.0, 8.0))
+            .collect();
+        // Mix of §4.2 mutations: translations, shrinks, and deletion-style
+        // degenerations (min == max).
+        let after: Vec<Rect<f32, 3>> = before
+            .iter()
+            .enumerate()
+            .map(|(i, b)| match i % 3 {
+                0 => {
+                    let d = 25.0 + (i % 7) as f32 * 11.0;
+                    Rect::new(
+                        geom::Point::xyz(b.min.x() + d, b.min.y() - d, b.min.z()),
+                        geom::Point::xyz(b.max.x() + d, b.max.y() - d, b.max.z()),
+                    )
+                }
+                1 => {
+                    let c = b.center();
+                    Rect::new(
+                        geom::Point::xyz(
+                            (b.min.x() + c.x()) * 0.5,
+                            (b.min.y() + c.y()) * 0.5,
+                            b.min.z(),
+                        ),
+                        geom::Point::xyz(
+                            (b.max.x() + c.x()) * 0.5,
+                            (b.max.y() + c.y()) * 0.5,
+                            b.max.z(),
+                        ),
+                    )
+                }
+                _ => b.degenerated(),
+            })
+            .collect();
+        for leaf in [1, 4, 16] {
+            check_refit_enclosure(&before, &after, leaf);
+        }
+    }
+}

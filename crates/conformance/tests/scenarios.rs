@@ -1,0 +1,54 @@
+//! The smoke tier: every scenario in the canonical suite replayed
+//! against RTSIndex, RTSIndex3, all six baselines, and the oracle,
+//! asserting exact result-set equality. Deterministic and fast — this
+//! is the harness every PR must keep green.
+
+use conformance::{run_scenario, smoke_suite};
+
+#[test]
+fn smoke_suite_agrees_across_all_engines() {
+    let suite = smoke_suite();
+    assert!(suite.len() >= 25);
+    let mut total_pairs = 0u64;
+    let mut total_query_ops = 0usize;
+    for scenario in &suite {
+        // run_scenario panics with scenario/op/engine context on any
+        // divergence, so a plain loop reports precisely.
+        let outcome = run_scenario(scenario);
+        total_pairs += outcome.pairs_checked;
+        total_query_ops += outcome.query_ops;
+    }
+    assert!(
+        total_pairs > 10_000,
+        "suite checked only {total_pairs} pairs — workloads degenerated"
+    );
+    assert!(total_query_ops >= suite.len(), "every scenario must query");
+}
+
+#[test]
+fn replay_is_byte_deterministic() {
+    // Two full replays of a skewed lifecycle scenario must agree on
+    // every counter — the property the budget tier stands on.
+    let scenario = smoke_suite()
+        .into_iter()
+        .find(|s| s.name == "life_churn_mixed")
+        .expect("canonical scenario present");
+    let a = run_scenario(&scenario);
+    let b = run_scenario(&scenario);
+    assert_eq!(a.totals, b.totals);
+    assert_eq!(a.totals3, b.totals3);
+    assert_eq!(a.pairs_checked, b.pairs_checked);
+}
+
+#[test]
+#[ignore = "deep tier: run with `cargo test -p conformance -- --ignored`"]
+fn deep_suite_agrees_across_all_engines() {
+    for scenario in &conformance::deep_suite() {
+        let outcome = run_scenario(scenario);
+        assert!(
+            outcome.pairs_checked > 0,
+            "{}: no pairs checked",
+            scenario.name
+        );
+    }
+}

@@ -14,6 +14,34 @@ fn arb_point() -> impl Strategy<Value = Point<f32, 2>> {
     (-60.0f32..60.0, -60.0f32..60.0).prop_map(|(x, y)| Point::xy(x, y))
 }
 
+/// Replays the shrunken failure recorded in
+/// `proptest_index.proptest-regressions` (`nearest` against a thin
+/// vertical sliver). The offline proptest shim cannot decode upstream's
+/// persisted seed hashes, so the case from the file's comment is pinned
+/// here explicitly and must stay green.
+#[test]
+fn regression_nearest_thin_sliver() {
+    let rects: Vec<Rect<f32, 2>> = vec![Rect::xyxy(
+        1.574_811_6,
+        -17.298_199,
+        1.584_811_6,
+        -0.499_242_78,
+    )];
+    let p: Point<f32, 2> = Point::xy(-5.833_008, -16.552_843);
+    let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+    let got = index.nearest(&p).unwrap();
+    let r = &rects[0];
+    let dx = (r.min.x() - p.x()).max(p.x() - r.max.x()).max(0.0);
+    let dy = (r.min.y() - p.y()).max(p.y() - r.max.y()).max(0.0);
+    let want = (dx * dx + dy * dy).sqrt();
+    assert!(
+        (got.distance - want).abs() <= 1e-3 * (1.0 + want),
+        "got {} want {}",
+        got.distance,
+        want
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -139,11 +139,11 @@ pub fn generate_centers(
             let mut p = Point::xy(0.3, 0.3);
             // Burn-in.
             for _ in 0..16 {
-                let c = corners[rng.gen_range(0..3)];
+                let c = corners[rng.gen_range(0..3usize)];
                 p = p.midpoint(&c);
             }
             for _ in 0..n {
-                let c = corners[rng.gen_range(0..3)];
+                let c = corners[rng.gen_range(0..3usize)];
                 p = p.midpoint(&c);
                 out.push(p);
             }

@@ -1,0 +1,457 @@
+//! `Ray::hits_aabb_conservative` must never produce a false negative:
+//! whenever the *real-arithmetic* ray–AABB test hits, the conservative
+//! f32 test must hit too (the RT core's watertightness contract —
+//! false positives are fine, the IS shader re-checks; false negatives
+//! lose results silently).
+//!
+//! The reference here is an exact rational-arithmetic slab test over
+//! `i128` fractions with 256-bit cross-multiplied comparisons. Every
+//! f32 is a dyadic rational, so inputs convert exactly; the test
+//! domain keeps exponents small enough that all intermediate products
+//! are overflow-checked `i128`s (the conversion rejects anything
+//! outside the provable range, so a domain mistake panics rather than
+//! silently wrapping).
+//!
+//! Cases: degenerate (zero-extent) boxes, rays grazing box faces,
+//! corners and edges, axis-aligned rays along box boundaries, the
+//! paper's diagonal rays on adversarial boxes, and a seeded sweep of
+//! dyadic-grid rays × boxes in 2-D and 3-D.
+
+use geom::{Point, Ray, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------
+// Exact rational arithmetic on dyadic f32 values.
+// ---------------------------------------------------------------------
+
+/// A rational `num / den` with `den > 0`, both `i128`.
+#[derive(Clone, Copy, Debug)]
+struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    const ZERO: Rat = Rat { num: 0, den: 1 };
+
+    /// Exact conversion: every finite f32 is `m · 2^p`.
+    fn from_f32(x: f32) -> Rat {
+        assert!(x.is_finite(), "exact reference needs finite input");
+        if x == 0.0 {
+            return Rat::ZERO;
+        }
+        let bits = x.to_bits();
+        let sign = if bits >> 31 == 1 { -1i128 } else { 1 };
+        let biased = ((bits >> 23) & 0xFF) as i32;
+        let frac = (bits & 0x7F_FFFF) as i128;
+        let (mut m, mut p) = if biased == 0 {
+            (frac, -126 - 23) // subnormal
+        } else {
+            (frac | (1 << 23), biased - 127 - 23)
+        };
+        // Normalize: fold the mantissa's trailing zeros into the
+        // exponent so e.g. TINY = 2^23 · 2^-149 reduces to 1 / 2^126.
+        let tz = (m.trailing_zeros() as i32).min(24);
+        m >>= tz;
+        p += tz;
+        if p >= 0 {
+            assert!(p <= 100, "exponent {p} outside the provable domain");
+            Rat {
+                num: sign * (m << p),
+                den: 1,
+            }
+        } else {
+            assert!(-p <= 126, "exponent {p} outside the provable domain");
+            Rat {
+                num: sign * m,
+                den: 1i128 << (-p),
+            }
+        }
+    }
+
+    fn sub(self, o: Rat) -> Rat {
+        Rat {
+            num: self
+                .num
+                .checked_mul(o.den)
+                .and_then(|a| o.num.checked_mul(self.den).and_then(|b| a.checked_sub(b)))
+                .expect("rational subtraction overflow: shrink the test domain"),
+            den: self.den.checked_mul(o.den).expect("denominator overflow"),
+        }
+    }
+
+    fn div(self, o: Rat) -> Rat {
+        assert!(o.num != 0, "division by zero");
+        let num = self
+            .num
+            .checked_mul(o.den)
+            .expect("rational division overflow");
+        let den = self
+            .den
+            .checked_mul(o.num)
+            .expect("rational division overflow");
+        if den < 0 {
+            Rat {
+                num: -num,
+                den: -den,
+            }
+        } else {
+            Rat { num, den }
+        }
+    }
+
+    /// `self <= o` via 256-bit cross multiplication (no overflow for any
+    /// pair of valid `Rat`s).
+    fn le(self, o: Rat) -> bool {
+        cmp_i256(mul_i256(self.num, o.den), mul_i256(o.num, self.den)).is_le()
+    }
+
+    fn lt(self, o: Rat) -> bool {
+        cmp_i256(mul_i256(self.num, o.den), mul_i256(o.num, self.den)).is_lt()
+    }
+
+    fn max(self, o: Rat) -> Rat {
+        if self.le(o) {
+            o
+        } else {
+            self
+        }
+    }
+
+    fn min(self, o: Rat) -> Rat {
+        if self.le(o) {
+            self
+        } else {
+            o
+        }
+    }
+}
+
+/// Signed 256-bit product of two i128s as (hi, lo).
+fn mul_i256(a: i128, b: i128) -> (i128, u128) {
+    let neg = (a < 0) != (b < 0);
+    let (ua, ub) = (a.unsigned_abs(), b.unsigned_abs());
+    // 128×128 → 256 via 64-bit limbs.
+    let (a0, a1) = (ua & u64::MAX as u128, ua >> 64);
+    let (b0, b1) = (ub & u64::MAX as u128, ub >> 64);
+    let ll = a0 * b0;
+    let lh = a0 * b1;
+    let hl = a1 * b0;
+    let hh = a1 * b1;
+    let mid = (ll >> 64) + (lh & u64::MAX as u128) + (hl & u64::MAX as u128);
+    let lo = (ll & u64::MAX as u128) | (mid << 64);
+    let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    if neg {
+        // Two's complement negate the 256-bit value.
+        let lo_n = (!lo).wrapping_add(1);
+        let hi_n = (!hi).wrapping_add(u128::from(lo == 0));
+        (hi_n as i128, lo_n)
+    } else {
+        (hi as i128, lo)
+    }
+}
+
+fn cmp_i256(a: (i128, u128), b: (i128, u128)) -> std::cmp::Ordering {
+    a.0.cmp(&b.0).then(a.1.cmp(&b.1))
+}
+
+// ---------------------------------------------------------------------
+// The exact slab test, mirroring `Ray::intersect_aabb` in ℚ.
+// ---------------------------------------------------------------------
+
+fn exact_hits_aabb<const D: usize>(ray: &Ray<f32, D>, r: &Rect<f32, D>) -> bool {
+    let mut t0 = Rat::from_f32(ray.tmin);
+    let mut t1 = Rat::from_f32(ray.tmax);
+    for d in 0..D {
+        let o = Rat::from_f32(ray.origin.coords[d]);
+        let dv = Rat::from_f32(ray.dir.coords[d]);
+        let lo = Rat::from_f32(r.min.coords[d]);
+        let hi = Rat::from_f32(r.max.coords[d]);
+        if dv.num == 0 {
+            if o.lt(lo) || hi.lt(o) {
+                return false;
+            }
+        } else {
+            let ta = lo.sub(o).div(dv);
+            let tb = hi.sub(o).div(dv);
+            let (ta, tb) = if ta.le(tb) { (ta, tb) } else { (tb, ta) };
+            t0 = t0.max(ta);
+            t1 = t1.min(tb);
+            if t1.lt(t0) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The contract: exact hit ⇒ conservative hit. (The converse may fail:
+/// the inflation admits grazes — that is the design.)
+fn assert_no_false_negative<const D: usize>(ray: &Ray<f32, D>, r: &Rect<f32, D>, label: &str) {
+    if exact_hits_aabb(ray, r) {
+        assert!(
+            ray.hits_aabb_conservative(r),
+            "{label}: conservative test missed a real intersection\n ray {ray:?}\n box {r:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic adversarial cases.
+// ---------------------------------------------------------------------
+
+#[test]
+fn degenerate_boxes_hit_by_rays_through_them() {
+    // Zero-extent boxes (the §4.2 deletion sentinel shape, and
+    // user-inserted point rects): a ray passing exactly through the
+    // point must never be missed.
+    for &(x, y) in &[
+        (0.0f32, 0.0f32),
+        (1.5, -2.25),
+        (1000.0, 1000.0),
+        (-0.015625, 0.25),
+    ] {
+        let b: Rect<f32, 2> = Rect::point(Point::xy(x, y));
+        // Point probe exactly at the degenerate box.
+        assert_no_false_negative(&Ray::point_probe(Point::xy(x, y)), &b, "probe-at-point");
+        // Horizontal ray through it.
+        let ray = Ray {
+            origin: Point::xy(x - 8.0, y),
+            dir: Point::xy(1.0, 0.0),
+            tmin: 0.0,
+            tmax: 16.0,
+        };
+        assert_no_false_negative(&ray, &b, "horizontal-through-point");
+        // Diagonal ray through it.
+        let ray = Ray {
+            origin: Point::xy(x - 4.0, y - 4.0),
+            dir: Point::xy(1.0, 1.0),
+            tmin: 0.0,
+            tmax: 8.0,
+        };
+        assert_no_false_negative(&ray, &b, "diagonal-through-point");
+    }
+}
+
+#[test]
+fn grazing_rays_along_faces_edges_and_corners() {
+    let b: Rect<f32, 2> = Rect::xyxy(-1.0, -1.0, 1.0, 1.0);
+    let grazes: Vec<(Ray<f32, 2>, &str)> = vec![
+        // Ray sliding along the top face.
+        (
+            Ray {
+                origin: Point::xy(-3.0, 1.0),
+                dir: Point::xy(1.0, 0.0),
+                tmin: 0.0,
+                tmax: 6.0,
+            },
+            "top-face",
+        ),
+        // Along the right face, downward.
+        (
+            Ray {
+                origin: Point::xy(1.0, 3.0),
+                dir: Point::xy(0.0, -1.0),
+                tmin: 0.0,
+                tmax: 6.0,
+            },
+            "right-face",
+        ),
+        // Diagonal through the corner only.
+        (
+            Ray {
+                origin: Point::xy(0.0, 2.0),
+                dir: Point::xy(1.0, -1.0),
+                tmin: 0.0,
+                tmax: 4.0,
+            },
+            "corner-pass",
+        ),
+        // Terminates exactly on the boundary.
+        (
+            Ray {
+                origin: Point::xy(-2.0, 0.0),
+                dir: Point::xy(1.0, 0.0),
+                tmin: 0.0,
+                tmax: 1.0,
+            },
+            "ends-on-face",
+        ),
+        // Starts exactly on the boundary, pointing away.
+        (
+            Ray {
+                origin: Point::xy(1.0, 0.0),
+                dir: Point::xy(1.0, 0.0),
+                tmin: 0.0,
+                tmax: 5.0,
+            },
+            "starts-on-face",
+        ),
+    ];
+    for (ray, label) in &grazes {
+        // All of these intersect in exact arithmetic (closed boxes).
+        assert!(
+            exact_hits_aabb(ray, &b),
+            "{label}: exact reference disagrees with setup"
+        );
+        assert_no_false_negative(ray, &b, label);
+    }
+}
+
+#[test]
+fn axis_aligned_rays_on_thin_slabs() {
+    // Boxes degenerate in one axis (zero height/width), probed along
+    // and across — the ulp-inflation must cover the zero-thickness
+    // dimension.
+    let flat: Rect<f32, 2> = Rect {
+        min: Point::xy(-4.0, 0.5),
+        max: Point::xy(4.0, 0.5),
+    };
+    let tall: Rect<f32, 2> = Rect {
+        min: Point::xy(0.5, -4.0),
+        max: Point::xy(0.5, 4.0),
+    };
+    let across = Ray {
+        origin: Point::xy(0.5, -2.0),
+        dir: Point::xy(0.0, 1.0),
+        tmin: 0.0,
+        tmax: 8.0,
+    };
+    let along = Ray {
+        origin: Point::xy(-8.0, 0.5),
+        dir: Point::xy(1.0, 0.0),
+        tmin: 0.0,
+        tmax: 16.0,
+    };
+    assert_no_false_negative(&across, &flat, "across-flat");
+    assert_no_false_negative(&along, &flat, "along-flat");
+    assert_no_false_negative(&across, &tall, "across-tall");
+    assert_no_false_negative(&along, &tall, "along-tall");
+}
+
+#[test]
+fn diagonal_rays_on_adversarial_boxes() {
+    // The paper's Range-Intersects casts box diagonals; sliver boxes
+    // far from the origin are where f32 slab tests lose ulps.
+    let cases: Vec<(Rect<f32, 2>, &str)> = vec![
+        (
+            Rect::xyxy(512.0, 512.0, 512.0_f32.next_up(), 512.0_f32.next_up()),
+            "far-sliver",
+        ),
+        (
+            Rect::xyxy(-1024.0, 767.9999, -1023.9999, 768.0),
+            "far-negative-sliver",
+        ),
+        (Rect::xyxy(0.0, 0.0, 1e-6, 1e-6), "micro-at-origin"),
+    ];
+    for (b, label) in &cases {
+        // Diagonal of the box itself (forward pass) — must self-hit.
+        let diag = Ray::from_segment(&geom::diagonal(b));
+        assert!(
+            exact_hits_aabb(&diag, b),
+            "{label}: exact self-diagonal must hit"
+        );
+        assert_no_false_negative(&diag, b, label);
+        // Anti-diagonal (backward pass).
+        let anti = Ray::from_segment(&geom::anti_diagonal(b));
+        assert_no_false_negative(&anti, b, label);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded sweeps on a dyadic grid (exact conversion guaranteed).
+// ---------------------------------------------------------------------
+
+/// Dyadic grid value `k / 256` with `|k| ≤ 2^20` — exactly
+/// representable in f32 and cheap to reason about in ℚ.
+fn grid(rng: &mut StdRng) -> f32 {
+    rng.gen_range(-(1i32 << 20)..=(1i32 << 20)) as f32 / 256.0
+}
+
+fn grid_dir(rng: &mut StdRng) -> f32 {
+    // Small integer direction components, zero included (axis-aligned).
+    rng.gen_range(-8i32..=8) as f32
+}
+
+#[test]
+fn seeded_sweep_2d_no_false_negatives() {
+    let mut rng = StdRng::seed_from_u64(0xC0157);
+    let mut exact_hits = 0usize;
+    for _ in 0..4000 {
+        let (a, b) = (grid(&mut rng), grid(&mut rng));
+        let (c, d) = (grid(&mut rng), grid(&mut rng));
+        let bx: Rect<f32, 2> = Rect::from_corners(Point::xy(a, b), Point::xy(c, d));
+        let mut dir = Point::xy(grid_dir(&mut rng), grid_dir(&mut rng));
+        if dir.coords == [0.0, 0.0] {
+            dir = Point::xy(1.0, 0.0);
+        }
+        let ray = Ray {
+            origin: Point::xy(grid(&mut rng), grid(&mut rng)),
+            dir,
+            tmin: 0.0,
+            tmax: rng.gen_range(1i32..=4096) as f32,
+        };
+        if exact_hits_aabb(&ray, &bx) {
+            exact_hits += 1;
+        }
+        assert_no_false_negative(&ray, &bx, "sweep-2d");
+    }
+    assert!(
+        exact_hits > 200,
+        "sweep degenerated: only {exact_hits} exact hits"
+    );
+}
+
+#[test]
+fn seeded_sweep_3d_no_false_negatives() {
+    let mut rng = StdRng::seed_from_u64(0xC0158);
+    let mut exact_hits = 0usize;
+    for _ in 0..3000 {
+        let min = Point::xyz(grid(&mut rng), grid(&mut rng), grid(&mut rng));
+        let max = Point::xyz(grid(&mut rng), grid(&mut rng), grid(&mut rng));
+        let bx: Rect<f32, 3> = Rect::from_corners(min, max);
+        let mut dir = Point::xyz(grid_dir(&mut rng), grid_dir(&mut rng), grid_dir(&mut rng));
+        if dir.coords == [0.0, 0.0, 0.0] {
+            dir = Point::xyz(0.0, 0.0, 1.0);
+        }
+        let ray = Ray {
+            origin: Point::xyz(grid(&mut rng), grid(&mut rng), grid(&mut rng)),
+            dir,
+            tmin: 0.0,
+            tmax: rng.gen_range(1i32..=4096) as f32,
+        };
+        if exact_hits_aabb(&ray, &bx) {
+            exact_hits += 1;
+        }
+        assert_no_false_negative(&ray, &bx, "sweep-3d");
+    }
+    assert!(
+        exact_hits > 100,
+        "sweep degenerated: only {exact_hits} exact hits"
+    );
+}
+
+#[test]
+fn seeded_sweep_point_probes_on_grid_boxes() {
+    // Point probes (tmax = TINY) against boxes whose boundary passes
+    // exactly through the probe — the §3.1 translation's sharpest edge.
+    let mut rng = StdRng::seed_from_u64(0xC0159);
+    for _ in 0..3000 {
+        let (a, b) = (grid(&mut rng), grid(&mut rng));
+        let (c, d) = (grid(&mut rng), grid(&mut rng));
+        let bx: Rect<f32, 2> = Rect::from_corners(Point::xy(a, b), Point::xy(c, d));
+        // Half the probes sit exactly on a corner or edge of the box.
+        let p = if rng.gen_bool(0.5) {
+            Point::xy(grid(&mut rng), grid(&mut rng))
+        } else {
+            match rng.gen_range(0..4u32) {
+                0 => bx.min,
+                1 => bx.max,
+                2 => Point::xy(bx.min.x(), bx.max.y()),
+                _ => Point::xy((bx.min.x() + bx.max.x()) / 2.0, bx.min.y()),
+            }
+        };
+        assert_no_false_negative(&Ray::point_probe(p), &bx, "point-probe");
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline shim for `criterion` (see `crates/shims/README.md`).
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! `BenchmarkId`, `sample_size` — over a plain `Instant`-based loop
+//! that reports mean wall time per iteration. No statistics engine,
+//! no HTML reports; `cargo bench` still runs every workload and prints
+//! one line per benchmark.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Returns its argument, hindering const-propagation. Re-exported for
+/// API compatibility; benches in this workspace use `std::hint`.
+pub use std::hint::black_box;
+
+/// Controls how `iter_batched` amortizes setup cost. The shim runs one
+/// routine call per setup call regardless of the hint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut label = function_name.into();
+        let _ = write!(label, "/{parameter}");
+        Self { label }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Names accepted where criterion takes `impl Into<BenchmarkId>`.
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Measurement driver passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `samples` times after one warm-up call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.last_mean = start.elapsed() / self.samples as u32;
+    }
+
+    /// Times `routine` over fresh state from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.last_mean = total / self.samples as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time. Accepted and ignored — the
+    /// shim's sample count alone bounds runtime.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, self.samples, f);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Parses command-line configuration. The shim accepts and ignores
+    /// criterion's flags (cargo bench passes e.g. `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let label = id.to_string();
+        run_one(self, &label, 10, f);
+        self
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(_c: &mut Criterion, label: &str, samples: usize, f: F) {
+    let mut b = Bencher {
+        samples,
+        last_mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("bench {label:<60} {:>12.3?}/iter", b.last_mean);
+}
+
+/// Declares a benchmark group the way criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point the way criterion does.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("plain", |b| b.iter(|| calls += 1));
+        }
+        // warm-up + 3 samples
+        assert_eq!(calls, 4);
+
+        let data = vec![1, 2, 3];
+        let mut g = c.benchmark_group("g2");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter_batched(
+                || d.clone(),
+                |v| v.iter().sum::<i32>(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,556 @@
+//! Offline shim for `proptest` (see `crates/shims/README.md`).
+//!
+//! A deterministic property-testing harness with the proptest API
+//! subset this workspace uses: the `proptest!` macro, range and tuple
+//! strategies, `prop_map`, `prop::collection::vec`, `prop::sample::
+//! select`, `any::<T>()`, `prop_assert*!`, `prop_assume!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, on purpose:
+//!
+//! * **Deterministic by default.** Case seeds derive from the test's
+//!   `module_path!()::name` and the case index, so every run explores
+//!   the same inputs — CI failures always reproduce locally. Set
+//!   `PROPTEST_SEED=<u64>` to explore a different universe, and
+//!   `PROPTEST_CASES=<n>` to scale case counts globally.
+//! * **No shrinking.** A failing case panics with the full `Debug`
+//!   rendering of its inputs plus the seed that regenerates it.
+//! * **No persistence.** `*.proptest-regressions` hashes encode
+//!   upstream's RNG stream and cannot be replayed here; pinned
+//!   regressions are replayed as explicit unit tests instead (see
+//!   `crates/core/tests/proptest_index.rs`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// RNG handed to strategies while generating one test case.
+pub struct TestRng(StdRng);
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is not counted.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+/// Result type the generated test body returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// Generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (rejects the case otherwise).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`]. Retries
+/// generation a bounded number of times before giving up.
+#[derive(Clone, Copy, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1024 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter: predicate rejected 1024 draws: {}",
+            self.reason
+        );
+    }
+}
+
+/// Strategy that always yields a clone of a fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    (int: $($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(int: u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `proptest::prelude::any::<T>()` — the unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The `prop::` strategy combinator namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Size specifications accepted by [`vec`].
+        pub trait IntoVecSize {
+            /// Draws a concrete length.
+            fn draw_len(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl IntoVecSize for usize {
+            fn draw_len(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl IntoVecSize for std::ops::Range<usize> {
+            fn draw_len(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl IntoVecSize for std::ops::RangeInclusive<usize> {
+            fn draw_len(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct VecStrategy<S, L> {
+            elem: S,
+            size: L,
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy, L: IntoVecSize>(elem: S, size: L) -> VecStrategy<S, L> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy, L: IntoVecSize> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.draw_len(rng);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy choosing uniformly from a fixed set.
+        #[derive(Clone, Debug)]
+        pub struct Select<T>(Vec<T>);
+
+        /// `prop::sample::select(options)`.
+        pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select: empty option set");
+            Select(options)
+        }
+
+        impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Executes one property: called by the code `proptest!` expands to.
+///
+/// `f` returns the `Debug` rendering of the generated inputs plus the
+/// body's verdict for one case.
+pub fn run_proptest<F>(name: &str, config: &ProptestConfig, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+{
+    let universe = env_u64("PROPTEST_SEED").unwrap_or(0);
+    let cases = env_u64("PROPTEST_CASES")
+        .map(|c| c as u32)
+        .unwrap_or(config.cases)
+        .max(1);
+    let base = fnv1a(name) ^ universe;
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let mut stream = 0u64;
+    while passed < cases {
+        let case_seed = base.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        stream += 1;
+        let mut rng = TestRng(StdRng::seed_from_u64(case_seed));
+        let (repr, verdict) = f(&mut rng);
+        match verdict {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= 256 * cases as u64,
+                    "proptest shim: {name}: too many prop_assume rejections \
+                     ({rejected} while targeting {cases} cases)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest shim: property {name} failed at case {passed} \
+                 (case seed {case_seed:#x}; rerun is deterministic)\n\
+                 inputs: {repr}\n{msg}"
+            ),
+        }
+    }
+}
+
+/// The `proptest!` test-suite macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::run_proptest(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &__config,
+                    |__rng| {
+                        let __values = $crate::Strategy::generate(&($($strat,)+), __rng);
+                        let __repr = format!("{:?}", &__values);
+                        let __verdict = (|| -> $crate::TestCaseResult {
+                            let ($($pat,)+) = __values;
+                            { $body }
+                            Ok(())
+                        })();
+                        (__repr, __verdict)
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, -1.0f32..1.0), n in 1usize..5) {
+            prop_assert!(a < 10);
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn collections_and_map(
+            v in prop::collection::vec((0i32..100).prop_map(|x| x * 2), 0..20),
+            pick in prop::sample::select(vec![1u8, 3, 5]),
+            raw in any::<u32>(),
+        ) {
+            prop_assert!(v.iter().all(|x| x % 2 == 0));
+            prop_assert!(pick % 2 == 1);
+            prop_assume!(raw != 0);
+            prop_assert_ne!(raw, 0);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut first = vec![];
+        let mut second = vec![];
+        for out in [&mut first, &mut second] {
+            crate::run_proptest(
+                "determinism_probe",
+                &ProptestConfig::with_cases(10),
+                |rng| {
+                    let v = crate::Strategy::generate(&(0u32..1000,), rng);
+                    out.push(v.0);
+                    (String::new(), Ok(()))
+                },
+            );
+        }
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failure_reports_inputs() {
+        crate::run_proptest("always_fails", &ProptestConfig::with_cases(4), |rng| {
+            let v = crate::Strategy::generate(&(0u32..10,), rng);
+            (format!("{:?}", v), Err(crate::TestCaseError::fail("boom")))
+        });
+    }
+}

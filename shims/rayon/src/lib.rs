@@ -1,0 +1,161 @@
+//! Offline shim for `rayon` (see `crates/shims/README.md`).
+//!
+//! The shim executes every "parallel" iterator **sequentially on the
+//! calling thread**. That choice is deliberate beyond the offline
+//! constraint: the conformance engine (crates/conformance) pins
+//! byte-exact result ordering and `rtcore` hardware-counter budgets,
+//! and a sequential substrate makes both fully deterministic. All
+//! combinators keep rayon's semantics (same elements, same final
+//! ordering guarantees — rayon's `collect`/`sum` are order-stable for
+//! indexed iterators, and the sequential order satisfies that trivially).
+//!
+//! `ParIter` implements `Iterator`, so the std adapter vocabulary
+//! (`step_by`, `map`, `enumerate`, `for_each`, `sum`, …) applies
+//! unchanged; rayon-only combinators used by the workspace
+//! (`map_init`, `with_min_len`) are provided as inherent methods.
+
+/// Wrapper marking an iterator as "parallel". Purely sequential here.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// rayon's `map_init`: per-"thread" scratch state threaded through the
+    /// mapping closure. Sequentially there is exactly one state.
+    #[inline]
+    pub fn map_init<S, R>(
+        self,
+        init: impl FnOnce() -> S,
+        mut f: impl FnMut(&mut S, I::Item) -> R,
+    ) -> impl Iterator<Item = R> {
+        let mut state = init();
+        self.0.map(move |item| f(&mut state, item))
+    }
+
+    /// rayon's `with_min_len`: a splitting hint, meaningless sequentially.
+    #[inline]
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// `rayon::prelude` — the traits that add `par_iter`-style methods.
+pub mod prelude {
+    use super::ParIter;
+
+    /// Owned conversion into a "parallel" iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Borrowed conversion (`par_iter`) plus the parallel slice sorts.
+    pub trait ParallelSliceExt<T> {
+        /// Sequential stand-in for `par_iter()`.
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+        /// Sequential stand-in for `par_iter_mut()`.
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+        /// Sequential stand-in for `par_sort_unstable_by`.
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F);
+        /// Sequential stand-in for `par_sort_unstable_by_key`.
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    }
+
+    impl<T> ParallelSliceExt<T> for [T] {
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+            ParIter(self.iter())
+        }
+
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+            ParIter(self.iter_mut())
+        }
+
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F) {
+            self.sort_unstable_by(cmp);
+        }
+
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+            self.sort_unstable_by_key(key);
+        }
+
+        fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+            ParIter(self.chunks(size))
+        }
+    }
+}
+
+/// Index of the current worker thread. Sequentially there is no pool,
+/// matching rayon's behaviour outside a pool: `None`.
+#[inline]
+pub fn current_thread_index() -> Option<usize> {
+    None
+}
+
+/// rayon's fork–join primitive, evaluated sequentially.
+#[inline]
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_chain_matches_sequential() {
+        let v = [3u64, 1, 2];
+        let s: u64 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(s, 12);
+        let doubled: Vec<u64> = (0..4u64).into_par_iter().step_by(2).collect();
+        assert_eq!(doubled, vec![0, 2]);
+    }
+
+    #[test]
+    fn map_init_threads_state() {
+        let out: Vec<usize> = [1, 2, 3]
+            .par_iter()
+            .map_init(Vec::<u32>::new, |buf, &x| {
+                buf.push(x);
+                buf.len() * x as usize
+            })
+            .collect();
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn par_sorts() {
+        let mut v = vec![3, 1, 2];
+        v.par_sort_unstable_by(|a, b| a.cmp(b));
+        assert_eq!(v, vec![1, 2, 3]);
+        v.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        assert_eq!(v, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        assert_eq!(super::join(|| 1, || 2), (1, 2));
+        assert_eq!(super::current_thread_index(), None);
+    }
+}

@@ -1,0 +1,70 @@
+//! Compile-and-run smoke tests for every `examples/` binary, so the
+//! examples can never silently rot: `cargo test` already compiles
+//! them; this test also executes each one and checks it exits cleanly
+//! with non-empty output.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "custom_data",
+    "flood_risk",
+    "pip_geofencing",
+    "dynamic_fleet",
+    "airspace_3d",
+];
+
+/// `target/<profile>/examples`, derived from this test binary's own
+/// location (`target/<profile>/deps/<test>-<hash>`).
+fn examples_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test binary path");
+    exe.parent()
+        .and_then(|deps| deps.parent())
+        .expect("deps dir inside target profile dir")
+        .join("examples")
+}
+
+fn ensure_built() {
+    let dir = examples_dir();
+    if EXAMPLES.iter().all(|e| dir.join(e).exists()) {
+        return;
+    }
+    // Fallback for direct `cargo test --test examples_smoke` runs where
+    // example targets were not requested: build them once.
+    let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
+    let status = Command::new(cargo)
+        .args(["build", "--examples"])
+        .status()
+        .expect("spawning cargo build --examples");
+    assert!(status.success(), "cargo build --examples failed");
+}
+
+#[test]
+fn all_examples_run_to_completion() {
+    ensure_built();
+    let dir = examples_dir();
+    let mut failures = Vec::new();
+    for name in EXAMPLES {
+        let bin = dir.join(name);
+        match Command::new(&bin).output() {
+            Err(e) => failures.push(format!("{name}: failed to spawn {}: {e}", bin.display())),
+            Ok(out) => {
+                if !out.status.success() {
+                    failures.push(format!(
+                        "{name}: exited with {:?}\nstderr:\n{}",
+                        out.status.code(),
+                        String::from_utf8_lossy(&out.stderr)
+                    ));
+                } else if out.stdout.is_empty() {
+                    failures.push(format!("{name}: produced no output"));
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "example smoke failures:\n  {}",
+        failures.join("\n  ")
+    );
+}
