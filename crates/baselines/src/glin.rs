@@ -158,14 +158,7 @@ impl<C: Coord> Glin<C> {
     /// Batch Range-Contains over all cores.
     pub fn batch_contains(&self, queries: &[Rect<C, 2>]) -> QueryTiming {
         let start = Instant::now();
-        let results: u64 = queries
-            .par_iter()
-            .map_init(Vec::new, |buf, q| {
-                buf.clear();
-                self.query_contains(q, buf);
-                buf.len() as u64
-            })
-            .sum();
+        let results = crate::batch_count(queries, |q, buf| self.query_contains(q, buf));
         QueryTiming {
             results,
             wall_time: start.elapsed(),
@@ -176,14 +169,7 @@ impl<C: Coord> Glin<C> {
     /// Batch Range-Intersects over all cores.
     pub fn batch_intersects(&self, queries: &[Rect<C, 2>]) -> QueryTiming {
         let start = Instant::now();
-        let results: u64 = queries
-            .par_iter()
-            .map_init(Vec::new, |buf, q| {
-                buf.clear();
-                self.query_intersects(q, buf);
-                buf.len() as u64
-            })
-            .sum();
+        let results = crate::batch_count(queries, |q, buf| self.query_intersects(q, buf));
         QueryTiming {
             results,
             wall_time: start.elapsed(),

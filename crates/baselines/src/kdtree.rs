@@ -8,7 +8,6 @@
 use std::time::Instant;
 
 use geom::{Coord, Point, Rect};
-use rayon::prelude::*;
 
 use crate::QueryTiming;
 
@@ -187,14 +186,7 @@ impl<C: Coord> KdTree<C> {
     /// strategy of the point-indexing baselines (§6.2).
     pub fn batch_point_query_inverted(&self, rects: &[Rect<C, 2>]) -> QueryTiming {
         let start = Instant::now();
-        let results: u64 = rects
-            .par_iter()
-            .map_init(Vec::new, |buf, r| {
-                buf.clear();
-                self.query_rect(r, buf);
-                buf.len() as u64
-            })
-            .sum();
+        let results = crate::batch_count(rects, |r, buf| self.query_rect(r, buf));
         QueryTiming {
             results,
             wall_time: start.elapsed(),

@@ -9,8 +9,7 @@
 use std::time::Instant;
 
 use geom::{Coord, Point, Ray, Rect};
-use rayon::prelude::*;
-use rtcore::{BuildQuality, Bvh, Control, CostModel, RayStats, TraversalBackend, WARP_SIZE};
+use rtcore::{BuildQuality, Bvh, Control, CostModel, RayStats, TraversalBackend};
 
 use crate::QueryTiming;
 
@@ -136,34 +135,16 @@ impl<C: Coord> Lbvh<C> {
         F: Fn(usize, &mut Vec<u32>, &mut RayStats) + Sync,
     {
         let start = Instant::now();
-        let per_warp: Vec<(u64, Vec<f64>)> = (0..width)
-            .into_par_iter()
-            .step_by(WARP_SIZE)
-            .map(|warp_start| {
-                let mut results = 0u64;
-                let mut lanes = Vec::with_capacity(WARP_SIZE);
-                let mut buf = Vec::new();
-                for lane in 0..WARP_SIZE.min(width - warp_start) {
-                    let mut stats = RayStats::default();
-                    buf.clear();
-                    run(warp_start + lane, &mut buf, &mut stats);
-                    results += buf.len() as u64;
-                    stats.hits_reported = buf.len() as u64;
-                    lanes.push(self.model.ray_time_ns(&stats, TraversalBackend::Software));
-                }
-                (results, lanes)
-            })
-            .collect();
-        let mut results = 0;
-        let mut lane_times = Vec::with_capacity(width);
-        for (r, lanes) in &per_warp {
-            results += r;
-            lane_times.extend_from_slice(lanes);
-        }
+        let (results, device_time) = crate::batch_warp_priced(width, &self.model, |i, buf| {
+            let mut stats = RayStats::default();
+            run(i, buf, &mut stats);
+            stats.hits_reported = buf.len() as u64;
+            (buf.len() as u64, stats)
+        });
         QueryTiming {
             results,
             wall_time: start.elapsed(),
-            device_time: Some(self.model.device_time(&lane_times)),
+            device_time: Some(device_time),
         }
     }
 

@@ -13,9 +13,12 @@
 //! | RayJoin | [`rayjoin`] | RT-based segment-level PIP |
 //!
 //! CPU baselines parallelize read-only query batches over all cores with
-//! rayon, mirroring §6.1 ("we evenly distribute all queries across all
-//! CPU cores"). GPU baselines (LBVH, quadtree, RayJoin) also report
-//! simulated device time through `rtcore`'s SIMT cost model.
+//! the `exec` work-stealing pool, mirroring §6.1 ("we evenly distribute
+//! all queries across all CPU cores"). GPU baselines (LBVH, quadtree,
+//! RayJoin) also report simulated device time through `rtcore`'s SIMT
+//! cost model. Both fan-out shapes below are thread-count invariant:
+//! result counts are commutative u64 sums, and priced lane times land in
+//! order-stable warp slots.
 
 #![warn(missing_docs)]
 
@@ -38,4 +41,64 @@ pub struct QueryTiming {
     pub wall_time: Duration,
     /// Simulated device time, for baselines that model a GPU.
     pub device_time: Option<Duration>,
+}
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rtcore::{CostModel, RayStats, TraversalBackend, WARP_SIZE};
+
+/// Parallel count-sum over a query batch: `per_item` answers one query
+/// into a per-chunk scratch buffer; the returned total is a commutative
+/// u64 sum, hence thread-count invariant.
+pub(crate) fn batch_count<T: Sync>(
+    items: &[T],
+    per_item: impl Fn(&T, &mut Vec<u32>) + Sync,
+) -> u64 {
+    let total = AtomicU64::new(0);
+    exec::for_each_chunk(items.len(), 64, |range| {
+        let mut buf = Vec::new();
+        let mut acc = 0u64;
+        for i in range {
+            buf.clear();
+            per_item(&items[i], &mut buf);
+            acc += buf.len() as u64;
+        }
+        total.fetch_add(acc, Ordering::Relaxed);
+    });
+    total.into_inner()
+}
+
+/// Warp-chunked parallel batch with software SIMT pricing: `per_lane`
+/// answers query `i` into the scratch buffer and returns `(results,
+/// stats)`. Lane times are written to order-stable per-warp slots and
+/// folded sequentially, so the priced device time (and the result count,
+/// a commutative sum) is identical at any thread count.
+pub(crate) fn batch_warp_priced(
+    width: usize,
+    model: &CostModel,
+    per_lane: impl Fn(usize, &mut Vec<u32>) -> (u64, RayStats) + Sync,
+) -> (u64, Duration) {
+    let n_warps = width.div_ceil(WARP_SIZE);
+    let results = AtomicU64::new(0);
+    let per_warp: Vec<[f64; WARP_SIZE]> = exec::map_collect(n_warps, 4, |w| {
+        let warp_start = w * WARP_SIZE;
+        let mut lanes = [0.0f64; WARP_SIZE];
+        let mut buf = Vec::new();
+        let mut acc = 0u64;
+        let count = WARP_SIZE.min(width - warp_start);
+        for (lane, slot) in lanes.iter_mut().enumerate().take(count) {
+            buf.clear();
+            let (r, stats) = per_lane(warp_start + lane, &mut buf);
+            acc += r;
+            *slot = model.ray_time_ns(&stats, TraversalBackend::Software);
+        }
+        results.fetch_add(acc, Ordering::Relaxed);
+        lanes
+    });
+    let mut lane_times = Vec::with_capacity(n_warps * WARP_SIZE);
+    for lanes in &per_warp {
+        lane_times.extend_from_slice(lanes);
+    }
+    lane_times.truncate(width);
+    (results.into_inner(), model.device_time(&lane_times))
 }

@@ -9,8 +9,7 @@
 use std::time::Instant;
 
 use geom::{Coord, Point, Polygon, Rect};
-use rayon::prelude::*;
-use rtcore::{CostModel, RayStats, TraversalBackend, WARP_SIZE};
+use rtcore::{CostModel, RayStats, TraversalBackend};
 
 use crate::QueryTiming;
 
@@ -137,37 +136,20 @@ impl<C: Coord> QuadTree<C> {
     /// probe the point tree. Results counted; software device pricing.
     pub fn batch_point_query_inverted(&self, rects: &[Rect<C, 2>]) -> QueryTiming {
         let start = Instant::now();
-        let per_warp: Vec<(u64, Vec<f64>)> = (0..rects.len())
-            .into_par_iter()
-            .step_by(WARP_SIZE)
-            .map(|warp_start| {
-                let mut results = 0u64;
-                let mut lanes = Vec::with_capacity(WARP_SIZE);
-                let mut buf = Vec::new();
-                for lane in 0..WARP_SIZE.min(rects.len() - warp_start) {
-                    let mut stats = RayStats {
-                        rays: 1,
-                        ..Default::default()
-                    };
-                    buf.clear();
-                    self.query_rect(&rects[warp_start + lane], &mut buf, &mut stats);
-                    stats.hits_reported = buf.len() as u64;
-                    results += buf.len() as u64;
-                    lanes.push(self.model.ray_time_ns(&stats, TraversalBackend::Software));
-                }
-                (results, lanes)
-            })
-            .collect();
-        let mut results = 0;
-        let mut lane_times = Vec::new();
-        for (r, lanes) in &per_warp {
-            results += r;
-            lane_times.extend_from_slice(lanes);
-        }
+        let (results, device_time) =
+            crate::batch_warp_priced(rects.len(), &self.model, |i, buf| {
+                let mut stats = RayStats {
+                    rays: 1,
+                    ..Default::default()
+                };
+                self.query_rect(&rects[i], buf, &mut stats);
+                stats.hits_reported = buf.len() as u64;
+                (buf.len() as u64, stats)
+            });
         QueryTiming {
             results,
             wall_time: start.elapsed(),
-            device_time: Some(self.model.device_time(&lane_times)),
+            device_time: Some(device_time),
         }
     }
 
@@ -175,44 +157,29 @@ impl<C: Coord> QuadTree<C> {
     /// point tree, then run the exact test on candidates.
     pub fn batch_pip(&self, polygons: &[Polygon<C>]) -> QueryTiming {
         let start = Instant::now();
-        let per_warp: Vec<(u64, Vec<f64>)> = (0..polygons.len())
-            .into_par_iter()
-            .step_by(WARP_SIZE)
-            .map(|warp_start| {
-                let mut results = 0u64;
-                let mut lanes = Vec::with_capacity(WARP_SIZE);
-                let mut buf = Vec::new();
-                for lane in 0..WARP_SIZE.min(polygons.len() - warp_start) {
-                    let poly = &polygons[warp_start + lane];
-                    let mut stats = RayStats {
-                        rays: 1,
-                        ..Default::default()
-                    };
-                    buf.clear();
-                    self.query_rect(&poly.bounds(), &mut buf, &mut stats);
-                    // Exact test: edge-count work is SM (IS-priced) work.
-                    for &pid in &buf {
-                        stats.is_calls += poly.len() as u64;
-                        if poly.contains_point(&self.points[pid as usize]) {
-                            results += 1;
-                            stats.hits_reported += 1;
-                        }
+        let (results, device_time) =
+            crate::batch_warp_priced(polygons.len(), &self.model, |i, buf| {
+                let poly = &polygons[i];
+                let mut stats = RayStats {
+                    rays: 1,
+                    ..Default::default()
+                };
+                self.query_rect(&poly.bounds(), buf, &mut stats);
+                // Exact test: edge-count work is SM (IS-priced) work.
+                let mut hits = 0u64;
+                for &pid in buf.iter() {
+                    stats.is_calls += poly.len() as u64;
+                    if poly.contains_point(&self.points[pid as usize]) {
+                        hits += 1;
+                        stats.hits_reported += 1;
                     }
-                    lanes.push(self.model.ray_time_ns(&stats, TraversalBackend::Software));
                 }
-                (results, lanes)
-            })
-            .collect();
-        let mut results = 0;
-        let mut lane_times = Vec::new();
-        for (r, lanes) in &per_warp {
-            results += r;
-            lane_times.extend_from_slice(lanes);
-        }
+                (hits, stats)
+            });
         QueryTiming {
             results,
             wall_time: start.elapsed(),
-            device_time: Some(self.model.device_time(&lane_times)),
+            device_time: Some(device_time),
         }
     }
 

@@ -3,8 +3,8 @@
 //!
 //! Construction uses Sort-Tile-Recursive (STR) bulk loading; dynamic
 //! insertion uses Guttman's quadratic split. Queries run the classical
-//! bounding-box descent and parallelize over the batch with rayon, as
-//! §6.1 does for all CPU baselines.
+//! bounding-box descent and parallelize over the batch on the `exec`
+//! work-stealing pool, as §6.1 does for all CPU baselines.
 
 use std::time::Instant;
 
@@ -458,14 +458,7 @@ impl<C: Coord> RTree<C> {
     /// Batch point query over all cores; returns count + wall time.
     pub fn batch_point_query(&self, points: &[Point<C, 2>]) -> QueryTiming {
         let start = Instant::now();
-        let results: u64 = points
-            .par_iter()
-            .map_init(Vec::new, |buf, p| {
-                buf.clear();
-                self.query_point(p, buf);
-                buf.len() as u64
-            })
-            .sum();
+        let results = crate::batch_count(points, |p, buf| self.query_point(p, buf));
         QueryTiming {
             results,
             wall_time: start.elapsed(),
@@ -476,14 +469,7 @@ impl<C: Coord> RTree<C> {
     /// Batch Range-Contains query.
     pub fn batch_contains(&self, queries: &[Rect<C, 2>]) -> QueryTiming {
         let start = Instant::now();
-        let results: u64 = queries
-            .par_iter()
-            .map_init(Vec::new, |buf, q| {
-                buf.clear();
-                self.query_contains(q, buf);
-                buf.len() as u64
-            })
-            .sum();
+        let results = crate::batch_count(queries, |q, buf| self.query_contains(q, buf));
         QueryTiming {
             results,
             wall_time: start.elapsed(),
@@ -494,14 +480,7 @@ impl<C: Coord> RTree<C> {
     /// Batch Range-Intersects query.
     pub fn batch_intersects(&self, queries: &[Rect<C, 2>]) -> QueryTiming {
         let start = Instant::now();
-        let results: u64 = queries
-            .par_iter()
-            .map_init(Vec::new, |buf, q| {
-                buf.clear();
-                self.query_intersects(q, buf);
-                buf.len() as u64
-            })
-            .sum();
+        let results = crate::batch_count(queries, |q, buf| self.query_intersects(q, buf));
         QueryTiming {
             results,
             wall_time: start.elapsed(),

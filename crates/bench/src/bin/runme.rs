@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use baselines::{lbvh::Lbvh, rtree::RTree};
-use bench::{figures, EvalConfig};
+use bench::{figures, EvalConfig, PerfReport};
 use datasets::{queries, Dataset};
 use librts::{CountingHandler, Predicate, RTSIndex};
 
@@ -35,10 +35,11 @@ fn main() {
     }
     println!("LibRTS reproduction — artifact evaluation runner");
     println!(
-        "host: {} logical CPUs, simulated RT device (see DESIGN.md §2)\n",
+        "host: {} logical CPUs, {} executor threads (LIBRTS_THREADS), simulated RT device (see DESIGN.md §2)\n",
         std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
+            .unwrap_or(1),
+        exec::current_threads()
     );
 
     // ---- Stage 1: smoke verification -----------------------------------
@@ -77,6 +78,11 @@ fn main() {
         iqs.len()
     );
     if smoke_only {
+        // Still emit the perf artifact: the executor scaling study runs
+        // at smoke scale so CI gets a BENCH_perf.json from every mode.
+        let mut perf = PerfReport::new("runme", &cfg);
+        perf.intersects_scaling(&cfg);
+        perf.write("BENCH_perf.json");
         return;
     }
 
@@ -89,22 +95,25 @@ fn main() {
         "regenerating all tables and figures (scale 1/{}, queries 1/{}, seed {})...",
         cfg.scale, cfg.query_div, cfg.seed
     );
-    figures::table1().print();
-    figures::table2(&cfg).print();
-    figures::fig6a(&cfg).print();
-    figures::fig6b(&cfg).print();
-    figures::fig7a(&cfg).print();
-    figures::fig7b(&cfg).print();
-    for t in figures::fig8(&cfg) {
+    let mut perf = PerfReport::new("runme", &cfg);
+    perf.record("table1", figures::table1).print();
+    perf.record("table2", || figures::table2(&cfg)).print();
+    perf.record("fig6a", || figures::fig6a(&cfg)).print();
+    perf.record("fig6b", || figures::fig6b(&cfg)).print();
+    perf.record("fig7a", || figures::fig7a(&cfg)).print();
+    perf.record("fig7b", || figures::fig7b(&cfg)).print();
+    for t in perf.record("fig8", || figures::fig8(&cfg)) {
         t.print();
     }
-    figures::fig8d(&cfg).print();
-    figures::fig9a(&cfg).print();
-    figures::fig9b(&cfg).print();
-    figures::fig10a(&cfg).print();
-    figures::fig10b(&cfg).print();
-    figures::fig10c(&cfg).print();
-    figures::fig11(&cfg).print();
-    figures::fig12(&cfg).print();
+    perf.record("fig8d", || figures::fig8d(&cfg)).print();
+    perf.record("fig9a", || figures::fig9a(&cfg)).print();
+    perf.record("fig9b", || figures::fig9b(&cfg)).print();
+    perf.record("fig10a", || figures::fig10a(&cfg)).print();
+    perf.record("fig10b", || figures::fig10b(&cfg)).print();
+    perf.record("fig10c", || figures::fig10c(&cfg)).print();
+    perf.record("fig11", || figures::fig11(&cfg)).print();
+    perf.record("fig12", || figures::fig12(&cfg)).print();
+    perf.intersects_scaling(&cfg);
+    perf.write("BENCH_perf.json");
     println!("\nall experiments completed; see EXPERIMENTS.md for interpretation.");
 }

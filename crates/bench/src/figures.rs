@@ -11,6 +11,7 @@
 //! Construction times are not divided (§6.6: sequential CPU builds).
 //! EXPERIMENTS.md interprets the shapes.
 
+use std::cell::Cell;
 use std::time::Duration;
 
 use baselines::{
@@ -42,6 +43,28 @@ const PIP_DATASETS: [Dataset; 4] = [
 
 fn librts_index(rects: &[Rect<f32, 2>]) -> RTSIndex<f32> {
     RTSIndex::with_rects(rects, IndexOptions::default()).expect("generated data is valid")
+}
+
+thread_local! {
+    /// Running tally of LibRTS simulated-device time, drained per figure
+    /// by [`take_model_time`] for the `BENCH_perf.json` artifact.
+    static MODEL_TIME_NS: Cell<u128> = const { Cell::new(0) };
+}
+
+/// Adds a simulated-device duration to the current figure's tally.
+fn note_model(d: Duration) {
+    MODEL_TIME_NS.with(|c| c.set(c.get() + d.as_nanos()));
+}
+
+/// Drains the LibRTS model-time tally accumulated since the last call.
+/// `bench::perf` wraps every figure runner with this to attribute
+/// simulated-device time per figure.
+pub fn take_model_time() -> Duration {
+    MODEL_TIME_NS.with(|c| {
+        let ns = c.get();
+        c.set(0);
+        Duration::from_nanos(ns.min(u64::MAX as u128) as u64)
+    })
 }
 
 /// Cores of the paper's CPU testbed (2× AMD EPYC 7713). Query batches
@@ -218,6 +241,7 @@ fn point_query_row(rects: &[Rect<f32, 2>], pts: &[Point<f32, 2>]) -> Vec<String>
     assert_eq!(lb.results, h.count(), "LBVH vs LibRTS result mismatch");
 
     let rts_time = rts.device_time();
+    note_model(rts_time);
     let best_cpu = cpu_parallel(
         [pargeo.wall_time, cgal.wall_time, boost.wall_time]
             .into_iter()
@@ -290,6 +314,7 @@ fn contains_row(rects: &[Rect<f32, 2>], qs: &[Rect<f32, 2>]) -> Vec<String> {
     assert_eq!(l.results, h.count(), "LBVH vs LibRTS mismatch");
 
     let rts_time = r.device_time();
+    note_model(rts_time);
     vec![
         fmt_dur(cpu_parallel(g.wall_time)),
         fmt_dur(cpu_parallel(b.wall_time)),
@@ -365,6 +390,7 @@ fn intersects_row(rects: &[Rect<f32, 2>], qs: &[Rect<f32, 2>]) -> Vec<String> {
     assert_eq!(l.results, h.count(), "LBVH vs LibRTS mismatch");
 
     let rts_time = r.device_time();
+    note_model(rts_time);
     let best_other = l
         .device_time
         .unwrap()
@@ -412,6 +438,7 @@ pub fn fig9a(cfg: &EvalConfig) -> Table {
             let h = CountingHandler::new();
             let r = index.range_intersects_with_k(&qs, &h, k);
             let time = r.device_time();
+            note_model(time);
             if time < best.1 {
                 best = (k, time);
             }
@@ -420,6 +447,7 @@ pub fn fig9a(cfg: &EvalConfig) -> Table {
         // The cost model's own pick.
         let h = CountingHandler::new();
         let auto = index.range_query(Predicate::Intersects, &qs, &h);
+        note_model(auto.device_time());
         cells.push(auto.chosen_k.to_string());
         cells.push(best.0.to_string());
         t.row(cells);
@@ -449,6 +477,7 @@ pub fn fig9b(cfg: &EvalConfig) -> Table {
         let index = librts_index(&rects);
         let h = CountingHandler::new();
         let r = index.range_query(Predicate::Intersects, &qs, &h);
+        note_model(r.device_time());
         let total = r.device_time().as_nanos().max(1) as f64;
         let pct = |d: Duration| format!("{:.1}%", d.as_nanos() as f64 / total * 100.0);
         t.row(vec![
@@ -489,6 +518,7 @@ pub fn fig10a(cfg: &EvalConfig) -> Table {
         let model = rtcore::CostModel::default();
         let librts_t =
             model.build_time(rects.len(), TraversalBackend::RtCore) + model.ias_build_time(1);
+        note_model(librts_t);
         t.row(vec![
             d.name().into(),
             fmt_dur(boost),
@@ -520,6 +550,8 @@ pub fn fig10b(cfg: &EvalConfig) -> Table {
         let (_ids, ins) = index.insert_timed(&rects[2 * batch..3 * batch]).unwrap();
         let del_ids: Vec<u32> = (0..batch as u32).collect();
         let del = index.delete(&del_ids).unwrap();
+        note_model(ins.device_time);
+        note_model(del.device_time);
         let tput = |n: usize, d: Duration| n as f64 / d.as_secs_f64() / 1e6;
         t.row(vec![
             format_count(batch),
@@ -551,19 +583,25 @@ pub fn fig10c(cfg: &EvalConfig) -> Table {
     let fresh = librts_index(&rects);
     let base_point = {
         let h = CountingHandler::new();
-        fresh.point_query(&pts, &h).device_time()
+        let d = fresh.point_query(&pts, &h).device_time();
+        note_model(d);
+        d
     };
     let base_contains = {
         let h = CountingHandler::new();
-        fresh
+        let d = fresh
             .range_query(Predicate::Contains, &cqs, &h)
-            .device_time()
+            .device_time();
+        note_model(d);
+        d
     };
     let base_intersects = {
         let h = CountingHandler::new();
-        fresh
+        let d = fresh
             .range_query(Predicate::Intersects, &iqs, &h)
-            .device_time()
+            .device_time();
+        note_model(d);
+        d
     };
 
     let mut rng_state = cfg.seed | 1;
@@ -607,14 +645,17 @@ pub fn fig10c(cfg: &EvalConfig) -> Table {
         };
         let h = CountingHandler::new();
         let p = index.point_query(&pts, &h).device_time();
+        note_model(p);
         let h = CountingHandler::new();
         let c = index
             .range_query(Predicate::Contains, &cqs, &h)
             .device_time();
+        note_model(c);
         let h = CountingHandler::new();
         let i = index
             .range_query(Predicate::Intersects, &iqs, &h)
             .device_time();
+        note_model(i);
         t.row(vec![
             format!("{ratio_pct}%"),
             slow(base_point, p),
@@ -659,6 +700,7 @@ pub fn fig11(cfg: &EvalConfig) -> Table {
             let pts = qgen::point_queries(&rects, n_queries, cfg.seed + 8);
             let h = CountingHandler::new();
             let p = index.point_query(&pts, &h);
+            note_model(p.device_time());
             point_cells.push(format!(
                 "{} ({})",
                 fmt_dur(p.device_time()),
@@ -667,6 +709,7 @@ pub fn fig11(cfg: &EvalConfig) -> Table {
             let iqs = qgen::intersects_queries(&rects, n_queries, 0.001, cfg.seed + 9);
             let h = CountingHandler::new();
             let i = index.range_query(Predicate::Intersects, &iqs, &h);
+            note_model(i.device_time());
             isect_cells.push(format!(
                 "{} ({})",
                 fmt_dur(i.device_time()),
@@ -721,6 +764,7 @@ pub fn fig12(cfg: &EvalConfig) -> Table {
         let rts_total = model.build_time(polys.len(), TraversalBackend::RtCore)
             + model.ias_build_time(1)
             + r.device_time();
+        note_model(rts_total);
 
         // PIP engines use different boundary conventions (LibRTS and the
         // quadtree treat on-edge points as inside; RayJoin's crossing

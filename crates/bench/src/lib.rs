@@ -9,6 +9,8 @@
 
 pub mod config;
 pub mod figures;
+pub mod perf;
 pub mod table;
 
 pub use config::EvalConfig;
+pub use perf::PerfReport;

@@ -28,9 +28,12 @@
 //!    wall-clock flakiness.
 //!
 //! Determinism is end-to-end: dataset generation, query generation,
-//! and traversal order are all seeded, and the offline `rayon` shim
-//! executes sequentially, so two runs of the same scenario produce
-//! byte-identical result sets *and* byte-identical counters.
+//! and traversal order are all seeded, and the `exec` work-stealing
+//! executor is order-stable — results land in preallocated per-index
+//! slots and counters merge commutatively — so two runs of the same
+//! scenario produce byte-identical result sets *and* byte-identical
+//! counters at **any** thread count (`LIBRTS_THREADS`; pinned by
+//! `tests/thread_invariance.rs`).
 //!
 //! Run the smoke tier with `cargo test -p conformance`; the deep tier
 //! with `cargo test -p conformance -- --ignored`. Re-bless counter

@@ -1,0 +1,53 @@
+//! Executor determinism: the smoke tier must replay identically at
+//! every thread count.
+//!
+//! `run_scenario` already asserts byte-exact engine-vs-oracle result
+//! equality internally, so replaying the suite under `exec::with_threads`
+//! checks the result side for free; this test additionally pins the
+//! accumulated hardware-counter totals to each other across thread
+//! counts and to the checked-in `budgets.json` — which must pass at
+//! every thread count *without re-blessing* (the work-stealing executor
+//! may not change what the simulated device does, only how fast the
+//! host walks it).
+
+use conformance::{check_budgets, run_scenario, smoke_suite, RunOutcome};
+use rtcore::RayStats;
+
+type Summary = (&'static str, usize, u64, RayStats, RayStats);
+
+fn summarize(o: &RunOutcome) -> Summary {
+    (o.name, o.query_ops, o.pairs_checked, o.totals, o.totals3)
+}
+
+#[test]
+fn smoke_suite_replays_identically_at_every_thread_count() {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 4, cpus];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut reference: Option<(usize, Vec<Summary>)> = None;
+    for &n in &counts {
+        let outcomes: Vec<RunOutcome> =
+            exec::with_threads(n, || smoke_suite().iter().map(run_scenario).collect());
+
+        let violations = check_budgets(&outcomes).expect("baseline readable");
+        assert!(
+            violations.is_empty(),
+            "budgets.json violated at {n} threads (budgets must hold at \
+             every thread count without re-blessing):\n  {}",
+            violations.join("\n  ")
+        );
+
+        let summary: Vec<Summary> = outcomes.iter().map(summarize).collect();
+        match &reference {
+            None => reference = Some((n, summary)),
+            Some((n0, want)) => assert_eq!(
+                &summary, want,
+                "counter totals diverge between {n0} and {n} threads"
+            ),
+        }
+    }
+}

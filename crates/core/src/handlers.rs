@@ -109,8 +109,9 @@ impl CollectingHandler {
 impl QueryHandler for CollectingHandler {
     #[inline]
     fn handle(&self, rect_id: u32, query_id: u32) {
-        // Shard by the rayon worker index when available so concurrent
-        // appends rarely contend; fall back to hashing the pair.
+        // Shard by the executor worker slot (the rayon shim delegates
+        // to `exec::worker_index`) so concurrent appends rarely
+        // contend; fall back to hashing the pair outside a fan-out.
         let shard = rayon::current_thread_index().unwrap_or((rect_id ^ query_id) as usize) % SHARDS;
         self.shards[shard].lock().push((rect_id, query_id));
     }

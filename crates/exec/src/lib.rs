@@ -1,0 +1,608 @@
+//! Work-stealing thread-pool executor with a deterministic fan-out contract.
+//!
+//! This crate is the parallel substrate for the whole workspace. It replaces
+//! the sequential execution model of the offline `rayon` shim with a real
+//! `std::thread` pool, while preserving the property the conformance engine
+//! depends on: **every fan-out produces output that is byte-identical at any
+//! thread count**.
+//!
+//! # Execution model
+//!
+//! A fan-out ([`for_each_chunk`], [`map_collect`]) splits an index range
+//! `0..n` into one contiguous span per participant. Each span lives in a
+//! packed `AtomicU64` (`lo` in the high half, `hi` in the low half) that acts
+//! as a single-cell work-stealing deque: the owner pops chunks from the front
+//! with a CAS, idle participants steal chunks from the back with a CAS.
+//! Workers are plain `std::thread`s spawned lazily into a global pool; they
+//! park on a condvar when no job has claimable work. The calling thread
+//! always participates, so an effective thread count of 1 never touches the
+//! pool at all — it runs the closure inline, exactly like the old shim.
+//!
+//! # Determinism contract
+//!
+//! Parallelism changes *scheduling*, never *results*:
+//!
+//! - [`map_collect`] writes each element into a preallocated output slot at
+//!   its own index, so the collected vector is byte-identical to the
+//!   sequential order regardless of which worker produced which element.
+//! - [`Shards`] is for accumulators whose merge is **commutative and
+//!   associative over the exact domain** (u64 sums, maxes). Shard contents
+//!   vary run to run; the merged total does not.
+//! - Nothing in this crate introduces cross-chunk floating-point
+//!   accumulation; callers that need float reductions must fold the
+//!   order-stable output of [`map_collect`] sequentially.
+//!
+//! # Configuration
+//!
+//! The effective thread count is resolved per fan-out, in priority order:
+//! a thread-local [`with_threads`] override, then the `LIBRTS_THREADS`
+//! environment variable (read once), then `std::thread::available_parallelism`.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub mod radix;
+
+/// Hard upper bound on pool workers (and thus on observable worker indices).
+pub const MAX_THREADS: usize = 256;
+
+/// Number of slots in a [`Shards`] accumulator. Worker indices are taken
+/// modulo this, so two workers may share a slot under heavy oversubscription;
+/// that only serialises the two briefly and never changes merged totals.
+pub const SHARD_SLOTS: usize = 64;
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Thread count from `LIBRTS_THREADS` (read once) or the host parallelism.
+fn configured_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| match std::env::var("LIBRTS_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .map(|n| n.min(MAX_THREADS))
+            .unwrap_or_else(default_threads),
+        Err(_) => default_threads(),
+    })
+}
+
+thread_local! {
+    /// Scoped `with_threads` override for the current thread.
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// 0 = not a pool worker; otherwise worker index + 1.
+    static WORKER_SLOT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Effective thread count for fan-outs issued by the current thread.
+///
+/// This is the [`with_threads`] override if one is active, else the
+/// `LIBRTS_THREADS` environment variable, else the host parallelism.
+pub fn current_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(configured_threads)
+}
+
+/// Run `f` with the effective thread count pinned to `n` on this thread.
+///
+/// The override is scoped (restored even on panic) and applies to fan-outs
+/// *issued by this thread* inside `f`; it is how the conformance tests pin
+/// `LIBRTS_THREADS=1` semantics and replay suites at specific thread counts.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|o| o.replace(Some(n.clamp(1, MAX_THREADS))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Index of the current pool worker, or `None` on any non-pool thread.
+///
+/// Matches rayon's `current_thread_index` semantics: the main thread (which
+/// participates in every fan-out it issues) is *not* a pool worker.
+pub fn worker_index() -> Option<usize> {
+    match WORKER_SLOT.with(Cell::get) {
+        0 => None,
+        slot => Some(slot - 1),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-range deque
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Owner side: claim up to `chunk` items from the front of the span.
+fn pop_front(slot: &AtomicU64, chunk: usize) -> Option<Range<usize>> {
+    let mut cur = slot.load(Ordering::Acquire);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        let take = chunk.min((hi - lo) as usize) as u32;
+        match slot.compare_exchange_weak(
+            cur,
+            pack(lo + take, hi),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some(lo as usize..(lo + take) as usize),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Thief side: claim up to `chunk` items from the back of the span.
+fn steal_back(slot: &AtomicU64, chunk: usize) -> Option<Range<usize>> {
+    let mut cur = slot.load(Ordering::Acquire);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        let take = chunk.min((hi - lo) as usize) as u32;
+        match slot.compare_exchange_weak(
+            cur,
+            pack(lo, hi - take),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some((hi - take) as usize..hi as usize),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs and the global pool
+// ---------------------------------------------------------------------------
+
+/// One fan-out in flight. The closure pointer borrows the caller's stack;
+/// it is only dereferenced between a successful range claim and the matching
+/// `pending` decrement, and the caller blocks until `pending` reaches zero,
+/// so the borrow can never dangle.
+struct Job {
+    /// One packed `lo..hi` span per participant.
+    spans: Box<[AtomicU64]>,
+    /// Preferred claim granularity (items).
+    chunk: usize,
+    /// Items not yet executed (or abandoned to a panic).
+    pending: AtomicU64,
+    /// Borrowed body; lifetime erased (see struct docs for the invariant).
+    body: *const (dyn Fn(Range<usize>) + Sync),
+    /// Completion latch.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic payload from any participant.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+// SAFETY: `body` points at a `Sync` closure that outlives the job (the
+// issuing thread keeps it alive until `pending == 0`), so sharing the raw
+// pointer across threads is sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Any span still holding unclaimed items?
+    fn has_work(&self) -> bool {
+        self.spans.iter().any(|s| {
+            let (lo, hi) = unpack(s.load(Ordering::Relaxed));
+            lo < hi
+        })
+    }
+
+    /// Claim and execute chunks until none remain anywhere in the job.
+    /// `home` picks the span this participant owns (pops front); all other
+    /// spans are stolen from the back.
+    fn help(&self, home: usize) {
+        let k = self.spans.len();
+        let own = home % k;
+        loop {
+            let claimed = pop_front(&self.spans[own], self.chunk).or_else(|| {
+                (1..k).find_map(|off| steal_back(&self.spans[(own + off) % k], self.chunk))
+            });
+            let Some(range) = claimed else { break };
+            let len = (range.end - range.start) as u64;
+            // SAFETY: claim precedes the `pending` decrement below, and the
+            // issuing thread keeps the closure alive until `pending == 0`.
+            let body = unsafe { &*self.body };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(range))) {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            if self.pending.fetch_sub(len, Ordering::AcqRel) == len {
+                *self.done.lock().unwrap() = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn wait_done(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.done_cv.wait(done).unwrap();
+        }
+    }
+}
+
+struct Pool {
+    /// Jobs that may still have claimable work. Small (one per concurrently
+    /// issuing thread), scanned under the lock.
+    jobs: Mutex<Vec<Arc<Job>>>,
+    /// Workers park here when no job has claimable work.
+    wake: Condvar,
+    /// Workers spawned so far (monotonic, ≤ `MAX_THREADS`).
+    spawned: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        jobs: Mutex::new(Vec::new()),
+        wake: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// Lazily grow the pool to at least `target` workers.
+fn ensure_workers(target: usize) {
+    let pool = pool();
+    if pool.spawned.load(Ordering::Acquire) >= target {
+        return;
+    }
+    let jobs = pool.jobs.lock().unwrap();
+    let mut n = pool.spawned.load(Ordering::Acquire);
+    while n < target && n < MAX_THREADS {
+        let slot = n + 1;
+        std::thread::Builder::new()
+            .name(format!("librts-exec-{}", slot - 1))
+            .spawn(move || worker_loop(slot))
+            .expect("spawn exec worker");
+        n += 1;
+    }
+    pool.spawned.store(n, Ordering::Release);
+    drop(jobs);
+}
+
+fn worker_loop(slot: usize) {
+    WORKER_SLOT.with(|w| w.set(slot));
+    let pool = pool();
+    loop {
+        let job = {
+            let mut jobs = pool.jobs.lock().unwrap();
+            loop {
+                if let Some(job) = jobs.iter().find(|j| j.has_work()) {
+                    break Arc::clone(job);
+                }
+                jobs = pool.wake.wait(jobs).unwrap();
+            }
+        };
+        job.help(slot);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out primitives
+// ---------------------------------------------------------------------------
+
+/// Run `body` over `0..n`, split into chunks of at least `min_chunk` items,
+/// across the effective thread count.
+///
+/// Chunks are disjoint and cover `0..n` exactly once; which thread runs which
+/// chunk is unspecified. With an effective thread count of 1 (or when `n`
+/// fits in a single chunk) `body(0..n)` runs inline on the caller — the
+/// sequential path has zero pool involvement.
+///
+/// Panics in `body` are forwarded to the caller after the fan-out drains.
+pub fn for_each_chunk(n: usize, min_chunk: usize, body: impl Fn(Range<usize>) + Sync) {
+    if n == 0 {
+        return;
+    }
+    let chunk = min_chunk.max(1);
+    let threads = current_threads();
+    let participants = threads.min(n.div_ceil(chunk));
+    if participants <= 1 {
+        body(0..n);
+        return;
+    }
+    assert!(n < u32::MAX as usize, "exec fan-out width must fit in u32");
+
+    // One contiguous span per participant, sized within one item of even.
+    let mut spans = Vec::with_capacity(participants);
+    let (base, rem) = (n / participants, n % participants);
+    let mut lo = 0usize;
+    for i in 0..participants {
+        let hi = lo + base + usize::from(i < rem);
+        spans.push(AtomicU64::new(pack(lo as u32, hi as u32)));
+        lo = hi;
+    }
+
+    let body_ref: &(dyn Fn(Range<usize>) + Sync) = &body;
+    // SAFETY: transmute only erases the lifetime of the fat reference; the
+    // invariant documented on `Job::body` keeps the borrow alive for every
+    // dereference.
+    let body_ptr: *const (dyn Fn(Range<usize>) + Sync) = unsafe {
+        std::mem::transmute::<
+            *const (dyn Fn(Range<usize>) + Sync + '_),
+            *const (dyn Fn(Range<usize>) + Sync + 'static),
+        >(body_ref)
+    };
+    let job = Arc::new(Job {
+        spans: spans.into_boxed_slice(),
+        chunk,
+        pending: AtomicU64::new(n as u64),
+        body: body_ptr,
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+
+    ensure_workers(participants - 1);
+    {
+        let mut jobs = pool().jobs.lock().unwrap();
+        jobs.push(Arc::clone(&job));
+    }
+    pool().wake.notify_all();
+
+    // The issuing thread owns span 0 unless it is itself a pool worker, in
+    // which case it keeps its usual home slot to avoid contending with the
+    // worker that hashes to 0.
+    job.help(WORKER_SLOT.with(Cell::get));
+    job.wait_done();
+
+    {
+        let mut jobs = pool().jobs.lock().unwrap();
+        if let Some(pos) = jobs.iter().position(|j| Arc::ptr_eq(j, &job)) {
+            jobs.swap_remove(pos);
+        }
+    }
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        panic::resume_unwind(payload);
+    }
+}
+
+/// Shared pointer that may be written from many threads at *disjoint*
+/// offsets. The caller is responsible for disjointness.
+pub(crate) struct SendPtr<T>(*mut T);
+impl<T> SendPtr<T> {
+    pub(crate) fn new(ptr: *mut T) -> Self {
+        Self(ptr)
+    }
+    /// Taking `self` (not the field) forces closures to capture the whole
+    /// `Sync` wrapper instead of disjointly capturing the raw pointer.
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+// Manual impls: the derive would add an unwanted `T: Copy` bound.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Order-stable parallel map: `(0..n).map(f).collect()`, byte-identical to
+/// the sequential result at any thread count.
+///
+/// Each element is written into a preallocated slot at its own index, so the
+/// output order never depends on scheduling. If `f` panics, completed
+/// elements are leaked (not dropped) and the panic is forwarded.
+pub fn map_collect<T: Send>(n: usize, min_chunk: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let slots = SendPtr::new(out.as_mut_ptr());
+    for_each_chunk(n, min_chunk, move |range| {
+        for i in range {
+            // SAFETY: chunks are disjoint and i < n == capacity; each slot is
+            // written exactly once.
+            unsafe { slots.get().add(i).write(f(i)) };
+        }
+    });
+    // SAFETY: the fan-out covered 0..n exactly once, so all n slots are
+    // initialised (a panic would have propagated above).
+    unsafe { out.set_len(n) };
+    out
+}
+
+/// Parallel sum of `f(i)` over `0..n` (exact: u64 addition is associative
+/// and commutative, so the total is thread-count invariant).
+pub fn sum_u64(n: usize, min_chunk: usize, f: impl Fn(usize) -> u64 + Sync) -> u64 {
+    let total = AtomicU64::new(0);
+    for_each_chunk(n, min_chunk, |range| {
+        let mut acc = 0u64;
+        for i in range {
+            acc += f(i);
+        }
+        total.fetch_add(acc, Ordering::Relaxed);
+    });
+    total.into_inner()
+}
+
+// ---------------------------------------------------------------------------
+// Sharded accumulators
+// ---------------------------------------------------------------------------
+
+/// Fixed-size array of per-worker accumulator shards.
+///
+/// Participants accumulate into the shard picked by their worker index
+/// (slot 0 for the issuing thread), so shards are effectively uncontended.
+/// **Only use this for merges that are commutative and associative over the
+/// exact domain** (integer sums, maxes, set unions): shard *contents* depend
+/// on scheduling, so anything else would leak nondeterminism into results.
+pub struct Shards<T> {
+    slots: Box<[Mutex<T>]>,
+}
+
+impl<T: Default> Default for Shards<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Default> Shards<T> {
+    /// A shard set with [`SHARD_SLOTS`] default-initialised slots.
+    pub fn new() -> Self {
+        Self {
+            slots: (0..SHARD_SLOTS).map(|_| Mutex::new(T::default())).collect(),
+        }
+    }
+}
+
+impl<T> Shards<T> {
+    /// Mutate the current participant's shard.
+    pub fn with(&self, f: impl FnOnce(&mut T)) {
+        let slot = WORKER_SLOT.with(Cell::get) % self.slots.len();
+        f(&mut self.slots[slot].lock().unwrap());
+    }
+
+    /// Fold all shards (in slot order) into a single value with `merge`.
+    pub fn merge(self, mut merge: impl FnMut(&mut T, T)) -> T
+    where
+        T: Default,
+    {
+        let mut acc = T::default();
+        for slot in self.slots.into_vec() {
+            merge(&mut acc, slot.into_inner().unwrap());
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_collect_is_order_stable_at_any_thread_count() {
+        let expected: Vec<u64> = (0..10_000u64).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 7, 32] {
+            let got = with_threads(threads, || {
+                map_collect(10_000, 64, |i| (i as u64) * i as u64)
+            });
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_covers_exactly_once() {
+        let n = 4_097;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(8, || {
+            for_each_chunk(n, 16, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sum_is_thread_invariant() {
+        let seq = with_threads(1, || sum_u64(100_000, 128, |i| i as u64 % 1_000));
+        for threads in [2, 4, 16] {
+            let par = with_threads(threads, || sum_u64(100_000, 128, |i| i as u64 % 1_000));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shards_merge_matches_sequential_total() {
+        let shards: Shards<u64> = Shards::new();
+        with_threads(6, || {
+            for_each_chunk(50_000, 64, |range| {
+                let mut local = 0u64;
+                for i in range {
+                    local += i as u64;
+                }
+                shards.with(|s| *s += local);
+            });
+        });
+        let total = shards.merge(|a, b| *a += b);
+        assert_eq!(total, 50_000u64 * 49_999 / 2);
+    }
+
+    #[test]
+    fn workers_report_indices_and_main_does_not() {
+        assert_eq!(worker_index(), None);
+        let seen = Mutex::new(HashSet::new());
+        with_threads(4, || {
+            for_each_chunk(10_000, 1, |range| {
+                if let Some(idx) = worker_index() {
+                    seen.lock().unwrap().insert(idx);
+                }
+                std::hint::black_box(range.len());
+            });
+        });
+        // Pool workers (if any stole work) must report indices < MAX_THREADS.
+        assert!(seen.lock().unwrap().iter().all(|&i| i < MAX_THREADS));
+        assert_eq!(worker_index(), None);
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        assert_eq!(with_threads(3, current_threads), 3);
+        with_threads(5, || {
+            assert_eq!(current_threads(), 5);
+            assert_eq!(with_threads(2, current_threads), 2);
+            assert_eq!(current_threads(), 5);
+        });
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                for_each_chunk(1_000, 8, |range| {
+                    if range.contains(&617) {
+                        panic!("boom at 617");
+                    }
+                });
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_fan_out_completes() {
+        let total = with_threads(4, || {
+            sum_u64(64, 4, |i| {
+                with_threads(2, || sum_u64(100, 10, move |j| (i * j) as u64))
+            })
+        });
+        let inner: u64 = (0..100).sum();
+        let outer: u64 = (0..64).map(|i| i as u64 * inner).sum();
+        assert_eq!(total, outer);
+    }
+}

@@ -1,0 +1,184 @@
+//! Parallel stable LSD radix sort for `(u64 key, payload)` pairs.
+//!
+//! Used by the LBVH build path to sort Morton keys. The sort is **stable**
+//! (equal keys keep their input order), which makes the output a pure
+//! function of the input — independent of the thread count — unlike a
+//! parallel unstable sort, whose tie order would vary with scheduling.
+//!
+//! Algorithm: 8 passes of 8-bit LSD counting sort. Each pass histograms the
+//! current array in parallel over contiguous blocks, computes exclusive
+//! scatter offsets bin-major/block-minor sequentially (256 × blocks adds),
+//! then scatters in parallel — each block writes a disjoint, precomputed set
+//! of destination slots, preserving within-block input order, which together
+//! with the bin-major/block-minor layout yields global stability. Passes
+//! whose digit is constant across the whole array are skipped.
+
+use crate::{current_threads, for_each_chunk, map_collect, SendPtr};
+
+const BINS: usize = 256;
+const PASSES: usize = 8;
+/// Below this, `slice::sort_by_key` (also stable, so byte-identical output)
+/// beats the 16 data passes of the radix sort.
+const SEQ_CUTOFF: usize = 1 << 13;
+
+/// Sort `items` by the `u64` key, stably, in parallel.
+///
+/// The result is byte-identical at any thread count (and identical to
+/// `items.sort_by_key(|p| p.0)`).
+pub fn par_sort_by_u64_key<T: Copy + Send + Sync>(items: &mut Vec<(u64, T)>) {
+    let n = items.len();
+    let blocks = current_threads().min(n / (SEQ_CUTOFF / 4)).max(1);
+    if n < SEQ_CUTOFF || blocks == 1 {
+        items.sort_by_key(|p| p.0);
+        return;
+    }
+
+    // Contiguous block boundaries (within one item of even).
+    let mut bounds = Vec::with_capacity(blocks + 1);
+    let (base, rem) = (n / blocks, n % blocks);
+    bounds.push(0usize);
+    for b in 0..blocks {
+        bounds.push(bounds[b] + base + usize::from(b < rem));
+    }
+
+    let mut buf: Vec<(u64, T)> = vec![items[0]; n];
+    let items_ptr = SendPtr::new(items.as_mut_ptr());
+    let buf_ptr = SendPtr::new(buf.as_mut_ptr());
+    let mut flipped = false;
+
+    // A plain slice reference so the `move` closures below capture a Copy
+    // handle to the boundaries (and the whole `SendPtr`s, which are Sync —
+    // disjoint field capture of the raw pointers alone would not be).
+    let spans: &[usize] = &bounds;
+
+    for pass in 0..PASSES {
+        let shift = pass * 8;
+        let (src, dst) = if flipped {
+            (buf_ptr, items_ptr)
+        } else {
+            (items_ptr, buf_ptr)
+        };
+
+        // Parallel per-block histograms of the current digit.
+        let hists: Vec<[u32; BINS]> = map_collect(blocks, 1, move |b| {
+            let mut hist = [0u32; BINS];
+            for i in spans[b]..spans[b + 1] {
+                // SAFETY: src points at n initialised items; i < n; the
+                // histogram pass only reads.
+                let key = unsafe { (*src.get().add(i)).0 };
+                hist[(key >> shift) as usize & (BINS - 1)] += 1;
+            }
+            hist
+        });
+
+        // Skip passes whose digit is constant (common for short key ranges).
+        if hists
+            .iter()
+            .fold([0u64; BINS], |mut acc, h| {
+                for (a, &c) in acc.iter_mut().zip(h.iter()) {
+                    *a += u64::from(c);
+                }
+                acc
+            })
+            .contains(&(n as u64))
+        {
+            continue;
+        }
+
+        // Exclusive offsets, bin-major then block-minor: this is what makes
+        // the parallel scatter globally stable.
+        let mut offsets = vec![[0u32; BINS]; blocks];
+        let mut running = 0u32;
+        for bin in 0..BINS {
+            for (b, hist) in hists.iter().enumerate() {
+                offsets[b][bin] = running;
+                running += hist[bin];
+            }
+        }
+
+        // Parallel scatter: each block walks its input span in order and
+        // writes to precomputed, globally disjoint destination slots.
+        let offs: &[[u32; BINS]] = &offsets;
+        for_each_chunk(blocks, 1, move |range| {
+            for b in range {
+                let mut off = offs[b];
+                for i in spans[b]..spans[b + 1] {
+                    // SAFETY: reads are confined to this block's span of the
+                    // fully initialised src; writes land in disjoint slots
+                    // (offsets partition 0..n), each written exactly once.
+                    unsafe {
+                        let item = *src.get().add(i);
+                        let bin = (item.0 >> shift) as usize & (BINS - 1);
+                        dst.get().add(off[bin] as usize).write(item);
+                        off[bin] += 1;
+                    }
+                }
+            }
+        });
+        flipped = !flipped;
+    }
+
+    if flipped {
+        // An odd number of executed passes left the data in the scratch
+        // buffer; swapping the Vecs is O(1) and keeps `items` as the output.
+        std::mem::swap(items, &mut buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_threads;
+
+    /// Deterministic pseudo-random keys (splitmix64).
+    fn keys(n: usize, mut state: u64) -> Vec<(u64, u32)> {
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31), i as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_stable_sort_and_is_thread_invariant() {
+        for n in [0, 1, 100, 1 << 13, 40_000] {
+            let input = keys(n, 42);
+            let mut expected = input.clone();
+            expected.sort_by_key(|p| p.0);
+            for threads in [1, 2, 4, 13] {
+                let mut got = input.clone();
+                with_threads(threads, || par_sort_by_u64_key(&mut got));
+                assert_eq!(got, expected, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn stable_on_heavy_duplicates() {
+        // 40_000 items over 7 distinct keys: ties must keep input order.
+        let input: Vec<(u64, u32)> = (0..40_000u32).map(|i| (u64::from(i % 7), i)).collect();
+        let mut expected = input.clone();
+        expected.sort_by_key(|p| p.0);
+        let mut got = input;
+        with_threads(8, || par_sort_by_u64_key(&mut got));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn short_key_range_skips_high_passes() {
+        // Keys fit in 16 bits: passes 2..8 are constant-digit and skipped.
+        let input: Vec<(u64, u32)> = keys(30_000, 7)
+            .into_iter()
+            .map(|(k, v)| (k & 0xFFFF, v))
+            .collect();
+        let mut expected = input.clone();
+        expected.sort_by_key(|p| p.0);
+        let mut got = input;
+        with_threads(4, || par_sort_by_u64_key(&mut got));
+        assert_eq!(got, expected);
+    }
+}

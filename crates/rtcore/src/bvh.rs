@@ -7,13 +7,22 @@
 //! the algorithm of the LBVH baseline [28]). Refit updates node bounds
 //! bottom-up without restructuring, exactly like OptiX BVH refitting.
 
+use std::sync::Mutex;
+
 use geom::{Coord, Ray, Rect};
-use rayon::prelude::*;
 
 use crate::stats::RayStats;
 
 /// Number of SAH bins per axis in the binned builder.
 const SAH_BINS: usize = 16;
+
+/// Primitive count below which a subtree is built sequentially as one
+/// task; also the gate for engaging the parallel builder at all.
+const PAR_TASK_MIN: usize = 2048;
+
+/// Depth cap for the sequential spine; below this the remainder becomes
+/// one task (the task recursion then matches the sequential builder).
+const SPINE_MAX_DEPTH: usize = 32;
 
 /// One BVH node. Nodes are stored in pre-order: an internal node's left
 /// child is `self + 1` and its right child index is stored explicitly, so
@@ -106,13 +115,16 @@ impl<C: Coord> Bvh<C> {
                     (geom::morton::morton_of_point_3d(&p, &frame64), i)
                 })
                 .collect();
-            keyed.par_sort_unstable_by_key(|&(k, _)| k);
+            // Stable parallel radix sort: tie order is the input order, so
+            // the permutation is a pure function of the keys — identical at
+            // any thread count (an unstable parallel sort would not be).
+            exec::radix::par_sort_by_u64_key(&mut keyed);
             for (slot, &(_, i)) in keyed.iter().enumerate() {
                 order[slot] = i;
             }
         }
 
-        let mut builder = Builder {
+        let builder = Builder {
             aabbs,
             centers: &centers,
             quality,
@@ -120,7 +132,11 @@ impl<C: Coord> Bvh<C> {
         };
         // Upper bound on node count for a binary tree with >=1 prim leaves.
         let mut nodes = Vec::with_capacity(2 * n);
-        builder.build_node(&mut nodes, &mut order, 0);
+        if exec::current_threads() > 1 && n > PAR_TASK_MIN {
+            builder.build_parallel(&mut nodes, &mut order);
+        } else {
+            builder.build_node(&mut nodes, &mut order, 0);
+        }
         Self {
             nodes,
             prim_order: order,
@@ -189,15 +205,13 @@ impl<C: Coord> Bvh<C> {
         if self.nodes.is_empty() {
             return Control::Continue;
         }
-        // Stack of node indices; 64 is ample for pre-order binary trees
-        // over u32 counts.
-        let mut stack = [0u32; 64];
-        let mut sp = 0usize;
-        stack[sp] = 0;
-        sp += 1;
-        while sp > 0 {
-            sp -= 1;
-            let idx = stack[sp] as usize;
+        // Stack of node indices: a fixed inline array covers every sanely
+        // balanced tree without allocating; adversarially deep trees spill
+        // to the heap instead of silently corrupting traversal.
+        let mut stack = TraversalStack::new();
+        stack.push(0);
+        while let Some(idx) = stack.pop() {
+            let idx = idx as usize;
             let node = &self.nodes[idx];
             stats.nodes_visited += 1;
             if !ray.hits_aabb_conservative(&node.bounds) {
@@ -215,10 +229,8 @@ impl<C: Coord> Bvh<C> {
                     }
                 }
             } else {
-                debug_assert!(sp + 2 <= stack.len(), "BVH traversal stack overflow");
-                stack[sp] = node.right_or_first;
-                stack[sp + 1] = idx as u32 + 1;
-                sp += 2;
+                stack.push(node.right_or_first);
+                stack.push(idx as u32 + 1);
             }
         }
         Control::Continue
@@ -276,6 +288,51 @@ impl<C: Coord> Bvh<C> {
     }
 }
 
+/// LIFO of node indices with a fixed inline segment and a lazy heap
+/// spill. The inline segment covers every balanced tree (depth 62 would
+/// need more than 2⁶² nodes) with zero allocation; deeper, adversarially
+/// skewed trees overflow into a `Vec` instead of corrupting traversal.
+/// Invariant: `spill` is non-empty only while the inline segment is full,
+/// so popping `spill` first preserves LIFO order.
+struct TraversalStack {
+    inline: [u32; 64],
+    sp: usize,
+    spill: Vec<u32>,
+}
+
+impl TraversalStack {
+    #[inline]
+    fn new() -> Self {
+        Self {
+            inline: [0; 64],
+            sp: 0,
+            spill: Vec::new(), // does not allocate until first spill
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, v: u32) {
+        if self.sp < self.inline.len() {
+            self.inline[self.sp] = v;
+            self.sp += 1;
+        } else {
+            self.spill.push(v);
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u32> {
+        if let Some(v) = self.spill.pop() {
+            Some(v)
+        } else if self.sp > 0 {
+            self.sp -= 1;
+            Some(self.inline[self.sp])
+        } else {
+            None
+        }
+    }
+}
+
 #[inline]
 fn enclose<C: Coord>(outer: &Rect<C, 3>, inner: &Rect<C, 3>) -> bool {
     if inner.is_empty() {
@@ -293,11 +350,23 @@ struct Builder<'a, C: Coord> {
     leaf_size: usize,
 }
 
+/// Sequential spine of the parallel build: the top of the tree, split
+/// with exactly the same decisions the sequential builder would make,
+/// with subtrees below the task threshold left as frontier task ids.
+enum Spine<C: Coord> {
+    Internal {
+        bounds: Rect<C, 3>,
+        left: Box<Spine<C>>,
+        right: Box<Spine<C>>,
+    },
+    Task(usize),
+}
+
 impl<C: Coord> Builder<'_, C> {
     /// Recursively builds the subtree over `order` (a sub-slice of the
     /// permutation), appending nodes in pre-order. `first` is the offset
     /// of `order` within the full permutation.
-    fn build_node(&mut self, nodes: &mut Vec<Node<C>>, order: &mut [u32], first: u32) -> u32 {
+    fn build_node(&self, nodes: &mut Vec<Node<C>>, order: &mut [u32], first: u32) -> u32 {
         let my_idx = nodes.len() as u32;
         let mut bounds = Rect::empty();
         for &i in order.iter() {
@@ -325,6 +394,109 @@ impl<C: Coord> Builder<'_, C> {
         let right_idx = self.build_node(nodes, right, first + mid as u32);
         nodes[my_idx as usize].right_or_first = right_idx;
         my_idx
+    }
+
+    /// Parallel build producing a node array **byte-identical** to
+    /// [`Builder::build_node`] at any thread count: the spine is split
+    /// sequentially (same decisions, same `order` mutations), frontier
+    /// subtrees are built in parallel into task-local vectors, and
+    /// [`Builder::emit`] splices them back in exact pre-order, patching
+    /// internal child indices by each task's base offset.
+    fn build_parallel(&self, nodes: &mut Vec<Node<C>>, order: &mut [u32]) {
+        // Aim for ~8 tasks per thread so stealing can smooth skew, but
+        // never fork below PAR_TASK_MIN (task overhead) or leaf_size.
+        let task_min = (order.len() / (exec::current_threads() * 8))
+            .max(PAR_TASK_MIN)
+            .max(self.leaf_size);
+        let mut tasks: Vec<Mutex<(&mut [u32], u32)>> = Vec::new();
+        let spine = self.split_spine(order, 0, task_min, 0, &mut tasks);
+        let built: Vec<Option<Vec<Node<C>>>> = exec::map_collect(tasks.len(), 1, |t| {
+            // Each task is claimed exactly once; the Mutex only exists to
+            // hand the `&mut` sub-slice across the fan-out.
+            let mut guard = tasks[t].lock().unwrap();
+            let (slice, first) = &mut *guard;
+            let mut sub = Vec::with_capacity(2 * slice.len());
+            self.build_node(&mut sub, slice, *first);
+            Some(sub)
+        });
+        let mut built = built;
+        self.emit(nodes, spine, &mut built);
+    }
+
+    /// Splits the top of the tree sequentially, pushing sub-slices at or
+    /// below `task_min` primitives as frontier tasks. Split decisions and
+    /// `order` mutations are exactly those of the sequential builder
+    /// (each decision reads only its own sub-slice).
+    fn split_spine<'o>(
+        &self,
+        order: &'o mut [u32],
+        first: u32,
+        task_min: usize,
+        depth: usize,
+        tasks: &mut Vec<Mutex<(&'o mut [u32], u32)>>,
+    ) -> Spine<C> {
+        if order.len() <= task_min || depth >= SPINE_MAX_DEPTH {
+            tasks.push(Mutex::new((order, first)));
+            return Spine::Task(tasks.len() - 1);
+        }
+        let mut bounds = Rect::empty();
+        for &i in order.iter() {
+            bounds.expand(&self.aabbs[i as usize]);
+        }
+        // len > task_min ≥ leaf_size, so the sequential builder would also
+        // make this an internal node with this exact split.
+        let mid = match self.quality {
+            BuildQuality::PreferFastBuild => order.len() / 2,
+            BuildQuality::PreferFastTrace => self.sah_split(order, &bounds),
+        };
+        let (left, right) = order.split_at_mut(mid);
+        let left = self.split_spine(left, first, task_min, depth + 1, tasks);
+        let right = self.split_spine(right, first + mid as u32, task_min, depth + 1, tasks);
+        Spine::Internal {
+            bounds,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Splices spine nodes and task-local subtrees into the final pre-order
+    /// array. Leaf `right_or_first` values are absolute already (tasks get
+    /// their absolute `first`); internal ones are task-local and shift by
+    /// the task's base index.
+    fn emit(
+        &self,
+        nodes: &mut Vec<Node<C>>,
+        spine: Spine<C>,
+        built: &mut [Option<Vec<Node<C>>>],
+    ) -> u32 {
+        match spine {
+            Spine::Task(id) => {
+                let base = nodes.len() as u32;
+                for mut node in built[id].take().expect("task emitted once") {
+                    if !node.is_leaf() {
+                        node.right_or_first += base;
+                    }
+                    nodes.push(node);
+                }
+                base
+            }
+            Spine::Internal {
+                bounds,
+                left,
+                right,
+            } => {
+                let my_idx = nodes.len() as u32;
+                nodes.push(Node {
+                    bounds,
+                    right_or_first: 0, // patched below
+                    count: 0,
+                });
+                self.emit(nodes, *left, built);
+                let right_idx = self.emit(nodes, *right, built);
+                nodes[my_idx as usize].right_or_first = right_idx;
+                my_idx
+            }
+        }
     }
 
     /// Binned SAH split: picks the axis/bin boundary minimizing
@@ -662,6 +834,82 @@ mod tests {
             s_sah.nodes_visited,
             s_fast.nodes_visited
         );
+    }
+
+    /// Comparable projection of a node array (Node has no PartialEq).
+    fn fingerprint(bvh: &Bvh<f32>) -> Vec<([f32; 3], [f32; 3], u32, u32)> {
+        bvh.nodes
+            .iter()
+            .map(|n| {
+                (
+                    n.bounds.min.coords,
+                    n.bounds.max.coords,
+                    n.right_or_first,
+                    n.count,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        // Above PAR_TASK_MIN so the parallel spine/frontier path engages.
+        let bs = boxes(3 * PAR_TASK_MIN);
+        for q in [BuildQuality::PreferFastTrace, BuildQuality::PreferFastBuild] {
+            let seq = exec::with_threads(1, || Bvh::build(&bs, q, 4));
+            for threads in [2, 4, 9] {
+                let par = exec::with_threads(threads, || Bvh::build(&bs, q, 4));
+                par.validate(&bs).unwrap();
+                assert_eq!(par.prim_order, seq.prim_order, "{q:?} threads={threads}");
+                assert_eq!(
+                    fingerprint(&par),
+                    fingerprint(&seq),
+                    "{q:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_tree_traversal_spills_stack() {
+        // A left-deep chain of depth 100 (> the 64-slot inline stack):
+        // internal node i has left child i+1 and right child 2D-i (a leaf);
+        // node D is the bottom-left leaf. Probing a point inside all boxes
+        // forces the full descent, accumulating one pending right child per
+        // level — the silent-corruption case the heap spill guards against.
+        const D: usize = 100;
+        let unit = Rect::xyzxyz(0.0f32, 0.0, 0.0, 1.0, 1.0, 0.0);
+        let mut nodes = Vec::with_capacity(2 * D + 1);
+        for i in 0..D {
+            nodes.push(Node {
+                bounds: unit,
+                right_or_first: (2 * D - i) as u32,
+                count: 0,
+            });
+        }
+        // Bottom-left leaf, then the right leaves in reverse spine order.
+        for k in 0..=D {
+            nodes.push(Node {
+                bounds: unit,
+                right_or_first: k as u32,
+                count: 1,
+            });
+        }
+        let bvh = Bvh {
+            nodes,
+            prim_order: (0..=D as u32).collect(),
+            leaf_size: 1,
+        };
+        let bs = vec![unit; D + 1];
+        bvh.validate(&bs).unwrap();
+        let mut hits = 0u32;
+        let mut s = RayStats::default();
+        bvh.traverse(&probe([0.5, 0.5, 0.0]), &bs, &mut s, |_, _| {
+            hits += 1;
+            Control::Continue
+        });
+        assert_eq!(hits as usize, D + 1, "every leaf must be reached");
+        assert_eq!(s.nodes_visited as usize, 2 * D + 1);
     }
 
     #[test]

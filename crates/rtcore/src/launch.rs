@@ -1,16 +1,23 @@
 //! Launching ray-generation programs and tracing rays.
 //!
 //! `Device::launch(width, raygen)` mirrors `optixLaunch`: the raygen
-//! closure runs once per launch index, in parallel over a rayon pool
-//! (the SMs). Inside raygen, [`TraceSession::trace`] plays the role of
-//! `optixTrace`: it walks the acceleration structure, invoking the
-//! program's IS/AH/CH/MS shaders, while hardware counters accumulate
-//! per launch index so the SIMT cost model can price warp divergence.
+//! closure runs once per launch index, in parallel over the `exec`
+//! work-stealing pool (the SMs). Inside raygen, [`TraceSession::trace`]
+//! plays the role of `optixTrace`: it walks the acceleration structure,
+//! invoking the program's IS/AH/CH/MS shaders, while hardware counters
+//! accumulate per launch index so the SIMT cost model can price warp
+//! divergence.
+//!
+//! The launch is deterministic at any thread count: lane times are
+//! written into order-stable per-warp slots, and counters accumulate in
+//! per-worker shards whose merge (u64 sums and maxes) is commutative —
+//! so the returned [`LaunchReport`] is byte-identical whether the fan-out
+//! ran on 1 thread or 64.
 
 use std::time::Instant;
 
+use exec::Shards;
 use geom::{Coord, Ray};
-use rayon::prelude::*;
 
 use crate::bvh::Control;
 use crate::gas::Gas;
@@ -165,8 +172,19 @@ impl<C: Coord> TraceSession<'_, C> {
     }
 }
 
-/// The simulated RT device: a rayon thread pool standing in for the GPU,
-/// plus the cost model used to derive simulated device time.
+/// Per-worker accumulator for the commutative half of a launch report.
+#[derive(Default)]
+struct LaunchShard {
+    stats: RayStats,
+    max_is: u64,
+}
+
+/// Warps claimed per deque chunk: big enough to amortise the claim CAS,
+/// small enough to keep stealing effective on skewed workloads.
+const WARPS_PER_CHUNK: usize = 4;
+
+/// The simulated RT device: the `exec` work-stealing pool standing in for
+/// the GPU, plus the cost model used to derive simulated device time.
 #[derive(Clone, Debug, Default)]
 pub struct Device {
     /// Cost model for simulated timing.
@@ -206,45 +224,51 @@ impl Device {
         if width == 0 {
             return LaunchReport::default();
         }
-        // Warps of consecutive launch indices run as rayon tasks; lanes
-        // within a warp run sequentially on one worker — mirroring SIMT
-        // scheduling while keeping task overhead low.
-        let per_warp: Vec<(RayStats, [f64; WARP_SIZE], u64)> = (0..width)
-            .into_par_iter()
-            .step_by(WARP_SIZE)
-            .map(|warp_start| {
-                let mut warp_stats = RayStats::default();
-                let mut lane_times = [0.0f64; WARP_SIZE];
-                let mut max_is = 0u64;
-                let lanes = WARP_SIZE.min(width - warp_start);
-                for (lane, slot) in lane_times.iter_mut().enumerate().take(lanes) {
-                    let mut session = TraceSession {
-                        stats: RayStats::default(),
-                        _marker: std::marker::PhantomData,
-                    };
-                    raygen(warp_start + lane, &mut session);
-                    *slot = self.cost_model.ray_time_ns(&session.stats, backend);
-                    max_is = max_is.max(session.stats.is_calls);
-                    warp_stats += session.stats;
-                }
-                (warp_stats, lane_times, max_is)
-            })
-            .collect();
+        // Warps of consecutive launch indices are the parallel work items;
+        // lanes within a warp run sequentially on one worker — mirroring
+        // SIMT scheduling while keeping task overhead low. Lane times land
+        // in order-stable per-warp slots; counters accumulate in per-worker
+        // shards (u64 sums/maxes, commutative), so the report is identical
+        // at any thread count.
+        let n_warps = width.div_ceil(WARP_SIZE);
+        let shards: Shards<LaunchShard> = Shards::new();
+        let per_warp: Vec<[f64; WARP_SIZE]> = exec::map_collect(n_warps, WARPS_PER_CHUNK, |w| {
+            let warp_start = w * WARP_SIZE;
+            let mut warp_stats = RayStats::default();
+            let mut lane_times = [0.0f64; WARP_SIZE];
+            let mut max_is = 0u64;
+            let lanes = WARP_SIZE.min(width - warp_start);
+            for (lane, slot) in lane_times.iter_mut().enumerate().take(lanes) {
+                let mut session = TraceSession {
+                    stats: RayStats::default(),
+                    _marker: std::marker::PhantomData,
+                };
+                raygen(warp_start + lane, &mut session);
+                *slot = self.cost_model.ray_time_ns(&session.stats, backend);
+                max_is = max_is.max(session.stats.is_calls);
+                warp_stats += session.stats;
+            }
+            shards.with(|acc| {
+                acc.stats += warp_stats;
+                acc.max_is = acc.max_is.max(max_is);
+            });
+            lane_times
+        });
 
-        let mut totals = RayStats::default();
-        let mut max_is_per_thread = 0;
-        let mut lane_times = Vec::with_capacity(width);
-        for (s, lanes, max_is) in &per_warp {
-            totals += *s;
-            max_is_per_thread = max_is_per_thread.max(*max_is);
+        let merged = shards.merge(|acc, shard| {
+            acc.stats += shard.stats;
+            acc.max_is = acc.max_is.max(shard.max_is);
+        });
+        let mut lane_times = Vec::with_capacity(n_warps * WARP_SIZE);
+        for lanes in &per_warp {
             lane_times.extend_from_slice(lanes);
         }
         lane_times.truncate(width.next_multiple_of(WARP_SIZE).min(lane_times.len()));
         let device_time = self.cost_model.device_time(&lane_times);
         LaunchReport {
             width,
-            totals,
-            max_is_per_thread,
+            totals: merged.stats,
+            max_is_per_thread: merged.max_is,
             device_time,
             wall_time: start.elapsed(),
         }

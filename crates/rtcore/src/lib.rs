@@ -12,7 +12,7 @@
 //! - an **IAS** linking GASes via SRT transforms ([`Ias`], §2.3),
 //! - the **single-ray shader pipeline** ([`RtProgram`]: IS / AH / CH /
 //!   MS callbacks with per-ray payloads, §2.4),
-//! - parallel **launches** ([`Device::launch`]) over a rayon pool, and
+//! - parallel **launches** ([`Device::launch`]) over the `exec` work-stealing pool, and
 //! - **hardware counters + a SIMT cost model** ([`CostModel`]) that
 //!   convert exact operation counts into simulated RT-core time, pricing
 //!   warp divergence — the phenomenon Ray Multicast (§3.4) attacks.

@@ -1,13 +1,21 @@
-//! Offline shim for `rayon` (see `crates/shims/README.md`).
+//! Offline shim for `rayon` (see `shims/README.md`).
 //!
-//! The shim executes every "parallel" iterator **sequentially on the
-//! calling thread**. That choice is deliberate beyond the offline
-//! constraint: the conformance engine (crates/conformance) pins
-//! byte-exact result ordering and `rtcore` hardware-counter budgets,
-//! and a sequential substrate makes both fully deterministic. All
-//! combinators keep rayon's semantics (same elements, same final
-//! ordering guarantees — rayon's `collect`/`sum` are order-stable for
-//! indexed iterators, and the sequential order satisfies that trivially).
+//! The shim's *combinators* execute every "parallel" iterator
+//! **sequentially on the calling thread**: the conformance engine
+//! (crates/conformance) pins byte-exact result ordering and `rtcore`
+//! hardware-counter budgets, and a sequential facade keeps every
+//! remaining call site trivially deterministic. Real parallelism lives
+//! in the first-party [`exec`] work-stealing pool; the workspace's hot
+//! paths (`rtcore` launches, BVH builds, baseline query batches) were
+//! rewritten on `exec` directly and no longer route through this shim.
+//! What remains on the shim is cold code: build-time sorts and small
+//! one-off batches where parallel speedup is irrelevant.
+//!
+//! [`current_thread_index`] *does* delegate to the pool
+//! ([`exec::worker_index`]), so thread-indexed sharding (e.g. the
+//! collecting handlers in `crates/core`) picks distinct shards when the
+//! surrounding code fans out via `exec`, and keeps rayon's
+//! outside-a-pool behaviour (`None`) on ordinary threads.
 //!
 //! `ParIter` implements `Iterator`, so the std adapter vocabulary
 //! (`step_by`, `map`, `enumerate`, `for_each`, `sum`, …) applies
@@ -102,11 +110,16 @@ pub mod prelude {
     }
 }
 
-/// Index of the current worker thread. Sequentially there is no pool,
-/// matching rayon's behaviour outside a pool: `None`.
+/// Index of the current worker thread, delegated to the `exec` pool.
+///
+/// Returns `Some(slot)` when called from inside an `exec` fan-out
+/// (each participant — caller and workers — has a distinct slot), and
+/// `None` on any other thread, matching rayon's behaviour outside a
+/// pool. `crates/core`'s sharded collecting handlers rely on both
+/// halves of that contract.
 #[inline]
 pub fn current_thread_index() -> Option<usize> {
-    None
+    exec::worker_index()
 }
 
 /// rayon's fork–join primitive, evaluated sequentially.
