@@ -50,37 +50,42 @@ fn main() {
     if let Some(s) = seed {
         cfg.seed = s;
     }
-    let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
-    let pts = queries::point_queries(&rects, 500, cfg.seed);
-    let iqs = queries::intersects_queries(&rects, 200, 0.001, cfg.seed);
+    // The perf collector exists from the start so the smoke stage itself
+    // lands in `figures` — `--smoke-only` used to emit an artifact with
+    // an empty figure list, which CI could not sanity-check.
+    let mut perf = PerfReport::new("runme", &cfg);
+    let (n_rects, n_pts, n_iqs) = perf.record("smoke", || {
+        let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
+        let pts = queries::point_queries(&rects, 500, cfg.seed);
+        let iqs = queries::intersects_queries(&rects, 200, 0.001, cfg.seed);
 
-    let index = RTSIndex::with_rects(&rects, Default::default()).expect("index build");
-    let rtree = RTree::bulk_load(&rects);
-    let lbvh = Lbvh::build(&rects);
+        let index = RTSIndex::with_rects(&rects, Default::default()).expect("index build");
+        let rtree = RTree::bulk_load(&rects);
+        let lbvh = Lbvh::build(&rects);
 
-    let h = CountingHandler::new();
-    index.point_query(&pts, &h);
-    let rt = rtree.batch_point_query(&pts);
-    let lb = lbvh.batch_point_query(&pts);
-    assert_eq!(h.count(), rt.results, "point query: LibRTS vs RTree");
-    assert_eq!(h.count(), lb.results, "point query: LibRTS vs LBVH");
+        let h = CountingHandler::new();
+        index.point_query(&pts, &h);
+        let rt = rtree.batch_point_query(&pts);
+        let lb = lbvh.batch_point_query(&pts);
+        assert_eq!(h.count(), rt.results, "point query: LibRTS vs RTree");
+        assert_eq!(h.count(), lb.results, "point query: LibRTS vs LBVH");
 
-    let h = CountingHandler::new();
-    index.range_query(Predicate::Intersects, &iqs, &h);
-    let rt = rtree.batch_intersects(&iqs);
-    assert_eq!(h.count(), rt.results, "intersects: LibRTS vs RTree");
+        let h = CountingHandler::new();
+        index.range_query(Predicate::Intersects, &iqs, &h);
+        let rt = rtree.batch_intersects(&iqs);
+        assert_eq!(h.count(), rt.results, "intersects: LibRTS vs RTree");
+
+        (rects.len(), pts.len(), iqs.len())
+    });
 
     println!(
-        "smoke verification passed in {:?} ({} rects, {} point / {} range queries, all engines agree)\n",
+        "smoke verification passed in {:?} ({n_rects} rects, {n_pts} point / {n_iqs} range queries, all engines agree)\n",
         t.elapsed(),
-        rects.len(),
-        pts.len(),
-        iqs.len()
     );
     if smoke_only {
-        // Still emit the perf artifact: the executor scaling study runs
-        // at smoke scale so CI gets a BENCH_perf.json from every mode.
-        let mut perf = PerfReport::new("runme", &cfg);
+        // The artifact carries the smoke figure (with its counter
+        // deltas) plus the executor scaling study at smoke scale, so CI
+        // gets a non-empty BENCH_perf.json from every mode.
         perf.intersects_scaling(&cfg);
         perf.write("BENCH_perf.json");
         return;

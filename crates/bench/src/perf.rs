@@ -37,6 +37,10 @@ pub struct FigureRecord {
     pub wall: Duration,
     /// Aggregated LibRTS simulated-device time inside the runner.
     pub model: Duration,
+    /// Stable-class metric deltas accumulated during the runner: rays
+    /// cast, AABB tests, IS invocations, span call counts — the logical
+    /// device work, byte-identical at any `LIBRTS_THREADS`.
+    pub counters: obs::Snapshot,
 }
 
 /// The executor scaling study: one Range-Intersects batch, two thread
@@ -97,6 +101,7 @@ impl PerfReport {
     /// LibRTS model time it accumulated. Returns the runner's output.
     pub fn record<R>(&mut self, name: &str, run: impl FnOnce() -> R) -> R {
         figures::take_model_time(); // drop anything a caller leaked
+        let before = obs::snapshot();
         let t0 = Instant::now();
         let out = run();
         let wall = t0.elapsed();
@@ -104,6 +109,7 @@ impl PerfReport {
             name: name.to_string(),
             wall,
             model: figures::take_model_time(),
+            counters: obs::snapshot().delta_since(&before).stable_only(),
         });
         out
     }
@@ -143,14 +149,18 @@ impl PerfReport {
         s.push_str("  \"figures\": [\n");
         for (i, f) in self.figures.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": {}, \"wall_ns\": {}, \"model_ns\": {}}}{}\n",
+                "    {{\"name\": {}, \"wall_ns\": {}, \"model_ns\": {}, \"counters\": {}}}{}\n",
                 json_str(&f.name),
                 ns(f.wall),
                 ns(f.model),
+                f.counters.to_json(0),
                 if i + 1 < self.figures.len() { "," } else { "" }
             ));
         }
         s.push_str("  ],\n");
+        // Full process-wide metrics state (all classes, including
+        // Host-class wall times and executor pool stats) at export time.
+        s.push_str(&format!("  \"metrics\": {},\n", obs::snapshot().to_json(0)));
         match &self.scaling {
             None => s.push_str("  \"scaling\": null\n"),
             Some(r) => {
@@ -281,9 +291,34 @@ mod tests {
         let j = rep.to_json();
         assert!(j.contains("\"artifact\": \"BENCH_perf\""));
         assert!(j.contains("\"fig\\\"x\\\"")); // escaped name
+        assert!(j.contains("\"counters\": {")); // per-figure stable deltas
+        assert!(j.contains("\"metrics\": {")); // process-wide snapshot
         assert!(j.contains("\"wall_baseline_ns\": 400000"));
         assert!(j.contains("\"speedup\": 4.0000"));
         assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn recorded_figures_carry_stable_counters() {
+        let cfg = EvalConfig::smoke();
+        let mut rep = PerfReport::new("test", &cfg);
+        rep.record("probe", || {
+            let rects = vec![
+                geom::Rect::xyxy(0.0f32, 0.0, 1.0, 1.0),
+                geom::Rect::xyxy(2.0, 2.0, 3.0, 3.0),
+            ];
+            let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+            let h = CountingHandler::new();
+            index.point_query(&[geom::Point::xy(0.5f32, 0.5)], &h);
+            h.count()
+        });
+        let f = &rep.figures[0];
+        assert!(
+            f.counters.counter("rtcore.rays").unwrap_or(0) >= 1,
+            "a figure that casts rays must record them"
+        );
+        // Host-class metrics are excluded from per-figure deltas.
+        assert!(f.counters.counter("rtcore.wall_ns").is_none());
     }
 
     #[test]

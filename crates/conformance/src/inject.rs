@@ -293,6 +293,102 @@ pub fn cases() -> Vec<InjectionCase> {
             },
         },
         InjectionCase {
+            name: "duplicate_id_delete_rejected",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                // A repeated id in one batch used to decrement the live
+                // count twice while tombstoning once.
+                assert_eq!(
+                    index.delete(&[0, 2, 0]),
+                    Err(IndexError::DuplicateId { id: 0 })
+                );
+                assert_eq!(index.len(), 3);
+                assert_agrees(&index, &live_of(&base_rects()));
+            },
+        },
+        InjectionCase {
+            name: "duplicate_id_update_rejected",
+            run: || {
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                let dest = Rect::xyxy(50.0, 50.0, 51.0, 51.0);
+                assert_eq!(
+                    index.update(&[1, 1], &[dest, dest]),
+                    Err(IndexError::DuplicateId { id: 1 })
+                );
+                assert_agrees(&index, &live_of(&base_rects()));
+            },
+        },
+        InjectionCase {
+            name: "invalid_intersects_query_rects_skipped",
+            run: || {
+                // Non-finite and inverted query rects used to reach the
+                // Phase-2 query-GAS build and panic. They must now be
+                // skipped (matching nothing) while valid neighbours keep
+                // their original query ids. Expected pairs are built
+                // manually: an inverted-but-finite rect is *invalid* to
+                // the engine, and must not be consulted as a predicate.
+                let mut index = RTSIndex::new(IndexOptions::default());
+                index.insert(&base_rects()).unwrap();
+                let qs = vec![
+                    Rect::xyxy(4.0, 4.0, 6.0, 6.0),    // valid
+                    raw_rect(f32::NAN, 0.0, 1.0, 1.0), // NaN min
+                    raw_rect(8.0, 8.0, 2.0, 9.0),      // inverted x
+                    raw_rect(0.0, f32::NEG_INFINITY, 1.0, f32::INFINITY),
+                    Rect::xyxy(-31.0, -31.0, -19.0, -24.0), // valid
+                ];
+                let mut want = vec![];
+                for (ri, r) in base_rects().iter().enumerate() {
+                    for qi in [0usize, 4] {
+                        if r.intersects(&qs[qi]) {
+                            want.push((ri as u32, qi as u32));
+                        }
+                    }
+                }
+                want.sort_unstable();
+                assert_eq!(index.collect_range_query(Predicate::Intersects, &qs), want);
+                // An all-invalid batch is a benign no-op, not a panic.
+                let all_bad = vec![raw_rect(f32::NAN, f32::NAN, f32::NAN, f32::NAN)];
+                assert!(index
+                    .collect_range_query(Predicate::Intersects, &all_bad)
+                    .is_empty());
+            },
+        },
+        InjectionCase {
+            name: "index3_duplicate_delete_rejected",
+            run: || {
+                let boxes = vec![
+                    Rect::xyzxyz(0.0, 0.0, 0.0, 1.0, 1.0, 1.0),
+                    Rect::xyzxyz(2.0, 0.0, 0.0, 3.0, 1.0, 1.0),
+                ];
+                let mut index = RTSIndex3::build(&boxes, IndexOptions::default()).unwrap();
+                assert_eq!(
+                    index.delete(&[1, 1]),
+                    Err(IndexError::DuplicateId { id: 1 })
+                );
+                assert_eq!(index.len(), 2);
+                index.delete(&[1]).unwrap();
+                assert_eq!(index.len(), 1);
+            },
+        },
+        InjectionCase {
+            name: "index3_invalid_intersects_query_skipped",
+            run: || {
+                let boxes = vec![
+                    Rect::xyzxyz(0.0, 0.0, 0.0, 4.0, 4.0, 4.0),
+                    Rect::xyzxyz(10.0, 10.0, 10.0, 12.0, 12.0, 12.0),
+                ];
+                let index = RTSIndex3::build(&boxes, IndexOptions::default()).unwrap();
+                let qs = vec![
+                    Rect::xyzxyz(1.0, 1.0, 1.0, 3.0, 3.0, 3.0), // valid
+                    raw_box([f32::NAN, 0.0, 0.0], [1.0, 1.0, 1.0]),
+                    raw_box([5.0, 0.0, 0.0], [-5.0, 1.0, 1.0]), // inverted
+                ];
+                assert_eq!(index.collect_intersects(&qs), vec![(0, 0)]);
+            },
+        },
+        InjectionCase {
             name: "index3_invalid_box_rejected",
             run: || {
                 let boxes = vec![

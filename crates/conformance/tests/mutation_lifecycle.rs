@@ -1,0 +1,162 @@
+//! Mutation-lifecycle property test: an arbitrary interleaving of
+//! insert / update / delete / compact is replayed against both
+//! [`librts::RTSIndex`] and the brute-force [`conformance::Oracle`];
+//! after **every** step the live count, world bounds and all three query
+//! kinds must agree exactly.
+//!
+//! `compact` remaps ids, so the oracle is rebuilt from its live set (in
+//! old-id order — exactly the order `RTSIndex::compact` keeps) at each
+//! compaction, keeping the id spaces aligned for the rest of the walk.
+
+use conformance::Oracle;
+use geom::{Point, Rect};
+use librts::{IndexOptions, Predicate, RTSIndex};
+use proptest::prelude::*;
+
+/// One lifecycle step, with enough entropy to pick its operands.
+#[derive(Clone, Debug)]
+enum Step {
+    Insert(Vec<Rect<f32, 2>>),
+    /// Deletes every live id `i` with `mix(sel, i) % 3 == 0`.
+    Delete(u64),
+    /// Moves every live id `i` with `mix(sel, i) % 4 == 0` by (dx, dy).
+    Update(u64, f32, f32),
+    Compact,
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect<f32, 2>> {
+    (-40.0f32..40.0, -40.0f32..40.0, 0.1f32..15.0, 0.1f32..15.0)
+        .prop_map(|(x, y, w, h)| Rect::xyxy(x, y, x + w, y + h))
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (
+        0u8..8,
+        prop::collection::vec(arb_rect(), 1..10),
+        any::<u64>(),
+        -20.0f32..20.0,
+        -20.0f32..20.0,
+    )
+        .prop_map(|(tag, batch, sel, dx, dy)| match tag {
+            0..=2 => Step::Insert(batch),
+            3..=4 => Step::Delete(sel),
+            5..=6 => Step::Update(sel, dx, dy),
+            _ => Step::Compact,
+        })
+}
+
+/// Splitmix-style selector so operand choice is a pure function of the
+/// generated entropy and the id.
+fn mix(sel: u64, id: u32) -> u64 {
+    let mut z = sel ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+fn oracle_bounds(oracle: &Oracle<2>) -> Rect<f32, 2> {
+    let mut b = Rect::empty();
+    for (_, r) in oracle.live() {
+        b.expand(&r);
+    }
+    b
+}
+
+fn check_step(index: &RTSIndex<f32>, oracle: &Oracle<2>, step_no: usize) {
+    assert_eq!(index.len(), oracle.len(), "live count after step {step_no}");
+    let b = index.bounds();
+    let ob = oracle_bounds(oracle);
+    assert_eq!(
+        (b.min, b.max),
+        (ob.min, ob.max),
+        "bounds after step {step_no}"
+    );
+
+    // Probe points: every live center plus a far-away miss.
+    let mut pts: Vec<Point<f32, 2>> = oracle.live().iter().map(|(_, r)| r.center()).collect();
+    pts.push(Point::xy(1e4, 1e4));
+    assert_eq!(
+        index.collect_point_query(&pts),
+        oracle.point_query(&pts),
+        "point query after step {step_no}"
+    );
+
+    // A fixed probe grid exercises both range predicates.
+    let qs: Vec<Rect<f32, 2>> = (0..9)
+        .map(|i| {
+            let x = (i % 3) as f32 * 30.0 - 45.0;
+            let y = (i / 3) as f32 * 30.0 - 45.0;
+            Rect::xyxy(x, y, x + 28.0, y + 28.0)
+        })
+        .collect();
+    assert_eq!(
+        index.collect_range_query(Predicate::Intersects, &qs),
+        oracle.intersects(&qs),
+        "intersects after step {step_no}"
+    );
+    assert_eq!(
+        index.collect_range_query(Predicate::Contains, &qs),
+        oracle.contains(&qs),
+        "contains after step {step_no}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lifecycle_matches_oracle(steps in prop::collection::vec(arb_step(), 1..14)) {
+        let mut index = RTSIndex::<f32>::new(IndexOptions::default());
+        let mut oracle = Oracle::<2>::new();
+        for (step_no, step) in steps.iter().enumerate() {
+            match step {
+                Step::Insert(batch) => {
+                    let got = index.insert(batch).unwrap();
+                    let want = oracle.insert(batch);
+                    prop_assert_eq!(got, want, "insert id range at step {}", step_no);
+                }
+                Step::Delete(sel) => {
+                    let victims: Vec<u32> = oracle
+                        .live()
+                        .iter()
+                        .map(|&(id, _)| id)
+                        .filter(|&id| mix(*sel, id).is_multiple_of(3))
+                        .collect();
+                    if victims.is_empty() {
+                        continue;
+                    }
+                    index.delete(&victims).unwrap();
+                    oracle.delete(&victims);
+                }
+                Step::Update(sel, dx, dy) => {
+                    let (ids, dests): (Vec<u32>, Vec<Rect<f32, 2>>) = oracle
+                        .live()
+                        .iter()
+                        .filter(|&&(id, _)| mix(*sel, id).is_multiple_of(4))
+                        .map(|&(id, r)| (id, r.translated(&Point::xy(*dx, *dy))))
+                        .unzip();
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    index.update(&ids, &dests).unwrap();
+                    oracle.update(&ids, &dests);
+                }
+                Step::Compact => {
+                    let remap = index.compact();
+                    // The engine keeps live rects in old-id order; mirror
+                    // that by rebuilding the oracle from its live set.
+                    let live = oracle.live();
+                    let mut fresh = Oracle::<2>::new();
+                    fresh.insert(&live.iter().map(|&(_, r)| r).collect::<Vec<_>>());
+                    for &(old_id, _) in &live {
+                        prop_assert!(
+                            remap[old_id as usize] != u32::MAX,
+                            "live id {} lost by compact at step {}", old_id, step_no
+                        );
+                    }
+                    oracle = fresh;
+                }
+            }
+            check_step(&index, &oracle, step_no);
+        }
+    }
+}

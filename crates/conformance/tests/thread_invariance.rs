@@ -29,9 +29,14 @@ fn smoke_suite_replays_identically_at_every_thread_count() {
     counts.dedup();
 
     let mut reference: Option<(usize, Vec<Summary>)> = None;
+    let mut obs_reference: Option<(usize, obs::Snapshot)> = None;
     for &n in &counts {
+        let before = exec::with_threads(n, obs::snapshot);
         let outcomes: Vec<RunOutcome> =
             exec::with_threads(n, || smoke_suite().iter().map(run_scenario).collect());
+        let stable = exec::with_threads(n, obs::snapshot)
+            .delta_since(&before)
+            .stable_only();
 
         let violations = check_budgets(&outcomes).expect("baseline readable");
         assert!(
@@ -47,6 +52,33 @@ fn smoke_suite_replays_identically_at_every_thread_count() {
             Some((n0, want)) => assert_eq!(
                 &summary, want,
                 "counter totals diverge between {n0} and {n} threads"
+            ),
+        }
+
+        // The metrics layer must be just as deterministic: every
+        // Stable-class metric (logical device work — ray counts, AABB
+        // tests, IS invocations, span call counts, launch-shape
+        // histograms) is byte-identical at any thread count. Host-class
+        // metrics (wall clock, pool stealing) are excluded by
+        // `stable_only`.
+        let scenario_rays: u64 = outcomes
+            .iter()
+            .map(|o| o.totals.rays + o.totals3.rays)
+            .sum();
+        let obs_rays = stable
+            .counter("rtcore.rays")
+            .expect("rtcore launch counters registered");
+        assert!(
+            obs_rays >= scenario_rays,
+            "obs saw {obs_rays} rays but the scenarios alone cast \
+             {scenario_rays} (obs also counts baseline-engine launches, \
+             so it can only be >=)"
+        );
+        match &obs_reference {
+            None => obs_reference = Some((n, stable)),
+            Some((n0, want)) => assert_eq!(
+                &stable, want,
+                "stable metrics diverge between {n0} and {n} threads"
             ),
         }
     }

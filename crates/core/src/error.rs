@@ -20,6 +20,14 @@ pub enum IndexError {
         /// The offending id.
         id: u32,
     },
+    /// The same id appears more than once in a single mutation batch.
+    /// Accepting it would double-apply the mutation (a duplicated delete
+    /// used to decrement the live count twice, permanently corrupting
+    /// `len()`), so batches must be duplicate-free.
+    DuplicateId {
+        /// The repeated id.
+        id: u32,
+    },
     /// `ids` and `rectangles` arrays have different lengths in `Update`.
     LengthMismatch {
         /// Number of ids supplied.
@@ -39,6 +47,9 @@ impl std::fmt::Display for IndexError {
             }
             IndexError::UnknownId { id } => write!(f, "id {id} does not exist"),
             IndexError::AlreadyDeleted { id } => write!(f, "id {id} was already deleted"),
+            IndexError::DuplicateId { id } => {
+                write!(f, "id {id} appears more than once in the batch")
+            }
             IndexError::LengthMismatch { ids, rects } => {
                 write!(f, "{ids} ids vs {rects} rectangles")
             }

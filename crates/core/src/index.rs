@@ -127,13 +127,19 @@ impl<C: Coord> RTSIndex<C> {
         }
     }
 
-    /// Device-memory footprint of the index: host-side rectangle cache
-    /// + deletion bitmap + acceleration structures.
+    /// Device-memory footprint of the index (Fig. 11): host-side
+    /// rectangle cache + deletion bitmap + prefix sums, plus every
+    /// per-batch GAS BVH summed explicitly, plus the IAS top level.
+    /// The GASes are summed here (not via `Ias::memory_bytes`) so the
+    /// bottom-level accounting cannot silently drop batches if the IAS
+    /// ever links a subset of them.
     pub fn memory_bytes(&self) -> usize {
+        let gas_bytes: usize = self.gases.iter().map(|g| g.memory_bytes()).sum();
         self.rects.len() * std::mem::size_of::<Rect<C, 2>>()
             + self.deleted.len()
             + self.batch_offsets.len() * std::mem::size_of::<u32>()
-            + self.ias.memory_bytes()
+            + gas_bytes
+            + self.ias.tlas_memory_bytes()
     }
 
     /// World bounds of the live data (empty rect when empty).
@@ -164,6 +170,7 @@ impl<C: Coord> RTSIndex<C> {
         &mut self,
         batch: &[Rect<C, 2>],
     ) -> Result<(Range<u32>, MutationReport), IndexError> {
+        let span = obs::span!("index.insert");
         let start = Instant::now();
         for (i, r) in batch.iter().enumerate() {
             if !(r.min.is_finite() && r.max.is_finite()) || r.is_empty() {
@@ -200,6 +207,8 @@ impl<C: Coord> RTSIndex<C> {
         let model = &self.device.cost_model;
         let device_time = model.build_time(batch.len(), rtcore::TraversalBackend::RtCore)
             + model.ias_build_time(self.gases.len());
+        span.device(device_time);
+        obs::counter("index.inserted_rects").add(batch.len() as u64);
         Ok((
             first..self.rects.len() as u32,
             MutationReport {
@@ -214,6 +223,7 @@ impl<C: Coord> RTSIndex<C> {
     /// hit them, then refits the affected GASes and the IAS (§4.2).
     /// Fails (without mutating) on unknown or already-deleted ids.
     pub fn delete(&mut self, ids: &[u32]) -> Result<MutationReport, IndexError> {
+        let span = obs::span!("index.delete");
         let start = Instant::now();
         self.check_ids(ids)?;
         let touched = self.apply_and_refit(ids, |rects, slot, _| {
@@ -226,6 +236,8 @@ impl<C: Coord> RTSIndex<C> {
         self.rebuild_ias();
         let model = &self.device.cost_model;
         let device_time = model.refit_time(touched) + model.ias_refit_time(self.gases.len());
+        span.device(device_time);
+        obs::counter("index.deleted_rects").add(ids.len() as u64);
         Ok(MutationReport {
             affected: ids.len(),
             device_time,
@@ -241,6 +253,7 @@ impl<C: Coord> RTSIndex<C> {
         ids: &[u32],
         rects: &[Rect<C, 2>],
     ) -> Result<MutationReport, IndexError> {
+        let span = obs::span!("index.update");
         let start = Instant::now();
         if ids.len() != rects.len() {
             return Err(IndexError::LengthMismatch {
@@ -260,6 +273,8 @@ impl<C: Coord> RTSIndex<C> {
         self.rebuild_ias();
         let model = &self.device.cost_model;
         let device_time = model.refit_time(touched) + model.ias_refit_time(self.gases.len());
+        span.device(device_time);
+        obs::counter("index.updated_rects").add(ids.len() as u64);
         Ok(MutationReport {
             affected: ids.len(),
             device_time,
@@ -270,6 +285,7 @@ impl<C: Coord> RTSIndex<C> {
     /// Rebuilds every GAS from scratch over the current coordinates —
     /// the recovery path when refit quality has degraded (§4.2, §6.7).
     pub fn rebuild(&mut self) {
+        let _span = obs::span!("index.rebuild");
         // Drop the IAS's shared references so make_mut does not clone.
         self.ias = Ias::build(&[]).expect("empty IAS");
         for gas in &mut self.gases {
@@ -283,6 +299,7 @@ impl<C: Coord> RTSIndex<C> {
     /// (`u32::MAX` for deleted). This is an extension beyond the paper's
     /// API, useful after heavy churn.
     pub fn compact(&mut self) -> Vec<u32> {
+        let _span = obs::span!("index.compact");
         let mut remap = vec![u32::MAX; self.rects.len()];
         let mut kept = Vec::with_capacity(self.live);
         for (i, (r, &dead)) in self.rects.iter().zip(&self.deleted).enumerate() {
@@ -300,6 +317,10 @@ impl<C: Coord> RTSIndex<C> {
     }
 
     fn check_ids(&self, ids: &[u32]) -> Result<(), IndexError> {
+        // A bitmap over the id space doubles as the duplicate detector:
+        // a repeated id in one batch would double-apply the mutation
+        // (delete would decrement `live` twice for one slot).
+        let mut seen = vec![false; self.rects.len()];
         for &id in ids {
             let i = id as usize;
             if i >= self.rects.len() {
@@ -307,6 +328,9 @@ impl<C: Coord> RTSIndex<C> {
             }
             if self.deleted[i] {
                 return Err(IndexError::AlreadyDeleted { id });
+            }
+            if std::mem::replace(&mut seen[i], true) {
+                return Err(IndexError::DuplicateId { id });
             }
         }
         Ok(())
@@ -451,4 +475,57 @@ impl<C: Coord> Snapshot<'_, C> {
 #[inline]
 pub(crate) fn lift<C: Coord>(r: &Rect<C, 2>) -> Rect<C, 3> {
     r.lift(C::ZERO, C::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: f32, b: f32, c: f32, d: f32) -> Rect<f32, 2> {
+        Rect::xyxy(a, b, c, d)
+    }
+
+    /// Pins the `memory_bytes` composition: the explicit per-batch GAS
+    /// sum plus the TLAS must equal what the IAS's own (Arc-deduplicated)
+    /// accounting reports, i.e. every GAS is counted exactly once — no
+    /// batch dropped, none double-counted through the instance list.
+    #[test]
+    fn memory_bytes_counts_each_gas_exactly_once() {
+        let mut index = RTSIndex::<f32>::new(IndexOptions::default());
+        for b in 0..4 {
+            let base = b as f32 * 10.0;
+            let batch: Vec<Rect<f32, 2>> = (0..16)
+                .map(|i| {
+                    let x = base + (i % 4) as f32 * 2.0;
+                    let y = (i / 4) as f32 * 2.0;
+                    r(x, y, x + 1.5, y + 1.5)
+                })
+                .collect();
+            index.insert(&batch).unwrap();
+        }
+        let host_bytes = index.rects.len() * std::mem::size_of::<Rect<f32, 2>>()
+            + index.deleted.len()
+            + index.batch_offsets.len() * std::mem::size_of::<u32>();
+        let gas_sum: usize = index.gases.iter().map(|g| g.memory_bytes()).sum();
+        assert_eq!(
+            index.memory_bytes(),
+            host_bytes + gas_sum + index.ias.tlas_memory_bytes()
+        );
+        // The IAS links every batch exactly once, so its deduplicated
+        // total must match the explicit sum.
+        assert_eq!(
+            index.ias.memory_bytes(),
+            gas_sum + index.ias.tlas_memory_bytes()
+        );
+
+        // Mutations must preserve the identity (delete refits in place,
+        // insert adds one GAS).
+        index.delete(&[0, 5, 17, 33]).unwrap();
+        let gas_sum: usize = index.gases.iter().map(|g| g.memory_bytes()).sum();
+        assert_eq!(
+            index.ias.memory_bytes(),
+            gas_sum + index.ias.tlas_memory_bytes()
+        );
+        assert!(index.memory_bytes() >= gas_sum);
+    }
 }

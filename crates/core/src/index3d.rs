@@ -15,29 +15,38 @@
 //! from every data-box center, with Definition 3 confirming candidates
 //! exactly (see [`RTSIndex3::intersects_query`]).
 
+use std::time::Instant;
+
 use geom::{Coord, Point, Ray, Rect};
 use rtcore::{BuildOptions, Device, Gas, HitContext, IsResult, RtProgram};
 
 use crate::config::IndexOptions;
 use crate::error::IndexError;
 use crate::handlers::{CollectingHandler, QueryHandler, ResultPair};
-use crate::report::{Breakdown, Phase, QueryReport};
+use crate::report::{Breakdown, MutationReport, Phase, QueryReport};
 
-/// An immutable 3-D rectangle (box) index supporting point queries,
-/// Range-Contains and Range-Intersects. Unlike [`crate::RTSIndex`], the
-/// 3-D variant is build-once (the evaluation only exercises 2-D
-/// mutability; instancing works identically and could be layered on).
+/// A 3-D rectangle (box) index supporting point queries, Range-Contains,
+/// Range-Intersects and deletion. Unlike [`crate::RTSIndex`], the 3-D
+/// variant has no batch instancing (the evaluation only exercises 2-D
+/// insert/update; instancing works identically and could be layered on),
+/// but it supports the paper's §4.2 deletion trick directly on its single
+/// GAS: deleted boxes are degenerated to zero extent and refit.
 pub struct RTSIndex3<C: Coord> {
     device: Device,
     boxes: Vec<Rect<C, 3>>,
+    deleted: Vec<bool>,
+    live: usize,
     gas: Gas<C>,
     /// Largest half-extent per axis over all indexed boxes — the
-    /// Minkowski bound used by the intersects candidate pass.
+    /// Minkowski bound used by the intersects candidate pass. Kept at
+    /// its build-time value after deletions (still a valid upper bound
+    /// for every live box).
     max_half: Point<C, 3>,
 }
 
 struct Point3Program<'a, C: Coord, H: QueryHandler> {
     boxes: &'a [Rect<C, 3>],
+    deleted: &'a [bool],
     points: &'a [Point<C, 3>],
     handler: &'a H,
 }
@@ -47,8 +56,8 @@ impl<C: Coord, H: QueryHandler> RtProgram<C> for Point3Program<'_, C, H> {
 
     #[inline]
     fn intersection(&self, ctx: &HitContext<'_, C>, qid: &mut u32) -> IsResult<C> {
-        let r = &self.boxes[ctx.primitive_index as usize];
-        if r.contains_point(&self.points[*qid as usize]) {
+        let rid = ctx.primitive_index as usize;
+        if !self.deleted[rid] && self.boxes[rid].contains_point(&self.points[*qid as usize]) {
             self.handler.handle(ctx.primitive_index, *qid);
         }
         IsResult::Ignore
@@ -57,6 +66,7 @@ impl<C: Coord, H: QueryHandler> RtProgram<C> for Point3Program<'_, C, H> {
 
 struct Contains3Program<'a, C: Coord, H: QueryHandler> {
     boxes: &'a [Rect<C, 3>],
+    deleted: &'a [bool],
     queries: &'a [Rect<C, 3>],
     handler: &'a H,
 }
@@ -66,8 +76,8 @@ impl<C: Coord, H: QueryHandler> RtProgram<C> for Contains3Program<'_, C, H> {
 
     #[inline]
     fn intersection(&self, ctx: &HitContext<'_, C>, qid: &mut u32) -> IsResult<C> {
-        let r = &self.boxes[ctx.primitive_index as usize];
-        if r.contains_rect(&self.queries[*qid as usize]) {
+        let rid = ctx.primitive_index as usize;
+        if !self.deleted[rid] && self.boxes[rid].contains_rect(&self.queries[*qid as usize]) {
             self.handler.handle(ctx.primitive_index, *qid);
         }
         IsResult::Ignore
@@ -76,8 +86,12 @@ impl<C: Coord, H: QueryHandler> RtProgram<C> for Contains3Program<'_, C, H> {
 
 /// Backward-style 3-D intersects program: primitives are the *queries*
 /// (Minkowski-expanded), rays are point probes from data-box centers.
+/// Only live boxes cast probes, so no deleted check is needed here.
 struct Intersects3Program<'a, C: Coord, H: QueryHandler> {
     boxes: &'a [Rect<C, 3>],
+    /// Maps query-GAS primitive index back to the original query id
+    /// (invalid queries are filtered out before the GAS build).
+    valid_ids: &'a [u32],
     queries: &'a [Rect<C, 3>],
     handler: &'a H,
 }
@@ -88,7 +102,7 @@ impl<C: Coord, H: QueryHandler> RtProgram<C> for Intersects3Program<'_, C, H> {
 
     #[inline]
     fn intersection(&self, ctx: &HitContext<'_, C>, rid: &mut u32) -> IsResult<C> {
-        let qid = ctx.primitive_index;
+        let qid = self.valid_ids[ctx.primitive_index as usize];
         let r = &self.boxes[*rid as usize];
         if r.intersects(&self.queries[qid as usize]) {
             self.handler.handle(*rid, qid);
@@ -114,7 +128,7 @@ impl<C: Coord> RTSIndex3<C> {
         let gas = Gas::build(
             boxes.to_vec(),
             BuildOptions {
-                allow_update: false,
+                allow_update: true,
                 quality: opts.quality,
                 leaf_size: opts.leaf_size,
             },
@@ -124,26 +138,80 @@ impl<C: Coord> RTSIndex3<C> {
                 cost_model: opts.cost_model,
             },
             boxes: boxes.to_vec(),
+            deleted: vec![false; boxes.len()],
+            live: boxes.len(),
             gas,
             max_half,
         })
     }
 
-    /// Number of indexed boxes.
+    /// Number of live (non-deleted) boxes.
     pub fn len(&self) -> usize {
-        self.boxes.len()
+        self.live
     }
 
-    /// `true` when empty.
+    /// `true` when no live boxes remain.
     pub fn is_empty(&self) -> bool {
-        self.boxes.is_empty()
+        self.live == 0
+    }
+
+    /// Validates a mutation id batch: every id must name an existing,
+    /// live box, and no id may repeat within the batch (a duplicate
+    /// would double-count the live decrement — same invariant as
+    /// [`crate::RTSIndex`]).
+    fn check_ids(&self, ids: &[u32]) -> Result<(), IndexError> {
+        let mut seen = vec![false; self.boxes.len()];
+        for &id in ids {
+            let i = id as usize;
+            if i >= self.boxes.len() {
+                return Err(IndexError::UnknownId { id });
+            }
+            if self.deleted[i] {
+                return Err(IndexError::AlreadyDeleted { id });
+            }
+            if std::mem::replace(&mut seen[i], true) {
+                return Err(IndexError::DuplicateId { id });
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes boxes by id — the paper's §4.2 trick: each deleted box is
+    /// degenerated to zero extent in the GAS (unhittable) and the GAS is
+    /// refit; the deleted bitmap guards exact filtering against the rare
+    /// probe that lands exactly on the collapsed corner.
+    pub fn delete(&mut self, ids: &[u32]) -> Result<MutationReport, IndexError> {
+        let span = obs::span!("index3.delete");
+        let start = Instant::now();
+        self.check_ids(ids)?;
+        self.gas
+            .refit_in_place(|aabbs| {
+                for &id in ids {
+                    aabbs[id as usize] = aabbs[id as usize].degenerated();
+                }
+            })
+            .map_err(IndexError::Accel)?;
+        for &id in ids {
+            self.deleted[id as usize] = true;
+        }
+        self.live -= ids.len();
+        let device_time = self.device.cost_model.refit_time(self.boxes.len());
+        span.device(device_time);
+        obs::counter("index3.deleted_rects").add(ids.len() as u64);
+        Ok(MutationReport {
+            affected: ids.len(),
+            device_time,
+            wall_time: start.elapsed(),
+        })
     }
 
     /// 3-D point query (§3.1 in three dimensions): one probe ray per
     /// point, Case-2 detection, exact filtering in IS.
     pub fn point_query<H: QueryHandler>(&self, points: &[Point<C, 3>], handler: &H) -> QueryReport {
+        let span = obs::span!("query3.point");
         let program = Point3Program {
             boxes: &self.boxes,
+            deleted: &self.deleted,
             points,
             handler,
         };
@@ -154,6 +222,7 @@ impl<C: Coord> RTSIndex3<C> {
             }
             session.trace(&self.gas, &program, &Ray::point_probe(p), &mut (i as u32));
         });
+        span.device(launch.device_time);
         wrap(launch)
     }
 
@@ -163,8 +232,10 @@ impl<C: Coord> RTSIndex3<C> {
         queries: &[Rect<C, 3>],
         handler: &H,
     ) -> QueryReport {
+        let span = obs::span!("query3.contains");
         let program = Contains3Program {
             boxes: &self.boxes,
+            deleted: &self.deleted,
             queries,
             handler,
         };
@@ -180,6 +251,7 @@ impl<C: Coord> RTSIndex3<C> {
                 &mut (i as u32),
             );
         });
+        span.device(launch.device_time);
         wrap(launch)
     }
 
@@ -200,16 +272,29 @@ impl<C: Coord> RTSIndex3<C> {
         queries: &[Rect<C, 3>],
         handler: &H,
     ) -> QueryReport {
-        if queries.is_empty() || self.boxes.is_empty() {
+        let span = obs::span!("query3.intersects");
+        // Invalid (non-finite / empty) query boxes can never match and
+        // must not reach the per-batch GAS build, which rejects
+        // non-finite AABBs. Filtering preserves original query ids via
+        // the `valid_ids` side table (same fix as the 2-D engine).
+        let valid_ids: Vec<u32> = (0..queries.len() as u32)
+            .filter(|&qi| {
+                let q = &queries[qi as usize];
+                q.min.is_finite() && q.max.is_finite() && !q.is_empty()
+            })
+            .collect();
+        obs::counter("query3.intersects.invalid_queries")
+            .add((queries.len() - valid_ids.len()) as u64);
+        if valid_ids.is_empty() || self.live == 0 {
             return QueryReport {
                 chosen_k: 1,
                 ..Default::default()
             };
         }
-        let expanded: Vec<Rect<C, 3>> = queries
+        let expanded: Vec<Rect<C, 3>> = valid_ids
             .iter()
-            .map(|q| {
-                let mut e = *q;
+            .map(|&qi| {
+                let mut e = queries[qi as usize];
                 for d in 0..3 {
                     e.min.coords[d] -= self.max_half.coords[d];
                     e.max.coords[d] += self.max_half.coords[d];
@@ -228,13 +313,22 @@ impl<C: Coord> RTSIndex3<C> {
         .expect("expanded finite queries");
         let program = Intersects3Program {
             boxes: &self.boxes,
+            valid_ids: &valid_ids,
             queries,
             handler,
         };
-        let launch = self.device.launch::<C, _>(self.boxes.len(), |i, session| {
-            let c = self.boxes[i].center();
-            session.trace(&query_gas, &program, &Ray::point_probe(c), &mut (i as u32));
+        // Only live boxes cast probes: after deletions the launch width
+        // shrinks to the live count (identity mapping when none are
+        // deleted, so counters stay byte-identical for delete-free runs).
+        let live_ids: Vec<u32> = (0..self.boxes.len() as u32)
+            .filter(|&i| !self.deleted[i as usize])
+            .collect();
+        let launch = self.device.launch::<C, _>(live_ids.len(), |i, session| {
+            let mut rid = live_ids[i];
+            let c = self.boxes[rid as usize].center();
+            session.trace(&query_gas, &program, &Ray::point_probe(c), &mut rid);
         });
+        span.device(launch.device_time);
         wrap(launch)
     }
 
@@ -375,6 +469,103 @@ mod tests {
         }];
         let r = RTSIndex3::build(&nan, IndexOptions::default());
         assert!(matches!(r, Err(IndexError::InvalidRect { index: 0 })));
+    }
+
+    #[test]
+    fn delete_3d_removes_from_all_queries() {
+        let boxes = grid3(4);
+        let n = boxes.len();
+        let mut index = RTSIndex3::build(&boxes, IndexOptions::default()).unwrap();
+        let victims: Vec<u32> = (0..n as u32).step_by(3).collect();
+        let report = index.delete(&victims).unwrap();
+        assert_eq!(report.affected, victims.len());
+        assert_eq!(index.len(), n - victims.len());
+
+        let live = |rid: u32| !victims.contains(&rid);
+        let pts = vec![Point::xyz(1.0f32, 1.0, 1.0), Point::xyz(4.0, 4.0, 4.0)];
+        let got = index.collect_point_query(&pts);
+        let mut want = vec![];
+        for (ri, r) in boxes.iter().enumerate() {
+            for (pi, p) in pts.iter().enumerate() {
+                if live(ri as u32) && r.contains_point(p) {
+                    want.push((ri as u32, pi as u32));
+                }
+            }
+        }
+        assert_eq!(got, want);
+
+        let qs = vec![Rect::xyzxyz(0.0f32, 0.0, 0.0, 5.0, 5.0, 5.0)];
+        let got = index.collect_intersects(&qs);
+        let mut want = vec![];
+        for (ri, r) in boxes.iter().enumerate() {
+            if live(ri as u32) && r.intersects(&qs[0]) {
+                want.push((ri as u32, 0));
+            }
+        }
+        assert_eq!(got, want);
+
+        let cs = vec![Rect::xyzxyz(0.5f32, 0.5, 0.5, 1.5, 1.5, 1.5)];
+        let got = index.collect_contains(&cs);
+        let mut want = vec![];
+        for (ri, r) in boxes.iter().enumerate() {
+            if live(ri as u32) && r.contains_rect(&cs[0]) {
+                want.push((ri as u32, 0));
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn delete_3d_rejects_bad_batches() {
+        let boxes = grid3(3);
+        let mut index = RTSIndex3::build(&boxes, IndexOptions::default()).unwrap();
+        let n = boxes.len();
+        assert!(matches!(
+            index.delete(&[n as u32]),
+            Err(IndexError::UnknownId { .. })
+        ));
+        // A duplicate id inside one batch must be rejected atomically —
+        // accepting it would decrement `live` twice for one box.
+        assert!(matches!(
+            index.delete(&[0, 1, 0]),
+            Err(IndexError::DuplicateId { id: 0 })
+        ));
+        assert_eq!(index.len(), n, "failed batch must not mutate the index");
+        index.delete(&[1]).unwrap();
+        assert!(matches!(
+            index.delete(&[1]),
+            Err(IndexError::AlreadyDeleted { id: 1 })
+        ));
+        assert_eq!(index.len(), n - 1);
+    }
+
+    #[test]
+    fn intersects_3d_skips_invalid_queries() {
+        let boxes = grid3(3);
+        let index = RTSIndex3::build(&boxes, IndexOptions::default()).unwrap();
+        let qs = vec![
+            Rect::xyzxyz(1.0f32, 1.0, 1.0, 4.0, 4.0, 4.0),
+            Rect {
+                min: Point::xyz(f32::NAN, 0.0, 0.0),
+                max: Point::xyz(1.0, 1.0, 1.0),
+            },
+            Rect {
+                min: Point::xyz(2.0f32, 0.0, 0.0),
+                max: Point::xyz(-2.0, 1.0, 1.0),
+            },
+            Rect::xyzxyz(0.0f32, 0.0, 0.0, 0.5, 0.5, 0.5),
+        ];
+        let got = index.collect_intersects(&qs);
+        let mut want = vec![];
+        for (ri, r) in boxes.iter().enumerate() {
+            for qi in [0usize, 3] {
+                if r.intersects(&qs[qi]) {
+                    want.push((ri as u32, qi as u32));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
     }
 
     #[test]

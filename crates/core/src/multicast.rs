@@ -131,6 +131,42 @@ fn sample_strided<C: Coord>(xs: &[Rect<C, 2>], n: usize) -> Vec<Rect<C, 2>> {
     (0..n).map(|i| xs[i * stride]).collect()
 }
 
+/// As [`estimate_selectivity`] but sampling only the listed ids — the
+/// live subset of a churned index and the valid subset of a query
+/// batch. Sampling deleted (degenerated) slots biases the estimate
+/// toward zero, which under-predicts `k` exactly when churn makes load
+/// balancing matter. With identity id lists the strided picks are the
+/// same as [`estimate_selectivity`]'s, so delete-free workloads keep
+/// byte-identical estimates.
+pub fn estimate_selectivity_ids<C: Coord>(
+    prims: &[Rect<C, 2>],
+    prim_ids: &[u32],
+    queries: &[Rect<C, 2>],
+    query_ids: &[u32],
+    sample_size: usize,
+) -> f64 {
+    if prim_ids.is_empty() || query_ids.is_empty() {
+        return 0.0;
+    }
+    let sp = sample_strided_ids(prims, prim_ids, sample_size);
+    let sq = sample_strided_ids(queries, query_ids, sample_size);
+    let mut hits = 0u64;
+    for p in &sp {
+        for q in &sq {
+            if p.intersects(q) {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / (sp.len() as f64 * sq.len() as f64)
+}
+
+fn sample_strided_ids<C: Coord>(xs: &[Rect<C, 2>], ids: &[u32], n: usize) -> Vec<Rect<C, 2>> {
+    let n = n.clamp(1, ids.len());
+    let stride = ids.len() / n;
+    (0..n).map(|i| xs[ids[i * stride] as usize]).collect()
+}
+
 /// The sub-space layout of a multicast build: rectangles are normalized
 /// within `frame` to `[0,1]²` and rectangle `i` is shifted to
 /// `x += (i mod k)`. Rays are duplicated `k` times with matching
@@ -278,6 +314,48 @@ mod tests {
         assert_eq!(estimate_selectivity(&world, &prims, 32), 1.0);
         // Empty inputs.
         assert_eq!(estimate_selectivity::<f32>(&[], &prims, 32), 0.0);
+    }
+
+    #[test]
+    fn id_sampling_with_identity_matches_full_sampling() {
+        let prims: Vec<Rect<f32, 2>> = (0..500)
+            .map(|i| {
+                let x = (i % 25) as f32 * 3.0;
+                let y = (i / 25) as f32 * 3.0;
+                Rect::xyxy(x, y, x + 2.0, y + 2.0)
+            })
+            .collect();
+        let ids: Vec<u32> = (0..prims.len() as u32).collect();
+        assert_eq!(
+            estimate_selectivity_ids(&prims, &ids, &prims, &ids, 64),
+            estimate_selectivity(&prims, &prims, 64),
+        );
+    }
+
+    #[test]
+    fn id_sampling_skips_dead_slots() {
+        // Every odd slot is a degenerated (deleted) rect; sampling over
+        // live ids only must see the same selectivity as a fresh index
+        // holding just the live rects.
+        let live: Vec<Rect<f32, 2>> = (0..200)
+            .map(|i| {
+                let x = (i % 20) as f32 * 3.0;
+                let y = (i / 20) as f32 * 3.0;
+                Rect::xyxy(x, y, x + 2.0, y + 2.0)
+            })
+            .collect();
+        let mut churned = Vec::new();
+        let mut live_ids = Vec::new();
+        for r in &live {
+            live_ids.push(churned.len() as u32);
+            churned.push(*r);
+            churned.push(r.degenerated());
+        }
+        let qids: Vec<u32> = (0..live.len() as u32).collect();
+        let fresh = estimate_selectivity(&live, &live, 48);
+        let from_churned = estimate_selectivity_ids(&churned, &live_ids, &live, &qids, 48);
+        assert_eq!(from_churned, fresh);
+        assert!(fresh > 0.0);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
     queries: &[Rect<C, 2>],
     handler: &H,
 ) -> QueryReport {
+    let span = obs::span!("query.contains");
     let program = ContainsProgram {
         snap,
         queries,
@@ -54,6 +55,7 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
         let ray = Ray::point_probe(s.center()).lift();
         session.trace(snap.ias, &program, &ray, &mut (i as u32));
     });
+    span.device(launch.device_time);
     let forward = Phase {
         device: launch.device_time,
         wall: launch.wall_time,

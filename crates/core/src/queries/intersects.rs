@@ -21,7 +21,7 @@ use rtcore::{BuildOptions, Gas, HitContext, IsResult, RtProgram, TraversalBacken
 use crate::config::DedupStrategy;
 use crate::handlers::QueryHandler;
 use crate::index::Snapshot;
-use crate::multicast::{choose_k, estimate_selectivity, MulticastLayout, MulticastMode};
+use crate::multicast::{choose_k, estimate_selectivity_ids, MulticastLayout, MulticastMode};
 
 use crate::report::{Phase, QueryReport};
 
@@ -64,6 +64,10 @@ impl<C: Coord, H: QueryHandler> RtProgram<C> for ForwardProgram<'_, C, H> {
 struct BackwardProgram<'a, C: Coord, H: QueryHandler> {
     snap: Snapshot<'a, C>,
     queries: &'a [Rect<C, 2>],
+    /// Original query id per query-GAS primitive: invalid (non-finite or
+    /// empty) queries are filtered out before the GAS build, so primitive
+    /// `p` corresponds to query `valid_ids[p]`.
+    valid_ids: &'a [u32],
     layout: &'a MulticastLayout<C>,
     handler: &'a H,
 }
@@ -80,9 +84,9 @@ impl<C: Coord, H: QueryHandler> RtProgram<C> for BackwardProgram<'_, C, H> {
 
     #[inline]
     fn intersection(&self, ctx: &HitContext<'_, C>, p: &mut BackwardPayload) -> IsResult<C> {
-        // The query GAS is built directly over S, so the primitive index
-        // *is* the query id.
-        let qid = ctx.primitive_index;
+        // The query GAS is built over the valid subset of S; map the
+        // primitive index back to the caller's query id.
+        let qid = self.valid_ids[ctx.primitive_index as usize];
         // Sub-space ownership: a ray may graze boxes on the shared
         // boundary of a neighbouring sub-space; only the owner emits.
         if self.layout.subspace_of(qid as usize) != p.subspace {
@@ -143,6 +147,15 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
     }
 }
 
+/// A query rectangle the engine can cast: finite coordinates and
+/// non-inverted extents. Everything else matches no rectangle and must
+/// stay out of the query-side GAS (a NaN coordinate used to trip the
+/// finite-input expectation in the Phase 2 build).
+#[inline]
+fn is_valid_query<C: Coord>(q: &Rect<C, 2>) -> bool {
+    q.min.is_finite() && q.max.is_finite() && !q.is_empty()
+}
+
 fn run_inner<C: Coord, H: QueryHandler>(
     snap: Snapshot<'_, C>,
     queries: &[Rect<C, 2>],
@@ -150,6 +163,7 @@ fn run_inner<C: Coord, H: QueryHandler>(
     forced_k: Option<usize>,
     check_backward: bool,
 ) -> QueryReport {
+    let span = obs::span!("query.intersects");
     let mut report = QueryReport {
         chosen_k: 1,
         ..Default::default()
@@ -157,10 +171,27 @@ fn run_inner<C: Coord, H: QueryHandler>(
     if queries.is_empty() || snap.rects.is_empty() {
         return report;
     }
+    // Live index slots and valid queries, in stable id order. Both
+    // passes, the cost model, and the query-side GAS work over these
+    // subsets; ids reported to the handler stay the caller's original
+    // ids. When nothing is deleted and every query is valid, both lists
+    // are identity mappings and the pipeline below degenerates to the
+    // unfiltered one (byte-identical counters).
+    let live_ids: Vec<u32> = (0..snap.rects.len() as u32)
+        .filter(|&i| !snap.deleted[i as usize])
+        .collect();
+    let valid_ids: Vec<u32> = (0..queries.len() as u32)
+        .filter(|&i| is_valid_query(&queries[i as usize]))
+        .collect();
+    obs::counter("query.intersects.invalid_queries").add((queries.len() - valid_ids.len()) as u64);
+    if live_ids.is_empty() || valid_ids.is_empty() {
+        return report;
+    }
     let model = &snap.device.cost_model;
 
     // ---- Phase 1: k prediction (§3.4) --------------------------------
     let t0 = Instant::now();
+    let phase_span = obs::span!("k_prediction");
     let k = match forced_k {
         Some(k) => k.max(1),
         None => match snap.opts.multicast.mode {
@@ -168,13 +199,20 @@ fn run_inner<C: Coord, H: QueryHandler>(
             MulticastMode::Fixed(k) => k.max(1),
             MulticastMode::Auto => {
                 let cfg = &snap.opts.multicast;
-                let s = estimate_selectivity(snap.rects, queries, cfg.sample_size);
+                let s = estimate_selectivity_ids(
+                    snap.rects,
+                    &live_ids,
+                    queries,
+                    &valid_ids,
+                    cfg.sample_size,
+                );
                 report.estimated_selectivity = Some(s);
-                choose_k(snap.live, queries.len(), s, cfg.weight, cfg.max_k)
+                choose_k(snap.live, valid_ids.len(), s, cfg.weight, cfg.max_k)
             }
         },
     };
     report.chosen_k = k;
+    obs::histogram("query.intersects.chosen_k").observe(k as u64);
     // The sampling trial run is SM work — a brute-force pair count over
     // sample² pairs, embarrassingly parallel on the device, so its
     // simulated cost is tiny ("the prediction time is negligible
@@ -185,6 +223,8 @@ fn run_inner<C: Coord, H: QueryHandler>(
     } else {
         std::time::Duration::ZERO
     };
+    phase_span.device(k_pred_device);
+    drop(phase_span);
     report.breakdown.k_prediction = Phase {
         device: k_pred_device,
         wall: t0.elapsed(),
@@ -192,14 +232,17 @@ fn run_inner<C: Coord, H: QueryHandler>(
 
     // ---- Phase 2: query-side BVH build (timed per §6.1) ---------------
     let t1 = Instant::now();
+    let phase_span = obs::span!("bvh_build");
     let frame = frame_of(snap, queries);
     let layout = MulticastLayout::with_axis(k, frame, snap.opts.multicast.axis);
-    let placed: Vec<Rect<C, 3>> = queries
+    // Sub-space assignment keys on the *original* query id, so adding or
+    // removing invalid queries never reshuffles the valid ones.
+    let placed: Vec<Rect<C, 3>> = valid_ids
         .iter()
-        .enumerate()
-        .map(|(i, q)| {
-            let z = layout.z_of(layout.subspace_of(i));
-            layout.place_rect(i, q).lift(z, z)
+        .map(|&qid| {
+            let q = &queries[qid as usize];
+            let z = layout.z_of(layout.subspace_of(qid as usize));
+            layout.place_rect(qid as usize, q).lift(z, z)
         })
         .collect();
     let query_gas = Gas::build(
@@ -211,12 +254,16 @@ fn run_inner<C: Coord, H: QueryHandler>(
         },
     )
     .expect("query AABBs were placed from finite inputs");
+    let build_device = model.build_time(valid_ids.len(), TraversalBackend::RtCore);
+    phase_span.device(build_device);
+    drop(phase_span);
     report.breakdown.bvh_build = Phase {
-        device: model.build_time(queries.len(), TraversalBackend::RtCore),
+        device: build_device,
         wall: t1.elapsed(),
     };
 
     // ---- Phase 3: forward casting -------------------------------------
+    let phase_span = obs::span!("forward");
     let forward_prog = ForwardProgram {
         snap,
         queries,
@@ -225,12 +272,14 @@ fn run_inner<C: Coord, H: QueryHandler>(
     };
     let fwd = snap.device.launch::<C, _>(queries.len(), |i, session| {
         let s = &queries[i];
-        if !(s.min.is_finite() && s.max.is_finite()) || s.is_empty() {
+        if !is_valid_query(s) {
             return;
         }
         let ray = Ray::from_segment(&diagonal(s)).lift();
         session.trace(snap.ias, &forward_prog, &ray, &mut (i as u32));
     });
+    phase_span.device(fwd.device_time);
+    drop(phase_span);
     report.breakdown.forward = Phase {
         device: fwd.device_time,
         wall: fwd.wall_time,
@@ -238,21 +287,22 @@ fn run_inner<C: Coord, H: QueryHandler>(
     report.launch.merge(&fwd);
 
     // ---- Phase 4: backward casting (multicast, §3.4) -------------------
+    let phase_span = obs::span!("backward");
     let backward_prog = BackwardProgram {
         snap,
         queries,
+        valid_ids: &valid_ids,
         layout: &layout,
         handler,
     };
-    let n_rects = snap.rects.len();
+    // Launch width covers live rectangles only — deleted slots used to
+    // occupy `k` dead lanes each, skewing launch sizing (and device-time
+    // modelling) against the live-only counts the cost model was fed.
     let bwd = snap
         .device
-        .launch::<C, _>(n_rects * k, |launch_idx, session| {
-            let gid = launch_idx / k;
+        .launch::<C, _>(live_ids.len() * k, |launch_idx, session| {
+            let gid = live_ids[launch_idx / k] as usize;
             let subspace = launch_idx % k;
-            if snap.deleted[gid] {
-                return; // deleted rectangles cast no rays
-            }
             let seg = layout.place_segment(subspace, &anti_diagonal(&snap.rects[gid]));
             let z = layout.z_of(subspace);
             let mut ray = Ray::from_segment(&seg).lift();
@@ -263,16 +313,19 @@ fn run_inner<C: Coord, H: QueryHandler>(
             };
             session.trace(&query_gas, &backward_prog, &ray, &mut payload);
         });
+    phase_span.device(bwd.device_time);
+    drop(phase_span);
     report.breakdown.backward = Phase {
         device: bwd.device_time,
         wall: bwd.wall_time,
     };
     report.launch.merge(&bwd);
+    span.device(k_pred_device + build_device + fwd.device_time + bwd.device_time);
     report
 }
 
-/// Normalization frame: bounds of live data and queries combined, so
-/// every placed coordinate is near the unit box.
+/// Normalization frame: bounds of live data and valid queries combined,
+/// so every placed coordinate is near the unit box.
 fn frame_of<C: Coord>(snap: Snapshot<'_, C>, queries: &[Rect<C, 2>]) -> Rect<C, 2> {
     let mut frame = Rect::empty();
     for (r, &dead) in snap.rects.iter().zip(snap.deleted) {
@@ -281,7 +334,7 @@ fn frame_of<C: Coord>(snap: Snapshot<'_, C>, queries: &[Rect<C, 2>]) -> Rect<C, 
         }
     }
     for q in queries {
-        if q.min.is_finite() && q.max.is_finite() {
+        if is_valid_query(q) {
             frame.expand(q);
         }
     }

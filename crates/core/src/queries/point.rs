@@ -44,6 +44,7 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
     points: &[Point<C, 2>],
     handler: &H,
 ) -> QueryReport {
+    let span = obs::span!("query.point");
     let program = PointProgram {
         snap,
         points,
@@ -57,6 +58,7 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
         let ray = Ray::point_probe(p).lift();
         session.trace(snap.ias, &program, &ray, &mut (i as u32));
     });
+    span.device(launch.device_time);
     let forward = Phase {
         device: launch.device_time,
         wall: launch.wall_time,

@@ -2,8 +2,8 @@
 
 use geom::{Point, Rect};
 use librts::{
-    CollectingHandler, IndexOptions, LockFreeCollectingHandler, MulticastConfig, MulticastMode,
-    Predicate, RTSIndex,
+    CollectingHandler, IndexError, IndexOptions, LockFreeCollectingHandler, MulticastConfig,
+    MulticastMode, Predicate, RTSIndex, RTSIndex3,
 };
 
 fn r(a: f32, b: f32, c: f32, d: f32) -> Rect<f32, 2> {
@@ -243,6 +243,143 @@ fn interleaved_mutations_stress() {
         }
     }
     assert_eq!(index.len(), live.len());
+}
+
+#[test]
+fn duplicate_id_in_delete_batch_is_rejected() {
+    // Regression: a repeated id in one delete batch used to decrement
+    // `live` once per occurrence while flipping the deleted bit once,
+    // leaving `len()` permanently short.
+    let rects: Vec<Rect<f32, 2>> = (0..8)
+        .map(|i| {
+            let x = i as f32 * 3.0;
+            r(x, 0.0, x + 2.0, 2.0)
+        })
+        .collect();
+    let mut index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+    assert!(matches!(
+        index.delete(&[2, 5, 2]),
+        Err(IndexError::DuplicateId { id: 2 })
+    ));
+    // The failed batch must be atomic: nothing deleted, count intact.
+    assert_eq!(index.len(), 8);
+    assert!(index.get(2).is_some() && index.get(5).is_some());
+    // Duplicates are also rejected for updates (shared id validation).
+    assert!(matches!(
+        index.update(&[1, 1], &[rects[1], rects[1]]),
+        Err(IndexError::DuplicateId { id: 1 })
+    ));
+    // A clean batch still works and the count stays exact afterwards.
+    index.delete(&[2, 5]).unwrap();
+    assert_eq!(index.len(), 6);
+}
+
+#[test]
+fn duplicate_id_in_delete_batch_is_rejected_3d() {
+    let boxes: Vec<Rect<f32, 3>> = (0..8)
+        .map(|i| {
+            let x = i as f32 * 3.0;
+            Rect::xyzxyz(x, 0.0, 0.0, x + 2.0, 2.0, 2.0)
+        })
+        .collect();
+    let mut index = RTSIndex3::build(&boxes, IndexOptions::default()).unwrap();
+    assert!(matches!(
+        index.delete(&[4, 4]),
+        Err(IndexError::DuplicateId { id: 4 })
+    ));
+    assert_eq!(index.len(), 8);
+    index.delete(&[4]).unwrap();
+    assert_eq!(index.len(), 7);
+}
+
+#[test]
+fn intersects_skips_invalid_query_rects() {
+    // Regression: non-finite / inverted query rects used to reach the
+    // per-batch query-GAS build in Phase 2 and panic; they are now
+    // filtered out while preserving the original query-id mapping.
+    let rects = vec![r(0.0, 0.0, 4.0, 4.0), r(10.0, 10.0, 12.0, 12.0)];
+    let index = RTSIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+    let qs = vec![
+        r(1.0, 1.0, 3.0, 3.0), // valid, hits rect 0
+        Rect {
+            min: Point::xy(f32::NAN, 0.0),
+            max: Point::xy(1.0, 1.0),
+        },
+        Rect {
+            min: Point::xy(5.0, 0.0),
+            max: Point::xy(-5.0, 1.0), // inverted (empty)
+        },
+        Rect {
+            min: Point::xy(f32::NEG_INFINITY, f32::NEG_INFINITY),
+            max: Point::xy(f32::INFINITY, f32::INFINITY),
+        },
+        r(9.0, 9.0, 11.0, 11.0), // valid, hits rect 1
+    ];
+    let got = index.collect_range_query(Predicate::Intersects, &qs);
+    assert_eq!(got, vec![(0, 0), (1, 4)]);
+    // All-invalid batches short-circuit without building a query GAS.
+    let all_bad = vec![Rect {
+        min: Point::xy(f32::NAN, f32::NAN),
+        max: Point::xy(f32::NAN, f32::NAN),
+    }];
+    assert_eq!(
+        index.collect_range_query(Predicate::Intersects, &all_bad),
+        vec![]
+    );
+}
+
+#[test]
+fn cost_model_uses_live_counts_after_heavy_delete() {
+    // Regression: after heavy churn the k-predictor used to sample dead
+    // (degenerated) slots and size the backward launch by capacity, not
+    // live count. A churned index must now agree with a fresh index
+    // built over only the survivors.
+    let all: Vec<Rect<f32, 2>> = (0..400)
+        .map(|i| {
+            let x = (i % 20) as f32 * 4.0;
+            let y = (i / 20) as f32 * 4.0;
+            r(x, y, x + 3.0, y + 3.0)
+        })
+        .collect();
+    let survivors: Vec<Rect<f32, 2>> = all.iter().copied().step_by(2).collect();
+    let dead: Vec<u32> = (0..400u32).filter(|i| i % 2 == 1).collect();
+
+    let mut churned = RTSIndex::with_rects(&all, IndexOptions::default()).unwrap();
+    churned.delete(&dead).unwrap();
+    let fresh = RTSIndex::with_rects(&survivors, IndexOptions::default()).unwrap();
+
+    let qs: Vec<Rect<f32, 2>> = (0..32)
+        .map(|i| {
+            let x = (i % 8) as f32 * 10.0;
+            let y = (i / 8) as f32 * 10.0;
+            r(x, y, x + 6.0, y + 6.0)
+        })
+        .collect();
+    let hc = CollectingHandler::new();
+    let rc = churned.range_query(Predicate::Intersects, &qs, &hc);
+    let hf = CollectingHandler::new();
+    let rf = fresh.range_query(Predicate::Intersects, &qs, &hf);
+
+    assert_eq!(
+        rc.chosen_k, rf.chosen_k,
+        "k must be predicted from live data"
+    );
+    assert_eq!(
+        rc.estimated_selectivity, rf.estimated_selectivity,
+        "selectivity must be sampled from live slots only"
+    );
+    // Backward launch width is live * k (plus the forward pass over the
+    // queries), not capacity * k.
+    assert_eq!(
+        rc.launch.width,
+        qs.len() + churned.len() * rc.chosen_k,
+        "backward launch must cover live rects only"
+    );
+    // And of course: identical results modulo the id remapping.
+    let got_c = hc.into_sorted_vec();
+    let got_f = hf.into_sorted_vec();
+    let remapped: Vec<(u32, u32)> = got_f.iter().map(|&(rid, qid)| (rid * 2, qid)).collect();
+    assert_eq!(got_c, remapped);
 }
 
 #[test]

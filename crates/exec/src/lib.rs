@@ -44,6 +44,7 @@ use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 pub mod radix;
 
@@ -119,6 +120,76 @@ pub fn worker_index() -> Option<usize> {
     match WORKER_SLOT.with(Cell::get) {
         0 => None,
         slot => Some(slot - 1),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool statistics
+// ---------------------------------------------------------------------------
+
+/// One cell per worker slot (plus slot 0 for non-pool threads), so hot-path
+/// increments never contend; totals fold the cells.
+const STAT_SLOTS: usize = MAX_THREADS + 1;
+
+struct StatCells([AtomicU64; STAT_SLOTS]);
+
+impl StatCells {
+    const fn new() -> Self {
+        Self([const { AtomicU64::new(0) }; STAT_SLOTS])
+    }
+
+    #[inline]
+    fn add(&self, v: u64) {
+        let slot = WORKER_SLOT.with(Cell::get) % STAT_SLOTS;
+        self.0[slot].fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn total(&self) -> u64 {
+        self.0
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+static STAT_FANOUTS: StatCells = StatCells::new();
+static STAT_ITEMS: StatCells = StatCells::new();
+static STAT_CHUNKS: StatCells = StatCells::new();
+static STAT_STEALS: StatCells = StatCells::new();
+static STAT_BUSY_NS: StatCells = StatCells::new();
+
+/// Cumulative executor statistics since process start.
+///
+/// These are **host-scheduling facts**, not logical totals: the workspace
+/// shapes fan-outs by [`current_threads`] (BVH builds pick their task
+/// decomposition from it), so even `fanouts`/`items`/`chunks` legitimately
+/// differ across thread counts. Consumers that assert thread-count
+/// invariance must exclude them (the `obs` crate classes them as Host).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fan-outs issued ([`for_each_chunk`] calls with `n > 0`).
+    pub fanouts: u64,
+    /// Items covered by those fan-outs (the sum of their `n`).
+    pub items: u64,
+    /// Chunks claimed and executed (including inline sequential runs).
+    pub chunks: u64,
+    /// Chunks claimed from another participant's span.
+    pub steals: u64,
+    /// Wall time spent executing chunk bodies, summed over participants.
+    pub busy_ns: u64,
+    /// Pool workers spawned so far (monotonic, ≤ [`MAX_THREADS`]).
+    pub workers_spawned: u64,
+}
+
+/// Snapshot the cumulative [`PoolStats`].
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        fanouts: STAT_FANOUTS.total(),
+        items: STAT_ITEMS.total(),
+        chunks: STAT_CHUNKS.total(),
+        steals: STAT_STEALS.total(),
+        busy_ns: STAT_BUSY_NS.total(),
+        workers_spawned: pool().spawned.load(Ordering::Acquire) as u64,
     }
 }
 
@@ -224,18 +295,27 @@ impl Job {
         let k = self.spans.len();
         let own = home % k;
         loop {
+            let mut stole = false;
             let claimed = pop_front(&self.spans[own], self.chunk).or_else(|| {
-                (1..k).find_map(|off| steal_back(&self.spans[(own + off) % k], self.chunk))
+                (1..k)
+                    .find_map(|off| steal_back(&self.spans[(own + off) % k], self.chunk))
+                    .inspect(|_| stole = true)
             });
             let Some(range) = claimed else { break };
+            STAT_CHUNKS.add(1);
+            if stole {
+                STAT_STEALS.add(1);
+            }
             let len = (range.end - range.start) as u64;
             // SAFETY: claim precedes the `pending` decrement below, and the
             // issuing thread keeps the closure alive until `pending == 0`.
             let body = unsafe { &*self.body };
+            let t0 = Instant::now();
             if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(range))) {
                 let mut slot = self.panic.lock().unwrap();
                 slot.get_or_insert(payload);
             }
+            STAT_BUSY_NS.add(t0.elapsed().as_nanos() as u64);
             if self.pending.fetch_sub(len, Ordering::AcqRel) == len {
                 *self.done.lock().unwrap() = true;
                 self.done_cv.notify_all();
@@ -327,8 +407,13 @@ pub fn for_each_chunk(n: usize, min_chunk: usize, body: impl Fn(Range<usize>) + 
     let chunk = min_chunk.max(1);
     let threads = current_threads();
     let participants = threads.min(n.div_ceil(chunk));
+    STAT_FANOUTS.add(1);
+    STAT_ITEMS.add(n as u64);
     if participants <= 1 {
+        STAT_CHUNKS.add(1);
+        let t0 = Instant::now();
         body(0..n);
+        STAT_BUSY_NS.add(t0.elapsed().as_nanos() as u64);
         return;
     }
     assert!(n < u32::MAX as usize, "exec fan-out width must fit in u32");
@@ -592,6 +677,22 @@ mod tests {
             });
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_stats_count_fanouts_items_and_chunks() {
+        let before = pool_stats();
+        with_threads(4, || {
+            for_each_chunk(5_000, 32, |range| {
+                std::hint::black_box(range.len());
+            });
+        });
+        let after = pool_stats();
+        assert!(after.fanouts > before.fanouts);
+        assert!(after.items >= before.items + 5_000);
+        assert!(after.chunks > before.chunks);
+        assert!(after.busy_ns >= before.busy_ns);
+        assert!(after.steals >= before.steals);
     }
 
     #[test]

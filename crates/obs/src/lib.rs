@@ -1,0 +1,191 @@
+//! # obs — the workspace observability layer
+//!
+//! A lightweight, thread-safe metrics registry plus hierarchical tracing
+//! spans, threaded through the three hot layers of the reproduction:
+//! `rtcore` launches (rays cast, AABB tests, IS invocations, device
+//! time), `librts` query phases and mutations, and the `exec`
+//! work-stealing pool (fan-outs, chunks, steals, busy time).
+//!
+//! ## Determinism contract
+//!
+//! Every metric carries a [`Class`]:
+//!
+//! - [`Class::Stable`] — *logical* totals that must be **byte-identical
+//!   at any `LIBRTS_THREADS`**: ray/counter totals mirrored from the
+//!   simulated device, modelled device nanoseconds, span call counts,
+//!   launch-shape histograms. Counters are sharded by `exec` worker slot
+//!   so hot paths never contend, and u64 sums merge commutatively — the
+//!   same argument that makes `exec::Shards` order-independent.
+//! - [`Class::Host`] — host-scheduling facts (wall-clock nanoseconds,
+//!   steal counts, per-worker busy time). These are real measurements of
+//!   *this* run and legitimately vary run to run; determinism checks
+//!   must call [`Snapshot::stable_only`] to exclude them. Note that even
+//!   the exec pool's *fan-out and chunk counts* are Host-class: BVH
+//!   construction shapes its task decomposition by
+//!   `exec::current_threads()`, so those counts differ by thread count
+//!   by design.
+//!
+//! ## Usage
+//!
+//! ```
+//! use std::time::Duration;
+//!
+//! // Counters: get-or-create by name, cache the Arc at hot sites.
+//! let rays = obs::counter("doc.rays");
+//! rays.add(128);
+//!
+//! // Spans: hierarchical paths, wall time on drop, device time attached.
+//! {
+//!     let q = obs::span!("doc.query");
+//!     let f = obs::span!("forward");
+//!     f.device(Duration::from_micros(7)); // span.doc.query.forward.device_ns
+//! }
+//!
+//! let snap = obs::snapshot();
+//! assert!(snap.counter("doc.rays").unwrap() >= 128);
+//! ```
+//!
+//! Snapshots are cheap, diffable ([`Snapshot::delta_since`]) and export
+//! to JSON ([`Snapshot::to_json`]) or a Prometheus-style text dump
+//! ([`Snapshot::to_prometheus`]); `BENCH_perf.json` embeds both a
+//! per-figure stable-counter delta and the final process snapshot.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+pub mod spans;
+
+pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{global, Registry};
+pub use snapshot::{MetricValue, Snapshot, Value};
+pub use spans::{span, Span};
+
+use std::sync::Arc;
+
+/// Determinism class of a metric (see the crate docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Class {
+    /// Logical totals — byte-identical at any thread count.
+    Stable,
+    /// Host-scheduling facts — legitimately vary run to run.
+    Host,
+}
+
+impl Class {
+    /// Lower-case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::Stable => "stable",
+            Class::Host => "host",
+        }
+    }
+}
+
+/// Get-or-create a [`Class::Stable`] counter in the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name, Class::Stable)
+}
+
+/// Get-or-create a [`Class::Host`] counter in the global registry.
+pub fn host_counter(name: &str) -> Arc<Counter> {
+    global().counter(name, Class::Host)
+}
+
+/// Get-or-create a [`Class::Host`] gauge in the global registry
+/// (gauges describe current host state, so they default to Host).
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name, Class::Host)
+}
+
+/// Get-or-create a [`Class::Stable`] histogram in the global registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name, Class::Stable)
+}
+
+/// Get-or-create a [`Class::Host`] histogram in the global registry.
+pub fn host_histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name, Class::Host)
+}
+
+/// Snapshot the global registry (after mirroring the `exec` pool stats
+/// into their `exec.*` Host-class counters).
+pub fn snapshot() -> Snapshot {
+    registry::sync_exec_stats(global());
+    global().snapshot()
+}
+
+/// Zero every metric in the global registry **in place** — cached
+/// handles stay valid and keep counting from zero.
+pub fn reset() {
+    registry::sync_exec_stats(global());
+    global().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn end_to_end_counter_span_snapshot() {
+        let c = counter("obs.test.e2e");
+        let before = snapshot();
+        c.add(5);
+        {
+            let _outer = span!("obs.test.outer");
+            let inner = span!("inner");
+            assert_eq!(inner.path(), "obs.test.outer.inner");
+            inner.device(Duration::from_nanos(321));
+        }
+        let delta = snapshot().delta_since(&before);
+        assert_eq!(delta.counter("obs.test.e2e"), Some(5));
+        assert_eq!(delta.counter("span.obs.test.outer.calls"), Some(1));
+        assert_eq!(delta.counter("span.obs.test.outer.inner.calls"), Some(1));
+        assert_eq!(
+            delta.counter("span.obs.test.outer.inner.device_ns"),
+            Some(321)
+        );
+        // Wall time is Host-class: present in the delta, absent from the
+        // stable view.
+        assert!(delta.counter("span.obs.test.outer.wall_ns").is_some());
+        let stable = delta.stable_only();
+        assert!(stable.counter("span.obs.test.outer.wall_ns").is_none());
+        assert_eq!(stable.counter("obs.test.e2e"), Some(5));
+    }
+
+    #[test]
+    fn exec_pool_stats_are_mirrored_as_host_metrics() {
+        exec::with_threads(4, || {
+            exec::for_each_chunk(10_000, 16, |r| {
+                std::hint::black_box(r.len());
+            });
+        });
+        let snap = snapshot();
+        assert!(snap.counter("exec.fanouts").unwrap_or(0) >= 1);
+        assert!(snap.counter("exec.items").unwrap_or(0) >= 10_000);
+        assert!(snap.counter("exec.chunks").unwrap_or(0) >= 1);
+        // All exec pool metrics are Host-class by design.
+        let stable = snap.stable_only();
+        assert!(stable.counter("exec.fanouts").is_none());
+        assert!(stable.counter("exec.busy_ns").is_none());
+    }
+
+    #[test]
+    fn exporters_cover_every_metric_kind() {
+        counter("obs.test.exp_counter").add(3);
+        gauge("obs.test.exp_gauge").set(-7);
+        histogram("obs.test.exp_hist").observe(1000);
+        let snap = snapshot();
+        let json = snap.to_json(0);
+        assert!(json.contains("\"obs.test.exp_counter\""));
+        assert!(json.contains("\"obs.test.exp_gauge\""));
+        assert!(json.contains("\"obs.test.exp_hist\""));
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("obs_test_exp_counter"));
+        assert!(prom.contains("obs_test_exp_gauge"));
+        assert!(prom.contains("obs_test_exp_hist_bucket"));
+        assert!(prom.contains("le=\"+Inf\""));
+    }
+}

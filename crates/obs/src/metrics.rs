@@ -1,0 +1,238 @@
+//! Metric primitives: sharded monotonic counters, gauges, and
+//! power-of-two latency histograms.
+//!
+//! Counters and histograms shard their cells by the `exec` worker slot
+//! (slot 0 for non-pool threads), exactly like `exec::Shards`: hot-path
+//! increments land in a cell that is effectively private to the current
+//! worker, and reads fold the cells with commutative u64 addition — so
+//! totals are scheduling-independent even though cell contents are not.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Shard count; matches `exec::SHARD_SLOTS` so every distinct worker
+/// slot below the limit gets its own cell.
+const SHARDS: usize = exec::SHARD_SLOTS;
+
+/// Cell index for the current thread: non-pool threads use slot 0, pool
+/// worker `i` uses `i + 1` (mod the shard count under oversubscription).
+#[inline]
+fn shard_index() -> usize {
+    exec::worker_index().map_or(0, |i| i + 1) % SHARDS
+}
+
+/// A monotonically increasing counter.
+pub struct Counter {
+    cells: Box<[AtomicU64]>,
+}
+
+impl Counter {
+    pub(crate) fn new() -> Self {
+        Self {
+            cells: (0..SHARDS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Adds `v` to the counter.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.cells[shard_index()].fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total (folds all shards).
+    pub fn value(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    pub(crate) fn reset(&self) {
+        for c in &self.cells {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A gauge: a value that can go up and down (current state, not a
+/// total). Single cell — gauges are set from control paths, not hot
+/// loops.
+pub struct Gauge {
+    cell: AtomicI64,
+}
+
+impl Gauge {
+    pub(crate) fn new() -> Self {
+        Self {
+            cell: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `dv` (may be negative).
+    #[inline]
+    pub fn add(&self, dv: i64) {
+        self.cell.fetch_add(dv, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Bucket count of [`Histogram`]: bucket `b` holds observations whose
+/// bit length is `b` (`0` goes to bucket 0, `v > 0` to
+/// `64 - v.leading_zeros()`), so the upper bound of bucket `b > 0` is
+/// `2^b - 1`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket histogram over `u64` observations (typically
+/// nanoseconds or launch widths) with power-of-two bucket bounds.
+/// Bucket counts and the running sum are sharded like [`Counter`], so
+/// totals are deterministic whenever the observations are.
+pub struct Histogram {
+    /// `SHARDS * HISTOGRAM_BUCKETS` cells, shard-major.
+    cells: Box<[AtomicU64]>,
+    sum: Counter,
+}
+
+/// Bucket index for observation `v`.
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Self {
+            cells: (0..SHARDS * HISTOGRAM_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            sum: Counter::new(),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let cell = shard_index() * HISTOGRAM_BUCKETS + bucket_of(v);
+        self.cells[cell].fetch_add(1, Ordering::Relaxed);
+        self.sum.add(v);
+    }
+
+    /// Per-bucket counts (folded over shards).
+    pub fn buckets(&self) -> Vec<u64> {
+        let mut out = vec![0u64; HISTOGRAM_BUCKETS];
+        for (i, c) in self.cells.iter().enumerate() {
+            out[i % HISTOGRAM_BUCKETS] += c.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets().iter().sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.value()
+    }
+
+    pub(crate) fn reset(&self) {
+        for c in &self.cells {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum.reset();
+    }
+}
+
+/// Inclusive upper bound of histogram bucket `b` (`u64::MAX` for the
+/// last bucket).
+pub(crate) fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_totals_fold_shards() {
+        let c = Counter::new();
+        c.add(3);
+        c.inc();
+        assert_eq!(c.value(), 4);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn gauge_goes_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-25);
+        assert_eq!(g.value(), -15);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        let h = Histogram::new();
+        for v in [0, 1, 3, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(
+            h.sum(),
+            0u64.wrapping_add(1 + 3 + 1000).wrapping_add(u64::MAX)
+        );
+        let b = h.buckets();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[1], 1);
+        assert_eq!(b[2], 1);
+        assert_eq!(b[10], 1); // 1000 has bit length 10
+        assert_eq!(b[64], 1);
+    }
+
+    #[test]
+    fn histogram_concurrent_totals_are_exact() {
+        let h = Histogram::new();
+        exec::with_threads(8, || {
+            exec::for_each_chunk(10_000, 32, |range| {
+                for i in range {
+                    h.observe(i as u64 % 7);
+                }
+            });
+        });
+        assert_eq!(h.count(), 10_000);
+        let expected: u64 = (0..10_000u64).map(|i| i % 7).sum();
+        assert_eq!(h.sum(), expected);
+    }
+}

@@ -1,0 +1,215 @@
+//! The process-wide metric registry: named get-or-create handles,
+//! in-place reset, and snapshotting.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{MetricValue, Snapshot, Value};
+use crate::Class;
+
+enum Entry {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Entry {
+    fn kind(&self) -> &'static str {
+        match self {
+            Entry::Counter(_) => "counter",
+            Entry::Gauge(_) => "gauge",
+            Entry::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named metrics. Most code uses the process-wide
+/// [`global`] instance through the crate-level convenience functions;
+/// separate registries exist so tests can exercise the machinery in
+/// isolation.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, (Class, Entry)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` already names a metric of a different kind, or the same
+    /// kind registered under a different [`Class`] — both are programmer
+    /// errors that would silently corrupt the snapshot taxonomy.
+    pub fn counter(&self, name: &str, class: Class) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        let (c, entry) = m
+            .entry(name.to_string())
+            .or_insert_with(|| (class, Entry::Counter(Arc::new(Counter::new()))));
+        match entry {
+            Entry::Counter(h) if *c == class => Arc::clone(h),
+            other => panic!(
+                "metric '{name}' already registered as a {} {} (requested {} counter)",
+                c.label(),
+                other.kind(),
+                class.label()
+            ),
+        }
+    }
+
+    /// Get-or-create the gauge `name` (same contract as
+    /// [`Registry::counter`]).
+    pub fn gauge(&self, name: &str, class: Class) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        let (c, entry) = m
+            .entry(name.to_string())
+            .or_insert_with(|| (class, Entry::Gauge(Arc::new(Gauge::new()))));
+        match entry {
+            Entry::Gauge(h) if *c == class => Arc::clone(h),
+            other => panic!(
+                "metric '{name}' already registered as a {} {} (requested {} gauge)",
+                c.label(),
+                other.kind(),
+                class.label()
+            ),
+        }
+    }
+
+    /// Get-or-create the histogram `name` (same contract as
+    /// [`Registry::counter`]).
+    pub fn histogram(&self, name: &str, class: Class) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        let (c, entry) = m
+            .entry(name.to_string())
+            .or_insert_with(|| (class, Entry::Histogram(Arc::new(Histogram::new()))));
+        match entry {
+            Entry::Histogram(h) if *c == class => Arc::clone(h),
+            other => panic!(
+                "metric '{name}' already registered as a {} {} (requested {} histogram)",
+                c.label(),
+                other.kind(),
+                class.label()
+            ),
+        }
+    }
+
+    /// A point-in-time view of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.lock().unwrap();
+        let entries = m
+            .iter()
+            .map(|(name, (class, entry))| MetricValue {
+                name: name.clone(),
+                class: *class,
+                value: match entry {
+                    Entry::Counter(c) => Value::Counter(c.value()),
+                    Entry::Gauge(g) => Value::Gauge(g.value()),
+                    Entry::Histogram(h) => Value::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.buckets(),
+                    },
+                },
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// Zeroes every metric **in place**: names stay registered and
+    /// previously obtained `Arc` handles remain valid (a remove-based
+    /// reset would silently orphan cached hot-site handles).
+    pub fn reset(&self) {
+        let m = self.metrics.lock().unwrap();
+        for (_, (_, entry)) in m.iter() {
+            match entry {
+                Entry::Counter(c) => c.reset(),
+                Entry::Gauge(g) => g.reset(),
+                Entry::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Mirrors `exec::pool_stats()` into `exec.*` counters of `reg` by
+/// adding the delta since the last sync. Diff-tracking (rather than
+/// absolute gauges) keeps `Snapshot::delta_since` meaningful for the
+/// pool metrics, and survives [`Registry::reset`] cleanly: counting
+/// simply restarts from the reset point.
+///
+/// All pool metrics are [`Class::Host`]: the pool decomposes work by
+/// `exec::current_threads()` (BVH builds shape their fan-outs on it),
+/// so even fan-out and item counts differ across thread counts.
+pub(crate) fn sync_exec_stats(reg: &Registry) {
+    static LAST: Mutex<Option<exec::PoolStats>> = Mutex::new(None);
+    let mut last = LAST.lock().unwrap();
+    let cur = exec::pool_stats();
+    let prev = last.unwrap_or_default();
+    reg.counter("exec.fanouts", Class::Host)
+        .add(cur.fanouts.wrapping_sub(prev.fanouts));
+    reg.counter("exec.items", Class::Host)
+        .add(cur.items.wrapping_sub(prev.items));
+    reg.counter("exec.chunks", Class::Host)
+        .add(cur.chunks.wrapping_sub(prev.chunks));
+    reg.counter("exec.steals", Class::Host)
+        .add(cur.steals.wrapping_sub(prev.steals));
+    reg.counter("exec.busy_ns", Class::Host)
+        .add(cur.busy_ns.wrapping_sub(prev.busy_ns));
+    reg.gauge("exec.workers_spawned", Class::Host)
+        .set(cur.workers_spawned as i64);
+    *last = Some(cur);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let reg = Registry::new();
+        let a = reg.counter("x", Class::Stable);
+        let b = reg.counter("x", Class::Stable);
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.value(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("y", Class::Stable);
+        reg.gauge("y", Class::Stable);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn class_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("z", Class::Stable);
+        reg.counter("z", Class::Host);
+    }
+
+    #[test]
+    fn reset_keeps_handles_valid() {
+        let reg = Registry::new();
+        let c = reg.counter("r", Class::Stable);
+        let h = reg.histogram("rh", Class::Stable);
+        c.add(9);
+        h.observe(4);
+        reg.reset();
+        assert_eq!(c.value(), 0);
+        assert_eq!(h.count(), 0);
+        c.add(1); // the cached handle still feeds the registry
+        assert_eq!(reg.snapshot().counter("r"), Some(1));
+    }
+}

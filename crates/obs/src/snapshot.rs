@@ -1,0 +1,396 @@
+//! Point-in-time snapshots of the registry: diffing, determinism-class
+//! filtering, and the JSON / Prometheus-style exporters.
+
+use crate::metrics::{bucket_upper_bound, HISTOGRAM_BUCKETS};
+use crate::Class;
+
+/// One metric's value at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Monotonic counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram contents.
+    Histogram {
+        /// Total number of observations.
+        count: u64,
+        /// Sum of all observations (wrapping).
+        sum: u64,
+        /// Per-bucket observation counts (`HISTOGRAM_BUCKETS` entries).
+        buckets: Vec<u64>,
+    },
+}
+
+/// A named, classed metric value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricValue {
+    /// Dotted metric name, e.g. `rtcore.rays`.
+    pub name: String,
+    /// Determinism class.
+    pub class: Class,
+    /// The value at snapshot time.
+    pub value: Value,
+}
+
+/// A point-in-time view of a [`crate::Registry`], sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    pub(crate) entries: Vec<MetricValue>,
+}
+
+impl Snapshot {
+    /// All entries, sorted by name.
+    pub fn entries(&self) -> &[MetricValue] {
+        &self.entries
+    }
+
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|e| e.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)?.value {
+            Value::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)?.value {
+            Value::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Observation count of histogram `name`, if present.
+    pub fn histogram_count(&self, name: &str) -> Option<u64> {
+        match self.get(name)?.value {
+            Value::Histogram { count, .. } => Some(count),
+            _ => None,
+        }
+    }
+
+    /// The change from `earlier` to `self`: counters and histograms
+    /// subtract (saturating, so a registry reset in between yields zeros
+    /// rather than wrapping), gauges keep their **current** level (a
+    /// gauge delta is rarely meaningful). Metrics absent from `earlier`
+    /// pass through unchanged.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let value = match (&e.value, earlier.get(&e.name).map(|p| &p.value)) {
+                    (Value::Counter(v), Some(Value::Counter(p))) => {
+                        Value::Counter(v.saturating_sub(*p))
+                    }
+                    (
+                        Value::Histogram {
+                            count,
+                            sum,
+                            buckets,
+                        },
+                        Some(Value::Histogram {
+                            count: pc,
+                            sum: ps,
+                            buckets: pb,
+                        }),
+                    ) => Value::Histogram {
+                        count: count.saturating_sub(*pc),
+                        sum: sum.saturating_sub(*ps),
+                        buckets: buckets
+                            .iter()
+                            .zip(pb.iter().chain(std::iter::repeat(&0)))
+                            .map(|(b, p)| b.saturating_sub(*p))
+                            .collect(),
+                    },
+                    (v, _) => v.clone(),
+                };
+                MetricValue {
+                    name: e.name.clone(),
+                    class: e.class,
+                    value,
+                }
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// Only the [`Class::Stable`] metrics — the view that must be
+    /// byte-identical across thread counts.
+    pub fn stable_only(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| e.class == Class::Stable)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// JSON export: an object mapping metric names to value objects.
+    /// `indent == 0` emits a single line; otherwise nested lines are
+    /// indented by `indent` spaces per level.
+    pub fn to_json(&self, indent: usize) -> String {
+        let (nl, pad) = if indent == 0 {
+            (String::new(), String::new())
+        } else {
+            ("\n".to_string(), " ".repeat(indent))
+        };
+        let mut out = String::from("{");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&nl);
+            out.push_str(&pad);
+            out.push_str(&format!(
+                "\"{}\": {{\"class\": \"{}\", ",
+                json_escape(&e.name),
+                e.class.label()
+            ));
+            match &e.value {
+                Value::Counter(v) => {
+                    out.push_str(&format!("\"type\": \"counter\", \"value\": {v}}}"));
+                }
+                Value::Gauge(v) => {
+                    out.push_str(&format!("\"type\": \"gauge\", \"value\": {v}}}"));
+                }
+                Value::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    out.push_str(&format!(
+                        "\"type\": \"histogram\", \"count\": {count}, \"sum\": {sum}, \"buckets\": {{"
+                    ));
+                    let mut first = true;
+                    for (b, n) in buckets.iter().enumerate() {
+                        if *n == 0 {
+                            continue;
+                        }
+                        if !first {
+                            out.push_str(", ");
+                        }
+                        first = false;
+                        out.push_str(&format!("\"{b}\": {n}"));
+                    }
+                    out.push_str("}}");
+                }
+            }
+        }
+        out.push_str(&nl);
+        out.push('}');
+        out
+    }
+
+    /// Prometheus-style text export. Dots in names become underscores;
+    /// histograms expand into cumulative `_bucket{le="…"}` series plus
+    /// `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let name: String = e
+                .name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let class = e.class.label();
+            match &e.value {
+                Value::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n"));
+                    out.push_str(&format!("{name}{{class=\"{class}\"}} {v}\n"));
+                }
+                Value::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
+                    out.push_str(&format!("{name}{{class=\"{class}\"}} {v}\n"));
+                }
+                Value::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cum = 0u64;
+                    for (b, n) in buckets.iter().enumerate() {
+                        cum += n;
+                        // Skip interior all-zero prefixes? No: Prometheus
+                        // convention keeps every bucket, but 65 series per
+                        // histogram is noisy — emit only buckets that
+                        // change the cumulative count, plus +Inf.
+                        if *n == 0 {
+                            continue;
+                        }
+                        let le = if b >= HISTOGRAM_BUCKETS - 1 {
+                            "+Inf".to_string()
+                        } else {
+                            bucket_upper_bound(b).to_string()
+                        };
+                        out.push_str(&format!(
+                            "{name}_bucket{{class=\"{class}\",le=\"{le}\"}} {cum}\n"
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{{class=\"{class}\",le=\"+Inf\"}} {count}\n"
+                    ));
+                    out.push_str(&format!("{name}_sum{{class=\"{class}\"}} {sum}\n"));
+                    out.push_str(&format!("{name}_count{{class=\"{class}\"}} {count}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(entries: Vec<MetricValue>) -> Snapshot {
+        let mut entries = entries;
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot { entries }
+    }
+
+    fn counter(name: &str, class: Class, v: u64) -> MetricValue {
+        MetricValue {
+            name: name.into(),
+            class,
+            value: Value::Counter(v),
+        }
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_gauges() {
+        let earlier = snap(vec![
+            counter("a", Class::Stable, 10),
+            MetricValue {
+                name: "g".into(),
+                class: Class::Host,
+                value: Value::Gauge(5),
+            },
+        ]);
+        let later = snap(vec![
+            counter("a", Class::Stable, 17),
+            counter("b", Class::Stable, 3),
+            MetricValue {
+                name: "g".into(),
+                class: Class::Host,
+                value: Value::Gauge(9),
+            },
+        ]);
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.counter("a"), Some(7));
+        assert_eq!(d.counter("b"), Some(3));
+        assert_eq!(d.gauge("g"), Some(9));
+    }
+
+    #[test]
+    fn delta_saturates_after_reset() {
+        let earlier = snap(vec![counter("a", Class::Stable, 100)]);
+        let later = snap(vec![counter("a", Class::Stable, 2)]);
+        assert_eq!(later.delta_since(&earlier).counter("a"), Some(0));
+    }
+
+    #[test]
+    fn stable_only_filters_host_metrics() {
+        let s = snap(vec![
+            counter("s", Class::Stable, 1),
+            counter("h", Class::Host, 2),
+        ]);
+        let st = s.stable_only();
+        assert_eq!(st.counter("s"), Some(1));
+        assert_eq!(st.counter("h"), None);
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn histogram_delta_is_per_bucket() {
+        let hist = |count, sum, b3| MetricValue {
+            name: "h".into(),
+            class: Class::Stable,
+            value: Value::Histogram {
+                count,
+                sum,
+                buckets: {
+                    let mut v = vec![0u64; HISTOGRAM_BUCKETS];
+                    v[3] = b3;
+                    v
+                },
+            },
+        };
+        let d = snap(vec![hist(5, 30, 5)]).delta_since(&snap(vec![hist(2, 12, 2)]));
+        match &d.entries()[0].value {
+            Value::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                assert_eq!(*count, 3);
+                assert_eq!(*sum, 18);
+                assert_eq!(buckets[3], 3);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        buckets[1] = 2;
+        buckets[3] = 1;
+        let s = snap(vec![MetricValue {
+            name: "lat.ns".into(),
+            class: Class::Stable,
+            value: Value::Histogram {
+                count: 3,
+                sum: 11,
+                buckets,
+            },
+        }]);
+        let prom = s.to_prometheus();
+        assert!(prom.contains("lat_ns_bucket{class=\"stable\",le=\"1\"} 2"));
+        assert!(prom.contains("lat_ns_bucket{class=\"stable\",le=\"7\"} 3"));
+        assert!(prom.contains("lat_ns_bucket{class=\"stable\",le=\"+Inf\"} 3"));
+        assert!(prom.contains("lat_ns_sum{class=\"stable\"} 11"));
+        assert!(prom.contains("lat_ns_count{class=\"stable\"} 3"));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let s = snap(vec![counter("a.b", Class::Stable, 7)]);
+        assert_eq!(
+            s.to_json(0),
+            "{\"a.b\": {\"class\": \"stable\", \"type\": \"counter\", \"value\": 7}}"
+        );
+        assert!(s.to_json(2).contains("\n  \"a.b\""));
+    }
+}

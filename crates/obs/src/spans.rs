@@ -1,0 +1,129 @@
+//! Hierarchical tracing spans.
+//!
+//! A span names a phase of work (`span!("query.intersects")`); spans
+//! opened while another is live on the same thread nest under it, so
+//! `span!("backward")` inside the above records under
+//! `query.intersects.backward`. Dropping a span emits:
+//!
+//! - `span.<path>.calls` — [`crate::Class::Stable`] counter
+//! - `span.<path>.wall_ns` — [`crate::Class::Host`] counter (host time)
+//!
+//! and [`Span::device`] accumulates modelled device time into
+//! `span.<path>.device_ns` ([`crate::Class::Stable`] — the cost model is
+//! deterministic). The per-thread stack means span paths are only as
+//! deep as the caller's lexical nesting; work fanned out to pool
+//! workers does not inherit the spawner's span (worker threads record
+//! under their own, usually empty, stack).
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a span named `name`, nested under any span already live on
+/// this thread. Prefer the [`crate::span!`] macro, which reads as a
+/// structured statement at call sites.
+pub fn span(name: &'static str) -> Span {
+    let (path, depth) = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        (s.join("."), s.len())
+    });
+    Span {
+        path,
+        depth,
+        start: Instant::now(),
+    }
+}
+
+/// A live tracing span; records its metrics on drop.
+#[must_use = "a span records on drop; binding it to _ drops it immediately"]
+pub struct Span {
+    path: String,
+    depth: usize,
+    start: Instant,
+}
+
+impl Span {
+    /// The full dotted path of this span (excluding the `span.` metric
+    /// prefix), e.g. `query.intersects.backward`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Accumulates modelled device time for this span's phase.
+    pub fn device(&self, d: Duration) {
+        crate::counter(&format!("span.{}.device_ns", self.path)).add(d.as_nanos() as u64);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let wall = self.start.elapsed();
+        crate::counter(&format!("span.{}.calls", self.path)).inc();
+        crate::host_counter(&format!("span.{}.wall_ns", self.path)).add(wall.as_nanos() as u64);
+        // Truncate rather than pop: stays correct even if an inner span
+        // outlived this one and already shrank/regrew the stack.
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.len() >= self.depth {
+                s.truncate(self.depth - 1);
+            }
+        });
+    }
+}
+
+/// Opens a tracing span: `let _s = obs::span!("query.point");`.
+/// Nested invocations on the same thread extend the dotted path.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::spans::span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_dotted_paths() {
+        let a = span("t.outer");
+        assert_eq!(a.path(), "t.outer");
+        {
+            let b = span("mid");
+            assert_eq!(b.path(), "t.outer.mid");
+            let c = span("leaf");
+            assert_eq!(c.path(), "t.outer.mid.leaf");
+        }
+        let d = span("after");
+        assert_eq!(d.path(), "t.outer.after");
+    }
+
+    #[test]
+    fn drop_records_calls_and_wall_time() {
+        let before = crate::snapshot();
+        for _ in 0..3 {
+            let s = span("t.recorded");
+            s.device(Duration::from_nanos(50));
+        }
+        let delta = crate::snapshot().delta_since(&before);
+        assert_eq!(delta.counter("span.t.recorded.calls"), Some(3));
+        assert_eq!(delta.counter("span.t.recorded.device_ns"), Some(150));
+        assert!(delta.counter("span.t.recorded.wall_ns").is_some());
+    }
+
+    #[test]
+    fn sibling_threads_do_not_share_stacks() {
+        let _outer = span("t.main");
+        let path = std::thread::spawn(|| {
+            let s = span("t.worker");
+            s.path().to_string()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(path, "t.worker");
+    }
+}

@@ -84,6 +84,8 @@ impl<C: Coord> Gas<C> {
             }
         }
         let bvh = Bvh::build(&aabbs, options.quality, options.leaf_size);
+        obs::counter("rtcore.gas_builds").inc();
+        obs::counter("rtcore.gas_build_prims").add(aabbs.len() as u64);
         Ok(Self {
             bvh,
             aabbs,
@@ -146,6 +148,8 @@ impl<C: Coord> Gas<C> {
         }
         self.aabbs = aabbs;
         self.bvh.refit(&self.aabbs);
+        obs::counter("rtcore.gas_refits").inc();
+        obs::counter("rtcore.gas_refit_prims").add(self.aabbs.len() as u64);
         Ok(())
     }
 
@@ -166,6 +170,8 @@ impl<C: Coord> Gas<C> {
             }
         }
         self.bvh.refit(&self.aabbs);
+        obs::counter("rtcore.gas_refits").inc();
+        obs::counter("rtcore.gas_refit_prims").add(self.aabbs.len() as u64);
         Ok(())
     }
 
@@ -173,6 +179,8 @@ impl<C: Coord> Gas<C> {
     /// when refit quality has degraded too far (§4.2, §6.7).
     pub fn rebuild(&mut self) {
         self.bvh = Bvh::build(&self.aabbs, self.options.quality, self.options.leaf_size);
+        obs::counter("rtcore.gas_builds").inc();
+        obs::counter("rtcore.gas_build_prims").add(self.aabbs.len() as u64);
     }
 
     /// Device-memory footprint of this GAS in bytes: the primitive AABB

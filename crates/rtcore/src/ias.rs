@@ -101,6 +101,8 @@ impl<C: Coord> Ias<C> {
         }
         // IAS builds are intentionally cheap: fast-build quality, leaf=1.
         let tlas = Bvh::build(&world_bounds, BuildQuality::PreferFastBuild, 1);
+        obs::counter("rtcore.ias_builds").inc();
+        obs::counter("rtcore.ias_instances").add(records.len() as u64);
         Ok(Self {
             tlas,
             world_bounds,
@@ -131,12 +133,20 @@ impl<C: Coord> Ias<C> {
         self.records.iter().map(|r| r.gas.len()).sum()
     }
 
+    /// Device-memory footprint of the top-level structure only: TLAS
+    /// nodes, instance world bounds, and instance records — excluding
+    /// the referenced GASes. Callers that own the GASes (like
+    /// `RTSIndex`) sum their bottom-level memory themselves so shared
+    /// structures are never double-counted.
+    pub fn tlas_memory_bytes(&self) -> usize {
+        self.tlas.nodes.len() * std::mem::size_of::<crate::bvh::Node<C>>()
+            + self.world_bounds.len() * std::mem::size_of::<Rect<C, 3>>()
+            + self.records.len() * std::mem::size_of::<InstanceRecord<C>>()
+    }
+
     /// Device-memory footprint: the TLAS plus every *distinct* GAS
     /// (shared GASes are counted once — the point of instancing, §2.3).
     pub fn memory_bytes(&self) -> usize {
-        let tlas = self.tlas.nodes.len() * std::mem::size_of::<crate::bvh::Node<C>>()
-            + self.world_bounds.len() * std::mem::size_of::<Rect<C, 3>>()
-            + self.records.len() * std::mem::size_of::<InstanceRecord<C>>();
         let mut seen: Vec<*const Gas<C>> = Vec::with_capacity(self.records.len());
         let mut gas_bytes = 0usize;
         for rec in &self.records {
@@ -146,7 +156,7 @@ impl<C: Coord> Ias<C> {
                 gas_bytes += rec.gas.memory_bytes();
             }
         }
-        tlas + gas_bytes
+        self.tlas_memory_bytes() + gas_bytes
     }
 }
 

@@ -265,14 +265,71 @@ impl Device {
         }
         lane_times.truncate(width.next_multiple_of(WARP_SIZE).min(lane_times.len()));
         let device_time = self.cost_model.device_time(&lane_times);
-        LaunchReport {
+        let report = LaunchReport {
             width,
             totals: merged.stats,
             max_is_per_thread: merged.max_is,
             device_time,
             wall_time: start.elapsed(),
-        }
+        };
+        record_launch(&report);
+        report
     }
+}
+
+/// Cached handles for the launch-path metrics, resolved once: the launch
+/// path is hot and must not pay a registry lookup per call.
+struct LaunchMetrics {
+    launches: std::sync::Arc<obs::Counter>,
+    rays: std::sync::Arc<obs::Counter>,
+    nodes_visited: std::sync::Arc<obs::Counter>,
+    prim_tests: std::sync::Arc<obs::Counter>,
+    is_calls: std::sync::Arc<obs::Counter>,
+    hits_reported: std::sync::Arc<obs::Counter>,
+    anyhit_calls: std::sync::Arc<obs::Counter>,
+    instance_visits: std::sync::Arc<obs::Counter>,
+    device_ns: std::sync::Arc<obs::Counter>,
+    wall_ns: std::sync::Arc<obs::Counter>,
+    launch_width: std::sync::Arc<obs::Histogram>,
+    launch_device_ns: std::sync::Arc<obs::Histogram>,
+}
+
+fn launch_metrics() -> &'static LaunchMetrics {
+    static METRICS: std::sync::OnceLock<LaunchMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| LaunchMetrics {
+        launches: obs::counter("rtcore.launches"),
+        rays: obs::counter("rtcore.rays"),
+        nodes_visited: obs::counter("rtcore.nodes_visited"),
+        prim_tests: obs::counter("rtcore.prim_tests"),
+        is_calls: obs::counter("rtcore.is_calls"),
+        hits_reported: obs::counter("rtcore.hits_reported"),
+        anyhit_calls: obs::counter("rtcore.anyhit_calls"),
+        instance_visits: obs::counter("rtcore.instance_visits"),
+        device_ns: obs::counter("rtcore.device_ns"),
+        wall_ns: obs::host_counter("rtcore.wall_ns"),
+        launch_width: obs::histogram("rtcore.launch_width"),
+        launch_device_ns: obs::histogram("rtcore.launch_device_ns"),
+    })
+}
+
+/// Mirrors one launch's counters into the global registry. Everything
+/// here except wall time is derived from the deterministic simulation,
+/// so it stays Stable-class (byte-identical at any thread count).
+fn record_launch(report: &LaunchReport) {
+    let m = launch_metrics();
+    m.launches.inc();
+    m.rays.add(report.totals.rays);
+    m.nodes_visited.add(report.totals.nodes_visited);
+    m.prim_tests.add(report.totals.prim_tests);
+    m.is_calls.add(report.totals.is_calls);
+    m.hits_reported.add(report.totals.hits_reported);
+    m.anyhit_calls.add(report.totals.anyhit_calls);
+    m.instance_visits.add(report.totals.instance_visits);
+    m.device_ns.add(report.device_time.as_nanos() as u64);
+    m.wall_ns.add(report.wall_time.as_nanos() as u64);
+    m.launch_width.observe(report.width as u64);
+    m.launch_device_ns
+        .observe(report.device_time.as_nanos() as u64);
 }
 
 #[cfg(test)]
