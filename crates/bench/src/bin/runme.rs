@@ -7,10 +7,18 @@
 //! cargo run --release -p bench --bin runme            # smoke + full eval
 //! cargo run --release -p bench --bin runme -- --smoke-only
 //! cargo run --release -p bench --bin runme -- --seed 7   # replayable run
+//! cargo run --release -p bench --bin runme -- --trace trace.json
 //! ```
 //!
 //! `--seed N` pins every workload generator, making the whole run
 //! byte-for-byte replayable; the default is the paper's seed 42.
+//!
+//! `--trace PATH` additionally records the full span/launch/query
+//! timeline and exports it as a Chrome Trace Format file loadable in
+//! Perfetto (`ui.perfetto.dev`) or `chrome://tracing`. Query-level trace
+//! records (per-batch latency, chosen `k`, prediction error) are always
+//! collected and aggregated into `BENCH_perf.json`; slow-query capture
+//! is armed via `LIBRTS_SLOW_QUERY_MS`.
 
 use std::time::Instant;
 
@@ -23,6 +31,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke_only = args.iter().any(|a| a == "--smoke-only");
     let mut seed: Option<u64> = None;
+    let mut trace_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--seed" {
@@ -31,7 +40,17 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed takes an integer"),
             );
+        } else if a == "--trace" {
+            trace_path = Some(it.next().expect("--trace takes a path").clone());
         }
+    }
+    // Per-query records always on (they feed the per-figure latency and
+    // prediction-error stats in BENCH_perf.json); the full span/launch
+    // timeline only when it will be exported.
+    if trace_path.is_some() {
+        obs::trace::enable_full();
+    } else {
+        obs::trace::enable_queries();
     }
     println!("LibRTS reproduction — artifact evaluation runner");
     println!(
@@ -87,7 +106,9 @@ fn main() {
         // deltas) plus the executor scaling study at smoke scale, so CI
         // gets a non-empty BENCH_perf.json from every mode.
         perf.intersects_scaling(&cfg);
+        perf.record_explain(&cfg);
         perf.write("BENCH_perf.json");
+        export_trace(trace_path.as_deref());
         return;
     }
 
@@ -119,6 +140,27 @@ fn main() {
     perf.record("fig11", || figures::fig11(&cfg)).print();
     perf.record("fig12", || figures::fig12(&cfg)).print();
     perf.intersects_scaling(&cfg);
+    perf.record_explain(&cfg);
     perf.write("BENCH_perf.json");
+    export_trace(trace_path.as_deref());
     println!("\nall experiments completed; see EXPERIMENTS.md for interpretation.");
+}
+
+/// Writes the Chrome Trace Format export when `--trace` was given.
+fn export_trace(path: Option<&str>) {
+    let Some(path) = path else { return };
+    match obs::chrome::write(path) {
+        Ok(()) => {
+            let dropped = obs::trace::dropped_events();
+            println!(
+                "wrote {path} (Chrome Trace Format; open in ui.perfetto.dev){}",
+                if dropped > 0 {
+                    format!(" — {dropped} events dropped by the bounded ring")
+                } else {
+                    String::new()
+                }
+            );
+        }
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
 }

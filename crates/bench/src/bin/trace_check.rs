@@ -1,0 +1,226 @@
+//! `trace_check` — CI validator for the `runme --trace` artifacts.
+//!
+//! ```sh
+//! trace_check [trace.json] [BENCH_perf.json] [--max-prediction-error X]
+//! ```
+//!
+//! Validates the Chrome Trace Format export without a JSON library (the
+//! offline workspace carries none), exploiting the exporter's stable
+//! one-event-per-line layout:
+//!
+//! - the file is a well-formed trace object with a non-empty
+//!   `traceEvents` array containing span slices (`B`/`E`), instants
+//!   (`i`) and device async pairs (`b`/`e`);
+//! - per thread track, `B`/`E` events are balanced (depth never goes
+//!   negative, ends at zero) and timestamps are monotonically
+//!   non-decreasing in file order;
+//! - every `device` async `b` has a matching `e` with `ts(b) <= ts(e)`;
+//! - the expected phase slices of a Range-Intersects batch
+//!   (`k_prediction`, `bvh_build`, `forward`, `backward`) are present.
+//!
+//! Then reads `BENCH_perf.json` and asserts the embedded EXPLAIN
+//! record's cost-model `prediction_error` exists and is below the
+//! blessed bound (default 1.0, i.e. within 2x of the measured pair
+//! count; override with `--max-prediction-error`).
+//!
+//! Exits non-zero with a diagnostic on the first violation.
+
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut max_err = 1.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-prediction-error" {
+            max_err = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--max-prediction-error takes a float");
+        } else {
+            paths.push(a);
+        }
+    }
+    let trace_path = paths.first().copied().unwrap_or("trace.json");
+    let perf_path = paths.get(1).copied().unwrap_or("BENCH_perf.json");
+
+    check_trace(trace_path);
+    check_prediction_error(perf_path, max_err);
+    println!("trace_check: all checks passed");
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("trace_check: FAIL: {msg}");
+    exit(1);
+}
+
+/// First top-level occurrence of `"key": <token>` in an event line; the
+/// exporter always emits the queried keys before the nested `args`
+/// object, so a plain scan finds the event's own field.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(quoted) = rest.strip_prefix('"') {
+        quoted.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+fn check_trace(path: &str) {
+    let content =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    if !content.starts_with("{\"displayTimeUnit\"") || !content.trim_end().ends_with("]}") {
+        fail(format!("{path}: not a Chrome trace object"));
+    }
+    let body_start = content
+        .find("\"traceEvents\": [\n")
+        .unwrap_or_else(|| fail(format!("{path}: no traceEvents array")));
+    let body = &content[body_start + "\"traceEvents\": [\n".len()..];
+    let body = body
+        .rsplit_once("\n]}")
+        .map(|(b, _)| b)
+        .unwrap_or_else(|| fail(format!("{path}: unterminated traceEvents array")));
+
+    // (depth, last_ts) per thread track; open async ids for device pairs.
+    let mut tracks: HashMap<String, (i64, f64)> = HashMap::new();
+    let mut open_async: HashMap<String, f64> = HashMap::new();
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut slice_names: Vec<String> = Vec::new();
+
+    for (lineno, line) in body.split(",\n").enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            fail(format!("{path}:{lineno}: event is not an object: {line}"));
+        }
+        let ph =
+            field(line, "ph").unwrap_or_else(|| fail(format!("{path}:{lineno}: event without ph")));
+        *counts.entry(ph.to_string()).or_default() += 1;
+        if ph == "M" {
+            continue;
+        }
+        let pid = field(line, "pid")
+            .unwrap_or_else(|| fail(format!("{path}:{lineno}: event without pid")));
+        let tid = field(line, "tid")
+            .unwrap_or_else(|| fail(format!("{path}:{lineno}: event without tid")));
+        let ts: f64 = field(line, "ts")
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| fail(format!("{path}:{lineno}: event without numeric ts")));
+        match ph {
+            "B" | "E" | "i" => {
+                let key = format!("{pid}/{tid}");
+                let track = tracks.entry(key.clone()).or_insert((0, 0.0));
+                if ts < track.1 {
+                    fail(format!(
+                        "{path}:{lineno}: ts regressed on track {key}: {ts} < {}",
+                        track.1
+                    ));
+                }
+                track.1 = ts;
+                if ph == "B" {
+                    track.0 += 1;
+                    if let Some(name) = field(line, "name") {
+                        slice_names.push(name.to_string());
+                    }
+                } else if ph == "E" {
+                    track.0 -= 1;
+                    if track.0 < 0 {
+                        fail(format!("{path}:{lineno}: E without B on track {key}"));
+                    }
+                }
+            }
+            "b" => {
+                let id = field(line, "id").unwrap_or("?").to_string();
+                if open_async.insert(id.clone(), ts).is_some() {
+                    fail(format!("{path}:{lineno}: duplicate async begin id {id}"));
+                }
+            }
+            "e" => {
+                let id = field(line, "id").unwrap_or("?").to_string();
+                let begin = open_async.remove(&id).unwrap_or_else(|| {
+                    fail(format!("{path}:{lineno}: async end without begin, id {id}"))
+                });
+                if ts < begin {
+                    fail(format!(
+                        "{path}:{lineno}: async pair id {id} ends before it begins ({ts} < {begin})"
+                    ));
+                }
+            }
+            other => fail(format!("{path}:{lineno}: unexpected ph {other:?}")),
+        }
+    }
+
+    for (key, (depth, _)) in &tracks {
+        if *depth != 0 {
+            fail(format!(
+                "unbalanced B/E on track {key}: depth {depth} at EOF"
+            ));
+        }
+    }
+    if !open_async.is_empty() {
+        fail(format!("{} device async pairs left open", open_async.len()));
+    }
+    let n = |ph: &str| counts.get(ph).copied().unwrap_or(0);
+    if n("B") == 0 || n("E") == 0 {
+        fail("trace contains no span slices".to_string());
+    }
+    if n("i") == 0 {
+        fail("trace contains no instant events".to_string());
+    }
+    if n("b") == 0 || n("b") != n("e") {
+        fail(format!(
+            "device async pairs missing or unbalanced: {} b / {} e",
+            n("b"),
+            n("e")
+        ));
+    }
+    for phase in ["k_prediction", "bvh_build", "forward", "backward"] {
+        if !slice_names.iter().any(|s| s == phase) {
+            fail(format!(
+                "expected Range-Intersects phase slice {phase:?} not found"
+            ));
+        }
+    }
+    println!(
+        "trace_check: {path}: {} events ({} slices, {} instants, {} device pairs, {} tracks) OK",
+        counts.values().sum::<usize>(),
+        n("B"),
+        n("i"),
+        n("b"),
+        tracks.len()
+    );
+}
+
+fn check_prediction_error(path: &str, max_err: f64) {
+    let content =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let explain_start = content
+        .find("\"explain\": {")
+        .unwrap_or_else(|| fail(format!("{path}: no embedded explain record")));
+    // The explain object is one line; prediction_error is a top-level
+    // field of it (the nested candidates hold no key of that name).
+    let line = content[explain_start..]
+        .lines()
+        .next()
+        .unwrap_or_else(|| fail(format!("{path}: truncated explain record")));
+    let err: f64 = field(line, "prediction_error")
+        .filter(|v| *v != "null")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            fail(format!(
+                "{path}: explain record has no numeric prediction_error (cost model did not run?)"
+            ))
+        });
+    if !err.is_finite() || err > max_err {
+        fail(format!(
+            "{path}: explain prediction_error {err} exceeds blessed bound {max_err}"
+        ));
+    }
+    println!("trace_check: {path}: explain prediction_error {err:.4} <= {max_err} OK");
+}

@@ -41,6 +41,74 @@ pub struct FigureRecord {
     /// cast, AABB tests, IS invocations, span call counts — the logical
     /// device work, byte-identical at any `LIBRTS_THREADS`.
     pub counters: obs::Snapshot,
+    /// Per-query latency and cost-model stats over the trace records the
+    /// runner emitted (`None` when query tracing is off or the runner
+    /// issued no queries).
+    pub queries: Option<QueryStats>,
+}
+
+/// Latency and prediction-quality aggregates over one figure's
+/// per-query trace records ([`obs::trace::query_records_since`]).
+#[derive(Clone, Debug)]
+pub struct QueryStats {
+    /// Query batches recorded in the window.
+    pub batches: u64,
+    /// Exact median of per-batch host wall time.
+    pub p50_wall_ns: u64,
+    /// Exact p99 (upper) of per-batch host wall time.
+    pub p99_wall_ns: u64,
+    /// Mean cost-model prediction error `|predicted − actual| /
+    /// max(actual, 1)` over batches where the model sampled a
+    /// selectivity (`None` when it never ran).
+    pub mean_prediction_error: Option<f64>,
+}
+
+impl QueryStats {
+    /// Aggregates trace records; `None` for an empty window.
+    pub fn from_records(records: &[obs::QueryTrace]) -> Option<Self> {
+        if records.is_empty() {
+            return None;
+        }
+        let mut walls: Vec<u64> = records.iter().map(|r| r.wall_ns).collect();
+        walls.sort_unstable();
+        let errors: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.prediction_error())
+            .collect();
+        Some(Self {
+            batches: records.len() as u64,
+            p50_wall_ns: exact_quantile(&walls, 0.50),
+            p99_wall_ns: exact_quantile(&walls, 0.99),
+            mean_prediction_error: if errors.is_empty() {
+                None
+            } else {
+                Some(errors.iter().sum::<f64>() / errors.len() as f64)
+            },
+        })
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"batches\": {}, \"p50_wall_ns\": {}, \"p99_wall_ns\": {}, \"mean_prediction_error\": {}}}",
+            self.batches,
+            self.p50_wall_ns,
+            self.p99_wall_ns,
+            match self.mean_prediction_error {
+                Some(e) if e.is_finite() => format!("{e}"),
+                _ => "null".to_string(),
+            }
+        )
+    }
+}
+
+/// Exact `q`-quantile (upper) of a sorted sample: the `⌈q·n⌉`-th
+/// smallest value.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// The executor scaling study: one Range-Intersects batch, two thread
@@ -78,6 +146,7 @@ pub struct PerfReport {
     seed: u64,
     figures: Vec<FigureRecord>,
     scaling: Option<ScalingRecord>,
+    explain: Option<obs::QueryPlan>,
 }
 
 impl PerfReport {
@@ -94,6 +163,7 @@ impl PerfReport {
             seed: cfg.seed,
             figures: Vec::new(),
             scaling: None,
+            explain: None,
         }
     }
 
@@ -102,6 +172,7 @@ impl PerfReport {
     pub fn record<R>(&mut self, name: &str, run: impl FnOnce() -> R) -> R {
         figures::take_model_time(); // drop anything a caller leaked
         let before = obs::snapshot();
+        let mark = obs::trace::next_query_seq();
         let t0 = Instant::now();
         let out = run();
         let wall = t0.elapsed();
@@ -110,8 +181,38 @@ impl PerfReport {
             wall,
             model: figures::take_model_time(),
             counters: obs::snapshot().delta_since(&before).stable_only(),
+            queries: QueryStats::from_records(&obs::trace::query_records_since(mark)),
         });
         out
+    }
+
+    /// Runs one representative Range-Intersects batch through
+    /// `RTSIndex::explain_intersects` and embeds the full cost-model
+    /// decision trace (predicted vs measured `C_R`/`C_I`, prediction
+    /// error) in the artifact.
+    pub fn record_explain(&mut self, cfg: &EvalConfig) {
+        let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
+        let qs = qgen::intersects_queries(&rects, 200, 0.001, cfg.seed + 7);
+        let index =
+            RTSIndex::with_rects(&rects, IndexOptions::default()).expect("generated data is valid");
+        let h = CountingHandler::new();
+        let plan = index.explain_intersects(&qs, &h);
+        println!(
+            "\n== EXPLAIN range_intersects: {} queries over {} rects ==\n\
+             mode {}  s {}  chosen k {}  predicted pairs {}  actual {}  prediction error {}",
+            qs.len(),
+            rects.len(),
+            plan.mode,
+            plan.selectivity
+                .map_or_else(|| "-".into(), |s| format!("{s:.6}")),
+            plan.chosen_k,
+            plan.predicted_pairs
+                .map_or_else(|| "-".into(), |p| format!("{p:.0}")),
+            plan.actual_pairs,
+            plan.prediction_error()
+                .map_or_else(|| "-".into(), |e| format!("{e:.4}")),
+        );
+        self.explain = Some(plan);
     }
 
     /// Runs the executor scaling study at the paper's Fig. 8 batch size
@@ -149,15 +250,35 @@ impl PerfReport {
         s.push_str("  \"figures\": [\n");
         for (i, f) in self.figures.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": {}, \"wall_ns\": {}, \"model_ns\": {}, \"counters\": {}}}{}\n",
+                "    {{\"name\": {}, \"wall_ns\": {}, \"model_ns\": {}, \"query_stats\": {}, \"counters\": {}}}{}\n",
                 json_str(&f.name),
                 ns(f.wall),
                 ns(f.model),
+                f.queries
+                    .as_ref()
+                    .map_or_else(|| "null".to_string(), |q| q.to_json()),
                 f.counters.to_json(0),
                 if i + 1 < self.figures.len() { "," } else { "" }
             ));
         }
         s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"explain\": {},\n",
+            self.explain
+                .as_ref()
+                .map_or_else(|| "null".to_string(), |p| p.to_json())
+        ));
+        // Queries that crossed LIBRTS_SLOW_QUERY_MS (empty unless the
+        // threshold is armed; newest-kept, capped retention).
+        s.push_str("  \"slow_queries\": [");
+        let slow = obs::trace::slow_queries();
+        for (i, q) in slow.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&q.to_json());
+        }
+        s.push_str("],\n");
         // Full process-wide metrics state (all classes, including
         // Host-class wall times and executor pool stats) at export time.
         s.push_str(&format!("  \"metrics\": {},\n", obs::snapshot().to_json(0)));

@@ -48,7 +48,7 @@ pub mod oracle;
 pub mod runner;
 pub mod scenario;
 
-pub use budget::{check_budgets, BudgetEntry};
+pub use budget::{check_budgets, BudgetEntry, BLESS_ENV};
 pub use oracle::{Oracle, PipOracle};
 pub use runner::{run_scenario, RunOutcome};
 pub use scenario::{deep_suite, smoke_suite, DataSpec, Op, OptionsSpec, Scenario};

@@ -418,6 +418,32 @@ impl<C: Coord> RTSIndex<C> {
         queries::intersects::run(self.snapshot(), queries_in, handler, Some(k))
     }
 
+    /// EXPLAIN for Range-Intersects: runs the batch like
+    /// [`range_query`](Self::range_query) — results go to `handler`, and
+    /// every side effect (counters, trace records) is identical — and
+    /// additionally returns the cost model's full decision trace as an
+    /// [`obs::QueryPlan`]: the sampled selectivity, every candidate `k`
+    /// with its predicted `C_R`/`C_I`, the winner, and the measured
+    /// counterparts, so prediction error is a queryable number.
+    ///
+    /// Every field in the plan is Stable-class; `QueryPlan::to_json` is
+    /// byte-identical at any `LIBRTS_THREADS`.
+    pub fn explain_intersects<H: QueryHandler>(
+        &self,
+        queries_in: &[Rect<C, 2>],
+        handler: &H,
+    ) -> obs::QueryPlan {
+        let mut plan = obs::QueryPlan::default();
+        queries::intersects::run_with_plan(
+            self.snapshot(),
+            queries_in,
+            handler,
+            None,
+            Some(&mut plan),
+        );
+        plan
+    }
+
     /// Convenience: point query collecting `(rect_id, point_id)` pairs.
     pub fn collect_point_query(&self, points: &[Point<C, 2>]) -> Vec<ResultPair> {
         let h = CollectingHandler::new();

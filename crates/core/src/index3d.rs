@@ -208,12 +208,18 @@ impl<C: Coord> RTSIndex3<C> {
     /// 3-D point query (§3.1 in three dimensions): one probe ray per
     /// point, Case-2 detection, exact filtering in IS.
     pub fn point_query<H: QueryHandler>(&self, points: &[Point<C, 3>], handler: &H) -> QueryReport {
+        let wall_start = Instant::now();
         let span = obs::span!("query3.point");
+        let results = obs::Counter::standalone();
+        let counted = crate::queries::CountResults {
+            inner: handler,
+            count: &results,
+        };
         let program = Point3Program {
             boxes: &self.boxes,
             deleted: &self.deleted,
             points,
-            handler,
+            handler: &counted,
         };
         let launch = self.device.launch::<C, _>(points.len(), |i, session| {
             let p = points[i];
@@ -223,7 +229,17 @@ impl<C: Coord> RTSIndex3<C> {
             session.trace(&self.gas, &program, &Ray::point_probe(p), &mut (i as u32));
         });
         span.device(launch.device_time);
-        wrap(launch)
+        let report = wrap(launch);
+        crate::queries::record_batch_trace(
+            "point3",
+            points.len() as u64,
+            points.iter().filter(|p| p.is_finite()).count() as u64,
+            self.live as u64,
+            &report,
+            results.value(),
+            wall_start,
+        );
+        report
     }
 
     /// 3-D Range-Contains: center-point reduction (§3.2), exact filter.
@@ -232,16 +248,22 @@ impl<C: Coord> RTSIndex3<C> {
         queries: &[Rect<C, 3>],
         handler: &H,
     ) -> QueryReport {
+        let wall_start = Instant::now();
         let span = obs::span!("query3.contains");
+        let results = obs::Counter::standalone();
+        let counted = crate::queries::CountResults {
+            inner: handler,
+            count: &results,
+        };
         let program = Contains3Program {
             boxes: &self.boxes,
             deleted: &self.deleted,
             queries,
-            handler,
+            handler: &counted,
         };
         let launch = self.device.launch::<C, _>(queries.len(), |i, session| {
             let q = &queries[i];
-            if !(q.min.is_finite() && q.max.is_finite()) || q.is_empty() {
+            if !is_valid_query3(q) {
                 return;
             }
             session.trace(
@@ -252,7 +274,17 @@ impl<C: Coord> RTSIndex3<C> {
             );
         });
         span.device(launch.device_time);
-        wrap(launch)
+        let report = wrap(launch);
+        crate::queries::record_batch_trace(
+            "contains3",
+            queries.len() as u64,
+            queries.iter().filter(|q| is_valid_query3(q)).count() as u64,
+            self.live as u64,
+            &report,
+            results.value(),
+            wall_start,
+        );
+        report
     }
 
     /// 3-D Range-Intersects via the Minkowski center-probe formulation.
@@ -272,24 +304,37 @@ impl<C: Coord> RTSIndex3<C> {
         queries: &[Rect<C, 3>],
         handler: &H,
     ) -> QueryReport {
+        let wall_start = Instant::now();
         let span = obs::span!("query3.intersects");
+        let results = obs::Counter::standalone();
+        let counted = crate::queries::CountResults {
+            inner: handler,
+            count: &results,
+        };
         // Invalid (non-finite / empty) query boxes can never match and
         // must not reach the per-batch GAS build, which rejects
         // non-finite AABBs. Filtering preserves original query ids via
         // the `valid_ids` side table (same fix as the 2-D engine).
         let valid_ids: Vec<u32> = (0..queries.len() as u32)
-            .filter(|&qi| {
-                let q = &queries[qi as usize];
-                q.min.is_finite() && q.max.is_finite() && !q.is_empty()
-            })
+            .filter(|&qi| is_valid_query3(&queries[qi as usize]))
             .collect();
         obs::counter("query3.intersects.invalid_queries")
             .add((queries.len() - valid_ids.len()) as u64);
         if valid_ids.is_empty() || self.live == 0 {
-            return QueryReport {
+            let report = QueryReport {
                 chosen_k: 1,
                 ..Default::default()
             };
+            crate::queries::record_batch_trace(
+                "intersects3",
+                queries.len() as u64,
+                valid_ids.len() as u64,
+                self.live as u64,
+                &report,
+                results.value(),
+                wall_start,
+            );
+            return report;
         }
         let expanded: Vec<Rect<C, 3>> = valid_ids
             .iter()
@@ -315,7 +360,7 @@ impl<C: Coord> RTSIndex3<C> {
             boxes: &self.boxes,
             valid_ids: &valid_ids,
             queries,
-            handler,
+            handler: &counted,
         };
         // Only live boxes cast probes: after deletions the launch width
         // shrinks to the live count (identity mapping when none are
@@ -329,7 +374,17 @@ impl<C: Coord> RTSIndex3<C> {
             session.trace(&query_gas, &program, &Ray::point_probe(c), &mut rid);
         });
         span.device(launch.device_time);
-        wrap(launch)
+        let report = wrap(launch);
+        crate::queries::record_batch_trace(
+            "intersects3",
+            queries.len() as u64,
+            valid_ids.len() as u64,
+            self.live as u64,
+            &report,
+            results.value(),
+            wall_start,
+        );
+        report
     }
 
     /// Convenience collectors.
@@ -352,6 +407,12 @@ impl<C: Coord> RTSIndex3<C> {
         self.contains_query(queries, &h);
         h.into_sorted_vec()
     }
+}
+
+/// A castable 3-D query box: finite coordinates and non-inverted extents.
+#[inline]
+fn is_valid_query3<C: Coord>(q: &Rect<C, 3>) -> bool {
+    q.min.is_finite() && q.max.is_finite() && !q.is_empty()
 }
 
 fn wrap(launch: rtcore::LaunchReport) -> QueryReport {

@@ -70,13 +70,41 @@ impl Default for MulticastConfig {
     }
 }
 
-/// Cost of a `(k, |R|, N, s)` configuration (Equations 3–5).
-pub fn multicast_cost(k: usize, rays: usize, prims: usize, selectivity: f64, w: f64) -> f64 {
+/// The two components of the cost model at `k` (Equations 3–4):
+/// `C_R = |R|·k·log N` and `C_I = N·|R|·s/k`.
+pub fn multicast_cost_parts(k: usize, rays: usize, prims: usize, selectivity: f64) -> (f64, f64) {
     let k = k as f64;
     let log_n = (prims.max(2) as f64).log2();
     let c_r = rays as f64 * k * log_n;
     let c_i = prims as f64 * rays as f64 * selectivity / k;
+    (c_r, c_i)
+}
+
+/// Cost of a `(k, |R|, N, s)` configuration (Equations 3–5).
+pub fn multicast_cost(k: usize, rays: usize, prims: usize, selectivity: f64, w: f64) -> f64 {
+    let (c_r, c_i) = multicast_cost_parts(k, rays, prims, selectivity);
     (1.0 - w) * c_r + w * c_i
+}
+
+/// The full decision trace of the `k` sweep: every power-of-two
+/// candidate `k ∈ [1, max_k]` with its `(k, C_R, C_I, cost)` tuple, in
+/// sweep order. [`choose_k`] folds exactly this list; EXPLAIN renders
+/// it.
+pub fn cost_sweep(
+    rays: usize,
+    prims: usize,
+    selectivity: f64,
+    w: f64,
+    max_k: usize,
+) -> Vec<(usize, f64, f64, f64)> {
+    let mut out = Vec::new();
+    let mut k = 1usize;
+    while k <= max_k.max(1) {
+        let (c_r, c_i) = multicast_cost_parts(k, rays, prims, selectivity);
+        out.push((k, c_r, c_i, (1.0 - w) * c_r + w * c_i));
+        k *= 2;
+    }
+    out
 }
 
 /// Picks the power-of-two `k ∈ [1, max_k]` minimizing the cost model.
@@ -87,14 +115,11 @@ pub fn choose_k(rays: usize, prims: usize, selectivity: f64, w: f64, max_k: usiz
     }
     let mut best_k = 1usize;
     let mut best_c = f64::MAX;
-    let mut k = 1usize;
-    while k <= max_k.max(1) {
-        let c = multicast_cost(k, rays, prims, selectivity, w);
+    for (k, _, _, c) in cost_sweep(rays, prims, selectivity, w, max_k) {
         if c < best_c {
             best_c = c;
             best_k = k;
         }
-        k *= 2;
     }
     best_k
 }

@@ -3,12 +3,20 @@
 //! contains the center of `s` — followed by exact predicate filtering in
 //! the IS shader.
 
+use std::time::Instant;
+
 use geom::{Coord, Ray, Rect};
 use rtcore::{HitContext, IsResult, RtProgram};
 
 use crate::handlers::QueryHandler;
 use crate::index::Snapshot;
 use crate::report::{Phase, QueryReport};
+
+/// A castable `Contains` query: finite and non-inverted.
+#[inline]
+fn is_valid_query<C: Coord>(s: &Rect<C, 2>) -> bool {
+    s.min.is_finite() && s.max.is_finite() && !s.is_empty()
+}
 
 struct ContainsProgram<'a, C: Coord, H: QueryHandler> {
     snap: Snapshot<'a, C>,
@@ -41,15 +49,21 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
     queries: &[Rect<C, 2>],
     handler: &H,
 ) -> QueryReport {
+    let wall_start = Instant::now();
     let span = obs::span!("query.contains");
+    let results = obs::Counter::standalone();
+    let counted = super::CountResults {
+        inner: handler,
+        count: &results,
+    };
     let program = ContainsProgram {
         snap,
         queries,
-        handler,
+        handler: &counted,
     };
     let launch = snap.device.launch::<C, _>(queries.len(), |i, session| {
         let s = &queries[i];
-        if !(s.min.is_finite() && s.max.is_finite()) || s.is_empty() {
+        if !is_valid_query(s) {
             return;
         }
         let ray = Ray::point_probe(s.center()).lift();
@@ -60,7 +74,7 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
         device: launch.device_time,
         wall: launch.wall_time,
     };
-    QueryReport {
+    let report = QueryReport {
         launch,
         breakdown: crate::report::Breakdown {
             forward,
@@ -68,5 +82,15 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
         },
         chosen_k: 1,
         estimated_selectivity: None,
-    }
+    };
+    super::record_batch_trace(
+        "range_contains",
+        queries.len() as u64,
+        queries.iter().filter(|s| is_valid_query(s)).count() as u64,
+        snap.live as u64,
+        &report,
+        results.value(),
+        wall_start,
+    );
+    report
 }

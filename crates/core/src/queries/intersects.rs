@@ -21,7 +21,10 @@ use rtcore::{BuildOptions, Gas, HitContext, IsResult, RtProgram, TraversalBacken
 use crate::config::DedupStrategy;
 use crate::handlers::QueryHandler;
 use crate::index::Snapshot;
-use crate::multicast::{choose_k, estimate_selectivity_ids, MulticastLayout, MulticastMode};
+use crate::multicast::{
+    choose_k, cost_sweep, estimate_selectivity_ids, multicast_cost_parts, MulticastLayout,
+    MulticastMode,
+};
 
 use crate::report::{Phase, QueryReport};
 
@@ -138,13 +141,125 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
     handler: &H,
     forced_k: Option<usize>,
 ) -> QueryReport {
+    run_with_plan(snap, queries, handler, forced_k, None)
+}
+
+/// As [`run`], optionally filling `plan` with the cost model's full
+/// EXPLAIN decision trace (`RTSIndex::explain_intersects`).
+pub(crate) fn run_with_plan<C: Coord, H: QueryHandler>(
+    snap: Snapshot<'_, C>,
+    queries: &[Rect<C, 2>],
+    handler: &H,
+    forced_k: Option<usize>,
+    plan: Option<&mut obs::QueryPlan>,
+) -> QueryReport {
+    let results = obs::Counter::standalone();
+    // Wrapped *inside* the dedup layer, so the tally is post-dedup and
+    // matches what the caller's handler actually saw.
+    let counted = super::CountResults {
+        inner: handler,
+        count: &results,
+    };
     match snap.opts.dedup {
-        DedupStrategy::ForwardCheck => run_inner(snap, queries, handler, forced_k, true),
+        DedupStrategy::ForwardCheck => {
+            run_inner(snap, queries, &counted, forced_k, true, &results, plan)
+        }
         DedupStrategy::HashPostProcess => {
-            let dedup = HashDedupHandler::new(handler);
-            run_inner(snap, queries, &dedup, forced_k, false)
+            let dedup = HashDedupHandler::new(&counted);
+            run_inner(snap, queries, &dedup, forced_k, false, &results, plan)
         }
     }
+}
+
+/// Multicast-mode label for trace records and EXPLAIN output.
+fn mode_label(forced_k: Option<usize>, mode: MulticastMode) -> &'static str {
+    if forced_k.is_some() {
+        return "fixed";
+    }
+    match mode {
+        MulticastMode::Off => "off",
+        MulticastMode::Fixed(_) => "fixed",
+        MulticastMode::Auto => "auto",
+    }
+}
+
+/// Emits the per-batch trace record (and fills the EXPLAIN plan when
+/// requested) from the finished report — shared by every exit path of
+/// [`run_inner`], so latency stats see exactly one record per batch.
+#[allow(clippy::too_many_arguments)]
+fn finish_batch(
+    report: &QueryReport,
+    batch: u64,
+    valid: u64,
+    live: u64,
+    mode: &'static str,
+    weight: f64,
+    sample_size: u64,
+    candidates: Vec<obs::KCandidate>,
+    results: u64,
+    wall_start: Instant,
+    plan: Option<&mut obs::QueryPlan>,
+) {
+    let s = report.estimated_selectivity;
+    // The model's inputs were (rays = |R_live|, prims = |S_valid|); feed
+    // the chosen k back through the same formula for the predicted parts.
+    let (predicted_cr, predicted_ci) = match s {
+        Some(s) => multicast_cost_parts(report.chosen_k, live as usize, valid as usize, s),
+        None => (0.0, 0.0),
+    };
+    let predicted_pairs = s.map(|s| s * live as f64 * valid as f64);
+    let totals = &report.launch.totals;
+    let device_ns = obs::PhaseNanos {
+        k_prediction: report.breakdown.k_prediction.device.as_nanos() as u64,
+        build: report.breakdown.bvh_build.device.as_nanos() as u64,
+        forward: report.breakdown.forward.device.as_nanos() as u64,
+        backward: report.breakdown.backward.device.as_nanos() as u64,
+        dedup: 0,
+    };
+    if let Some(plan) = plan {
+        *plan = obs::QueryPlan {
+            kind: "range_intersects",
+            batch,
+            valid,
+            live,
+            mode,
+            weight,
+            sample_size,
+            selectivity: s,
+            candidates,
+            chosen_k: report.chosen_k as u32,
+            predicted_cr,
+            predicted_ci,
+            predicted_pairs,
+            actual_pairs: results,
+            rays: totals.rays,
+            is_calls: totals.is_calls,
+            nodes_visited: totals.nodes_visited,
+            actual_ci: report.max_is_per_thread(),
+            device_ns,
+        };
+    }
+    obs::trace::record_query(obs::QueryTrace {
+        seq: 0,
+        kind: "range_intersects",
+        batch,
+        valid,
+        live,
+        chosen_k: report.chosen_k as u32,
+        selectivity: s,
+        predicted_cr,
+        predicted_ci,
+        predicted_pairs,
+        results,
+        rays: totals.rays,
+        is_calls: totals.is_calls,
+        nodes_visited: totals.nodes_visited,
+        max_is_per_thread: report.max_is_per_thread(),
+        device_ns,
+        wall_ns: wall_start.elapsed().as_nanos() as u64,
+        ts_ns: 0,
+        tid: 0,
+    });
 }
 
 /// A query rectangle the engine can cast: finite coordinates and
@@ -156,19 +271,39 @@ fn is_valid_query<C: Coord>(q: &Rect<C, 2>) -> bool {
     q.min.is_finite() && q.max.is_finite() && !q.is_empty()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_inner<C: Coord, H: QueryHandler>(
     snap: Snapshot<'_, C>,
     queries: &[Rect<C, 2>],
     handler: &H,
     forced_k: Option<usize>,
     check_backward: bool,
+    results: &obs::Counter,
+    plan: Option<&mut obs::QueryPlan>,
 ) -> QueryReport {
+    let wall_start = Instant::now();
+    let mode = mode_label(forced_k, snap.opts.multicast.mode);
+    let weight = snap.opts.multicast.weight;
+    let sample_size = snap.opts.multicast.sample_size as u64;
     let span = obs::span!("query.intersects");
     let mut report = QueryReport {
         chosen_k: 1,
         ..Default::default()
     };
     if queries.is_empty() || snap.rects.is_empty() {
+        finish_batch(
+            &report,
+            queries.len() as u64,
+            0,
+            snap.live as u64,
+            mode,
+            weight,
+            sample_size,
+            Vec::new(),
+            results.value(),
+            wall_start,
+            plan,
+        );
         return report;
     }
     // Live index slots and valid queries, in stable id order. Both
@@ -185,6 +320,19 @@ fn run_inner<C: Coord, H: QueryHandler>(
         .collect();
     obs::counter("query.intersects.invalid_queries").add((queries.len() - valid_ids.len()) as u64);
     if live_ids.is_empty() || valid_ids.is_empty() {
+        finish_batch(
+            &report,
+            queries.len() as u64,
+            valid_ids.len() as u64,
+            live_ids.len() as u64,
+            mode,
+            weight,
+            sample_size,
+            Vec::new(),
+            results.value(),
+            wall_start,
+            plan,
+        );
         return report;
     }
     let model = &snap.device.cost_model;
@@ -192,6 +340,7 @@ fn run_inner<C: Coord, H: QueryHandler>(
     // ---- Phase 1: k prediction (§3.4) --------------------------------
     let t0 = Instant::now();
     let phase_span = obs::span!("k_prediction");
+    let mut candidates: Vec<obs::KCandidate> = Vec::new();
     let k = match forced_k {
         Some(k) => k.max(1),
         None => match snap.opts.multicast.mode {
@@ -207,6 +356,15 @@ fn run_inner<C: Coord, H: QueryHandler>(
                     cfg.sample_size,
                 );
                 report.estimated_selectivity = Some(s);
+                candidates = cost_sweep(snap.live, valid_ids.len(), s, cfg.weight, cfg.max_k)
+                    .into_iter()
+                    .map(|(k, c_r, c_i, cost)| obs::KCandidate {
+                        k: k as u32,
+                        c_r,
+                        c_i,
+                        cost,
+                    })
+                    .collect();
                 choose_k(snap.live, valid_ids.len(), s, cfg.weight, cfg.max_k)
             }
         },
@@ -321,6 +479,19 @@ fn run_inner<C: Coord, H: QueryHandler>(
     };
     report.launch.merge(&bwd);
     span.device(k_pred_device + build_device + fwd.device_time + bwd.device_time);
+    finish_batch(
+        &report,
+        queries.len() as u64,
+        valid_ids.len() as u64,
+        live_ids.len() as u64,
+        mode,
+        weight,
+        sample_size,
+        candidates,
+        results.value(),
+        wall_start,
+        plan,
+    );
     report
 }
 

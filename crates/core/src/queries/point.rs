@@ -3,6 +3,8 @@
 //! false positives are filtered in the IS shader by evaluating the
 //! `Contains` predicate on the original coordinates.
 
+use std::time::Instant;
+
 use geom::{Coord, Point, Ray};
 use rtcore::{HitContext, IsResult, RtProgram};
 
@@ -44,11 +46,17 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
     points: &[Point<C, 2>],
     handler: &H,
 ) -> QueryReport {
+    let wall_start = Instant::now();
     let span = obs::span!("query.point");
+    let results = obs::Counter::standalone();
+    let counted = super::CountResults {
+        inner: handler,
+        count: &results,
+    };
     let program = PointProgram {
         snap,
         points,
-        handler,
+        handler: &counted,
     };
     let launch = snap.device.launch::<C, _>(points.len(), |i, session| {
         let p = points[i];
@@ -63,7 +71,7 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
         device: launch.device_time,
         wall: launch.wall_time,
     };
-    QueryReport {
+    let report = QueryReport {
         launch,
         breakdown: crate::report::Breakdown {
             forward,
@@ -71,5 +79,15 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
         },
         chosen_k: 1,
         estimated_selectivity: None,
-    }
+    };
+    super::record_batch_trace(
+        "point",
+        points.len() as u64,
+        points.iter().filter(|p| p.is_finite()).count() as u64,
+        snap.live as u64,
+        &report,
+        results.value(),
+        wall_start,
+    );
+    report
 }

@@ -194,6 +194,58 @@ pub fn pool_stats() -> PoolStats {
 }
 
 // ---------------------------------------------------------------------------
+// Context propagation
+// ---------------------------------------------------------------------------
+
+/// Hooks that propagate a thread-local *context* (e.g. an observability span
+/// stack) from the thread issuing a fan-out into the pool workers that help
+/// execute it.
+///
+/// This crate knows nothing about what the context *is* — the three plain
+/// function pointers keep the dependency arrow pointing at `exec`, not out of
+/// it. `capture` runs on the issuing thread once per fan-out and may return
+/// `None` when there is nothing to propagate (the common case, which costs a
+/// single `OnceLock` load plus the `capture` call). `enter` runs on a worker
+/// before it executes any chunk of that job and returns the worker's saved
+/// prior context; `exit` restores it afterwards (also on panic).
+///
+/// The hooks must not panic and must keep the determinism contract: they may
+/// only affect *labelling* of work (span paths, trace attribution), never the
+/// values any fan-out computes.
+#[derive(Clone, Copy)]
+pub struct ContextHook {
+    /// Snapshot the issuing thread's context; `None` propagates nothing.
+    pub capture: fn() -> Option<Arc<dyn Any + Send + Sync>>,
+    /// Install a captured context on the current thread, returning the
+    /// displaced state to hand back to `exit`.
+    pub enter: fn(&(dyn Any + Send + Sync)) -> Box<dyn Any>,
+    /// Restore the state displaced by `enter`.
+    pub exit: fn(Box<dyn Any>),
+}
+
+static CONTEXT_HOOK: OnceLock<ContextHook> = OnceLock::new();
+
+/// Register the process-wide [`ContextHook`]. The first registration wins;
+/// returns `false` (and changes nothing) if a hook was already installed.
+pub fn set_context_hook(hook: ContextHook) -> bool {
+    CONTEXT_HOOK.set(hook).is_ok()
+}
+
+/// Restores the context displaced by `ContextHook::enter`, also on unwind.
+struct ContextGuard {
+    hook: &'static ContextHook,
+    saved: Option<Box<dyn Any>>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(saved) = self.saved.take() {
+            (self.hook.exit)(saved);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Packed-range deque
 // ---------------------------------------------------------------------------
 
@@ -266,6 +318,8 @@ struct Job {
     pending: AtomicU64,
     /// Borrowed body; lifetime erased (see struct docs for the invariant).
     body: *const (dyn Fn(Range<usize>) + Sync),
+    /// Context captured on the issuing thread, installed on helping workers.
+    ctx: Option<Arc<dyn Any + Send + Sync>>,
     /// Completion latch.
     done: Mutex<bool>,
     done_cv: Condvar,
@@ -290,8 +344,17 @@ impl Job {
 
     /// Claim and execute chunks until none remain anywhere in the job.
     /// `home` picks the span this participant owns (pops front); all other
-    /// spans are stolen from the back.
-    fn help(&self, home: usize) {
+    /// spans are stolen from the back. `adopt_ctx` installs the job's
+    /// captured context for the duration (workers set it; the issuing
+    /// thread's context is already live, so it passes `false`).
+    fn help(&self, home: usize, adopt_ctx: bool) {
+        let _ctx_guard = match (&self.ctx, adopt_ctx) {
+            (Some(ctx), true) => CONTEXT_HOOK.get().map(|hook| ContextGuard {
+                hook,
+                saved: Some((hook.enter)(&**ctx)),
+            }),
+            _ => None,
+        };
         let k = self.spans.len();
         let own = home % k;
         loop {
@@ -383,7 +446,7 @@ fn worker_loop(slot: usize) {
                 jobs = pool.wake.wait(jobs).unwrap();
             }
         };
-        job.help(slot);
+        job.help(slot, true);
     }
 }
 
@@ -443,6 +506,7 @@ pub fn for_each_chunk(n: usize, min_chunk: usize, body: impl Fn(Range<usize>) + 
         chunk,
         pending: AtomicU64::new(n as u64),
         body: body_ptr,
+        ctx: CONTEXT_HOOK.get().and_then(|hook| (hook.capture)()),
         done: Mutex::new(false),
         done_cv: Condvar::new(),
         panic: Mutex::new(None),
@@ -457,8 +521,9 @@ pub fn for_each_chunk(n: usize, min_chunk: usize, body: impl Fn(Range<usize>) + 
 
     // The issuing thread owns span 0 unless it is itself a pool worker, in
     // which case it keeps its usual home slot to avoid contending with the
-    // worker that hashes to 0.
-    job.help(WORKER_SLOT.with(Cell::get));
+    // worker that hashes to 0. Its own context is already live, so it never
+    // adopts the captured one.
+    job.help(WORKER_SLOT.with(Cell::get), false);
     job.wait_done();
 
     {

@@ -49,18 +49,40 @@
 //! to JSON ([`Snapshot::to_json`]) or a Prometheus-style text dump
 //! ([`Snapshot::to_prometheus`]); `BENCH_perf.json` embeds both a
 //! per-figure stable-counter delta and the final process snapshot.
+//!
+//! ## Tracing and EXPLAIN
+//!
+//! Beyond aggregate metrics, three modules cover per-query attribution:
+//!
+//! - [`trace`] — a bounded ring of per-query [`trace::QueryTrace`]
+//!   records (kind, batch, chosen `k`, sampled selectivity, predicted
+//!   vs measured cost, per-phase device time) plus span/launch timeline
+//!   events and a slow-query log (`LIBRTS_SLOW_QUERY_MS`);
+//! - [`explain`] — the typed [`explain::QueryPlan`] returned by
+//!   `RTSIndex::explain_intersects`, rendering the cost-model decision
+//!   trace (every candidate `k` with `C_R`/`C_I`) as JSON;
+//! - [`chrome`] — a Chrome Trace Format / Perfetto exporter for the
+//!   event ring, wired up as `runme --trace <path>`.
+//!
+//! Span paths propagate into `exec` fan-outs (see [`spans`]): spans
+//! opened inside worker closures nest under the enqueuing span.
 
 #![warn(missing_docs)]
 
+pub mod chrome;
+pub mod explain;
 pub mod metrics;
 pub mod registry;
 pub mod snapshot;
 pub mod spans;
+pub mod trace;
 
+pub use explain::{KCandidate, QueryPlan};
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::{global, Registry};
 pub use snapshot::{MetricValue, Snapshot, Value};
 pub use spans::{span, Span};
+pub use trace::{PhaseNanos, QueryTrace};
 
 use std::sync::Arc;
 
@@ -121,6 +143,15 @@ pub fn snapshot() -> Snapshot {
 pub fn reset() {
     registry::sync_exec_stats(global());
     global().reset();
+}
+
+/// Serializes tests that mutate process-global trace state (the ring
+/// buffers, enable flags and slow-query threshold). Survives poisoning
+/// so one failed test doesn't cascade.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 #[cfg(test)]

@@ -32,6 +32,13 @@ impl Counter {
         }
     }
 
+    /// A counter that lives outside any registry — for short-lived,
+    /// contention-free tallies (e.g. result pairs of one query batch)
+    /// that still want worker-sharded cells on the hot path.
+    pub fn standalone() -> Self {
+        Self::new()
+    }
+
     /// Adds `v` to the counter.
     #[inline]
     pub fn add(&self, v: u64) {
@@ -111,9 +118,10 @@ pub struct Histogram {
     sum: Counter,
 }
 
-/// Bucket index for observation `v`.
+/// Bucket index for observation `v` (its bit length: 0 for 0, else
+/// `64 - leading_zeros`).
 #[inline]
-pub(crate) fn bucket_of(v: u64) -> usize {
+pub fn bucket_of(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
@@ -154,6 +162,12 @@ impl Histogram {
         self.sum.value()
     }
 
+    /// Upper-bound estimate of the `q`-quantile (see
+    /// [`quantile_upper_bound`]).
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_upper_bound(&self.buckets(), q)
+    }
+
     pub(crate) fn reset(&self) {
         for c in &self.cells {
             c.store(0, Ordering::Relaxed);
@@ -164,7 +178,7 @@ impl Histogram {
 
 /// Inclusive upper bound of histogram bucket `b` (`u64::MAX` for the
 /// last bucket).
-pub(crate) fn bucket_upper_bound(b: usize) -> u64 {
+pub fn bucket_upper_bound(b: usize) -> u64 {
     if b == 0 {
         0
     } else if b >= 64 {
@@ -172,6 +186,40 @@ pub(crate) fn bucket_upper_bound(b: usize) -> u64 {
     } else {
         (1u64 << b) - 1
     }
+}
+
+/// Inclusive lower bound of histogram bucket `b` (`2^(b-1)` for
+/// `b > 0`).
+pub fn bucket_lower_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1).min(63)
+    }
+}
+
+/// Upper-bound estimate of the `q`-quantile of a bucketed distribution:
+/// the inclusive upper bound of the bucket holding the `⌈q·count⌉`-th
+/// smallest observation (`q` clamped to `[0, 1]`; 0 for an empty
+/// histogram).
+///
+/// Because buckets are power-of-two wide, the estimate always lies in
+/// the same bucket as the true quantile — i.e. it overshoots by less
+/// than 2× — which the proptest suite pins.
+pub fn quantile_upper_bound(buckets: &[u64], q: f64) -> u64 {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (b, n) in buckets.iter().enumerate() {
+        cum += n;
+        if cum >= rank {
+            return bucket_upper_bound(b);
+        }
+    }
+    bucket_upper_bound(buckets.len().saturating_sub(1))
 }
 
 #[cfg(test)]
@@ -219,6 +267,33 @@ mod tests {
         assert_eq!(b[2], 1);
         assert_eq!(b[10], 1); // 1000 has bit length 10
         assert_eq!(b[64], 1);
+    }
+
+    #[test]
+    fn quantile_upper_bounds_bracket_the_true_quantile() {
+        let h = Histogram::new();
+        // 100 observations: 1..=100.
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // True p50 = 50 (bucket 6: 32..=63); estimate = 63.
+        assert_eq!(h.quantile(0.5), 63);
+        // True p90 = 90 (bucket 7: 64..=127); estimate = 127.
+        assert_eq!(h.quantile(0.9), 127);
+        assert_eq!(h.quantile(0.99), 127);
+        assert_eq!(h.quantile(0.0), bucket_upper_bound(bucket_of(1)));
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        for b in 0..HISTOGRAM_BUCKETS {
+            let lo = bucket_lower_bound(b);
+            let hi = bucket_upper_bound(b);
+            assert!(lo <= hi, "bucket {b}");
+            assert_eq!(bucket_of(lo), b.min(64), "lower bound of {b}");
+            assert_eq!(bucket_of(hi), b.min(64), "upper bound of {b}");
+        }
     }
 
     #[test]

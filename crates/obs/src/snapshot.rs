@@ -1,7 +1,7 @@
 //! Point-in-time snapshots of the registry: diffing, determinism-class
 //! filtering, and the JSON / Prometheus-style exporters.
 
-use crate::metrics::{bucket_upper_bound, HISTOGRAM_BUCKETS};
+use crate::metrics::{bucket_upper_bound, quantile_upper_bound, HISTOGRAM_BUCKETS};
 use crate::Class;
 
 /// One metric's value at snapshot time.
@@ -82,6 +82,15 @@ impl Snapshot {
     pub fn histogram_count(&self, name: &str) -> Option<u64> {
         match self.get(name)?.value {
             Value::Histogram { count, .. } => Some(count),
+            _ => None,
+        }
+    }
+
+    /// Upper-bound `q`-quantile estimate of histogram `name`, if present
+    /// (see [`crate::metrics::quantile_upper_bound`]).
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<u64> {
+        match &self.get(name)?.value {
+            Value::Histogram { buckets, .. } => Some(quantile_upper_bound(buckets, q)),
             _ => None,
         }
     }
@@ -179,7 +188,11 @@ impl Snapshot {
                     buckets,
                 } => {
                     out.push_str(&format!(
-                        "\"type\": \"histogram\", \"count\": {count}, \"sum\": {sum}, \"buckets\": {{"
+                        "\"type\": \"histogram\", \"count\": {count}, \"sum\": {sum}, \
+                         \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": {{",
+                        quantile_upper_bound(buckets, 0.50),
+                        quantile_upper_bound(buckets, 0.90),
+                        quantile_upper_bound(buckets, 0.99),
                     ));
                     let mut first = true;
                     for (b, n) in buckets.iter().enumerate() {
@@ -228,23 +241,16 @@ impl Snapshot {
                     buckets,
                 } => {
                     out.push_str(&format!("# TYPE {name} histogram\n"));
+                    // A scrapeable histogram needs the *same* label set
+                    // every scrape and cumulative counts: emit every
+                    // finite bucket bound (including zero buckets) and
+                    // exactly one +Inf series.
                     let mut cum = 0u64;
-                    for (b, n) in buckets.iter().enumerate() {
+                    for (b, n) in buckets.iter().enumerate().take(HISTOGRAM_BUCKETS - 1) {
                         cum += n;
-                        // Skip interior all-zero prefixes? No: Prometheus
-                        // convention keeps every bucket, but 65 series per
-                        // histogram is noisy — emit only buckets that
-                        // change the cumulative count, plus +Inf.
-                        if *n == 0 {
-                            continue;
-                        }
-                        let le = if b >= HISTOGRAM_BUCKETS - 1 {
-                            "+Inf".to_string()
-                        } else {
-                            bucket_upper_bound(b).to_string()
-                        };
                         out.push_str(&format!(
-                            "{name}_bucket{{class=\"{class}\",le=\"{le}\"}} {cum}\n"
+                            "{name}_bucket{{class=\"{class}\",le=\"{}\"}} {cum}\n",
+                            bucket_upper_bound(b)
                         ));
                     }
                     out.push_str(&format!(
@@ -382,6 +388,56 @@ mod tests {
         assert!(prom.contains("lat_ns_bucket{class=\"stable\",le=\"+Inf\"} 3"));
         assert!(prom.contains("lat_ns_sum{class=\"stable\"} 11"));
         assert!(prom.contains("lat_ns_count{class=\"stable\"} 3"));
+    }
+
+    #[test]
+    fn prometheus_emits_complete_series_with_a_single_inf() {
+        // Regression: a nonzero last bucket used to emit the +Inf sample
+        // twice, and zero buckets were skipped (inconsistent label sets
+        // across scrapes).
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        buckets[2] = 1;
+        buckets[HISTOGRAM_BUCKETS - 1] = 1;
+        let s = snap(vec![MetricValue {
+            name: "lat.ns".into(),
+            class: Class::Stable,
+            value: Value::Histogram {
+                count: 2,
+                sum: 3,
+                buckets,
+            },
+        }]);
+        let prom = s.to_prometheus();
+        assert_eq!(prom.matches("le=\"+Inf\"").count(), 1);
+        assert!(prom.contains("le=\"+Inf\"} 2"));
+        // All 64 finite bounds present, zero buckets included.
+        assert_eq!(prom.matches("lat_ns_bucket{").count(), HISTOGRAM_BUCKETS);
+        assert!(prom.contains("le=\"0\"} 0"));
+        assert!(prom.contains("le=\"3\"} 1"));
+        assert!(prom.contains("le=\"9223372036854775807\"} 1"));
+    }
+
+    #[test]
+    fn histogram_json_and_accessor_expose_quantiles() {
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        buckets[3] = 9; // values 4..=7
+        buckets[6] = 1; // values 32..=63
+        let s = snap(vec![MetricValue {
+            name: "lat.ns".into(),
+            class: Class::Stable,
+            value: Value::Histogram {
+                count: 10,
+                sum: 80,
+                buckets,
+            },
+        }]);
+        assert_eq!(s.histogram_quantile("lat.ns", 0.5), Some(7));
+        assert_eq!(s.histogram_quantile("lat.ns", 0.99), Some(63));
+        assert_eq!(s.histogram_quantile("missing", 0.5), None);
+        let json = s.to_json(0);
+        assert!(json.contains("\"p50\": 7"));
+        assert!(json.contains("\"p90\": 7"));
+        assert!(json.contains("\"p99\": 63"));
     }
 
     #[test]

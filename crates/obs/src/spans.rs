@@ -10,31 +10,90 @@
 //!
 //! and [`Span::device`] accumulates modelled device time into
 //! `span.<path>.device_ns` ([`crate::Class::Stable`] — the cost model is
-//! deterministic). The per-thread stack means span paths are only as
-//! deep as the caller's lexical nesting; work fanned out to pool
-//! workers does not inherit the spawner's span (worker threads record
-//! under their own, usually empty, stack).
+//! deterministic). When full tracing is on ([`crate::trace::enable_full`])
+//! each span instance additionally records begin/end timeline events for
+//! the Chrome exporter, tagged with its accumulated device time.
+//!
+//! ## Fan-out propagation
+//!
+//! The per-thread stack propagates into `exec` fan-outs: the first span
+//! ever opened registers an [`exec::ContextHook`] that snapshots the
+//! issuing thread's span stack per fan-out and installs it on helping
+//! pool workers for the duration of their participation. A span opened
+//! inside a `for_each_chunk`/`map_collect` closure therefore nests under
+//! the *enqueuing* span path (e.g. `query.intersects.forward.chunk`)
+//! instead of silently rooting at the worker. Propagation only relabels
+//! where worker-side metrics attach — it never changes what any fan-out
+//! computes, so the Stable-class contract is untouched.
 
-use std::cell::RefCell;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 thread_local! {
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
+fn capture_stack() -> Option<Arc<dyn Any + Send + Sync>> {
+    STACK.with(|s| {
+        let s = s.borrow();
+        if s.is_empty() {
+            None
+        } else {
+            Some(Arc::new(s.clone()) as Arc<dyn Any + Send + Sync>)
+        }
+    })
+}
+
+fn enter_stack(ctx: &(dyn Any + Send + Sync)) -> Box<dyn Any> {
+    let adopted = ctx
+        .downcast_ref::<Vec<&'static str>>()
+        .cloned()
+        .unwrap_or_default();
+    STACK.with(|s| Box::new(std::mem::replace(&mut *s.borrow_mut(), adopted)) as Box<dyn Any>)
+}
+
+fn exit_stack(saved: Box<dyn Any>) {
+    if let Ok(stack) = saved.downcast::<Vec<&'static str>>() {
+        STACK.with(|s| *s.borrow_mut() = *stack);
+    }
+}
+
+/// Register the span-stack propagation hook with `exec` (idempotent;
+/// called on first span open so purely-metric users never pay for it).
+fn install_context_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        exec::set_context_hook(exec::ContextHook {
+            capture: capture_stack,
+            enter: enter_stack,
+            exit: exit_stack,
+        });
+    });
+}
+
 /// Opens a span named `name`, nested under any span already live on
 /// this thread. Prefer the [`crate::span!`] macro, which reads as a
 /// structured statement at call sites.
 pub fn span(name: &'static str) -> Span {
+    install_context_hook();
     let (path, depth) = STACK.with(|s| {
         let mut s = s.borrow_mut();
         s.push(name);
         (s.join("."), s.len())
     });
+    let begin_ns = if crate::trace::spans_enabled() {
+        Some(crate::trace::record_span_begin(&path, name))
+    } else {
+        None
+    };
     Span {
         path,
         depth,
         start: Instant::now(),
+        begin_ns,
+        device_ns: Cell::new(0),
     }
 }
 
@@ -44,6 +103,11 @@ pub struct Span {
     path: String,
     depth: usize,
     start: Instant,
+    /// Trace-origin timestamp of the begin event, when full tracing was
+    /// on at open (the end event is only emitted for balanced begins).
+    begin_ns: Option<u64>,
+    /// Device time attached so far, mirrored into the end trace event.
+    device_ns: Cell<u64>,
 }
 
 impl Span {
@@ -55,7 +119,9 @@ impl Span {
 
     /// Accumulates modelled device time for this span's phase.
     pub fn device(&self, d: Duration) {
-        crate::counter(&format!("span.{}.device_ns", self.path)).add(d.as_nanos() as u64);
+        let ns = d.as_nanos() as u64;
+        self.device_ns.set(self.device_ns.get() + ns);
+        crate::counter(&format!("span.{}.device_ns", self.path)).add(ns);
     }
 }
 
@@ -64,6 +130,9 @@ impl Drop for Span {
         let wall = self.start.elapsed();
         crate::counter(&format!("span.{}.calls", self.path)).inc();
         crate::host_counter(&format!("span.{}.wall_ns", self.path)).add(wall.as_nanos() as u64);
+        if let Some(begin_ns) = self.begin_ns {
+            crate::trace::record_span_end(&self.path, begin_ns, self.device_ns.get());
+        }
         // Truncate rather than pop: stays correct even if an inner span
         // outlived this one and already shrank/regrew the stack.
         STACK.with(|s| {
@@ -125,5 +194,69 @@ mod tests {
         .join()
         .unwrap();
         assert_eq!(path, "t.worker");
+    }
+
+    #[test]
+    fn fanout_workers_inherit_the_enqueuing_span_path() {
+        let before = crate::snapshot();
+        {
+            let _outer = span("t.fanout");
+            exec::with_threads(4, || {
+                // One span per item: the call count is a logical total
+                // (4096 at any thread count) while the *attribution*
+                // proves workers adopted the captured stack.
+                exec::for_each_chunk(4096, 8, |range| {
+                    for _ in range {
+                        let _inner = span("item");
+                    }
+                });
+            });
+        }
+        let delta = crate::snapshot().delta_since(&before);
+        assert_eq!(delta.counter("span.t.fanout.item.calls"), Some(4096));
+        // Nothing rooted at a bare `item` path.
+        assert_eq!(delta.counter("span.item.calls"), None);
+        // The issuing thread's stack is intact afterwards.
+        assert_eq!(span("t.after_fanout").path(), "t.after_fanout");
+    }
+
+    #[test]
+    fn traced_spans_emit_begin_end_events() {
+        let _guard = crate::test_lock();
+        crate::trace::clear();
+        crate::trace::enable_full();
+        {
+            let outer = span("t.traced");
+            let _inner = span("leaf");
+            outer.device(Duration::from_nanos(77));
+        }
+        crate::trace::disable();
+        let events = crate::trace::events();
+        // Other tests in this binary may have traced their own spans
+        // while the flag was on; look only at this test's paths.
+        let begins: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                crate::trace::Event::SpanBegin { path, .. } if path.starts_with("t.traced") => {
+                    Some(path.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        let ends: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                crate::trace::Event::SpanEnd {
+                    path, device_ns, ..
+                } if path.starts_with("t.traced") => Some((path.clone(), *device_ns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(begins, vec!["t.traced".to_string(), "t.traced.leaf".into()]);
+        assert_eq!(
+            ends,
+            vec![("t.traced.leaf".to_string(), 0), ("t.traced".into(), 77)]
+        );
+        crate::trace::clear();
     }
 }

@@ -1,0 +1,94 @@
+//! Property tests for the power-of-two bucket quantile estimator.
+//!
+//! The documented contract of [`obs::metrics::quantile_upper_bound`]:
+//! the estimate is the upper bound of the bucket holding the true
+//! `⌈q·n⌉`-th smallest observation, so it (a) never underestimates the
+//! true quantile and (b) lands in the *same* power-of-two bucket — i.e.
+//! the estimate is within one bucket width of the truth.
+
+use obs::metrics::{
+    bucket_lower_bound, bucket_of, bucket_upper_bound, quantile_upper_bound, HISTOGRAM_BUCKETS,
+};
+use obs::Class;
+use proptest::prelude::*;
+
+/// The exact quantile under the estimator's rank rule: the
+/// `clamp(⌈q·n⌉, 1, n)`-th smallest observation.
+fn true_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+fn buckets_of(values: &[u64]) -> Vec<u64> {
+    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+    for &v in values {
+        buckets[bucket_of(v)] += 1;
+    }
+    buckets
+}
+
+proptest! {
+    /// Estimate >= truth, and both sit in the same power-of-two bucket.
+    #[test]
+    fn quantile_estimate_bounds_truth_within_one_bucket(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let truth = true_quantile(&values, q);
+        let est = quantile_upper_bound(&buckets_of(&values), q);
+        prop_assert!(
+            est >= truth,
+            "estimate {est} underestimates true quantile {truth} (q={q})"
+        );
+        prop_assert_eq!(
+            bucket_of(est),
+            bucket_of(truth),
+            "estimate {} left the true quantile's bucket (truth {}, q={})",
+            est, truth, q
+        );
+    }
+
+    /// Same contract at the extreme magnitudes, where bucket widths are
+    /// degenerate (bucket 0) or saturating (top bucket).
+    #[test]
+    fn quantile_estimate_holds_at_extreme_magnitudes(
+        shifts in prop::collection::vec(0u32..64, 1..64),
+        q in 0.0f64..=1.0,
+    ) {
+        let values: Vec<u64> = shifts.iter().map(|&s| 1u64 << s).collect();
+        let truth = true_quantile(&values, q);
+        let est = quantile_upper_bound(&buckets_of(&values), q);
+        prop_assert!(est >= truth);
+        prop_assert_eq!(bucket_of(est), bucket_of(truth));
+    }
+
+    /// The bucket bounds the estimator relies on are mutually
+    /// consistent: every bucket's bounds round-trip through bucket_of.
+    #[test]
+    fn bucket_bounds_round_trip(b in 0usize..HISTOGRAM_BUCKETS) {
+        prop_assert_eq!(bucket_of(bucket_lower_bound(b)), b);
+        prop_assert_eq!(bucket_of(bucket_upper_bound(b)), b);
+        prop_assert!(bucket_lower_bound(b) <= bucket_upper_bound(b));
+    }
+}
+
+/// `Histogram::quantile` is the same estimator applied to the live
+/// (sharded) bucket array.
+#[test]
+fn histogram_quantile_matches_free_function() {
+    let h = obs::global().histogram("test.quantiles.hist", Class::Host);
+    let values: Vec<u64> = (0..500u64).map(|i| i * i % 7919).collect();
+    for &v in &values {
+        h.observe(v);
+    }
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        let est = h.quantile(q);
+        assert_eq!(est, quantile_upper_bound(&h.buckets(), q));
+        let truth = true_quantile(&values, q);
+        assert!(est >= truth);
+        assert_eq!(bucket_of(est), bucket_of(truth));
+    }
+}

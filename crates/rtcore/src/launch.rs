@@ -330,6 +330,13 @@ fn record_launch(report: &LaunchReport) {
     m.launch_width.observe(report.width as u64);
     m.launch_device_ns
         .observe(report.device_time.as_nanos() as u64);
+    // Timeline instant for the Chrome-trace exporter; no-op unless full
+    // tracing is on.
+    obs::trace::record_launch(
+        report.width as u64,
+        report.totals.rays,
+        report.device_time.as_nanos() as u64,
+    );
 }
 
 #[cfg(test)]
