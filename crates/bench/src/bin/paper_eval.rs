@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiments: `table1 table2 fig6a fig6b fig7a fig7b fig8 fig8d fig9a
-//! fig9b fig10a fig10b fig10c fig11 fig12 scaling all`.
+//! fig9b fig10a fig10b fig10c fig11 fig12 scaling concurrency all`.
 //!
 //! Flags: `--scale N` divides dataset cardinalities (default 64),
 //! `--queries N` divides query counts (default 10), `--seed N`,
@@ -95,10 +95,28 @@ fn run(exp: &str, cfg: &EvalConfig, perf: &mut PerfReport) {
         "scaling" => {
             perf.intersects_scaling(cfg);
         }
+        "concurrency" => {
+            perf.concurrency_study(cfg);
+        }
         "all" => {
             for e in [
-                "table1", "table2", "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig8d", "fig9a",
-                "fig9b", "fig10a", "fig10b", "fig10c", "fig11", "fig12", "scaling",
+                "table1",
+                "table2",
+                "fig6a",
+                "fig6b",
+                "fig7a",
+                "fig7b",
+                "fig8",
+                "fig8d",
+                "fig9a",
+                "fig9b",
+                "fig10a",
+                "fig10b",
+                "fig10c",
+                "fig11",
+                "fig12",
+                "scaling",
+                "concurrency",
             ] {
                 run(e, cfg, perf);
             }

@@ -103,9 +103,11 @@ fn main() {
     );
     if smoke_only {
         // The artifact carries the smoke figure (with its counter
-        // deltas) plus the executor scaling study at smoke scale, so CI
-        // gets a non-empty BENCH_perf.json from every mode.
+        // deltas) plus the executor scaling and concurrent-serving
+        // studies at smoke scale, so CI gets a non-empty
+        // BENCH_perf.json from every mode.
         perf.intersects_scaling(&cfg);
+        perf.concurrency_study(&cfg);
         perf.record_explain(&cfg);
         perf.write("BENCH_perf.json");
         export_trace(trace_path.as_deref());
@@ -140,6 +142,7 @@ fn main() {
     perf.record("fig11", || figures::fig11(&cfg)).print();
     perf.record("fig12", || figures::fig12(&cfg)).print();
     perf.intersects_scaling(&cfg);
+    perf.concurrency_study(&cfg);
     perf.record_explain(&cfg);
     perf.write("BENCH_perf.json");
     export_trace(trace_path.as_deref());

@@ -1,0 +1,213 @@
+//! Concurrent serving study: reader throughput vs writer churn.
+//!
+//! The ISSUE-6 `"concurrency"` section of `BENCH_perf.json`: an
+//! [`librts::ConcurrentIndex`] is hammered by a pool of reader threads
+//! (supplied by the `exec` work-stealing pool) running Range-Intersects
+//! batches against lock-free snapshots, while a single writer churns
+//! through update batches, publishing a new version each time. One
+//! [`ConcurrencyRecord`] per reader count in [`READER_COUNTS`]
+//! measures how reader throughput holds up as publication churn stays
+//! constant — the serving-shape claim of the concurrent layer made
+//! observable (readers never block on the writer; an old snapshot
+//! keeps answering while the successor is built).
+//!
+//! The run also exercises the `concurrent.*` metrics (publishes,
+//! version gauge, reader snapshot counts, staleness), which land in the
+//! artifact's `"metrics"` section.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use datasets::{queries as qgen, Dataset};
+use geom::{Point, Rect};
+use librts::{ConcurrentIndex, CountingHandler, IndexOptions, Predicate};
+
+use crate::config::EvalConfig;
+
+/// Reader-pool sizes of the study (the ISSUE-6 1/4/8 ladder).
+pub const READER_COUNTS: &[usize] = &[1, 4, 8];
+
+/// Publishes the writer performs per record.
+pub const CHURN_PUBLISHES: u64 = 24;
+
+/// One row of the `"concurrency"` section.
+#[derive(Clone, Debug)]
+pub struct ConcurrencyRecord {
+    /// Reader threads racing the writer.
+    pub readers: usize,
+    /// Mutation batches the writer published.
+    pub publishes: u64,
+    /// Range-Intersects queries per reader batch.
+    pub queries_per_batch: usize,
+    /// Number of indexed rectangles.
+    pub rects: usize,
+    /// Total snapshot query batches the reader pool completed.
+    pub reader_batches: u64,
+    /// Total result pairs those batches produced.
+    pub result_pairs: u64,
+    /// Worst staleness any reader observed (publishes behind the
+    /// newest version at snapshot-drop time; readers never block, so
+    /// nonzero values are expected under churn).
+    pub max_staleness: u64,
+    /// Wall-clock of the whole study (writer + reader drain).
+    pub wall: Duration,
+    /// Wall-clock of the writer's churn loop alone.
+    pub writer_wall: Duration,
+    /// `reader_batches / wall` — the throughput figure.
+    pub reader_batches_per_sec: f64,
+    /// `publishes / writer_wall` — the churn rate sustained.
+    pub publishes_per_sec: f64,
+    /// Version the index ended at.
+    pub final_version: u64,
+}
+
+impl ConcurrencyRecord {
+    /// Flat JSON object (hand-rolled like the rest of the artifact).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"readers\": {}, \"publishes\": {}, \"queries_per_batch\": {}, \
+             \"rects\": {}, \"reader_batches\": {}, \"result_pairs\": {}, \
+             \"max_staleness\": {}, \"wall_ns\": {}, \"writer_wall_ns\": {}, \
+             \"reader_batches_per_sec\": {:.2}, \"publishes_per_sec\": {:.2}, \
+             \"final_version\": {}}}",
+            self.readers,
+            self.publishes,
+            self.queries_per_batch,
+            self.rects,
+            self.reader_batches,
+            self.result_pairs,
+            self.max_staleness,
+            self.wall.as_nanos().min(u64::MAX as u128),
+            self.writer_wall.as_nanos().min(u64::MAX as u128),
+            self.reader_batches_per_sec,
+            self.publishes_per_sec,
+            self.final_version,
+        )
+    }
+}
+
+/// The writer's churn loop: alternating translations of a rotating
+/// stride-subset of the rectangles, one `update` (= one publish) per
+/// iteration. The writer keeps its own coordinate mirror so it never
+/// reads back from the index it is mutating.
+fn writer_churn(index: &ConcurrentIndex<f32>, rects: &mut [Rect<f32, 2>], publishes: u64) {
+    for p in 0..publishes {
+        let offset = (p % 7) as usize;
+        let sign = if p % 2 == 0 { 1.0 } else { -1.0 };
+        let delta = Point::xy(0.37 * sign, -0.21 * sign);
+        let ids: Vec<u32> = (offset..rects.len()).step_by(7).map(|i| i as u32).collect();
+        let moved: Vec<Rect<f32, 2>> = ids
+            .iter()
+            .map(|&id| {
+                let r = rects[id as usize].translated(&delta);
+                rects[id as usize] = r;
+                r
+            })
+            .collect();
+        index
+            .update(&ids, &moved)
+            .expect("churn targets are always live");
+    }
+}
+
+/// One study run: `readers` reader threads race the churn writer. The
+/// `exec` pool supplies all `readers + 1` participants (one work item
+/// each; item 0 is the writer, so the range that contains it runs it
+/// first and every reader's `done` flag is guaranteed to be set).
+pub fn run_concurrency_study(
+    cfg: &EvalConfig,
+    readers: usize,
+    publishes: u64,
+    queries_per_batch: usize,
+) -> ConcurrencyRecord {
+    let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
+    let qs = qgen::intersects_queries(&rects, queries_per_batch, 0.001, cfg.seed + 21);
+    let index = ConcurrentIndex::with_rects(&rects, IndexOptions::default())
+        .expect("generated data is valid");
+    let n_rects = rects.len();
+
+    let done = AtomicBool::new(false);
+    let reader_batches = AtomicU64::new(0);
+    let result_pairs = AtomicU64::new(0);
+    let max_staleness = AtomicU64::new(0);
+    let writer_wall_ns = AtomicU64::new(0);
+    let rects_cell = std::sync::Mutex::new(rects);
+
+    let t0 = Instant::now();
+    exec::with_threads(readers + 1, || {
+        exec::for_each_chunk(readers + 1, 1, |range| {
+            for slot in range {
+                if slot == 0 {
+                    // The single writer. Queries and refits inside run
+                    // inline (`with_threads(1)`) — the parallelism under
+                    // measurement is the reader pool, not nested
+                    // fan-outs from within pool workers.
+                    let w0 = Instant::now();
+                    let mut guard = rects_cell.lock().expect("writer mirror poisoned");
+                    exec::with_threads(1, || writer_churn(&index, &mut guard, publishes));
+                    drop(guard);
+                    writer_wall_ns.store(
+                        w0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                        Ordering::Relaxed,
+                    );
+                    done.store(true, Ordering::Release);
+                } else {
+                    exec::with_threads(1, || loop {
+                        // Check the flag before the batch: one final
+                        // batch always runs against the terminal version.
+                        let finished = done.load(Ordering::Acquire);
+                        let snap = index.snapshot();
+                        let h = CountingHandler::new();
+                        snap.range_query(Predicate::Intersects, &qs, &h);
+                        result_pairs.fetch_add(h.count(), Ordering::Relaxed);
+                        reader_batches.fetch_add(1, Ordering::Relaxed);
+                        max_staleness.fetch_max(snap.staleness(), Ordering::Relaxed);
+                        if finished {
+                            break;
+                        }
+                    });
+                }
+            }
+        });
+    });
+    let wall = t0.elapsed();
+
+    let writer_wall = Duration::from_nanos(writer_wall_ns.load(Ordering::Relaxed));
+    let reader_batches = reader_batches.load(Ordering::Relaxed);
+    ConcurrencyRecord {
+        readers,
+        publishes,
+        queries_per_batch,
+        rects: n_rects,
+        reader_batches,
+        result_pairs: result_pairs.load(Ordering::Relaxed),
+        max_staleness: max_staleness.load(Ordering::Relaxed),
+        wall,
+        writer_wall,
+        reader_batches_per_sec: reader_batches as f64 / wall.as_secs_f64().max(1e-12),
+        publishes_per_sec: publishes as f64 / writer_wall.as_secs_f64().max(1e-12),
+        final_version: index.version(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miniature_study_races_and_terminates() {
+        let cfg = EvalConfig::smoke();
+        let rec = run_concurrency_study(&cfg, 2, 4, 50);
+        assert_eq!(rec.readers, 2);
+        assert_eq!(rec.publishes, 4);
+        assert_eq!(rec.final_version, 4, "every churn batch publishes");
+        assert!(
+            rec.reader_batches >= 2,
+            "each reader completes at least its final batch"
+        );
+        assert!(rec.reader_batches_per_sec > 0.0);
+        let json = rec.to_json();
+        assert!(json.contains("\"readers\": 2"));
+        assert!(json.contains("\"final_version\": 4"));
+    }
+}

@@ -7,10 +7,12 @@
 
 #![warn(missing_docs)]
 
+pub mod concurrency;
 pub mod config;
 pub mod figures;
 pub mod perf;
 pub mod table;
 
+pub use concurrency::{ConcurrencyRecord, READER_COUNTS};
 pub use config::EvalConfig;
 pub use perf::PerfReport;

@@ -7,9 +7,88 @@
 //! that the engine still agrees with brute force on the edge case.
 
 use geom::{Point, Rect};
-use librts::{IndexError, IndexOptions, Predicate, RTSIndex, RTSIndex3};
+use librts::{BatchOp, ConcurrentIndex, IndexError, IndexOptions, Predicate, RTSIndex, RTSIndex3};
 
 use crate::oracle::Oracle;
+
+/// Concurrent-row harness: runs `writer` (the failure being injected)
+/// while a reader thread continuously queries snapshots of `index`,
+/// asserting every observed state answers exactly like the oracle over
+/// `expected_live` — i.e. the failed mutations leak nothing, not even
+/// transiently, to concurrent readers.
+fn with_racing_reader(
+    index: &std::sync::Arc<ConcurrentIndex<f32>>,
+    expected_live: &[(u32, Rect<f32, 2>)],
+    writer: impl FnOnce(),
+) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mut oracle: Oracle<2> = Oracle::new();
+    let max_id = expected_live
+        .iter()
+        .map(|&(id, _)| id)
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut slots = vec![None; max_id as usize];
+    for &(id, r) in expected_live {
+        slots[id as usize] = Some(r);
+    }
+    for slot in &slots {
+        match slot {
+            Some(r) => {
+                oracle.insert(&[*r]);
+            }
+            None => {
+                let ids = oracle.insert(&[Rect::xyxy(0.0, 0.0, 1.0, 1.0)]);
+                oracle.delete(&[ids.start]);
+            }
+        }
+    }
+
+    let done = std::sync::Arc::new(AtomicBool::new(false));
+    let reader = {
+        let index = std::sync::Arc::clone(index);
+        let done = std::sync::Arc::clone(&done);
+        let expected_version = index.version();
+        std::thread::spawn(move || {
+            let pts = vec![
+                Point::xy(1.0, 1.0),
+                Point::xy(7.5, 7.5),
+                Point::xy(-25.0, -27.0),
+                Point::xy(100.0, 100.0),
+            ];
+            let qs = vec![
+                Rect::xyxy(4.0, 4.0, 6.0, 6.0),
+                Rect::xyxy(-100.0, -100.0, 100.0, 100.0),
+            ];
+            let want_pts = oracle.point_query(&pts);
+            let want_int = oracle.intersects(&qs);
+            let mut checks = 0u64;
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                let snap = index.snapshot();
+                assert_eq!(
+                    snap.version(),
+                    expected_version,
+                    "a failed mutation batch must never publish"
+                );
+                assert_eq!(snap.collect_point_query(&pts), want_pts);
+                assert_eq!(
+                    snap.collect_range_query(Predicate::Intersects, &qs),
+                    want_int
+                );
+                checks += 1;
+                if finished {
+                    return checks;
+                }
+            }
+        })
+    };
+    writer();
+    done.store(true, std::sync::atomic::Ordering::Release);
+    let checks = reader.join().expect("reader thread must not panic");
+    assert!(checks > 0);
+}
 
 /// A single injection case. `run` panics (with context) on contract
 /// violation.
@@ -409,6 +488,76 @@ pub fn cases() -> Vec<InjectionCase> {
                 assert!(index.is_empty());
                 let pts = vec![Point::xyz(0.0, 0.0, 0.0)];
                 assert!(index.collect_point_query(&pts).is_empty());
+            },
+        },
+        InjectionCase {
+            name: "concurrent_mid_batch_error_preserves_snapshot",
+            run: || {
+                // A multi-op batch whose last op fails, injected while a
+                // reader races: the successful prefix (an insert and a
+                // delete) must never become visible — not in the final
+                // state, and not transiently mid-batch.
+                let index = std::sync::Arc::new(
+                    ConcurrentIndex::with_rects(&base_rects(), IndexOptions::default()).unwrap(),
+                );
+                with_racing_reader(&index, &live_of(&base_rects()), || {
+                    let poisoned = [
+                        BatchOp::Insert(vec![Rect::xyxy(50.0, 50.0, 60.0, 60.0)]),
+                        BatchOp::Delete(vec![0]),
+                        BatchOp::Delete(vec![99]),
+                    ];
+                    for _ in 0..50 {
+                        assert_eq!(
+                            index.apply(&poisoned),
+                            Err(IndexError::UnknownId { id: 99 })
+                        );
+                    }
+                });
+                assert_eq!(index.len(), 3);
+            },
+        },
+        InjectionCase {
+            name: "concurrent_duplicate_id_delete_observed_benign",
+            run: || {
+                // The duplicate-id delete row, observed from a concurrent
+                // reader's side: the rejection is invisible — no publish,
+                // no transient state, live count intact.
+                let index = std::sync::Arc::new(
+                    ConcurrentIndex::with_rects(&base_rects(), IndexOptions::default()).unwrap(),
+                );
+                with_racing_reader(&index, &live_of(&base_rects()), || {
+                    for _ in 0..50 {
+                        assert_eq!(
+                            index.delete(&[0, 2, 0]),
+                            Err(IndexError::DuplicateId { id: 0 })
+                        );
+                    }
+                });
+                assert_eq!(index.len(), 3);
+            },
+        },
+        InjectionCase {
+            name: "concurrent_nan_rect_insert_observed_benign",
+            run: || {
+                // The NaN-rect insert row under concurrent reads: the
+                // invalid batch (valid prefix included) must never reach
+                // any reader.
+                let index = std::sync::Arc::new(
+                    ConcurrentIndex::with_rects(&base_rects(), IndexOptions::default()).unwrap(),
+                );
+                with_racing_reader(&index, &live_of(&base_rects()), || {
+                    let batch = vec![
+                        Rect::xyxy(50.0, 50.0, 60.0, 60.0),
+                        raw_rect(f32::NAN, 0.0, 1.0, 1.0),
+                    ];
+                    for _ in 0..50 {
+                        assert_eq!(
+                            index.insert(&batch),
+                            Err(IndexError::InvalidRect { index: 1 })
+                        );
+                    }
+                });
+                assert_eq!(index.len(), 3);
             },
         },
     ]

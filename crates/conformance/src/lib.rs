@@ -5,7 +5,7 @@
 //! Range-Intersects becomes forward/backward diagonal casting with a
 //! dedup rule (paper §3.1–§3.3). Every later performance PR is only
 //! trustworthy if that translation is pinned by an oracle. This crate
-//! provides the pin, in four layers:
+//! provides the pin, in five layers:
 //!
 //! 1. [`oracle`] — a standalone brute-force reference engine over the
 //!    `geom` data model (point / Range-Contains / Range-Intersects in
@@ -21,7 +21,12 @@
 //!    equivalence, Ray-Multicast result invariance across forced `k`,
 //!    refit-BVH enclosure, and both-passes dedup = brute-force pair
 //!    set.
-//! 4. [`budget`] — counter-budget regression guards that snapshot
+//! 4. [`versioned`] — the concurrency extension of the oracle: ground
+//!    truth keyed by published version, so every read taken from a
+//!    [`librts::ConcurrentIndex`] snapshot can be held to exact
+//!    equality against the state of the version it observed (snapshot
+//!    consistency; exercised by `tests/concurrent_stress.rs`).
+//! 5. [`budget`] — counter-budget regression guards that snapshot
 //!    `rtcore` hardware counters (nodes visited, IS calls, rays cast)
 //!    per canonical scenario into a checked-in JSON baseline and fail
 //!    on deterministic counter regressions: perf guarding without
@@ -47,11 +52,13 @@ pub mod metamorphic;
 pub mod oracle;
 pub mod runner;
 pub mod scenario;
+pub mod versioned;
 
 pub use budget::{check_budgets, BudgetEntry, BLESS_ENV};
 pub use oracle::{Oracle, PipOracle};
 pub use runner::{run_scenario, RunOutcome};
 pub use scenario::{deep_suite, smoke_suite, DataSpec, Op, OptionsSpec, Scenario};
+pub use versioned::{mutation_steps, replay_concurrent, MutationStep, VersionedOracle};
 
 /// SplitMix64 step — the crate's standard way to derive independent
 /// sub-seeds from a scenario seed. Identical constants to the `rand`

@@ -1,0 +1,319 @@
+//! Versioned oracle: snapshot-consistency ground truth for
+//! [`librts::ConcurrentIndex`].
+//!
+//! The plain [`Oracle`](crate::oracle::Oracle) pins *what* a query must
+//! return; under concurrency the question becomes *as of when*. The
+//! contract of the concurrent layer is **snapshot consistency**: every
+//! result set a reader observes must exactly equal the oracle's answer
+//! at *some* published version — the version the reader's
+//! [`SnapshotRef`](librts::SnapshotRef) reports — never a torn blend of
+//! two versions.
+//!
+//! [`VersionedOracle`] makes that checkable: the writer records the
+//! oracle state for version `v` **before** publishing `v` (so by the
+//! time any reader can observe `v`, its ground truth is in the map),
+//! and readers look up the exact state for whatever version their
+//! snapshot reports. [`replay_concurrent`] is that writer: it replays a
+//! scenario's mutation ops against a `ConcurrentIndex` while recording
+//! every pre-publish state.
+//!
+//! [`mutation_steps`] resolves a scenario's mutation stream into
+//! concrete batches (victim ids materialized from a mirror oracle), so
+//! the same deterministic stream can also be replayed against a plain
+//! `RTSIndex` for the single-threaded equivalence check.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use geom::{Point, Rect};
+use librts::ConcurrentIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mix_seed;
+use crate::oracle::Oracle;
+use crate::scenario::{Op, Scenario};
+
+/// Ground-truth oracle states keyed by published version.
+///
+/// Thread-safe: the single writer [`record`](Self::record)s, any number
+/// of reader threads [`at`](Self::at) concurrently.
+#[derive(Debug, Default)]
+pub struct VersionedOracle {
+    states: Mutex<BTreeMap<u64, Oracle<2>>>,
+}
+
+impl VersionedOracle {
+    /// Empty history (no versions recorded yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the ground-truth state for `version`. Must be called
+    /// **before** the corresponding publish so no reader can observe a
+    /// version without ground truth. Panics on re-recording a version —
+    /// published states are immutable.
+    pub fn record(&self, version: u64, oracle: &Oracle<2>) {
+        let prev = self
+            .states
+            .lock()
+            .expect("versioned oracle poisoned")
+            .insert(version, oracle.clone());
+        assert!(prev.is_none(), "version {version} recorded twice");
+    }
+
+    /// The ground-truth oracle at `version`, if recorded.
+    pub fn at(&self, version: u64) -> Option<Oracle<2>> {
+        self.states
+            .lock()
+            .expect("versioned oracle poisoned")
+            .get(&version)
+            .cloned()
+    }
+
+    /// Highest recorded version.
+    pub fn max_version(&self) -> Option<u64> {
+        self.states
+            .lock()
+            .expect("versioned oracle poisoned")
+            .keys()
+            .next_back()
+            .copied()
+    }
+
+    /// Number of recorded versions.
+    pub fn len(&self) -> usize {
+        self.states.lock().expect("versioned oracle poisoned").len()
+    }
+
+    /// True when no version has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A scenario mutation op with its batch fully materialized — the
+/// deterministic unit both the concurrent writer and the plain-index
+/// equivalence replay consume.
+#[derive(Clone, Debug)]
+pub enum MutationStep {
+    /// Insert this exact batch.
+    Insert(Vec<Rect<f32, 2>>),
+    /// Delete these exact ids.
+    Delete(Vec<u32>),
+    /// Move these ids to these rects.
+    Update {
+        /// Target ids.
+        ids: Vec<u32>,
+        /// New coordinates, parallel to `ids`.
+        rects: Vec<Rect<f32, 2>>,
+    },
+    /// From-scratch rebuild (state-preserving publish).
+    Rebuild,
+}
+
+impl MutationStep {
+    /// Applies the step to an oracle (the mirror bookkeeping both
+    /// replays share).
+    pub fn apply_to_oracle(&self, oracle: &mut Oracle<2>) {
+        match self {
+            MutationStep::Insert(batch) => {
+                oracle.insert(batch);
+            }
+            MutationStep::Delete(ids) => oracle.delete(ids),
+            MutationStep::Update { ids, rects } => oracle.update(ids, rects),
+            MutationStep::Rebuild => {}
+        }
+    }
+}
+
+/// Resolves `scenario`'s mutation ops into concrete [`MutationStep`]s,
+/// exactly as the sequential runner would (same seeds, same victim
+/// selection), skipping query ops and mutations that resolve to empty
+/// batches (the runner publishes nothing for those either).
+pub fn mutation_steps(scenario: &Scenario) -> Vec<MutationStep> {
+    let mut mirror: Oracle<2> = Oracle::new();
+    let mut steps = Vec::new();
+    for (op_idx, op) in scenario.ops.iter().enumerate() {
+        let op_seed = mix_seed(scenario.seed, op_idx as u64);
+        let step = match *op {
+            Op::Insert(spec) => Some(MutationStep::Insert(spec.generate(op_seed))),
+            Op::Delete { offset, stride } => {
+                let victims: Vec<u32> = mirror
+                    .live()
+                    .iter()
+                    .enumerate()
+                    .filter(|(pos, _)| pos >= &offset && (pos - offset) % stride == 0)
+                    .map(|(_, (id, _))| *id)
+                    .collect();
+                (!victims.is_empty()).then_some(MutationStep::Delete(victims))
+            }
+            Op::Update {
+                offset,
+                stride,
+                dx,
+                dy,
+            } => {
+                let targets: Vec<(u32, Rect<f32, 2>)> = mirror
+                    .live()
+                    .iter()
+                    .enumerate()
+                    .filter(|(pos, _)| pos >= &offset && (pos - offset) % stride == 0)
+                    .map(|(_, (id, r))| (*id, r.translated(&Point::xy(dx, dy))))
+                    .collect();
+                (!targets.is_empty()).then(|| MutationStep::Update {
+                    ids: targets.iter().map(|(id, _)| *id).collect(),
+                    rects: targets.iter().map(|(_, r)| *r).collect(),
+                })
+            }
+            Op::Rebuild => Some(MutationStep::Rebuild),
+            Op::PointQuery { .. } | Op::RangeQuery { .. } | Op::PipQuery { .. } => None,
+        };
+        if let Some(step) = step {
+            step.apply_to_oracle(&mut mirror);
+            steps.push(step);
+        }
+    }
+    steps
+}
+
+/// The concurrent writer: replays `scenario`'s mutation stream against
+/// `index`, recording every state into `oracle` **before** the publish
+/// that makes it observable (including version 0, the empty state the
+/// index starts from). Returns the final published version.
+///
+/// Panics if `index` is not fresh (version 0, empty) — the recorded
+/// history must cover every observable version from the start.
+pub fn replay_concurrent(
+    scenario: &Scenario,
+    index: &ConcurrentIndex<f32>,
+    oracle: &VersionedOracle,
+) -> u64 {
+    assert_eq!(index.version(), 0, "index must be fresh");
+    assert!(index.is_empty(), "index must start empty");
+    let mut mirror: Oracle<2> = Oracle::new();
+    // Version 0 may have been pre-recorded by the harness before reader
+    // threads started (readers can legitimately observe version 0
+    // before this writer runs at all).
+    match oracle.at(0) {
+        Some(initial) => assert!(initial.is_empty(), "version 0 ground truth must be empty"),
+        None => oracle.record(0, &mirror),
+    }
+    for step in mutation_steps(scenario) {
+        step.apply_to_oracle(&mut mirror);
+        let next = index.version() + 1;
+        oracle.record(next, &mirror);
+        let published = match &step {
+            MutationStep::Insert(batch) => {
+                index.insert(batch).expect("scenario batches are valid");
+                index.version()
+            }
+            MutationStep::Delete(ids) => {
+                index.delete(ids).expect("victims are live");
+                index.version()
+            }
+            MutationStep::Update { ids, rects } => {
+                index.update(ids, rects).expect("targets are live");
+                index.version()
+            }
+            MutationStep::Rebuild => {
+                index.rebuild();
+                index.version()
+            }
+        };
+        assert_eq!(published, next, "single writer publishes sequentially");
+    }
+    index.version()
+}
+
+/// Uniform probe points over the conformance world box — the
+/// version-independent reader workload of the concurrent stress tier
+/// (same span as the sequential runner's fallback probes).
+pub fn probe_points(n: usize, seed: u64) -> Vec<Point<f32, 2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::xy(
+                rng.gen_range(-100.0f32..1100.0),
+                rng.gen_range(-100.0f32..1100.0),
+            )
+        })
+        .collect()
+}
+
+/// Uniform probe rects over the conformance world box.
+pub fn probe_rects(n: usize, seed: u64) -> Vec<Rect<f32, 2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.gen_range(-100.0f32..1000.0);
+            let y = rng.gen_range(-100.0f32..1000.0);
+            let w = rng.gen_range(0.5f32..120.0);
+            let h = rng.gen_range(0.5f32..120.0);
+            Rect::xyxy(x, y, x + w, y + h)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::smoke_suite;
+
+    fn lifecycle() -> Scenario {
+        smoke_suite()
+            .into_iter()
+            .find(|s| s.name == "life_churn_mixed")
+            .expect("canonical lifecycle scenario exists")
+    }
+
+    #[test]
+    fn mutation_steps_are_deterministic_and_skip_queries() {
+        let s = lifecycle();
+        let a = mutation_steps(&s);
+        let b = mutation_steps(&s);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let mutation_ops = s
+            .ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    Op::Insert(_) | Op::Delete { .. } | Op::Update { .. } | Op::Rebuild
+                )
+            })
+            .count();
+        assert!(a.len() <= mutation_ops);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn replay_records_ground_truth_for_every_version() {
+        let s = lifecycle();
+        let index = ConcurrentIndex::<f32>::new(s.opts.options());
+        let oracle = VersionedOracle::new();
+        let last = replay_concurrent(&s, &index, &oracle);
+        assert_eq!(oracle.max_version(), Some(last));
+        assert_eq!(oracle.len() as u64, last + 1, "every version recorded");
+        // The final recorded state answers exactly like the final index.
+        let final_oracle = oracle.at(last).unwrap();
+        assert_eq!(final_oracle.len(), index.len());
+        let pts = probe_points(64, 42);
+        assert_eq!(
+            index.snapshot().collect_point_query(&pts),
+            final_oracle.point_query(&pts)
+        );
+        // Version 0 is the empty state.
+        assert!(oracle.at(0).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded twice")]
+    fn recording_a_version_twice_panics() {
+        let vo = VersionedOracle::new();
+        let o: Oracle<2> = Oracle::new();
+        vo.record(3, &o);
+        vo.record(3, &o);
+    }
+}

@@ -1,0 +1,251 @@
+//! Concurrent snapshot-consistency stress tier (ISSUE 6 satellite).
+//!
+//! Lifecycle scenarios replayed through [`librts::ConcurrentIndex`]
+//! with reader threads racing the single writer. Every result set a
+//! reader observes is held to **exact equality** against the
+//! [`conformance::VersionedOracle`] at the version the reader's
+//! snapshot reports — the snapshot-consistency contract. The race is
+//! real (free-running readers, no lockstep), but the check is exact:
+//! whatever version a reader lands on, the ground truth for that
+//! version was recorded before it became observable.
+//!
+//! The whole matrix runs at `exec` thread counts {1, 4, ncpus}
+//! (mirroring `LIBRTS_THREADS`, which CI also varies) with ≥ 4 reader
+//! threads, and a separate test pins the single-threaded equivalence
+//! half of the acceptance criterion: `ConcurrentIndex` query results
+//! *and* Stable-class counter deltas byte-identical to plain
+//! `RTSIndex`.
+//!
+//! All tests in this binary serialize on one lock: the obs registry is
+//! process-global, and the equivalence test diffs Stable counters that
+//! the stress writers would otherwise pollute.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+
+use conformance::versioned::{probe_points, probe_rects};
+use conformance::{
+    mix_seed, replay_concurrent, smoke_suite, MutationStep, Scenario, VersionedOracle,
+};
+use librts::{ConcurrentIndex, Predicate, RTSIndex};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The lifecycle scenarios of the smoke tier — the ones with real
+/// mutation streams for the writer to churn through.
+fn lifecycle_scenarios() -> Vec<Scenario> {
+    let suite: Vec<Scenario> = smoke_suite()
+        .into_iter()
+        .filter(|s| s.name.starts_with("life_") || s.name == "empty_after_total_delete")
+        .collect();
+    assert!(suite.len() >= 8, "lifecycle tier shrank unexpectedly");
+    suite
+}
+
+/// One reader thread's check loop: free-running snapshots, each held to
+/// exact oracle equality at its observed version. Returns the number of
+/// snapshots checked.
+fn reader_loop(
+    index: &ConcurrentIndex<f32>,
+    oracle: &VersionedOracle,
+    done: &AtomicBool,
+    seed: u64,
+) -> u64 {
+    let mut checked = 0u64;
+    let mut last_version = 0u64;
+    loop {
+        // Read the flag *before* the snapshot: when the writer has
+        // finished, one final iteration still runs, so every reader
+        // checks the terminal version at least once.
+        let finished = done.load(Ordering::Acquire);
+        let snap = index.snapshot();
+        let v = snap.version();
+        assert!(
+            v >= last_version,
+            "reader observed version going backwards: {last_version} -> {v}"
+        );
+        last_version = v;
+        let want = oracle
+            .at(v)
+            .unwrap_or_else(|| panic!("observed version {v} has no recorded ground truth"));
+
+        let s = mix_seed(seed, checked);
+        let pts = probe_points(24, s);
+        assert_eq!(
+            snap.collect_point_query(&pts),
+            want.point_query(&pts),
+            "point query diverges from oracle at version {v}"
+        );
+        let qs = probe_rects(10, mix_seed(s, 1));
+        assert_eq!(
+            snap.collect_range_query(Predicate::Intersects, &qs),
+            want.intersects(&qs),
+            "intersects query diverges from oracle at version {v}"
+        );
+        assert_eq!(
+            snap.collect_range_query(Predicate::Contains, &qs),
+            want.contains(&qs),
+            "contains query diverges from oracle at version {v}"
+        );
+        assert_eq!(snap.len(), want.len(), "len diverges at version {v}");
+
+        checked += 1;
+        if finished {
+            return checked;
+        }
+    }
+}
+
+/// Races `readers` checking threads against the scenario's writer, all
+/// under an `exec` override of `threads` (reader threads set their own
+/// override — `with_threads` is thread-local).
+fn stress_scenario(scenario: &Scenario, readers: usize, threads: usize) {
+    let index = Arc::new(ConcurrentIndex::<f32>::new(scenario.opts.options()));
+    let oracle = Arc::new(VersionedOracle::new());
+    // Ground truth for version 0 must exist before any reader can
+    // observe it — record it before the readers are spawned.
+    oracle.record(0, &conformance::Oracle::new());
+    let done = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(readers + 1));
+
+    let handles: Vec<_> = (0..readers)
+        .map(|rid| {
+            let index = Arc::clone(&index);
+            let oracle = Arc::clone(&oracle);
+            let done = Arc::clone(&done);
+            let start = Arc::clone(&start);
+            let seed = mix_seed(scenario.seed, 0xC0FFEE + rid as u64);
+            std::thread::spawn(move || {
+                exec::with_threads(threads, || {
+                    start.wait();
+                    reader_loop(&index, &oracle, &done, seed)
+                })
+            })
+        })
+        .collect();
+
+    let last = exec::with_threads(threads, || {
+        start.wait();
+        replay_concurrent(scenario, &index, &oracle)
+    });
+    done.store(true, Ordering::Release);
+
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total >= readers as u64, "every reader checks at least once");
+    assert_eq!(index.version(), last);
+    assert_eq!(oracle.max_version(), Some(last));
+    assert!(last > 0, "scenario '{}' never published", scenario.name);
+}
+
+#[test]
+fn stress_lifecycle_suite_single_thread_exec() {
+    let _guard = lock();
+    for s in lifecycle_scenarios() {
+        stress_scenario(&s, 4, 1);
+    }
+}
+
+#[test]
+fn stress_lifecycle_suite_four_thread_exec() {
+    let _guard = lock();
+    for s in lifecycle_scenarios() {
+        stress_scenario(&s, 4, 4);
+    }
+}
+
+#[test]
+fn stress_lifecycle_suite_host_thread_exec() {
+    let _guard = lock();
+    let ncpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // ≥ 4 readers even on small hosts; scale with the machine otherwise.
+    let readers = ncpus.max(4);
+    for s in lifecycle_scenarios() {
+        stress_scenario(&s, readers, ncpus);
+    }
+}
+
+/// Applies one resolved mutation step to a plain `RTSIndex`.
+fn apply_plain(index: &mut RTSIndex<f32>, step: &MutationStep) {
+    match step {
+        MutationStep::Insert(batch) => {
+            index.insert(batch).expect("scenario batches are valid");
+        }
+        MutationStep::Delete(ids) => {
+            index.delete(ids).expect("victims are live");
+        }
+        MutationStep::Update { ids, rects } => {
+            index.update(ids, rects).expect("targets are live");
+        }
+        MutationStep::Rebuild => index.rebuild(),
+    }
+}
+
+/// The other half of the acceptance criterion: with a single thread,
+/// `ConcurrentIndex` must be indistinguishable from `RTSIndex` on the
+/// query path — identical result sets *and* identical Stable-class
+/// counter deltas (the budgets.json contract), for every lifecycle
+/// scenario. Reader-side `concurrent.*` metrics are Host-class exactly
+/// so this holds.
+#[test]
+fn single_threaded_equivalence_results_and_stable_counters() {
+    let _guard = lock();
+    exec::with_threads(1, || {
+        for scenario in lifecycle_scenarios() {
+            let steps = conformance::mutation_steps(&scenario);
+            let mut plain = RTSIndex::<f32>::new(scenario.opts.options());
+            let concurrent = ConcurrentIndex::<f32>::new(scenario.opts.options());
+            for step in &steps {
+                apply_plain(&mut plain, step);
+                match step {
+                    MutationStep::Insert(batch) => {
+                        concurrent.insert(batch).unwrap();
+                    }
+                    MutationStep::Delete(ids) => {
+                        concurrent.delete(ids).unwrap();
+                    }
+                    MutationStep::Update { ids, rects } => {
+                        concurrent.update(ids, rects).unwrap();
+                    }
+                    MutationStep::Rebuild => concurrent.rebuild(),
+                }
+
+                // Same deterministic workload against both engines; the
+                // Stable counter delta of each query pass must match to
+                // the byte.
+                let s = mix_seed(scenario.seed, concurrent.version());
+                let pts = probe_points(32, s);
+                let qs = probe_rects(12, mix_seed(s, 1));
+
+                let before = obs::snapshot();
+                let plain_pts = plain.collect_point_query(&pts);
+                let plain_int = plain.collect_range_query(Predicate::Intersects, &qs);
+                let plain_con = plain.collect_range_query(Predicate::Contains, &qs);
+                let plain_delta = obs::snapshot().delta_since(&before).stable_only();
+
+                let snap = concurrent.snapshot();
+                let before = obs::snapshot();
+                let conc_pts = snap.collect_point_query(&pts);
+                let conc_int = snap.collect_range_query(Predicate::Intersects, &qs);
+                let conc_con = snap.collect_range_query(Predicate::Contains, &qs);
+                let conc_delta = obs::snapshot().delta_since(&before).stable_only();
+
+                assert_eq!(plain_pts, conc_pts, "{}: point results", scenario.name);
+                assert_eq!(plain_int, conc_int, "{}: intersects results", scenario.name);
+                assert_eq!(plain_con, conc_con, "{}: contains results", scenario.name);
+                assert_eq!(
+                    plain_delta, conc_delta,
+                    "{}: Stable-class query counters must be byte-identical \
+                     between RTSIndex and ConcurrentIndex",
+                    scenario.name
+                );
+                assert_eq!(plain.len(), snap.len());
+                assert_eq!(plain.memory_bytes(), snap.memory_bytes());
+            }
+        }
+    });
+}

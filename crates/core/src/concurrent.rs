@@ -1,0 +1,798 @@
+//! Concurrent snapshot serving: multi-reader query access racing a
+//! single mutating writer.
+//!
+//! [`RTSIndex`] exposes mutations through `&mut self`, so a deployment
+//! serving query traffic cannot run a single query while an
+//! insert/delete/compact is in flight. [`ConcurrentIndex`] lifts that
+//! restriction with **epoch-style snapshot publication**:
+//!
+//! - Readers call [`ConcurrentIndex::snapshot`] and get a
+//!   [`SnapshotRef`] — an `Arc`-backed, immutable view of the index at
+//!   one published version. Acquisition is lock-free (a bounded retry
+//!   loop over two atomic slots, never a mutex), and every query
+//!   against the handle runs the exact same code path as a plain
+//!   `RTSIndex`, so single-threaded results and Stable-class counters
+//!   are byte-identical to the non-concurrent engine.
+//! - A single writer (serialized by an internal mutex) applies each
+//!   mutation batch to a **private successor** index, then publishes
+//!   the successor under a monotonically increasing
+//!   [`version`](ConcurrentIndex::version). Publication is cheap:
+//!   the per-batch GASes are structurally shared through the existing
+//!   `Arc<Gas<C>>` handles, so a publish copies the host-side
+//!   rectangle cache and rebuilds the (primitive-free) IAS but never
+//!   deep-copies a BVH that did not change.
+//! - A **failed** mutation batch (the PR-3 atomicity contract) never
+//!   publishes: the last-good snapshot stays readable and the private
+//!   successor is restored from it, so no partial batch effect can
+//!   ever leak into a later publish.
+//!
+//! # Snapshot consistency
+//!
+//! The correctness claim the conformance stress tier pins
+//! (`crates/conformance/tests/concurrent_stress.rs`): every result set
+//! a reader observes is **exactly** the result set of *some* published
+//! version — the version reported by the handle — never a torn
+//! interleaving of two versions. Handles also pin memory: an old
+//! snapshot stays alive only while a reader still holds a handle to
+//! it; the publication cell itself retains only the newest version.
+//!
+//! # Metrics
+//!
+//! The layer feeds the `obs` registry:
+//!
+//! - `concurrent.publishes` / `concurrent.failed_publishes`
+//!   (Stable counters) — successful and rejected mutation batches;
+//! - `span.concurrent.publish.*` (Stable span counters + Host wall) —
+//!   publication cost;
+//! - `concurrent.version` (Host gauge) — latest published version;
+//! - `concurrent.reader_snapshots` (Host counter) — handles served;
+//!   divided by `concurrent.publishes` this is reader batches per
+//!   version;
+//! - `concurrent.snapshot_age` (Host gauge) and
+//!   `concurrent.stale_reads` (Host counter) — on handle drop, how many
+//!   publishes the handle was behind, and whether it was behind at all.
+//!
+//! Reader-side metrics are Host-class by design: they depend on thread
+//! scheduling, and Stable-class totals must stay byte-identical between
+//! `ConcurrentIndex` and plain `RTSIndex` on the query path.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, Range};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
+
+use geom::{Coord, Rect};
+
+use crate::config::IndexOptions;
+use crate::error::IndexError;
+use crate::index::RTSIndex;
+use crate::index3d::RTSIndex3;
+use crate::report::MutationReport;
+
+// ---------------------------------------------------------------------------
+// Metric handles (process-global, cached)
+// ---------------------------------------------------------------------------
+
+fn m_publishes() -> &'static Arc<obs::Counter> {
+    static M: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    M.get_or_init(|| obs::counter("concurrent.publishes"))
+}
+
+fn m_failed_publishes() -> &'static Arc<obs::Counter> {
+    static M: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    M.get_or_init(|| obs::counter("concurrent.failed_publishes"))
+}
+
+fn m_version() -> &'static Arc<obs::Gauge> {
+    static M: OnceLock<Arc<obs::Gauge>> = OnceLock::new();
+    M.get_or_init(|| obs::gauge("concurrent.version"))
+}
+
+fn m_reader_snapshots() -> &'static Arc<obs::Counter> {
+    static M: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    M.get_or_init(|| obs::global().counter("concurrent.reader_snapshots", obs::Class::Host))
+}
+
+fn m_snapshot_age() -> &'static Arc<obs::Gauge> {
+    static M: OnceLock<Arc<obs::Gauge>> = OnceLock::new();
+    M.get_or_init(|| obs::gauge("concurrent.snapshot_age"))
+}
+
+fn m_stale_reads() -> &'static Arc<obs::Counter> {
+    static M: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    M.get_or_init(|| obs::global().counter("concurrent.stale_reads", obs::Class::Host))
+}
+
+// ---------------------------------------------------------------------------
+// The publication cell
+// ---------------------------------------------------------------------------
+
+/// One published engine state.
+struct Published<E> {
+    version: u64,
+    engine: E,
+}
+
+/// A two-slot, lock-free snapshot publication cell.
+///
+/// Readers never block: [`SnapCell::load`] is an increment of the
+/// active slot's in-flight counter, a revalidation load, and an `Arc`
+/// clone; it only retries when a publish landed between the two loads
+/// of `active` (each publish can force at most one retry per reader).
+///
+/// The single writer (serialized externally) publishes into the
+/// *inactive* slot, flips `active`, then drains and clears the old
+/// slot — so the cell itself retains only the newest snapshot, and an
+/// old version's memory is freed the moment its last reader handle
+/// drops.
+///
+/// Memory ordering is `SeqCst` throughout: the reader's
+/// increment-then-check and the writer's flip-then-drain form a
+/// store/load (Dekker) pattern in which weaker orderings would allow
+/// the writer to miss an in-flight reader.
+struct SnapCell<E> {
+    /// Monotone publication counter; the low bit is the active slot.
+    active: AtomicU64,
+    /// In-flight reader loads per slot.
+    readers: [AtomicUsize; 2],
+    slots: [UnsafeCell<Option<Arc<Published<E>>>>; 2],
+}
+
+// SAFETY: slot contents are only mutated by the (externally serialized)
+// writer while the slot is inactive and drained of readers; readers only
+// dereference a slot they have pinned via `readers[slot]` *and*
+// revalidated as still active. See `load` / `publish` for the protocol.
+unsafe impl<E: Send + Sync> Sync for SnapCell<E> {}
+
+impl<E> SnapCell<E> {
+    fn new(first: Arc<Published<E>>) -> Self {
+        Self {
+            active: AtomicU64::new(0),
+            readers: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            slots: [UnsafeCell::new(Some(first)), UnsafeCell::new(None)],
+        }
+    }
+
+    /// Lock-free reader load of the current snapshot.
+    fn load(&self) -> Arc<Published<E>> {
+        let mut spins = 0u32;
+        loop {
+            let a = self.active.load(Ordering::SeqCst);
+            let slot = (a & 1) as usize;
+            self.readers[slot].fetch_add(1, Ordering::SeqCst);
+            if self.active.load(Ordering::SeqCst) == a {
+                // SAFETY: the slot was active at the second `active`
+                // load, and our `readers[slot]` increment (SeqCst,
+                // before that load) is visible to any writer that flips
+                // afterwards — the writer drains `readers[slot]` to 0
+                // before touching the slot's contents, and we only
+                // decrement after the clone completes. `active` is a
+                // monotone counter, so a stale `a` can never revalidate.
+                let arc = unsafe {
+                    (*self.slots[slot].get())
+                        .as_ref()
+                        .expect("active slot is always populated")
+                        .clone()
+                };
+                self.readers[slot].fetch_sub(1, Ordering::SeqCst);
+                return arc;
+            }
+            // A publish landed between the two loads; unpin and retry
+            // against the new active slot.
+            self.readers[slot].fetch_sub(1, Ordering::SeqCst);
+            spins += 1;
+            if spins.is_multiple_of(32) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Wait until no reader is mid-load in `slot`. Readers hold the pin
+    /// for a handful of instructions, so this terminates quickly; a
+    /// laggard that pins the inactive slot fails revalidation and
+    /// unpins without dereferencing.
+    fn drain(&self, slot: usize) {
+        let mut spins = 0u32;
+        while self.readers[slot].load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins.is_multiple_of(32) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Publish `next` as the new current snapshot.
+    ///
+    /// Must only be called by the single writer (the callers hold the
+    /// `SnapCore` writer mutex).
+    fn publish(&self, next: Arc<Published<E>>) {
+        let a = self.active.load(Ordering::SeqCst);
+        let old_slot = (a & 1) as usize;
+        let target = 1 - old_slot;
+        // The target slot was cleared by the previous publish; drain any
+        // laggard readers still unpinning it before writing.
+        self.drain(target);
+        // SAFETY: `target` is inactive, drained, and only this (single)
+        // writer mutates slot contents.
+        unsafe { *self.slots[target].get() = Some(next) };
+        // Flip: +1 advances the generation and toggles the slot bit.
+        self.active.store(a + 1, Ordering::SeqCst);
+        // Retire the previous snapshot: once in-flight readers of the
+        // old slot finish their clones, drop the cell's reference so
+        // outstanding handles are the only owners.
+        self.drain(old_slot);
+        // SAFETY: `old_slot` is now inactive and drained (see above).
+        unsafe { *self.slots[old_slot].get() = None };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader handles
+// ---------------------------------------------------------------------------
+
+/// An immutable, `Arc`-backed view of a published engine state.
+///
+/// Dereferences to the wrapped engine (`RTSIndex<C>` or
+/// `RTSIndex3<C>`), so every read-only method — queries, `len`,
+/// `memory_bytes`, EXPLAIN — is available directly on the handle. The
+/// snapshot never changes underneath the holder: a writer publishing a
+/// newer version leaves this handle (and its results) untouched.
+pub struct SnapshotRef<E> {
+    inner: Arc<Published<E>>,
+    latest: Arc<AtomicU64>,
+}
+
+impl<E> SnapshotRef<E> {
+    /// The published version this handle observes (0 is the initial
+    /// state; each successful mutation batch increments it by one).
+    pub fn version(&self) -> u64 {
+        self.inner.version
+    }
+
+    /// How many publishes this handle currently lags behind (0 when it
+    /// is the newest published version).
+    pub fn staleness(&self) -> u64 {
+        self.latest
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.inner.version)
+    }
+
+    /// A weak handle that does not keep the snapshot alive — the
+    /// memory-reclamation probe used by the deterministic publish
+    /// tests: once every strong [`SnapshotRef`] to an old version is
+    /// dropped (and a newer version has been published), `upgrade`
+    /// returns `None`.
+    pub fn downgrade(&self) -> WeakSnapshotRef<E> {
+        WeakSnapshotRef {
+            inner: Arc::downgrade(&self.inner),
+            latest: Arc::clone(&self.latest),
+        }
+    }
+}
+
+impl<E> Clone for SnapshotRef<E> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+            latest: Arc::clone(&self.latest),
+        }
+    }
+}
+
+impl<E> Deref for SnapshotRef<E> {
+    type Target = E;
+
+    fn deref(&self) -> &E {
+        &self.inner.engine
+    }
+}
+
+impl<E> Drop for SnapshotRef<E> {
+    fn drop(&mut self) {
+        let age = self.staleness();
+        m_snapshot_age().set(age.min(i64::MAX as u64) as i64);
+        if age > 0 {
+            m_stale_reads().inc();
+        }
+    }
+}
+
+/// Weak counterpart of [`SnapshotRef`] (see
+/// [`SnapshotRef::downgrade`]).
+pub struct WeakSnapshotRef<E> {
+    inner: Weak<Published<E>>,
+    latest: Arc<AtomicU64>,
+}
+
+impl<E> WeakSnapshotRef<E> {
+    /// Upgrades back to a strong handle while the snapshot is still
+    /// alive (some strong handle exists, or it is still the published
+    /// version).
+    pub fn upgrade(&self) -> Option<SnapshotRef<E>> {
+        Some(SnapshotRef {
+            inner: self.inner.upgrade()?,
+            latest: Arc::clone(&self.latest),
+        })
+    }
+}
+
+impl<E> Clone for WeakSnapshotRef<E> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            latest: Arc::clone(&self.latest),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The generic writer/publication core
+// ---------------------------------------------------------------------------
+
+struct WriterState<E> {
+    /// The private successor the next mutation batch applies to.
+    next: E,
+    /// Version of the newest published snapshot.
+    version: u64,
+}
+
+/// Shared plumbing of [`ConcurrentIndex`] and [`ConcurrentIndex3`].
+struct SnapCore<E> {
+    cell: SnapCell<E>,
+    /// Mirror of the newest published version, shared with handles for
+    /// staleness accounting.
+    latest: Arc<AtomicU64>,
+    /// Writer exclusivity: all mutations serialize here; the query path
+    /// never touches it.
+    writer: Mutex<WriterState<E>>,
+}
+
+impl<E: Clone + Send + Sync> SnapCore<E> {
+    fn new(initial: E) -> Self {
+        let next = initial.clone();
+        Self {
+            cell: SnapCell::new(Arc::new(Published {
+                version: 0,
+                engine: initial,
+            })),
+            latest: Arc::new(AtomicU64::new(0)),
+            writer: Mutex::new(WriterState { next, version: 0 }),
+        }
+    }
+
+    fn snapshot(&self) -> SnapshotRef<E> {
+        m_reader_snapshots().inc();
+        SnapshotRef {
+            inner: self.cell.load(),
+            latest: Arc::clone(&self.latest),
+        }
+    }
+
+    fn version(&self) -> u64 {
+        self.latest.load(Ordering::SeqCst)
+    }
+
+    /// Applies `f` to the private successor. On `Ok` the successor is
+    /// published under the next version; on `Err` nothing is published
+    /// and the successor is restored from the last published snapshot,
+    /// so a partially applied multi-op batch leaves no residue.
+    fn mutate<R>(
+        &self,
+        f: impl FnOnce(&mut E) -> Result<R, IndexError>,
+    ) -> Result<(R, u64), IndexError> {
+        let mut st = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        match f(&mut st.next) {
+            Ok(out) => {
+                st.version += 1;
+                let version = st.version;
+                let span = obs::span!("concurrent.publish");
+                let published = Arc::new(Published {
+                    version,
+                    engine: st.next.clone(),
+                });
+                self.cell.publish(published);
+                self.latest.store(version, Ordering::SeqCst);
+                drop(span);
+                m_publishes().inc();
+                m_version().set(version.min(i64::MAX as u64) as i64);
+                Ok((out, version))
+            }
+            Err(e) => {
+                st.next = self.cell.load().engine.clone();
+                m_failed_publishes().inc();
+                Err(e)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentIndex (2-D)
+// ---------------------------------------------------------------------------
+
+/// One operation of an atomic mutation batch for
+/// [`ConcurrentIndex::apply`].
+#[derive(Clone, Debug)]
+pub enum BatchOp<C: Coord> {
+    /// Insert a batch of rectangles (see [`RTSIndex::insert`]).
+    Insert(Vec<Rect<C, 2>>),
+    /// Delete rectangles by id (see [`RTSIndex::delete`]).
+    Delete(Vec<u32>),
+    /// Update rectangle coordinates (see [`RTSIndex::update`]).
+    Update {
+        /// Ids to update.
+        ids: Vec<u32>,
+        /// New coordinates, parallel to `ids`.
+        rects: Vec<Rect<C, 2>>,
+    },
+    /// Compact into a single batch (see [`RTSIndex::compact`]; the id
+    /// remap is not surfaced through `apply` — call
+    /// [`ConcurrentIndex::compact`] when it is needed).
+    Compact,
+    /// Rebuild every GAS from scratch (see [`RTSIndex::rebuild`]).
+    Rebuild,
+}
+
+/// A concurrently readable [`RTSIndex`]: lock-free snapshot reads, one
+/// serialized writer, epoch-style publication (see the
+/// [module docs](self)).
+///
+/// All methods take `&self`; the type is `Sync`, so one instance can be
+/// shared by reference (or `Arc`) across any number of reader and
+/// writer threads.
+///
+/// ```
+/// use geom::{Point, Rect};
+/// use librts::ConcurrentIndex;
+///
+/// let index = ConcurrentIndex::<f32>::new(Default::default());
+/// index.insert(&[Rect::xyxy(0.0, 0.0, 10.0, 10.0)]).unwrap();
+///
+/// // Readers pin a snapshot; later mutations don't affect it.
+/// let snap = index.snapshot();
+/// assert_eq!(snap.version(), 1);
+/// index.delete(&[0]).unwrap();
+/// assert_eq!(snap.collect_point_query(&[Point::xy(5.0, 5.0)]), vec![(0, 0)]);
+/// assert!(index.snapshot().collect_point_query(&[Point::xy(5.0, 5.0)]).is_empty());
+/// ```
+pub struct ConcurrentIndex<C: Coord> {
+    core: SnapCore<RTSIndex<C>>,
+}
+
+impl<C: Coord> Default for ConcurrentIndex<C> {
+    fn default() -> Self {
+        Self::new(IndexOptions::default())
+    }
+}
+
+impl<C: Coord> ConcurrentIndex<C> {
+    /// Creates an empty concurrent index; version 0 is the empty state.
+    pub fn new(opts: IndexOptions) -> Self {
+        Self {
+            core: SnapCore::new(RTSIndex::new(opts)),
+        }
+    }
+
+    /// Wraps an existing index; its current state becomes version 0.
+    pub fn from_index(index: RTSIndex<C>) -> Self {
+        Self {
+            core: SnapCore::new(index),
+        }
+    }
+
+    /// Convenience: creates a concurrent index pre-loaded with one
+    /// batch (the batch is version 0, not a separate publish).
+    pub fn with_rects(rects: &[Rect<C, 2>], opts: IndexOptions) -> Result<Self, IndexError> {
+        Ok(Self::from_index(RTSIndex::with_rects(rects, opts)?))
+    }
+
+    /// Acquires a read snapshot of the newest published version.
+    /// Lock-free; the handle stays valid (and unchanged) across any
+    /// number of concurrent publishes.
+    pub fn snapshot(&self) -> SnapshotRef<RTSIndex<C>> {
+        self.core.snapshot()
+    }
+
+    /// Version of the newest published snapshot (monotone; starts at 0,
+    /// +1 per successful mutation batch).
+    pub fn version(&self) -> u64 {
+        self.core.version()
+    }
+
+    /// Live rectangles in the newest published snapshot.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// `true` when the newest published snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    /// Device-memory footprint of the newest published snapshot. Old
+    /// versions kept alive by outstanding [`SnapshotRef`] handles are
+    /// *not* included — they are the handle holders' memory.
+    pub fn memory_bytes(&self) -> usize {
+        self.snapshot().memory_bytes()
+    }
+
+    /// Inserts a batch and publishes the successor (see
+    /// [`RTSIndex::insert`]). Returns the new ids; on error nothing is
+    /// published.
+    pub fn insert(&self, batch: &[Rect<C, 2>]) -> Result<Range<u32>, IndexError> {
+        self.core.mutate(|next| next.insert(batch)).map(|(r, _)| r)
+    }
+
+    /// Deletes by id and publishes the successor (see
+    /// [`RTSIndex::delete`]).
+    pub fn delete(&self, ids: &[u32]) -> Result<MutationReport, IndexError> {
+        self.core.mutate(|next| next.delete(ids)).map(|(r, _)| r)
+    }
+
+    /// Updates coordinates and publishes the successor (see
+    /// [`RTSIndex::update`]).
+    pub fn update(&self, ids: &[u32], rects: &[Rect<C, 2>]) -> Result<MutationReport, IndexError> {
+        self.core
+            .mutate(|next| next.update(ids, rects))
+            .map(|(r, _)| r)
+    }
+
+    /// Compacts into a single batch and publishes (see
+    /// [`RTSIndex::compact`]). Returns the old-id → new-id remap.
+    pub fn compact(&self) -> Vec<u32> {
+        self.core
+            .mutate(|next| Ok(next.compact()))
+            .map(|(r, _)| r)
+            .expect("compact is infallible")
+    }
+
+    /// Rebuilds every GAS from scratch and publishes (see
+    /// [`RTSIndex::rebuild`]).
+    pub fn rebuild(&self) {
+        self.core
+            .mutate(|next| {
+                next.rebuild();
+                Ok(())
+            })
+            .map(|_: ((), u64)| ())
+            .expect("rebuild is infallible")
+    }
+
+    /// Applies a multi-op mutation batch **atomically with respect to
+    /// publication**: the ops run in order on the private successor and
+    /// the result is published once, as a single new version. If any op
+    /// fails, nothing is published, the error is returned, and the
+    /// successor is restored — readers keep seeing the previous version
+    /// exactly.
+    ///
+    /// Returns the version the batch published.
+    pub fn apply(&self, ops: &[BatchOp<C>]) -> Result<u64, IndexError> {
+        self.core
+            .mutate(|next| {
+                for op in ops {
+                    match op {
+                        BatchOp::Insert(batch) => {
+                            next.insert(batch)?;
+                        }
+                        BatchOp::Delete(ids) => {
+                            next.delete(ids)?;
+                        }
+                        BatchOp::Update { ids, rects } => {
+                            next.update(ids, rects)?;
+                        }
+                        BatchOp::Compact => {
+                            next.compact();
+                        }
+                        BatchOp::Rebuild => next.rebuild(),
+                    }
+                }
+                Ok(())
+            })
+            .map(|((), v)| v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentIndex3 (3-D)
+// ---------------------------------------------------------------------------
+
+/// A concurrently readable [`RTSIndex3`], with the same snapshot
+/// contract as [`ConcurrentIndex`].
+///
+/// `RTSIndex3` keeps a single GAS (no batch instancing), so a publish
+/// deep-copies the refitted GAS rather than sharing it — correct, but
+/// heavier than the 2-D engine's structurally shared publication; the
+/// 3-D engine's only mutation is [`delete`](Self::delete).
+pub struct ConcurrentIndex3<C: Coord> {
+    core: SnapCore<RTSIndex3<C>>,
+}
+
+impl<C: Coord> ConcurrentIndex3<C> {
+    /// Builds the index over 3-D boxes; the built state is version 0.
+    pub fn build(boxes: &[Rect<C, 3>], opts: IndexOptions) -> Result<Self, IndexError> {
+        Ok(Self {
+            core: SnapCore::new(RTSIndex3::build(boxes, opts)?),
+        })
+    }
+
+    /// Acquires a read snapshot of the newest published version.
+    pub fn snapshot(&self) -> SnapshotRef<RTSIndex3<C>> {
+        self.core.snapshot()
+    }
+
+    /// Version of the newest published snapshot.
+    pub fn version(&self) -> u64 {
+        self.core.version()
+    }
+
+    /// Live boxes in the newest published snapshot.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// `true` when the newest published snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    /// Deletes by id and publishes the successor (see
+    /// [`RTSIndex3::delete`]).
+    pub fn delete(&self, ids: &[u32]) -> Result<MutationReport, IndexError> {
+        self.core.mutate(|next| next.delete(ids)).map(|(r, _)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Point;
+
+    fn r(a: f32, b: f32, c: f32, d: f32) -> Rect<f32, 2> {
+        Rect::xyxy(a, b, c, d)
+    }
+
+    // Compile-time: the concurrent types are shareable across threads.
+    fn _assert_sync<T: Send + Sync>() {}
+    #[allow(dead_code)]
+    fn _bounds() {
+        _assert_sync::<ConcurrentIndex<f32>>();
+        _assert_sync::<ConcurrentIndex3<f32>>();
+        _assert_sync::<SnapshotRef<RTSIndex<f32>>>();
+    }
+
+    #[test]
+    fn versions_are_monotone_and_snapshots_pin_state() {
+        let index = ConcurrentIndex::<f32>::new(IndexOptions::default());
+        assert_eq!(index.version(), 0);
+        assert!(index.is_empty());
+
+        index.insert(&[r(0.0, 0.0, 10.0, 10.0)]).unwrap();
+        assert_eq!(index.version(), 1);
+        let v1 = index.snapshot();
+
+        index.insert(&[r(20.0, 20.0, 30.0, 30.0)]).unwrap();
+        assert_eq!(index.version(), 2);
+
+        // The old handle still answers from version 1.
+        assert_eq!(v1.version(), 1);
+        assert_eq!(v1.len(), 1);
+        assert_eq!(v1.staleness(), 1);
+        assert_eq!(index.snapshot().len(), 2);
+        assert_eq!(index.snapshot().staleness(), 0);
+    }
+
+    #[test]
+    fn failed_mutations_do_not_publish() {
+        let index = ConcurrentIndex::<f32>::new(IndexOptions::default());
+        index.insert(&[r(0.0, 0.0, 10.0, 10.0)]).unwrap();
+        let v = index.version();
+
+        let bad = Rect {
+            min: Point::xy(f32::NAN, 0.0),
+            max: Point::xy(1.0, 1.0),
+        };
+        assert_eq!(
+            index.insert(&[bad]),
+            Err(IndexError::InvalidRect { index: 0 })
+        );
+        assert_eq!(index.delete(&[7]), Err(IndexError::UnknownId { id: 7 }));
+        assert_eq!(index.version(), v);
+        assert_eq!(index.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn apply_is_atomic_across_ops() {
+        let index = ConcurrentIndex::<f32>::new(IndexOptions::default());
+        index
+            .insert(&[r(0.0, 0.0, 10.0, 10.0), r(20.0, 20.0, 30.0, 30.0)])
+            .unwrap();
+        let v = index.version();
+
+        // A batch whose *last* op fails must leave no trace of the
+        // earlier ops, even though they succeeded on the successor.
+        let err = index
+            .apply(&[
+                BatchOp::Insert(vec![r(40.0, 40.0, 50.0, 50.0)]),
+                BatchOp::Delete(vec![0]),
+                BatchOp::Delete(vec![99]),
+            ])
+            .unwrap_err();
+        assert_eq!(err, IndexError::UnknownId { id: 99 });
+        assert_eq!(index.version(), v);
+        let snap = index.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(
+            snap.collect_point_query(&[Point::xy(5.0, 5.0)]),
+            vec![(0, 0)]
+        );
+
+        // The same batch minus the poison op publishes exactly once.
+        let v2 = index
+            .apply(&[
+                BatchOp::Insert(vec![r(40.0, 40.0, 50.0, 50.0)]),
+                BatchOp::Delete(vec![0]),
+            ])
+            .unwrap();
+        assert_eq!(v2, v + 1);
+        assert_eq!(index.version(), v + 1);
+        let snap = index.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.collect_point_query(&[Point::xy(5.0, 5.0)]).is_empty());
+        assert_eq!(
+            snap.collect_point_query(&[Point::xy(45.0, 45.0)]),
+            vec![(2, 0)]
+        );
+    }
+
+    #[test]
+    fn old_snapshot_is_freed_when_last_handle_drops() {
+        let index = ConcurrentIndex::<f32>::new(IndexOptions::default());
+        index
+            .insert(
+                &(0..256)
+                    .map(|i| r(i as f32, 0.0, i as f32 + 0.5, 1.0))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        let handle = index.snapshot();
+        let weak = handle.downgrade();
+
+        // Publish a successor; the cell retires its own reference to
+        // the old version, leaving `handle` as the only owner.
+        index.compact();
+        index.delete(&(0..256).collect::<Vec<u32>>()).unwrap();
+        assert!(weak.upgrade().is_some(), "held handle keeps it alive");
+
+        drop(handle);
+        assert!(
+            weak.upgrade().is_none(),
+            "last reader dropped — the old snapshot must be freed"
+        );
+    }
+
+    #[test]
+    fn concurrent_index3_delete_publishes() {
+        let boxes = vec![
+            Rect::xyzxyz(0.0, 0.0, 0.0, 1.0, 1.0, 1.0),
+            Rect::xyzxyz(2.0, 0.0, 0.0, 3.0, 1.0, 1.0),
+        ];
+        let index = ConcurrentIndex3::build(&boxes, IndexOptions::default()).unwrap();
+        assert_eq!(index.version(), 0);
+        assert_eq!(index.len(), 2);
+
+        let v0 = index.snapshot();
+        index.delete(&[0]).unwrap();
+        assert_eq!(index.version(), 1);
+        assert_eq!(index.len(), 1);
+        assert_eq!(v0.len(), 2, "pinned snapshot unaffected");
+        assert_eq!(
+            index.delete(&[0]),
+            Err(IndexError::AlreadyDeleted { id: 0 })
+        );
+        assert_eq!(index.version(), 1, "failed delete does not publish");
+    }
+}

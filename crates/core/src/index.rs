@@ -66,6 +66,26 @@ impl<C: Coord> Default for RTSIndex<C> {
     }
 }
 
+impl<C: Coord> Clone for RTSIndex<C> {
+    /// Cheap structural clone: the per-batch GASes are shared by
+    /// bumping their `Arc`s (copy-on-write — a later mutation on either
+    /// clone detaches only the batches it touches via `Arc::make_mut`);
+    /// only the host-side caches and the primitive-free IAS are copied.
+    /// This is what makes [`crate::ConcurrentIndex`] publication cheap.
+    fn clone(&self) -> Self {
+        Self {
+            opts: self.opts.clone(),
+            device: self.device.clone(),
+            rects: self.rects.clone(),
+            deleted: self.deleted.clone(),
+            live: self.live,
+            gases: self.gases.clone(),
+            batch_offsets: self.batch_offsets.clone(),
+            ias: self.ias.clone(),
+        }
+    }
+}
+
 impl<C: Coord> RTSIndex<C> {
     /// Creates an empty index (the paper's `Init`; PTX loading has no
     /// analogue here — programs are compiled Rust).

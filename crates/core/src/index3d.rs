@@ -44,6 +44,22 @@ pub struct RTSIndex3<C: Coord> {
     max_half: Point<C, 3>,
 }
 
+impl<C: Coord> Clone for RTSIndex3<C> {
+    /// Deep clone: the 3-D engine owns its single GAS directly (no
+    /// batch instancing), so unlike [`crate::RTSIndex`] there is no
+    /// structural sharing to exploit.
+    fn clone(&self) -> Self {
+        Self {
+            device: self.device.clone(),
+            boxes: self.boxes.clone(),
+            deleted: self.deleted.clone(),
+            live: self.live,
+            gas: self.gas.clone(),
+            max_half: self.max_half,
+        }
+    }
+}
+
 struct Point3Program<'a, C: Coord, H: QueryHandler> {
     boxes: &'a [Rect<C, 3>],
     deleted: &'a [bool],

@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod config;
 pub mod error;
 pub mod handlers;
@@ -56,6 +57,7 @@ pub mod pip;
 mod queries;
 pub mod report;
 
+pub use concurrent::{BatchOp, ConcurrentIndex, ConcurrentIndex3, SnapshotRef, WeakSnapshotRef};
 pub use config::{DedupStrategy, IndexOptions, Predicate};
 pub use error::IndexError;
 pub use handlers::{

@@ -1,0 +1,224 @@
+//! Deterministic interleaving tests for `ConcurrentIndex` snapshot
+//! publication (ISSUE 6 satellite).
+//!
+//! Unlike the conformance stress tier (which races free-running
+//! threads), these tests pin *specific* orderings with barriers so every
+//! run exercises the same interleaving:
+//!
+//! - a reader that acquired its snapshot **before** a publish keeps
+//!   reading the old version, bit-for-bit, while and after the writer
+//!   publishes;
+//! - a reader can never observe a torn or unpublished state — every
+//!   snapshot's contents correspond exactly to the version it reports;
+//! - `version()` observations are monotone per reader;
+//! - dropping the last reader handle of an old snapshot frees it, and
+//!   the published snapshot's `memory_bytes` tracks a plain `RTSIndex`
+//!   replaying the same mutations (the wrapper retains no hidden copy).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use geom::{Point, Rect};
+use librts::{ConcurrentIndex, IndexOptions, RTSIndex};
+
+fn r(a: f32, b: f32, c: f32, d: f32) -> Rect<f32, 2> {
+    Rect::xyxy(a, b, c, d)
+}
+
+/// `M` unit rects stacked vertically in column `v` (x ∈ [1000·v, 1000·v+1]).
+fn column(v: u64, m: usize) -> Vec<Rect<f32, 2>> {
+    let x = 1000.0 * v as f32;
+    (0..m)
+        .map(|i| r(x, 2.0 * i as f32, x + 1.0, 2.0 * i as f32 + 1.0))
+        .collect()
+}
+
+/// Probe points, one inside each rect of column `v`.
+fn probes(v: u64, m: usize) -> Vec<Point<f32, 2>> {
+    let x = 1000.0 * v as f32 + 0.5;
+    (0..m).map(|i| Point::xy(x, 2.0 * i as f32 + 0.5)).collect()
+}
+
+#[test]
+fn pinned_reader_is_isolated_from_publishes() {
+    const M: usize = 32;
+    let index = Arc::new(ConcurrentIndex::<f32>::new(IndexOptions::default()));
+    index.insert(&column(0, M)).unwrap();
+
+    // Lockstep schedule: the reader acquires a snapshot (phase A), the
+    // writer publishes two more versions (phase B), then the reader
+    // re-reads its pinned handle (phase C). Barriers force A < B < C.
+    let barrier = Arc::new(Barrier::new(2));
+    let reader = {
+        let index = Arc::clone(&index);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            let snap = index.snapshot(); // phase A
+            assert_eq!(snap.version(), 1);
+            let before = snap.collect_point_query(&probes(0, M));
+            barrier.wait(); // writer runs phase B
+            barrier.wait(); // writer done
+                            // Phase C: the pinned handle still answers from version 1.
+            assert_eq!(snap.version(), 1);
+            assert_eq!(snap.collect_point_query(&probes(0, M)), before);
+            assert_eq!(before.len(), M);
+            assert_eq!(snap.staleness(), 2);
+        })
+    };
+
+    barrier.wait(); // reader holds its snapshot
+    let ids: Vec<u32> = (0..M as u32).collect();
+    index
+        .update(&ids, &column(1, M)) // phase B, publish v2
+        .unwrap();
+    index.update(&ids, &column(2, M)).unwrap(); // publish v3
+    assert_eq!(index.version(), 3);
+    barrier.wait();
+    reader.join().unwrap();
+
+    // The live index answers from version 3 only.
+    let snap = index.snapshot();
+    assert!(snap.collect_point_query(&probes(0, M)).is_empty());
+    assert_eq!(snap.collect_point_query(&probes(2, M)).len(), M);
+}
+
+#[test]
+fn readers_never_observe_torn_or_unpublished_state() {
+    const M: usize = 24;
+    const VERSIONS: u64 = 40;
+    const READERS: usize = 4;
+
+    let index = Arc::new(ConcurrentIndex::<f32>::new(IndexOptions::default()));
+    index.insert(&column(0, M)).unwrap(); // version 1 = column 0
+    let done = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(READERS + 1));
+
+    // Invariant under test: version 1 + v shows **all** M rects in
+    // column v and none anywhere else. A torn state (some rects moved,
+    // some not) or an unpublished successor would break the exact
+    // count for the version the snapshot reports.
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let index = Arc::clone(&index);
+            let done = Arc::clone(&done);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                start.wait();
+                let mut last_version = 0;
+                let mut observed = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let snap = index.snapshot();
+                    let v = snap.version();
+                    assert!(v >= 1, "unpublished (pre-insert) state observed");
+                    assert!(v >= last_version, "version went backwards");
+                    last_version = v;
+                    let col = v - 1;
+                    let hits = snap.collect_point_query(&probes(col, M));
+                    assert_eq!(
+                        hits.len(),
+                        M,
+                        "torn snapshot: version {v} should have all {M} rects in column {col}"
+                    );
+                    // And nothing left behind in the previous column.
+                    if col > 0 {
+                        assert!(
+                            snap.collect_point_query(&probes(col - 1, M)).is_empty(),
+                            "torn snapshot: version {v} still has rects in column {}",
+                            col - 1
+                        );
+                    }
+                    observed += 1;
+                }
+                observed
+            })
+        })
+        .collect();
+
+    start.wait();
+    let ids: Vec<u32> = (0..M as u32).collect();
+    for v in 1..=VERSIONS {
+        index.update(&ids, &column(v, M)).unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0, "readers made no observations");
+    assert_eq!(index.version(), 1 + VERSIONS);
+}
+
+#[test]
+fn version_is_monotone_across_failed_batches() {
+    let index = ConcurrentIndex::<f32>::new(IndexOptions::default());
+    let mut last = index.version();
+    for i in 0..10u32 {
+        // Every odd step is a poisoned batch: it must neither publish
+        // nor disturb the successor used by the next good batch.
+        if i % 2 == 1 {
+            assert!(index.delete(&[9999 + i]).is_err());
+            assert_eq!(index.version(), last, "failed batch published");
+        } else {
+            index
+                .insert(&[r(i as f32, 0.0, i as f32 + 0.5, 1.0)])
+                .unwrap();
+            assert_eq!(index.version(), last + 1);
+            last += 1;
+        }
+    }
+    assert_eq!(index.snapshot().len(), 5);
+}
+
+#[test]
+fn dropping_last_reader_frees_old_snapshot_and_memory_tracks_plain_index() {
+    const M: usize = 512;
+    let index = ConcurrentIndex::<f32>::new(IndexOptions::default());
+    // Mirror: a plain RTSIndex replaying the same mutations. The
+    // published snapshot must never cost more than this baseline —
+    // i.e. the wrapper retains no hidden copy of older versions.
+    let mut mirror = RTSIndex::<f32>::new(IndexOptions::default());
+
+    index.insert(&column(0, M)).unwrap();
+    mirror.insert(&column(0, M)).unwrap();
+    assert_eq!(index.snapshot().memory_bytes(), mirror.memory_bytes());
+
+    // Pin the big version, then shrink the index to a sliver.
+    let pinned = index.snapshot();
+    let weak = pinned.downgrade();
+    let ids: Vec<u32> = (0..M as u32).collect();
+    index.delete(&ids).unwrap();
+    mirror.delete(&ids).unwrap();
+    let remap = index.compact();
+    assert_eq!(mirror.compact(), remap);
+    assert_eq!(index.snapshot().memory_bytes(), mirror.memory_bytes());
+    assert_eq!(index.len(), 0);
+
+    // The old version is alive only through the pinned handle...
+    assert_eq!(pinned.len(), M);
+    assert!(weak.upgrade().is_some());
+    let resurrected = weak.upgrade().unwrap();
+    assert_eq!(resurrected.version(), pinned.version());
+    drop(resurrected);
+
+    // ...and freed the moment the last strong handle drops.
+    drop(pinned);
+    assert!(
+        weak.upgrade().is_none(),
+        "old snapshot must be freed once its last reader handle drops"
+    );
+    assert_eq!(index.snapshot().memory_bytes(), mirror.memory_bytes());
+}
+
+#[test]
+fn snapshot_handles_are_cloneable_and_share_the_pinned_version() {
+    let index = ConcurrentIndex::<f32>::new(IndexOptions::default());
+    index.insert(&column(0, 8)).unwrap();
+    let a = index.snapshot();
+    let b = a.clone();
+    index.insert(&column(5, 8)).unwrap();
+    assert_eq!(a.version(), b.version());
+    assert_eq!(a.len(), 8);
+    assert_eq!(b.len(), 8);
+    let weak = a.downgrade();
+    drop(a);
+    assert!(weak.upgrade().is_some(), "clone still pins the snapshot");
+    drop(b);
+    assert!(weak.upgrade().is_none());
+}

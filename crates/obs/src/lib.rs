@@ -66,6 +66,21 @@
 //!
 //! Span paths propagate into `exec` fan-outs (see [`spans`]): spans
 //! opened inside worker closures nest under the enqueuing span.
+//!
+//! ## Concurrent-serving metrics
+//!
+//! `librts::ConcurrentIndex` splits its `concurrent.*` family across
+//! the class boundary deliberately: writer-side facts
+//! (`concurrent.publishes`, `concurrent.failed_publishes`) are
+//! Stable — they count logical publication events a sequential replay
+//! reproduces — while reader-side facts
+//! (`concurrent.reader_snapshots`, `concurrent.snapshot_age`,
+//! `concurrent.stale_reads`, the `concurrent.version` gauge) are
+//! Host-class, because how many snapshots readers take and how stale
+//! each one is depend on scheduling. This split is what keeps a
+//! single-threaded `ConcurrentIndex` byte-identical to a plain
+//! `RTSIndex` under [`Snapshot::stable_only`] (pinned by the
+//! conformance stress tier).
 
 #![warn(missing_docs)]
 

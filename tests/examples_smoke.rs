@@ -13,6 +13,7 @@ const EXAMPLES: &[&str] = &[
     "pip_geofencing",
     "dynamic_fleet",
     "airspace_3d",
+    "concurrent_server",
 ];
 
 /// `target/<profile>/examples`, derived from this test binary's own
