@@ -18,10 +18,19 @@
 //! - the expected phase slices of a Range-Intersects batch
 //!   (`k_prediction`, `bvh_build`, `forward`, `backward`) are present.
 //!
-//! Then reads `BENCH_perf.json` and asserts the embedded EXPLAIN
-//! record's cost-model `prediction_error` exists and is below the
-//! blessed bound (default 1.0, i.e. within 2x of the measured pair
-//! count; override with `--max-prediction-error`).
+//! Then reads `BENCH_perf.json` and asserts:
+//!
+//! - the embedded EXPLAIN record's cost-model `prediction_error` exists
+//!   and is below the blessed bound (default 1.0, i.e. within 2x of the
+//!   measured pair count; override with `--max-prediction-error`);
+//! - the `kernel_ab` section is present with both kernels measured, and
+//!   the wide kernel's best wall time beats (or ties) the binary
+//!   kernel's — the wide-BVH hot path must actually pay off;
+//! - when the run used `>= 4` executor threads on a host with `>= 4`
+//!   CPUs, the scaling study's measured speedup is at least 1.5 (the
+//!   gate is skipped — with a note — on smaller hosts, where a parallel
+//!   speedup is physically impossible and the study only checks
+//!   determinism).
 //!
 //! Exits non-zero with a diagnostic on the first violation.
 
@@ -48,6 +57,8 @@ fn main() {
 
     check_trace(trace_path);
     check_prediction_error(perf_path, max_err);
+    check_kernel_ab(perf_path);
+    check_scaling(perf_path);
     println!("trace_check: all checks passed");
 }
 
@@ -223,4 +234,77 @@ fn check_prediction_error(path: &str, max_err: f64) {
         ));
     }
     println!("trace_check: {path}: explain prediction_error {err:.4} <= {max_err} OK");
+}
+
+/// A `"key": <number>` field scanned from a multi-line JSON block. The
+/// token is trimmed: a field emitted last in its object is followed by
+/// a newline before the closing brace.
+fn num_field(block: &str, key: &str) -> Option<f64> {
+    field(block, key).and_then(|v| v.trim().parse().ok())
+}
+
+fn check_kernel_ab(path: &str) {
+    let content =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let start = content.find("\"kernel_ab\": {").unwrap_or_else(|| {
+        fail(format!(
+            "{path}: no kernel_ab section (the traversal-kernel A/B study did not run)"
+        ))
+    });
+    let block = &content[start..];
+    // The per-kernel sides are single-line objects; find each side's own
+    // wall_ns rather than the first one in the block.
+    let side_wall = |kernel: &str| -> f64 {
+        let pat = format!("\"kernel\": \"{kernel}\"");
+        let s = block
+            .find(&pat)
+            .unwrap_or_else(|| fail(format!("{path}: kernel_ab is missing the {kernel} side")));
+        block[s..]
+            .lines()
+            .next()
+            .and_then(|l| num_field(l, "wall_ns"))
+            .unwrap_or_else(|| fail(format!("{path}: kernel_ab {kernel} side has no wall_ns")))
+    };
+    let (wall2, wall4) = (side_wall("bvh2"), side_wall("bvh4"));
+    if wall4 > wall2 {
+        fail(format!(
+            "{path}: wide kernel is slower than the binary kernel \
+             (bvh4 {wall4} ns > bvh2 {wall2} ns)"
+        ));
+    }
+    println!(
+        "trace_check: {path}: kernel_ab bvh4 {wall4} ns <= bvh2 {wall2} ns \
+         ({:.2}x) OK",
+        wall2 / wall4.max(1.0)
+    );
+}
+
+fn check_scaling(path: &str) {
+    let content =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let host_cpus = num_field(&content, "host_cpus")
+        .unwrap_or_else(|| fail(format!("{path}: no host_cpus field")));
+    let start = content
+        .find("\"scaling\": {")
+        .unwrap_or_else(|| fail(format!("{path}: no scaling section")));
+    let block = &content[start..];
+    let threads = num_field(block, "threads")
+        .unwrap_or_else(|| fail(format!("{path}: scaling has no threads field")));
+    let speedup = num_field(block, "speedup")
+        .unwrap_or_else(|| fail(format!("{path}: scaling has no speedup field")));
+    if threads >= 4.0 && host_cpus >= 4.0 {
+        if speedup < 1.5 {
+            fail(format!(
+                "{path}: scaling speedup {speedup} < 1.5 at {threads} threads \
+                 on a {host_cpus}-CPU host"
+            ));
+        }
+        println!("trace_check: {path}: scaling speedup {speedup} >= 1.5 at {threads} threads OK");
+    } else {
+        println!(
+            "trace_check: {path}: scaling speedup gate skipped \
+             ({threads} threads on a {host_cpus}-CPU host; needs >= 4 of both) — \
+             determinism asserts inside the study still ran"
+        );
+    }
 }

@@ -49,6 +49,8 @@ pub fn entry_for(outcome: &RunOutcome) -> BudgetEntry {
         counters.insert(format!("{prefix}rays"), s.rays);
         counters.insert(format!("{prefix}nodes_visited"), s.nodes_visited);
         counters.insert(format!("{prefix}prim_tests"), s.prim_tests);
+        counters.insert(format!("{prefix}wide_nodes_visited"), s.wide_nodes_visited);
+        counters.insert(format!("{prefix}wide_prim_tests"), s.wide_prim_tests);
         counters.insert(format!("{prefix}is_calls"), s.is_calls);
         counters.insert(format!("{prefix}hits_reported"), s.hits_reported);
         counters.insert(format!("{prefix}instance_visits"), s.instance_visits);

@@ -1,0 +1,147 @@
+//! Traversal-kernel equivalence: the wide BVH4 kernel must be an
+//! *observationally invisible* substitute for the binary kernel.
+//!
+//! `run_scenario` already asserts byte-exact engine-vs-oracle result
+//! equality internally, so replaying the smoke tier under
+//! `rtcore::with_kernel` checks the result side for free at both
+//! kernels. On top of that this tier pins the counter contract:
+//!
+//! - every kernel-independent counter (rays cast, IS invocations, hits
+//!   reported, instance visits, pairs checked) is byte-identical
+//!   between kernels — the wide kernel reaches exactly the binary
+//!   kernel's leaf set, in the same deduplicated order;
+//! - the wide kernel's `wide_prim_tests` equals the binary kernel's
+//!   `prim_tests` (same conservative leaf gate, same primitives);
+//! - each kernel charges only its own node/prim counters — a launch
+//!   never mixes binary and wide traversal.
+//!
+//! Budgets are *not* re-checked under the non-default kernel: the
+//! checked-in baseline is blessed under the default (wide) kernel and
+//! the binary kernel legitimately pops a different node count.
+
+use conformance::{run_scenario, smoke_suite, RunOutcome};
+use rtcore::{with_kernel, Kernel};
+
+/// The kernel-independent slice of an outcome: everything a user (or
+/// the cost model's IS-side terms) can observe, with the two
+/// prim-counter columns folded together so both kernels are comparable.
+#[derive(Debug, PartialEq, Eq)]
+struct KernelFreeSummary {
+    name: &'static str,
+    query_ops: usize,
+    pairs_checked: u64,
+    rays: (u64, u64),
+    prim_tests: (u64, u64),
+    is_calls: (u64, u64),
+    hits_reported: (u64, u64),
+    instance_visits: (u64, u64),
+}
+
+fn summarize(o: &RunOutcome) -> KernelFreeSummary {
+    KernelFreeSummary {
+        name: o.name,
+        query_ops: o.query_ops,
+        pairs_checked: o.pairs_checked,
+        rays: (o.totals.rays, o.totals3.rays),
+        prim_tests: (
+            o.totals.prim_tests + o.totals.wide_prim_tests,
+            o.totals3.prim_tests + o.totals3.wide_prim_tests,
+        ),
+        is_calls: (o.totals.is_calls, o.totals3.is_calls),
+        hits_reported: (o.totals.hits_reported, o.totals3.hits_reported),
+        instance_visits: (o.totals.instance_visits, o.totals3.instance_visits),
+    }
+}
+
+#[test]
+fn smoke_suite_is_kernel_invariant() {
+    let binary: Vec<RunOutcome> = with_kernel(Kernel::Bvh2, || {
+        smoke_suite().iter().map(run_scenario).collect()
+    });
+    let wide: Vec<RunOutcome> = with_kernel(Kernel::Bvh4, || {
+        smoke_suite().iter().map(run_scenario).collect()
+    });
+
+    assert_eq!(binary.len(), wide.len());
+    for (b, w) in binary.iter().zip(&wide) {
+        assert_eq!(
+            summarize(b),
+            summarize(w),
+            "scenario '{}': kernel-independent counters diverge between \
+             the binary and wide kernels",
+            b.name
+        );
+
+        // Exclusivity: each kernel charges only its own traversal
+        // counters, in both the 2-D and 3-D engines.
+        for (label, stats) in [("2d", &b.totals), ("3d", &b.totals3)] {
+            assert_eq!(
+                stats.wide_nodes_visited, 0,
+                "scenario '{}' ({label}): binary kernel charged wide node pops",
+                b.name
+            );
+            assert_eq!(
+                stats.wide_prim_tests, 0,
+                "scenario '{}' ({label}): binary kernel charged wide prim tests",
+                b.name
+            );
+        }
+        for (label, stats) in [("2d", &w.totals), ("3d", &w.totals3)] {
+            assert_eq!(
+                stats.nodes_visited, 0,
+                "scenario '{}' ({label}): wide kernel charged binary node pops",
+                w.name
+            );
+            assert_eq!(
+                stats.prim_tests, 0,
+                "scenario '{}' ({label}): wide kernel charged binary prim tests",
+                w.name
+            );
+        }
+
+        // The wide kernel's leaf gate is the binary kernel's: exact
+        // per-scenario prim-test parity, not just a folded sum.
+        assert_eq!(
+            w.totals.wide_prim_tests, b.totals.prim_tests,
+            "scenario '{}': 2-D wide_prim_tests != binary prim_tests",
+            b.name
+        );
+        assert_eq!(
+            w.totals3.wide_prim_tests, b.totals3.prim_tests,
+            "scenario '{}': 3-D wide_prim_tests != binary prim_tests",
+            b.name
+        );
+
+        // The whole point of the 4-wide layout: strictly fewer node
+        // pops than the binary kernel on every non-trivial scenario.
+        if b.totals.nodes_visited > 0 {
+            assert!(
+                w.totals.wide_nodes_visited < b.totals.nodes_visited,
+                "scenario '{}': wide kernel popped {} nodes, binary {}",
+                b.name,
+                w.totals.wide_nodes_visited,
+                b.totals.nodes_visited
+            );
+        }
+    }
+}
+
+/// The kernel override must compose with the executor: workers inherit
+/// the launch-time kernel captured on the issuing thread, so a scoped
+/// override replays identically at any thread count.
+#[test]
+fn kernel_override_is_thread_invariant() {
+    let scenario = &smoke_suite()[0];
+    let baseline = with_kernel(Kernel::Bvh2, || {
+        exec::with_threads(1, || run_scenario(scenario))
+    });
+    let threaded = with_kernel(Kernel::Bvh2, || {
+        exec::with_threads(4, || run_scenario(scenario))
+    });
+    assert_eq!(baseline.totals, threaded.totals);
+    assert_eq!(baseline.totals3, threaded.totals3);
+    assert!(
+        baseline.totals.nodes_visited > 0 && baseline.totals.wide_nodes_visited == 0,
+        "override must pin the binary kernel on every worker"
+    );
+}

@@ -603,10 +603,12 @@ impl<C: Coord> ConcurrentIndex<C> {
 /// A concurrently readable [`RTSIndex3`], with the same snapshot
 /// contract as [`ConcurrentIndex`].
 ///
-/// `RTSIndex3` keeps a single GAS (no batch instancing), so a publish
-/// deep-copies the refitted GAS rather than sharing it — correct, but
-/// heavier than the 2-D engine's structurally shared publication; the
-/// 3-D engine's only mutation is [`delete`](Self::delete).
+/// `RTSIndex3` keeps a single GAS (no batch instancing) behind an
+/// `Arc`, so a publish is structurally shared just like the 2-D
+/// engine's: cloning the successor shares the GAS, and the writer's
+/// refit copies it on write ([`std::sync::Arc::make_mut`]) without
+/// disturbing published snapshots. The 3-D engine's only mutation is
+/// [`delete`](Self::delete).
 pub struct ConcurrentIndex3<C: Coord> {
     core: SnapCore<RTSIndex3<C>>,
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use geom::{Coord, Point, Rect};
-use rtcore::{BuildOptions, Device, Gas, Ias, Instance};
+use rtcore::{BuildOptions, Device, Gas, GasCache, Ias, Instance};
 
 use crate::config::{IndexOptions, Predicate};
 use crate::error::IndexError;
@@ -58,6 +58,12 @@ pub struct RTSIndex<C: Coord> {
     /// Top level; rebuilt after every mutation (cheap — stores no
     /// primitives).
     ias: Ias<C>,
+    /// Cache of query-side GASes keyed on the exact placed query batch:
+    /// a repeated Range-Intersects batch (an EXPLAIN'd query re-run for
+    /// real, a polling dashboard) skips the Phase-2 `bvh_build` wall
+    /// time entirely. Shared across clones — the cache is
+    /// content-addressed, so sharing can never leak stale structures.
+    query_gas_cache: Arc<GasCache<C>>,
 }
 
 impl<C: Coord> Default for RTSIndex<C> {
@@ -82,6 +88,7 @@ impl<C: Coord> Clone for RTSIndex<C> {
             gases: self.gases.clone(),
             batch_offsets: self.batch_offsets.clone(),
             ias: self.ias.clone(),
+            query_gas_cache: Arc::clone(&self.query_gas_cache),
         }
     }
 }
@@ -102,6 +109,7 @@ impl<C: Coord> RTSIndex<C> {
             gases: Vec::new(),
             batch_offsets: vec![0],
             ias: Ias::build(&[]).expect("empty IAS build cannot fail"),
+            query_gas_cache: Arc::new(GasCache::new()),
         }
     }
 
@@ -492,6 +500,7 @@ impl<C: Coord> RTSIndex<C> {
             device: &self.device,
             opts: &self.opts,
             live: self.live,
+            query_gas_cache: &self.query_gas_cache,
         }
     }
 }
@@ -506,6 +515,7 @@ pub(crate) struct Snapshot<'a, C: Coord> {
     pub device: &'a Device,
     pub opts: &'a IndexOptions,
     pub live: usize,
+    pub query_gas_cache: &'a GasCache<C>,
 }
 
 impl<C: Coord> Snapshot<'_, C> {

@@ -15,10 +15,11 @@
 //! from every data-box center, with Definition 3 confirming candidates
 //! exactly (see [`RTSIndex3::intersects_query`]).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use geom::{Coord, Point, Ray, Rect};
-use rtcore::{BuildOptions, Device, Gas, HitContext, IsResult, RtProgram};
+use rtcore::{BuildOptions, Device, Gas, GasCache, HitContext, IsResult, RtProgram};
 
 use crate::config::IndexOptions;
 use crate::error::IndexError;
@@ -36,7 +37,16 @@ pub struct RTSIndex3<C: Coord> {
     boxes: Vec<Rect<C, 3>>,
     deleted: Vec<bool>,
     live: usize,
-    gas: Gas<C>,
+    /// The single data GAS, behind an [`Arc`] so `clone` is structural
+    /// sharing rather than a deep copy. Mutation goes through
+    /// [`Arc::make_mut`] — copy-on-write, so clones published elsewhere
+    /// (e.g. by `ConcurrentIndex3`) are never disturbed.
+    gas: Arc<Gas<C>>,
+    /// Content-addressed cache of per-batch query-side GASes built by
+    /// [`RTSIndex3::intersects_query`]. Shared across clones: the cache
+    /// keys on the exact expanded query batch, so sharing can never
+    /// serve a stale structure.
+    query_gas_cache: Arc<GasCache<C>>,
     /// Largest half-extent per axis over all indexed boxes — the
     /// Minkowski bound used by the intersects candidate pass. Kept at
     /// its build-time value after deletions (still a valid upper bound
@@ -45,16 +55,19 @@ pub struct RTSIndex3<C: Coord> {
 }
 
 impl<C: Coord> Clone for RTSIndex3<C> {
-    /// Deep clone: the 3-D engine owns its single GAS directly (no
-    /// batch instancing), so unlike [`crate::RTSIndex`] there is no
-    /// structural sharing to exploit.
+    /// Structural-sharing clone: the GAS (the dominant allocation — BVH
+    /// nodes, wide nodes, AABBs) is shared via [`Arc`], so cloning costs
+    /// O(boxes) for the side tables instead of a full accel rebuild-sized
+    /// copy. Mutating either clone copies the GAS on write
+    /// ([`Arc::make_mut`] in [`RTSIndex3::delete`]).
     fn clone(&self) -> Self {
         Self {
             device: self.device.clone(),
             boxes: self.boxes.clone(),
             deleted: self.deleted.clone(),
             live: self.live,
-            gas: self.gas.clone(),
+            gas: Arc::clone(&self.gas),
+            query_gas_cache: Arc::clone(&self.query_gas_cache),
             max_half: self.max_half,
         }
     }
@@ -156,7 +169,8 @@ impl<C: Coord> RTSIndex3<C> {
             boxes: boxes.to_vec(),
             deleted: vec![false; boxes.len()],
             live: boxes.len(),
-            gas,
+            gas: Arc::new(gas),
+            query_gas_cache: Arc::new(GasCache::new()),
             max_half,
         })
     }
@@ -200,7 +214,9 @@ impl<C: Coord> RTSIndex3<C> {
         let span = obs::span!("index3.delete");
         let start = Instant::now();
         self.check_ids(ids)?;
-        self.gas
+        // Copy-on-write: clones sharing this GAS (concurrent readers)
+        // keep the pre-delete structure; only this index pays the copy.
+        Arc::make_mut(&mut self.gas)
             .refit_in_place(|aabbs| {
                 for &id in ids {
                     aabbs[id as usize] = aabbs[id as usize].degenerated();
@@ -242,7 +258,7 @@ impl<C: Coord> RTSIndex3<C> {
             if !p.is_finite() {
                 return;
             }
-            session.trace(&self.gas, &program, &Ray::point_probe(p), &mut (i as u32));
+            session.trace(&*self.gas, &program, &Ray::point_probe(p), &mut (i as u32));
         });
         span.device(launch.device_time);
         let report = wrap(launch);
@@ -283,7 +299,7 @@ impl<C: Coord> RTSIndex3<C> {
                 return;
             }
             session.trace(
-                &self.gas,
+                &*self.gas,
                 &program,
                 &Ray::point_probe(q.center()),
                 &mut (i as u32),
@@ -363,15 +379,22 @@ impl<C: Coord> RTSIndex3<C> {
                 e
             })
             .collect();
-        let query_gas = Gas::build(
-            expanded,
-            BuildOptions {
-                allow_update: false,
-                quality: rtcore::BuildQuality::PreferFastTrace,
-                leaf_size: 4,
-            },
-        )
-        .expect("expanded finite queries");
+        // Content-addressed cache: repeated batches (the common serving
+        // pattern — a fixed query workload replayed against a mutating
+        // index) skip the per-batch accel build entirely. Counters are
+        // charged identically on a hit, so results and budgets are
+        // byte-for-byte the same either way.
+        let query_gas = self
+            .query_gas_cache
+            .get_or_build(
+                &expanded,
+                BuildOptions {
+                    allow_update: false,
+                    quality: rtcore::BuildQuality::PreferFastTrace,
+                    leaf_size: 4,
+                },
+            )
+            .expect("expanded finite queries");
         let program = Intersects3Program {
             boxes: &self.boxes,
             valid_ids: &valid_ids,
@@ -387,7 +410,7 @@ impl<C: Coord> RTSIndex3<C> {
         let launch = self.device.launch::<C, _>(live_ids.len(), |i, session| {
             let mut rid = live_ids[i];
             let c = self.boxes[rid as usize].center();
-            session.trace(&query_gas, &program, &Ray::point_probe(c), &mut rid);
+            session.trace(&*query_gas, &program, &Ray::point_probe(c), &mut rid);
         });
         span.device(launch.device_time);
         let report = wrap(launch);

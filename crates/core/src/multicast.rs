@@ -128,7 +128,10 @@ pub fn choose_k(rays: usize, prims: usize, selectivity: f64, w: f64, max_k: usiz
 /// `|N|·|R|` cross product that intersects) by brute-forcing a sample of
 /// primitives against a sample of query rectangles — the paper's
 /// sampling trial run. Deterministic strided sampling keeps the
-/// estimator reproducible and cheap (`O(sample²)`).
+/// estimator reproducible and cheap (`O(sample²)`), and the strided
+/// picks are walked in place rather than gathered into per-call sample
+/// buffers, so the k-prediction phase of a repeated
+/// `explain_intersects`/query batch performs no heap allocation at all.
 pub fn estimate_selectivity<C: Coord>(
     prims: &[Rect<C, 2>],
     queries: &[Rect<C, 2>],
@@ -137,23 +140,20 @@ pub fn estimate_selectivity<C: Coord>(
     if prims.is_empty() || queries.is_empty() {
         return 0.0;
     }
-    let sp = sample_strided(prims, sample_size);
-    let sq = sample_strided(queries, sample_size);
+    let np = sample_size.clamp(1, prims.len());
+    let pstride = prims.len() / np;
+    let nq = sample_size.clamp(1, queries.len());
+    let qstride = queries.len() / nq;
     let mut hits = 0u64;
-    for p in &sp {
-        for q in &sq {
-            if p.intersects(q) {
+    for i in 0..np {
+        let p = &prims[i * pstride];
+        for j in 0..nq {
+            if p.intersects(&queries[j * qstride]) {
                 hits += 1;
             }
         }
     }
-    hits as f64 / (sp.len() as f64 * sq.len() as f64)
-}
-
-fn sample_strided<C: Coord>(xs: &[Rect<C, 2>], n: usize) -> Vec<Rect<C, 2>> {
-    let n = n.clamp(1, xs.len());
-    let stride = xs.len() / n;
-    (0..n).map(|i| xs[i * stride]).collect()
+    hits as f64 / (np as f64 * nq as f64)
 }
 
 /// As [`estimate_selectivity`] but sampling only the listed ids — the
@@ -162,7 +162,9 @@ fn sample_strided<C: Coord>(xs: &[Rect<C, 2>], n: usize) -> Vec<Rect<C, 2>> {
 /// toward zero, which under-predicts `k` exactly when churn makes load
 /// balancing matter. With identity id lists the strided picks are the
 /// same as [`estimate_selectivity`]'s, so delete-free workloads keep
-/// byte-identical estimates.
+/// byte-identical estimates. Allocation-free like the plain estimator:
+/// the id indirection is resolved per pick instead of materializing
+/// sampled copies.
 pub fn estimate_selectivity_ids<C: Coord>(
     prims: &[Rect<C, 2>],
     prim_ids: &[u32],
@@ -173,23 +175,20 @@ pub fn estimate_selectivity_ids<C: Coord>(
     if prim_ids.is_empty() || query_ids.is_empty() {
         return 0.0;
     }
-    let sp = sample_strided_ids(prims, prim_ids, sample_size);
-    let sq = sample_strided_ids(queries, query_ids, sample_size);
+    let np = sample_size.clamp(1, prim_ids.len());
+    let pstride = prim_ids.len() / np;
+    let nq = sample_size.clamp(1, query_ids.len());
+    let qstride = query_ids.len() / nq;
     let mut hits = 0u64;
-    for p in &sp {
-        for q in &sq {
-            if p.intersects(q) {
+    for i in 0..np {
+        let p = &prims[prim_ids[i * pstride] as usize];
+        for j in 0..nq {
+            if p.intersects(&queries[query_ids[j * qstride] as usize]) {
                 hits += 1;
             }
         }
     }
-    hits as f64 / (sp.len() as f64 * sq.len() as f64)
-}
-
-fn sample_strided_ids<C: Coord>(xs: &[Rect<C, 2>], ids: &[u32], n: usize) -> Vec<Rect<C, 2>> {
-    let n = n.clamp(1, ids.len());
-    let stride = ids.len() / n;
-    (0..n).map(|i| xs[ids[i * stride] as usize]).collect()
+    hits as f64 / (np as f64 * nq as f64)
 }
 
 /// The sub-space layout of a multicast build: rectangles are normalized

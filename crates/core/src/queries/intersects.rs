@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use geom::{anti_diagonal, diagonal, Coord, Ray, Rect};
-use rtcore::{BuildOptions, Gas, HitContext, IsResult, RtProgram, TraversalBackend};
+use rtcore::{BuildOptions, HitContext, IsResult, RtProgram, TraversalBackend};
 
 use crate::config::DedupStrategy;
 use crate::handlers::QueryHandler;
@@ -403,15 +403,23 @@ fn run_inner<C: Coord, H: QueryHandler>(
             layout.place_rect(qid as usize, q).lift(z, z)
         })
         .collect();
-    let query_gas = Gas::build(
-        placed,
-        BuildOptions {
-            allow_update: false,
-            quality: snap.opts.quality,
-            leaf_size: snap.opts.leaf_size,
-        },
-    )
-    .expect("query AABBs were placed from finite inputs");
+    // The cache is keyed on the exact placed batch (multicast layout
+    // included), so a repeated batch — an EXPLAIN'd query re-run for
+    // real, a polled dashboard region — skips the build's wall time.
+    // Modelled build time below is charged either way: the device being
+    // simulated has no such cache, and the conformance tier pins its
+    // stable figures across hit and miss.
+    let query_gas = snap
+        .query_gas_cache
+        .get_or_build(
+            &placed,
+            BuildOptions {
+                allow_update: false,
+                quality: snap.opts.quality,
+                leaf_size: snap.opts.leaf_size,
+            },
+        )
+        .expect("query AABBs were placed from finite inputs");
     let build_device = model.build_time(valid_ids.len(), TraversalBackend::RtCore);
     phase_span.device(build_device);
     drop(phase_span);
@@ -469,7 +477,7 @@ fn run_inner<C: Coord, H: QueryHandler>(
                 gid: gid as u32,
                 subspace,
             };
-            session.trace(&query_gas, &backward_prog, &ray, &mut payload);
+            session.trace(&*query_gas, &backward_prog, &ray, &mut payload);
         });
     phase_span.device(bwd.device_time);
     drop(phase_span);

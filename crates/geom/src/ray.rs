@@ -169,18 +169,53 @@ impl<C: Coord, const D: usize> Ray<C, D> {
     /// by the IS-shader predicate filters.
     #[inline]
     pub fn hits_aabb_conservative(&self, r: &Rect<C, D>) -> bool {
-        let scale = C::from_f64(64.0) * C::EPSILON;
-        let mut infl = *r;
+        self.entry_t_conservative(r).is_some()
+    }
+
+    /// Conservative ray–AABB test returning the clipped entry parameter
+    /// `t_enter` on a hit (`tmin` for a Case-2 origin-inside hit).
+    ///
+    /// Uses the exact same box inflation as
+    /// [`Ray::hits_aabb_conservative`], so the hit/miss verdicts of the
+    /// two functions are identical bit for bit — the wide-BVH traversal
+    /// kernel relies on this to order children near-to-far without
+    /// changing which subtrees are visited.
+    #[inline]
+    pub fn entry_t_conservative(&self, r: &Rect<C, D>) -> Option<C> {
+        self.entry_t(&r.inflated_conservative())
+    }
+
+    /// Slab-clip of the ray against `r`, returning the entry parameter
+    /// `t_enter ∈ [tmin, tmax]` on a hit. The hit/miss verdict is
+    /// identical to [`Ray::intersect_aabb`]; the returned value is
+    /// `tmin` exactly when that function reports
+    /// [`HitKind::OriginInside`].
+    #[inline]
+    pub fn entry_t(&self, r: &Rect<C, D>) -> Option<C> {
+        let mut t0 = self.tmin;
+        let mut t1 = self.tmax;
         for d in 0..D {
-            let mag = r.min.coords[d]
-                .abs()
-                .max_c(r.max.coords[d].abs())
-                .max_c(C::ONE);
-            let pad = mag * scale;
-            infl.min.coords[d] -= pad;
-            infl.max.coords[d] += pad;
+            let o = self.origin.coords[d];
+            let dv = self.dir.coords[d];
+            if dv == C::ZERO {
+                if o < r.min.coords[d] || o > r.max.coords[d] {
+                    return None;
+                }
+            } else {
+                let inv = C::ONE / dv;
+                let mut ta = (r.min.coords[d] - o) * inv;
+                let mut tb = (r.max.coords[d] - o) * inv;
+                if ta > tb {
+                    std::mem::swap(&mut ta, &mut tb);
+                }
+                t0 = t0.max_c(ta);
+                t1 = t1.min_c(tb);
+                if t0 > t1 {
+                    return None;
+                }
+            }
         }
-        self.intersect_aabb(&infl).is_some()
+        Some(t0)
     }
 }
 
@@ -303,6 +338,30 @@ mod tests {
         assert!(!bad.is_valid());
         let inverted = Ray2f::new(Point::xy(0.0, 0.0), Point::xy(1.0, 0.0), 1.0, 0.0);
         assert!(!inverted.is_valid());
+    }
+
+    #[test]
+    fn entry_t_agrees_with_boolean_test() {
+        // entry_t_conservative must give the exact same hit/miss verdict
+        // as hits_aabb_conservative, and its t is ordered front-to-back.
+        let ray = Ray2f::new(Point::xy(-1.0, 0.5), Point::xy(1.0, 0.0), 0.0, 100.0);
+        let near = r(0.0, 0.0, 1.0, 1.0);
+        let far = r(5.0, 0.0, 6.0, 1.0);
+        let miss = r(0.0, 5.0, 1.0, 6.0);
+        let t_near = ray.entry_t_conservative(&near).unwrap();
+        let t_far = ray.entry_t_conservative(&far).unwrap();
+        assert!(t_near < t_far);
+        assert_eq!(ray.entry_t_conservative(&miss), None);
+        // Case-2 origin-inside clips to tmin.
+        let inside = Ray2f::new(Point::xy(0.5, 0.5), Point::xy(1.0, 0.0), 0.0, 10.0);
+        assert_eq!(inside.entry_t(&near), Some(0.0));
+        // Degenerate box grazing: conservative variants agree.
+        let deg = r(1.0, 1.0, 1.0, 1.0);
+        let probe = Ray2f::point_probe(Point::xy(1.0, 1.0));
+        assert_eq!(
+            probe.hits_aabb_conservative(&deg),
+            probe.entry_t_conservative(&deg).is_some()
+        );
     }
 
     #[test]

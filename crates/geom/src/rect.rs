@@ -252,6 +252,32 @@ impl<C: Coord, const D: usize> Rect<C, D> {
         }
     }
 
+    /// The conservatively inflated box the simulated RT core actually
+    /// slab-tests: each axis padded by a few dozen ulps of its
+    /// coordinate magnitude (see [`crate::Ray::hits_aabb_conservative`]
+    /// for why the hardware test must be conservative).
+    ///
+    /// This is the *exact* inflation applied by
+    /// [`crate::Ray::entry_t_conservative`] — the wide-BVH traversal
+    /// kernel bakes it into its stored slot bounds at collapse/refit
+    /// time so its inner loop runs the plain slab test, and the
+    /// hit/miss verdicts stay bit-identical across kernels.
+    #[inline]
+    pub fn inflated_conservative(&self) -> Self {
+        let scale = C::from_f64(64.0) * C::EPSILON;
+        let mut infl = *self;
+        for d in 0..D {
+            let mag = self.min.coords[d]
+                .abs()
+                .max_c(self.max.coords[d].abs())
+                .max_c(C::ONE);
+            let pad = mag * scale;
+            infl.min.coords[d] -= pad;
+            infl.max.coords[d] += pad;
+        }
+        infl
+    }
+
     /// Converts corners to `f64`.
     #[inline]
     pub fn to_f64(&self) -> Rect<f64, D> {

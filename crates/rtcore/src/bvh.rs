@@ -288,13 +288,17 @@ impl<C: Coord> Bvh<C> {
     }
 }
 
-/// LIFO of node indices with a fixed inline segment and a lazy heap
-/// spill. The inline segment covers every balanced tree (depth 62 would
-/// need more than 2⁶² nodes) with zero allocation; deeper, adversarially
-/// skewed trees overflow into a `Vec` instead of corrupting traversal.
-/// Invariant: `spill` is non-empty only while the inline segment is full,
-/// so popping `spill` first preserves LIFO order.
-struct TraversalStack {
+/// LIFO of node indices with a fixed inline segment and a heap spill
+/// drawn from the per-worker scratch arena. The inline segment covers
+/// every balanced tree (depth 62 would need more than 2⁶² nodes) with
+/// zero allocation; deeper, adversarially skewed trees overflow into a
+/// pooled `Vec` whose capacity is reused across rays and launches
+/// ([`crate::scratch`]), so even the spilling path allocates at most
+/// once per worker thread. Shared by the binary and wide (BVH4)
+/// traversal kernels. Invariant: `spill` is non-empty only while the
+/// inline segment is full, so popping `spill` first preserves LIFO
+/// order.
+pub(crate) struct TraversalStack {
     inline: [u32; 64],
     sp: usize,
     spill: Vec<u32>,
@@ -302,16 +306,16 @@ struct TraversalStack {
 
 impl TraversalStack {
     #[inline]
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             inline: [0; 64],
             sp: 0,
-            spill: Vec::new(), // does not allocate until first spill
+            spill: crate::scratch::take_spill(),
         }
     }
 
     #[inline]
-    fn push(&mut self, v: u32) {
+    pub(crate) fn push(&mut self, v: u32) {
         if self.sp < self.inline.len() {
             self.inline[self.sp] = v;
             self.sp += 1;
@@ -321,7 +325,7 @@ impl TraversalStack {
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<u32> {
+    pub(crate) fn pop(&mut self) -> Option<u32> {
         if let Some(v) = self.spill.pop() {
             Some(v)
         } else if self.sp > 0 {
@@ -330,6 +334,12 @@ impl TraversalStack {
         } else {
             None
         }
+    }
+}
+
+impl Drop for TraversalStack {
+    fn drop(&mut self) {
+        crate::scratch::put_spill(std::mem::take(&mut self.spill));
     }
 }
 

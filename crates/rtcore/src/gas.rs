@@ -4,6 +4,7 @@
 use geom::{Coord, Rect};
 
 use crate::bvh::{BuildQuality, Bvh};
+use crate::bvh4::Bvh4;
 
 /// Build options, mirroring the OptiX acceleration-structure build flags
 /// that LibRTS relies on.
@@ -69,6 +70,10 @@ impl std::error::Error for AccelError {}
 #[derive(Clone, Debug)]
 pub struct Gas<C: Coord> {
     bvh: Bvh<C>,
+    /// Wide traversal form, collapsed deterministically from `bvh` at
+    /// build time and bounds-synced on every refit — the structure the
+    /// default [`Kernel::Bvh4`](crate::Kernel) launch kernel walks.
+    wide: Bvh4<C>,
     aabbs: Vec<Rect<C, 3>>,
     options: BuildOptions,
 }
@@ -84,10 +89,12 @@ impl<C: Coord> Gas<C> {
             }
         }
         let bvh = Bvh::build(&aabbs, options.quality, options.leaf_size);
+        let wide = Bvh4::collapse(&bvh);
         obs::counter("rtcore.gas_builds").inc();
         obs::counter("rtcore.gas_build_prims").add(aabbs.len() as u64);
         Ok(Self {
             bvh,
+            wide,
             aabbs,
             options,
         })
@@ -117,10 +124,16 @@ impl<C: Coord> Gas<C> {
         &self.aabbs
     }
 
-    /// Internal BVH (for traversal and inspection).
+    /// Internal binary BVH (for the binary kernel and inspection).
     #[inline]
     pub fn bvh(&self) -> &Bvh<C> {
         &self.bvh
+    }
+
+    /// Internal wide BVH (for the wide kernel and inspection).
+    #[inline]
+    pub fn wide(&self) -> &Bvh4<C> {
+        &self.wide
     }
 
     /// Build options used.
@@ -148,6 +161,7 @@ impl<C: Coord> Gas<C> {
         }
         self.aabbs = aabbs;
         self.bvh.refit(&self.aabbs);
+        self.wide.refit_from(&self.bvh);
         obs::counter("rtcore.gas_refits").inc();
         obs::counter("rtcore.gas_refit_prims").add(self.aabbs.len() as u64);
         Ok(())
@@ -170,6 +184,7 @@ impl<C: Coord> Gas<C> {
             }
         }
         self.bvh.refit(&self.aabbs);
+        self.wide.refit_from(&self.bvh);
         obs::counter("rtcore.gas_refits").inc();
         obs::counter("rtcore.gas_refit_prims").add(self.aabbs.len() as u64);
         Ok(())
@@ -179,6 +194,7 @@ impl<C: Coord> Gas<C> {
     /// when refit quality has degraded too far (§4.2, §6.7).
     pub fn rebuild(&mut self) {
         self.bvh = Bvh::build(&self.aabbs, self.options.quality, self.options.leaf_size);
+        self.wide = Bvh4::collapse(&self.bvh);
         obs::counter("rtcore.gas_builds").inc();
         obs::counter("rtcore.gas_build_prims").add(self.aabbs.len() as u64);
     }
@@ -191,6 +207,7 @@ impl<C: Coord> Gas<C> {
         self.aabbs.len() * std::mem::size_of::<Rect<C, 3>>()
             + self.bvh.nodes.len() * std::mem::size_of::<crate::bvh::Node<C>>()
             + self.bvh.prim_order.len() * std::mem::size_of::<u32>()
+            + self.wide.memory_bytes()
     }
 }
 

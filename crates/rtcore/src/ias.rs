@@ -8,6 +8,7 @@ use std::sync::Arc;
 use geom::{Coord, Rect, Srt};
 
 use crate::bvh::{BuildQuality, Bvh};
+use crate::bvh4::Bvh4;
 use crate::gas::{AccelError, Gas};
 
 /// One instance: a reference to a GAS, an object-to-world transform and a
@@ -66,6 +67,8 @@ pub(crate) struct InstanceRecord<C: Coord> {
 pub struct Ias<C: Coord> {
     /// BVH over instance world bounds (one "primitive" per instance).
     pub(crate) tlas: Bvh<C>,
+    /// Wide form of the TLAS for the BVH4 kernel, collapsed from `tlas`.
+    pub(crate) wide_tlas: Bvh4<C>,
     pub(crate) world_bounds: Vec<Rect<C, 3>>,
     pub(crate) records: Vec<InstanceRecord<C>>,
 }
@@ -101,10 +104,12 @@ impl<C: Coord> Ias<C> {
         }
         // IAS builds are intentionally cheap: fast-build quality, leaf=1.
         let tlas = Bvh::build(&world_bounds, BuildQuality::PreferFastBuild, 1);
+        let wide_tlas = Bvh4::collapse(&tlas);
         obs::counter("rtcore.ias_builds").inc();
         obs::counter("rtcore.ias_instances").add(records.len() as u64);
         Ok(Self {
             tlas,
+            wide_tlas,
             world_bounds,
             records,
         })
@@ -140,6 +145,7 @@ impl<C: Coord> Ias<C> {
     /// structures are never double-counted.
     pub fn tlas_memory_bytes(&self) -> usize {
         self.tlas.nodes.len() * std::mem::size_of::<crate::bvh::Node<C>>()
+            + self.wide_tlas.memory_bytes()
             + self.world_bounds.len() * std::mem::size_of::<Rect<C, 3>>()
             + self.records.len() * std::mem::size_of::<InstanceRecord<C>>()
     }

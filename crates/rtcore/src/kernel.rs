@@ -1,0 +1,142 @@
+//! Traversal-kernel selection.
+//!
+//! Two kernels walk the same acceleration structures: the binary
+//! pointer-chasing [`Bvh`](crate::Bvh) kernel and the flattened wide
+//! [`Bvh4`](crate::bvh4::Bvh4) kernel (the default — it models what RT
+//! hardware actually executes). Both enumerate identical primitive
+//! sets, make identical IS/AH calls, and produce byte-identical query
+//! results; they differ only in node-walk shape and therefore in which
+//! node counters they charge (`nodes_visited`/`prim_tests` vs
+//! `wide_nodes_visited`/`wide_prim_tests`) and in modelled node cost.
+//!
+//! Selection is resolved **once per launch, on the issuing thread**
+//! (see [`Device::launch`](crate::Device::launch)): workers inherit the
+//! captured kernel, so a launch is never split across kernels and the
+//! choice composes safely with any `LIBRTS_THREADS` value.
+//!
+//! Override order: [`with_kernel`] scope on the issuing thread, then
+//! the `LIBRTS_KERNEL` environment variable (`bvh2`/`bvh4`), then the
+//! default [`Kernel::Bvh4`].
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Which traversal kernel a launch executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Binary pointer-chasing traversal over the [`Bvh`](crate::Bvh)
+    /// node array (two children per step, right-then-left push order).
+    Bvh2,
+    /// Flattened wide traversal over the collapsed
+    /// [`Bvh4`](crate::bvh4::Bvh4): four SoA child-box tests per node,
+    /// near-to-far ordered descent. The default.
+    Bvh4,
+}
+
+impl Kernel {
+    /// Stable lowercase label (`"bvh2"` / `"bvh4"`) used in env vars,
+    /// CLI flags, and benchmark artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kernel::Bvh2 => "bvh2",
+            Kernel::Bvh4 => "bvh4",
+        }
+    }
+
+    /// Parses a label as accepted by `LIBRTS_KERNEL` and the bench
+    /// `--kernel` flag.
+    pub fn parse(s: &str) -> Option<Kernel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "bvh2" | "binary" => Some(Kernel::Bvh2),
+            "bvh4" | "wide" => Some(Kernel::Bvh4),
+            _ => None,
+        }
+    }
+}
+
+static DEFAULT: OnceLock<Kernel> = OnceLock::new();
+
+fn env_default() -> Kernel {
+    *DEFAULT.get_or_init(|| {
+        std::env::var("LIBRTS_KERNEL")
+            .ok()
+            .and_then(|s| Kernel::parse(&s))
+            .unwrap_or(Kernel::Bvh4)
+    })
+}
+
+/// Sets the process-wide default kernel — the bench `--kernel` flag's
+/// hook, stronger than `LIBRTS_KERNEL` because it also reaches threads
+/// that never enter a [`with_kernel`] scope (e.g. concurrency-study
+/// readers). Returns `false` if some launch already resolved the
+/// default (call it before any work is issued).
+pub fn set_default_kernel(kernel: Kernel) -> bool {
+    DEFAULT.set(kernel).is_ok()
+}
+
+thread_local! {
+    static KERNEL_OVERRIDE: Cell<Option<Kernel>> = const { Cell::new(None) };
+}
+
+/// The kernel a launch issued from this thread will use: the innermost
+/// [`with_kernel`] override if one is active, otherwise the
+/// process-wide `LIBRTS_KERNEL` default (itself defaulting to
+/// [`Kernel::Bvh4`]).
+pub fn current_kernel() -> Kernel {
+    KERNEL_OVERRIDE
+        .with(|c| c.get())
+        .unwrap_or_else(env_default)
+}
+
+/// Runs `f` with launches issued from this thread pinned to `kernel`.
+/// Nests and restores the previous override on exit (including on
+/// panic, via a drop guard) — the same scoping discipline as
+/// `exec::with_threads`.
+pub fn with_kernel<R>(kernel: Kernel, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Kernel>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            KERNEL_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(KERNEL_OVERRIDE.with(|c| c.replace(Some(kernel))));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for k in [Kernel::Bvh2, Kernel::Bvh4] {
+            assert_eq!(Kernel::parse(k.label()), Some(k));
+        }
+        assert_eq!(Kernel::parse("BVH4"), Some(Kernel::Bvh4));
+        assert_eq!(Kernel::parse(" wide "), Some(Kernel::Bvh4));
+        assert_eq!(Kernel::parse("bvh8"), None);
+    }
+
+    #[test]
+    fn with_kernel_scopes_and_nests() {
+        let outer = current_kernel();
+        with_kernel(Kernel::Bvh2, || {
+            assert_eq!(current_kernel(), Kernel::Bvh2);
+            with_kernel(Kernel::Bvh4, || {
+                assert_eq!(current_kernel(), Kernel::Bvh4);
+            });
+            assert_eq!(current_kernel(), Kernel::Bvh2);
+        });
+        assert_eq!(current_kernel(), outer);
+    }
+
+    #[test]
+    fn with_kernel_restores_on_panic() {
+        let outer = current_kernel();
+        let r = std::panic::catch_unwind(|| {
+            with_kernel(Kernel::Bvh2, || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert_eq!(current_kernel(), outer);
+    }
+}

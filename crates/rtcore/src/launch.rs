@@ -22,16 +22,18 @@ use geom::{Coord, Ray};
 use crate::bvh::Control;
 use crate::gas::Gas;
 use crate::ias::Ias;
+use crate::kernel::Kernel;
 use crate::program::{AnyHitResult, ClosestHit, HitContext, IsResult, RtProgram};
 use crate::stats::{CostModel, LaunchReport, RayStats, TraversalBackend, WARP_SIZE};
 
 /// Anything a ray can be traced against — a GAS directly or an IAS
 /// (OptiX traversable handles).
 pub trait Traversable<C: Coord>: Sync {
-    /// Walks the structure for `ray`, driving the program's shaders.
-    /// Returns `true` if any hit was accepted (used for MS dispatch).
+    /// Walks the structure for `ray` with the given traversal kernel,
+    /// driving the program's shaders.
     fn walk<P: RtProgram<C>>(
         &self,
+        kernel: Kernel,
         program: &P,
         ray: &Ray<C, 3>,
         payload: &mut P::Payload,
@@ -43,19 +45,30 @@ pub trait Traversable<C: Coord>: Sync {
 impl<C: Coord> Traversable<C> for Gas<C> {
     fn walk<P: RtProgram<C>>(
         &self,
+        kernel: Kernel,
         program: &P,
         ray: &Ray<C, 3>,
         payload: &mut P::Payload,
         stats: &mut RayStats,
         closest: &mut Option<ClosestHit>,
     ) -> Control {
-        walk_gas(self, u32::MAX, program, ray, payload, stats, closest)
+        walk_gas(
+            self,
+            kernel,
+            u32::MAX,
+            program,
+            ray,
+            payload,
+            stats,
+            closest,
+        )
     }
 }
 
 impl<C: Coord> Traversable<C> for Ias<C> {
     fn walk<P: RtProgram<C>>(
         &self,
+        kernel: Kernel,
         program: &P,
         ray: &Ray<C, 3>,
         payload: &mut P::Payload,
@@ -64,36 +77,47 @@ impl<C: Coord> Traversable<C> for Ias<C> {
     ) -> Control {
         // Two-level traversal: TLAS leaves are instances; each transition
         // transforms the ray into object space and descends into the GAS.
+        // Both levels run the same kernel: a launch is never split.
         let mut result = Control::Continue;
-        self.tlas
-            .traverse(ray, &self.world_bounds, stats, |inst_idx, stats| {
-                let rec = &self.records[inst_idx as usize];
-                stats.instance_visits += 1;
-                let object_ray = match &rec.world_to_object {
-                    None => *ray,
-                    Some(w2o) => w2o.apply_ray(ray),
-                };
-                let ctl = walk_gas(
-                    &rec.gas,
-                    rec.instance_id,
-                    program,
-                    &object_ray,
-                    payload,
-                    stats,
-                    closest,
-                );
-                if ctl == Control::Terminate {
-                    result = Control::Terminate;
-                }
-                ctl
-            });
+        let mut visit = |inst_idx: u32, stats: &mut RayStats| {
+            let rec = &self.records[inst_idx as usize];
+            stats.instance_visits += 1;
+            let object_ray = match &rec.world_to_object {
+                None => *ray,
+                Some(w2o) => w2o.apply_ray(ray),
+            };
+            let ctl = walk_gas(
+                &rec.gas,
+                kernel,
+                rec.instance_id,
+                program,
+                &object_ray,
+                payload,
+                stats,
+                closest,
+            );
+            if ctl == Control::Terminate {
+                result = Control::Terminate;
+            }
+            ctl
+        };
+        match kernel {
+            Kernel::Bvh2 => self
+                .tlas
+                .traverse(ray, &self.world_bounds, stats, &mut visit),
+            Kernel::Bvh4 => self
+                .wide_tlas
+                .traverse(ray, &self.world_bounds, stats, &mut visit),
+        };
         result
     }
 }
 
 /// GAS traversal driving the IS/AH shader protocol.
+#[allow(clippy::too_many_arguments)]
 fn walk_gas<C: Coord, P: RtProgram<C>>(
     gas: &Gas<C>,
+    kernel: Kernel,
     instance_id: u32,
     program: &P,
     ray: &Ray<C, 3>,
@@ -102,7 +126,7 @@ fn walk_gas<C: Coord, P: RtProgram<C>>(
     closest: &mut Option<ClosestHit>,
 ) -> Control {
     let aabbs = gas.aabbs();
-    gas.bvh().traverse(ray, aabbs, stats, |prim, stats| {
+    let mut visit = |prim: u32, stats: &mut RayStats| {
         stats.is_calls += 1;
         let ctx = HitContext {
             primitive_index: prim,
@@ -135,7 +159,11 @@ fn walk_gas<C: Coord, P: RtProgram<C>>(
                 }
             }
         }
-    })
+    };
+    match kernel {
+        Kernel::Bvh2 => gas.bvh().traverse(ray, aabbs, stats, &mut visit),
+        Kernel::Bvh4 => gas.wide().traverse(ray, aabbs, stats, &mut visit),
+    }
 }
 
 /// A per-launch-index handle for casting rays (the `optixTrace` entry
@@ -143,6 +171,8 @@ fn walk_gas<C: Coord, P: RtProgram<C>>(
 /// hardware counters.
 pub struct TraceSession<'a, C: Coord> {
     stats: RayStats,
+    /// Traversal kernel captured on the issuing thread at launch time.
+    kernel: Kernel,
     _marker: std::marker::PhantomData<&'a C>,
 }
 
@@ -159,7 +189,14 @@ impl<C: Coord> TraceSession<'_, C> {
         debug_assert!(ray.is_valid(), "invalid ray: {ray:?}");
         self.stats.rays += 1;
         let mut closest: Option<ClosestHit> = None;
-        handle.walk(program, ray, payload, &mut self.stats, &mut closest);
+        handle.walk(
+            self.kernel,
+            program,
+            ray,
+            payload,
+            &mut self.stats,
+            &mut closest,
+        );
         match closest {
             Some(hit) => program.closest_hit(&hit, payload),
             None => program.miss(payload),
@@ -180,8 +217,12 @@ struct LaunchShard {
 }
 
 /// Warps claimed per deque chunk: big enough to amortise the claim CAS,
-/// small enough to keep stealing effective on skewed workloads.
-const WARPS_PER_CHUNK: usize = 4;
+/// small enough to keep stealing effective on skewed workloads. Tuned
+/// down from 4 for the 50K-query scaling study: 2 warps (64 rays) per
+/// claim roughly doubles the steal targets per launch, which is what
+/// keeps all workers busy through the skewed tail of a Range-Intersects
+/// batch, while the CAS still amortises over ≥64 traced rays.
+const WARPS_PER_CHUNK: usize = 2;
 
 /// The simulated RT device: the `exec` work-stealing pool standing in for
 /// the GPU, plus the cost model used to derive simulated device time.
@@ -224,6 +265,10 @@ impl Device {
         if width == 0 {
             return LaunchReport::default();
         }
+        // Resolve the traversal kernel ONCE, on the issuing thread, so a
+        // `with_kernel` scope on the caller governs the whole fan-out:
+        // pool workers must never consult their own (unset) overrides.
+        let kernel = crate::kernel::current_kernel();
         // Warps of consecutive launch indices are the parallel work items;
         // lanes within a warp run sequentially on one worker — mirroring
         // SIMT scheduling while keeping task overhead low. Lane times land
@@ -241,6 +286,7 @@ impl Device {
             for (lane, slot) in lane_times.iter_mut().enumerate().take(lanes) {
                 let mut session = TraceSession {
                     stats: RayStats::default(),
+                    kernel,
                     _marker: std::marker::PhantomData,
                 };
                 raygen(warp_start + lane, &mut session);
@@ -284,6 +330,8 @@ struct LaunchMetrics {
     rays: std::sync::Arc<obs::Counter>,
     nodes_visited: std::sync::Arc<obs::Counter>,
     prim_tests: std::sync::Arc<obs::Counter>,
+    wide_nodes_visited: std::sync::Arc<obs::Counter>,
+    wide_prim_tests: std::sync::Arc<obs::Counter>,
     is_calls: std::sync::Arc<obs::Counter>,
     hits_reported: std::sync::Arc<obs::Counter>,
     anyhit_calls: std::sync::Arc<obs::Counter>,
@@ -301,6 +349,8 @@ fn launch_metrics() -> &'static LaunchMetrics {
         rays: obs::counter("rtcore.rays"),
         nodes_visited: obs::counter("rtcore.nodes_visited"),
         prim_tests: obs::counter("rtcore.prim_tests"),
+        wide_nodes_visited: obs::counter("rtcore.wide_nodes_visited"),
+        wide_prim_tests: obs::counter("rtcore.wide_prim_tests"),
         is_calls: obs::counter("rtcore.is_calls"),
         hits_reported: obs::counter("rtcore.hits_reported"),
         anyhit_calls: obs::counter("rtcore.anyhit_calls"),
@@ -321,6 +371,8 @@ fn record_launch(report: &LaunchReport) {
     m.rays.add(report.totals.rays);
     m.nodes_visited.add(report.totals.nodes_visited);
     m.prim_tests.add(report.totals.prim_tests);
+    m.wide_nodes_visited.add(report.totals.wide_nodes_visited);
+    m.wide_prim_tests.add(report.totals.wide_prim_tests);
     m.is_calls.add(report.totals.is_calls);
     m.hits_reported.add(report.totals.hits_reported);
     m.anyhit_calls.add(report.totals.anyhit_calls);
@@ -398,7 +450,9 @@ mod tests {
         assert_eq!(program.hits.load(Ordering::Relaxed), 100);
         assert_eq!(report.width, 400);
         assert_eq!(report.totals.rays, 400);
-        assert!(report.totals.nodes_visited > 0);
+        // The default kernel is the wide walk: node work lands on the
+        // wide counters, not the binary ones.
+        assert!(report.totals.wide_nodes_visited > 0);
         assert!(report.device_time.as_nanos() > 0);
     }
 
@@ -590,6 +644,88 @@ mod tests {
         let sw = run(TraversalBackend::Software);
         assert_eq!(hw.totals, sw.totals, "same work, different pricing");
         assert!(sw.device_time > hw.device_time);
+    }
+
+    #[test]
+    fn kernels_agree_and_charge_their_own_counters() {
+        let gas = grid_gas();
+        let device = Device::new();
+        let run = |k| {
+            crate::kernel::with_kernel(k, || {
+                let program = CountContains {
+                    hits: AtomicU64::new(0),
+                };
+                let report = device.launch::<f32, _>(400, |i, session| {
+                    let x = (i % 20) as f32;
+                    let y = (i / 20) as f32;
+                    let mut p = Point::xyz(x + 0.5, y + 0.5, 0.0);
+                    let ray = Ray::point_probe(p);
+                    session.trace(&gas, &program, &ray, &mut p);
+                });
+                (program.hits.load(Ordering::Relaxed), report)
+            })
+        };
+        let (h2, r2) = run(Kernel::Bvh2);
+        let (h4, r4) = run(Kernel::Bvh4);
+        assert_eq!(h2, h4, "kernels must agree on results");
+        assert_eq!(r2.totals.is_calls, r4.totals.is_calls);
+        assert_eq!(r2.totals.hits_reported, r4.totals.hits_reported);
+        // Conservative-test monotonicity: the wide kernel reaches the
+        // exact binary leaf set, so its prim tests equal the binary
+        // kernel's — only the node-walk counters change shape.
+        assert_eq!(r4.totals.wide_prim_tests, r2.totals.prim_tests);
+        assert_eq!(r2.totals.wide_nodes_visited, 0);
+        assert_eq!(r2.totals.wide_prim_tests, 0);
+        assert_eq!(r4.totals.nodes_visited, 0);
+        assert_eq!(r4.totals.prim_tests, 0);
+        assert!(r4.totals.wide_nodes_visited > 0);
+        assert!(
+            r4.totals.wide_nodes_visited < r2.totals.nodes_visited,
+            "wide walk must pop fewer nodes"
+        );
+    }
+
+    #[test]
+    fn ias_traversal_kernels_agree() {
+        let all: Vec<_> = (0..100)
+            .map(|i| {
+                let x = (i % 10) as f32 * 2.0;
+                let y = (i / 10) as f32 * 2.0;
+                Rect::xyzxyz(x, y, -0.5, x + 1.0, y + 1.0, 0.5)
+            })
+            .collect();
+        let instances: Vec<_> = all
+            .chunks(25)
+            .enumerate()
+            .map(|(k, chunk)| {
+                Instance::identity(
+                    Arc::new(Gas::build(chunk.to_vec(), BuildOptions::default()).unwrap()),
+                    k as u32,
+                )
+            })
+            .collect();
+        let ias = Ias::build(&instances).unwrap();
+        let device = Device::new();
+        let run = |k| {
+            crate::kernel::with_kernel(k, || {
+                let program = CountContains {
+                    hits: AtomicU64::new(0),
+                };
+                let report = device.launch::<f32, _>(400, |i, session| {
+                    let x = (i % 20) as f32;
+                    let y = (i / 20) as f32;
+                    let mut p = Point::xyz(x + 0.5, y + 0.5, 0.0);
+                    session.trace(&ias, &program, &Ray::point_probe(p), &mut p);
+                });
+                (program.hits.load(Ordering::Relaxed), report)
+            })
+        };
+        let (h2, r2) = run(Kernel::Bvh2);
+        let (h4, r4) = run(Kernel::Bvh4);
+        assert_eq!(h2, 100);
+        assert_eq!(h4, 100);
+        assert_eq!(r2.totals.instance_visits, r4.totals.instance_visits);
+        assert_eq!(r4.totals.wide_prim_tests, r2.totals.prim_tests);
     }
 
     #[test]

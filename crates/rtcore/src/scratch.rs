@@ -1,0 +1,93 @@
+//! Per-worker launch scratch arena.
+//!
+//! The steady-state query hot path must perform zero heap allocation:
+//! every transient buffer a traversal needs (stack-spill segments today;
+//! any future per-ray scratch) is drawn from a thread-local pool and
+//! returned — cleared but with its capacity intact — when the borrower
+//! drops. Buffers are therefore reused across rays *and* across
+//! launches on the same worker thread.
+//!
+//! The pool is `thread_local!` rather than indexed by
+//! [`exec::worker_index`] on purpose: every non-pool thread reports
+//! worker slot 0, so a shared slot-indexed arena would be racy the
+//! moment two caller threads (e.g. concurrent-index readers) launch
+//! simultaneously. A thread-local pool is unconditionally safe, and the
+//! take/put discipline (no borrow held across user callbacks) keeps it
+//! re-entrant: an IAS traversal that starts a nested GAS traversal
+//! inside its instance callback simply takes a second buffer.
+
+use std::cell::RefCell;
+
+/// Upper bound on pooled buffers per thread. Nesting depth is the only
+/// driver (IAS → GAS is two), so a handful covers every real pipeline;
+/// anything beyond is freed rather than hoarded.
+const POOL_CAP: usize = 8;
+
+thread_local! {
+    static SPILL_POOL: RefCell<Vec<Vec<u32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a cleared `u32` buffer from this thread's pool (empty `Vec`
+/// with retained capacity), or a fresh one the first few times.
+#[inline]
+pub(crate) fn take_spill() -> Vec<u32> {
+    SPILL_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+/// Returns a buffer to this thread's pool for reuse. The buffer is
+/// cleared; its capacity is what makes the next deep traversal
+/// allocation-free.
+#[inline]
+pub(crate) fn put_spill(mut v: Vec<u32>) {
+    v.clear();
+    SPILL_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < POOL_CAP {
+            p.push(v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_retains_capacity_across_take_put() {
+        // Drain anything earlier tests on this thread left behind so the
+        // capacity observation below is about our buffer.
+        while SPILL_POOL.with(|p| !p.borrow().is_empty()) {
+            SPILL_POOL.with(|p| p.borrow_mut().clear());
+        }
+        let mut a = take_spill();
+        a.extend(0..1000);
+        let cap = a.capacity();
+        put_spill(a);
+        let b = take_spill();
+        assert!(b.is_empty());
+        assert!(b.capacity() >= cap, "capacity must survive the pool");
+        put_spill(b);
+    }
+
+    #[test]
+    fn nested_takes_yield_distinct_buffers() {
+        let mut a = take_spill();
+        let mut b = take_spill();
+        a.push(1);
+        b.push(2);
+        assert_eq!((a.pop(), b.pop()), (Some(1), Some(2)));
+        put_spill(a);
+        put_spill(b);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let borrowed: Vec<Vec<u32>> = (0..POOL_CAP + 4).map(|_| take_spill()).collect();
+        for v in borrowed {
+            put_spill(v);
+        }
+        SPILL_POOL.with(|p| assert!(p.borrow().len() <= POOL_CAP));
+    }
+}

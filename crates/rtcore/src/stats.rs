@@ -36,6 +36,15 @@ pub struct RayStats {
     pub instance_visits: u64,
     /// Rays cast via `trace` by this launch index.
     pub rays: u64,
+    /// Wide (BVH4) nodes popped by the wide traversal kernel. One wide
+    /// pop box-tests up to four children at once, so this counter is not
+    /// comparable 1:1 with [`RayStats::nodes_visited`] (the binary
+    /// kernel's pops); the cost model prices them separately.
+    pub wide_nodes_visited: u64,
+    /// Hardware ray–AABB tests against primitive boxes issued from wide
+    /// (BVH4) leaves — the wide kernel's analogue of
+    /// [`RayStats::prim_tests`].
+    pub wide_prim_tests: u64,
 }
 
 impl AddAssign for RayStats {
@@ -47,6 +56,8 @@ impl AddAssign for RayStats {
         self.anyhit_calls += o.anyhit_calls;
         self.instance_visits += o.instance_visits;
         self.rays += o.rays;
+        self.wide_nodes_visited += o.wide_nodes_visited;
+        self.wide_prim_tests += o.wide_prim_tests;
     }
 }
 
@@ -75,6 +86,15 @@ pub struct CostModel {
     pub ns_per_node_hw: f64,
     /// Per-BVH-node cost for a software traversal on SMs.
     pub ns_per_node_sw: f64,
+    /// Per wide (BVH4) node cost on the RT core. Hardware box-test units
+    /// evaluate all four children of a wide node in one step (the actual
+    /// RT-core datapath is a multi-way tree walker), so a wide pop costs
+    /// the same as a binary pop while covering twice the fanout.
+    pub ns_per_wide_node_hw: f64,
+    /// Per wide (BVH4) node cost of a software walk: four slab tests,
+    /// discounted below 4× the binary price because the SoA child-bounds
+    /// layout makes them a single coalesced cache-line read.
+    pub ns_per_wide_node_sw: f64,
     /// Per primitive ray–AABB test (hardware path).
     pub ns_per_prim_test: f64,
     /// Per IS-shader invocation (SM work: predicate evaluation).
@@ -116,6 +136,8 @@ impl Default for CostModel {
             ns_per_ray: 25.0,
             ns_per_node_hw: 1.0,
             ns_per_node_sw: 25.0,
+            ns_per_wide_node_hw: 1.0,
+            ns_per_wide_node_sw: 70.0,
             ns_per_prim_test: 1.0,
             ns_per_is_call: 60.0,
             ns_per_hit: 30.0,
@@ -137,9 +159,9 @@ impl CostModel {
     /// Simulated time for one ray's worth of counters on a backend.
     #[inline]
     pub fn ray_time_ns(&self, s: &RayStats, backend: TraversalBackend) -> f64 {
-        let node_cost = match backend {
-            TraversalBackend::RtCore => self.ns_per_node_hw,
-            TraversalBackend::Software => self.ns_per_node_sw,
+        let (node_cost, wide_node_cost) = match backend {
+            TraversalBackend::RtCore => (self.ns_per_node_hw, self.ns_per_wide_node_hw),
+            TraversalBackend::Software => (self.ns_per_node_sw, self.ns_per_wide_node_sw),
         };
         // Software traversal also pays software prices for its box tests.
         let prim_cost = match backend {
@@ -148,7 +170,8 @@ impl CostModel {
         };
         s.rays as f64 * self.ns_per_ray
             + s.nodes_visited as f64 * node_cost
-            + s.prim_tests as f64 * prim_cost
+            + s.wide_nodes_visited as f64 * wide_node_cost
+            + (s.prim_tests + s.wide_prim_tests) as f64 * prim_cost
             + s.is_calls as f64 * self.ns_per_is_call
             + s.hits_reported as f64 * self.ns_per_hit
             + s.anyhit_calls as f64 * self.ns_per_is_call
@@ -257,6 +280,42 @@ mod tests {
         assert!(sw > hw);
         let expected = 100.0 * (m.ns_per_node_sw - m.ns_per_node_hw);
         assert!((sw - hw - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wide_counters_priced_separately() {
+        let m = CostModel::default();
+        // A wide pop covers 4 children for the price of one binary pop on
+        // hardware: a ray that needed 100 binary pops needs ~half the
+        // wide pops, so the modeled hardware time must strictly drop.
+        let binary = RayStats {
+            nodes_visited: 100,
+            prim_tests: 8,
+            rays: 1,
+            ..Default::default()
+        };
+        let wide = RayStats {
+            wide_nodes_visited: 50,
+            wide_prim_tests: 8,
+            rays: 1,
+            ..Default::default()
+        };
+        let t_bin = m.ray_time_ns(&binary, TraversalBackend::RtCore);
+        let t_wide = m.ray_time_ns(&wide, TraversalBackend::RtCore);
+        assert!(t_wide < t_bin, "wide {t_wide} vs binary {t_bin}");
+        // On the software backend a wide node is four slab tests and
+        // costs more than one binary node, but less than four.
+        let sw_one_wide = RayStats {
+            wide_nodes_visited: 1,
+            ..Default::default()
+        };
+        let sw_one_bin = RayStats {
+            nodes_visited: 1,
+            ..Default::default()
+        };
+        let w = m.ray_time_ns(&sw_one_wide, TraversalBackend::Software);
+        let b = m.ray_time_ns(&sw_one_bin, TraversalBackend::Software);
+        assert!(w > b && w < 4.0 * b);
     }
 
     #[test]
