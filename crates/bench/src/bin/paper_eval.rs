@@ -102,6 +102,9 @@ fn run(exp: &str, cfg: &EvalConfig, perf: &mut PerfReport) {
         "concurrency" => {
             perf.concurrency_study(cfg);
         }
+        "maintenance" => {
+            perf.maintenance_study(cfg);
+        }
         "all" => {
             for e in [
                 "table1",
@@ -122,6 +125,7 @@ fn run(exp: &str, cfg: &EvalConfig, perf: &mut PerfReport) {
                 "scaling",
                 "kernel_ab",
                 "concurrency",
+                "maintenance",
             ] {
                 run(e, cfg, perf);
             }

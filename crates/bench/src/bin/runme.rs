@@ -125,6 +125,7 @@ fn main() {
         perf.intersects_scaling(&cfg);
         perf.kernel_ab_study(&cfg);
         perf.concurrency_study(&cfg);
+        perf.maintenance_study(&cfg);
         perf.record_explain(&cfg);
         perf.write("BENCH_perf.json");
         export_trace(trace_path.as_deref());
@@ -161,6 +162,7 @@ fn main() {
     perf.intersects_scaling(&cfg);
     perf.kernel_ab_study(&cfg);
     perf.concurrency_study(&cfg);
+    perf.maintenance_study(&cfg);
     perf.record_explain(&cfg);
     perf.write("BENCH_perf.json");
     export_trace(trace_path.as_deref());

@@ -26,6 +26,11 @@
 //! - the `kernel_ab` section is present with both kernels measured, and
 //!   the wide kernel's best wall time beats (or ties) the binary
 //!   kernel's — the wide-BVH hot path must actually pay off;
+//! - the `maintenance` section is present, the policy-driven side ends
+//!   within the policy's quality thresholds, and its probe batches'
+//!   modeled device p99 does not exceed the unmaintained twin's by more
+//!   than 10% (both sides are deterministic model time, so this cannot
+//!   flake on a loaded runner);
 //! - when the run used `>= 4` executor threads on a host with `>= 4`
 //!   CPUs, the scaling study's measured speedup is at least 1.5 (the
 //!   gate is skipped — with a note — on smaller hosts, where a parallel
@@ -58,6 +63,7 @@ fn main() {
     check_trace(trace_path);
     check_prediction_error(perf_path, max_err);
     check_kernel_ab(perf_path);
+    check_maintenance(perf_path);
     check_scaling(perf_path);
     println!("trace_check: all checks passed");
 }
@@ -276,6 +282,67 @@ fn check_kernel_ab(path: &str) {
         "trace_check: {path}: kernel_ab bvh4 {wall4} ns <= bvh2 {wall2} ns \
          ({:.2}x) OK",
         wall2 / wall4.max(1.0)
+    );
+}
+
+fn check_maintenance(path: &str) {
+    let content =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let start = content.find("\"maintenance\": {").unwrap_or_else(|| {
+        fail(format!(
+            "{path}: no maintenance section (the churn maintenance study did not run)"
+        ))
+    });
+    let block = &content[start..];
+    let max_sah = num_field(block, "max_sah_drift")
+        .unwrap_or_else(|| fail(format!("{path}: maintenance has no max_sah_drift")));
+    let max_overlap = num_field(block, "max_overlap_drift")
+        .unwrap_or_else(|| fail(format!("{path}: maintenance has no max_overlap_drift")));
+    // The per-policy sides are single-line objects, same layout as the
+    // kernel_ab sides; scan each side's own line for its fields.
+    let side_line = |policy: &str| -> &str {
+        let pat = format!("\"policy\": \"{policy}\"");
+        let s = block.find(&pat).unwrap_or_else(|| {
+            fail(format!(
+                "{path}: maintenance is missing the policy-{policy} side"
+            ))
+        });
+        block[s..]
+            .lines()
+            .next()
+            .unwrap_or_else(|| fail(format!("{path}: truncated policy-{policy} side")))
+    };
+    let on = side_line("on");
+    let off = side_line("off");
+    let side_num = |line: &str, policy: &str, key: &str| -> f64 {
+        num_field(line, key).unwrap_or_else(|| {
+            fail(format!(
+                "{path}: maintenance policy-{policy} side has no {key}"
+            ))
+        })
+    };
+    let on_sah = side_num(on, "on", "final_sah_drift");
+    let on_overlap = side_num(on, "on", "final_overlap_drift");
+    if on_sah > max_sah || on_overlap > max_overlap {
+        fail(format!(
+            "{path}: maintained side ended outside the policy thresholds \
+             (sah drift {on_sah} vs {max_sah}, overlap drift {on_overlap} vs {max_overlap})"
+        ));
+    }
+    let on_p99 = side_num(on, "on", "device_p99_ns");
+    let off_p99 = side_num(off, "off", "device_p99_ns");
+    // Maintained BVHs must not traverse worse than refit-degraded ones;
+    // allow 10% slack for batch-shape noise at smoke scale.
+    if on_p99 > off_p99 * 1.1 {
+        fail(format!(
+            "{path}: maintained side's probe device p99 {on_p99} ns exceeds \
+             the unmaintained side's {off_p99} ns by more than 10%"
+        ));
+    }
+    println!(
+        "trace_check: {path}: maintenance on-side sah drift {on_sah:.3} <= {max_sah}, \
+         overlap drift {on_overlap:.3} <= {max_overlap}, \
+         device p99 {on_p99} ns vs off {off_p99} ns OK"
     );
 }
 

@@ -10,6 +10,7 @@
 pub mod concurrency;
 pub mod config;
 pub mod figures;
+pub mod maintenance;
 pub mod perf;
 pub mod table;
 

@@ -229,6 +229,7 @@ pub struct PerfReport {
     scaling: Option<ScalingRecord>,
     kernel_ab: Option<KernelAbRecord>,
     concurrency: Vec<crate::concurrency::ConcurrencyRecord>,
+    maintenance: Option<crate::maintenance::MaintenanceRecord>,
     explain: Option<obs::QueryPlan>,
 }
 
@@ -248,6 +249,7 @@ impl PerfReport {
             scaling: None,
             kernel_ab: None,
             concurrency: Vec::new(),
+            maintenance: None,
             explain: None,
         }
     }
@@ -361,6 +363,30 @@ impl PerfReport {
         }
     }
 
+    /// Runs the maintenance churn study (policy on vs off over the same
+    /// deterministic churn stream, see [`crate::maintenance`]), records
+    /// it, and prints a one-line summary.
+    pub fn maintenance_study(&mut self, cfg: &EvalConfig) {
+        let r = crate::maintenance::run_maintenance_study(cfg);
+        println!(
+            "\n== Maintenance: {} rounds of churn over {} rects, {} probes/round ==\n\
+             policy on:  device p99 {}  final sah drift {:.3}  overlap drift {:.3}  v{}\n\
+             policy off: device p99 {}  final sah drift {:.3}  overlap drift {:.3}  v{}",
+            r.rounds,
+            r.rects,
+            r.queries,
+            fmt_dur(r.on.device_p99),
+            r.on.final_sah_drift,
+            r.on.final_overlap_drift,
+            r.on.final_version,
+            fmt_dur(r.off.device_p99),
+            r.off.final_sah_drift,
+            r.off.final_overlap_drift,
+            r.off.final_version,
+        );
+        self.maintenance = Some(r);
+    }
+
     /// Serializes the report as JSON.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -425,6 +451,25 @@ impl PerfReport {
             ));
         }
         s.push_str("  ],\n");
+        // Maintenance churn study (policy on vs off, ISSUE 8).
+        match &self.maintenance {
+            None => s.push_str("  \"maintenance\": null,\n"),
+            Some(r) => {
+                s.push_str("  \"maintenance\": {\n");
+                s.push_str(&format!("    \"rects\": {},\n", r.rects));
+                s.push_str(&format!("    \"queries\": {},\n", r.queries));
+                s.push_str(&format!("    \"rounds\": {},\n", r.rounds));
+                s.push_str(&format!("    \"results\": {},\n", r.results));
+                s.push_str(&format!("    \"max_sah_drift\": {:.6},\n", r.max_sah_drift));
+                s.push_str(&format!(
+                    "    \"max_overlap_drift\": {:.6},\n",
+                    r.max_overlap_drift
+                ));
+                s.push_str(&format!("    \"policy_on\": {},\n", r.on.to_json()));
+                s.push_str(&format!("    \"policy_off\": {}\n", r.off.to_json()));
+                s.push_str("  },\n");
+            }
+        }
         // Traversal-kernel A/B (binary vs wide on the Fig. 8 batch).
         match &self.kernel_ab {
             None => s.push_str("  \"kernel_ab\": null,\n"),

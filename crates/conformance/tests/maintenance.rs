@@ -1,0 +1,333 @@
+//! Automatic-maintenance conformance tier (ISSUE 8 tentpole).
+//!
+//! A churn lifecycle (scatter updates + deletes + inserts) is replayed
+//! three ways — `ConcurrentIndex` with the maintenance policy **on**,
+//! with it **off**, and against the brute-force [`conformance::Oracle`]
+//! — holding all three to byte-identical query results after every
+//! mutation batch while versions stay strictly monotone through
+//! auto-published maintenance versions. The policy-on run must end
+//! within the policy's quality thresholds (`sibling_overlap` /
+//! `sah_cost` drift vs the fresh-build baseline) while the policy-off
+//! twin visibly degrades; and because maintenance decisions are driven
+//! purely by modeled device costs and deterministic BVH quality, the
+//! Stable-class `maintenance.*` decision counters must be
+//! byte-identical at 1, 4 and ncpus executor threads.
+//!
+//! All tests in this binary serialize on one lock: the obs registry is
+//! process-global and the thread-invariance test diffs Stable counters
+//! the other tests would pollute.
+
+use std::sync::{Mutex, MutexGuard};
+
+use conformance::versioned::{probe_points, probe_rects};
+use conformance::Oracle;
+use geom::{Point, Rect};
+use librts::{
+    ConcurrentIndex, ConcurrentIndex3, IndexOptions, MaintenancePolicy, Predicate, RTSIndex3,
+};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Tight thresholds + eager budget so the churn below reliably crosses
+/// them — the tier pins behavior, not tuning.
+fn policy() -> MaintenancePolicy {
+    MaintenancePolicy {
+        max_sah_drift: 1.1,
+        max_overlap_drift: 0.1,
+        max_dead_fraction: 0.3,
+        target_batch_size: 256,
+        ..MaintenancePolicy::eager()
+    }
+}
+
+/// Initial grid inside the probe world box ([-100, 1100]²).
+fn seed_rects(n: usize) -> Vec<Rect<f32, 2>> {
+    (0..n)
+        .map(|i| {
+            let x = (i % 30) as f32 * 30.0;
+            let y = (i / 30) as f32 * 30.0;
+            Rect::xyxy(x, y, x + 20.0, y + 20.0)
+        })
+        .collect()
+}
+
+/// One deterministic churn step: scatter a third of the live ids to
+/// hash-derived positions (staying inside the probe world box), delete
+/// a slice, insert replacements. Applied identically to engines and
+/// oracle.
+struct ChurnStep {
+    update_ids: Vec<u32>,
+    update_rects: Vec<Rect<f32, 2>>,
+    delete_ids: Vec<u32>,
+    insert_rects: Vec<Rect<f32, 2>>,
+}
+
+fn churn_step(oracle: &Oracle<2>, round: usize) -> ChurnStep {
+    let live: Vec<u32> = oracle.live().iter().map(|&(id, _)| id).collect();
+    let update_ids: Vec<u32> = live.iter().copied().step_by(3).collect();
+    let update_rects: Vec<Rect<f32, 2>> = update_ids
+        .iter()
+        .map(|&id| {
+            let k = (id as usize)
+                .wrapping_mul(2654435761)
+                .wrapping_add(round * 97)
+                % 1000;
+            let x = k as f32;
+            let y = ((k * 13) % 1000) as f32;
+            Rect::xyxy(x, y, x + 2.0, y + 2.0)
+        })
+        .collect();
+    // Delete a different stride of live ids (skipping the updated ones
+    // is unnecessary — steps run update first, then delete).
+    let delete_ids: Vec<u32> = live.iter().copied().skip(1).step_by(17).take(12).collect();
+    let insert_rects: Vec<Rect<f32, 2>> = (0..8)
+        .map(|i| {
+            let k = (round * 31 + i * 7) % 990;
+            let x = k as f32;
+            Rect::xyxy(x, 990.0 - x, x + 5.0, 995.0 - x)
+        })
+        .collect();
+    ChurnStep {
+        update_ids,
+        update_rects,
+        delete_ids,
+        insert_rects,
+    }
+}
+
+fn assert_matches_oracle(index: &ConcurrentIndex<f32>, oracle: &Oracle<2>, tag: &str) {
+    let points = probe_points(64, 0xA11CE);
+    let rects = probe_rects(48, 0xB0B);
+    let snap = index.snapshot();
+    assert_eq!(
+        snap.collect_point_query(&points),
+        oracle.point_query(&points),
+        "{tag}: point results diverge from oracle"
+    );
+    assert_eq!(
+        snap.collect_range_query(Predicate::Intersects, &rects),
+        oracle.intersects(&rects),
+        "{tag}: intersects results diverge from oracle"
+    );
+    assert_eq!(
+        snap.collect_range_query(Predicate::Contains, &rects),
+        oracle.contains(&rects),
+        "{tag}: contains results diverge from oracle"
+    );
+}
+
+/// Runs the churn lifecycle on one `ConcurrentIndex`, checking oracle
+/// equality and version monotonicity after every batch. Returns the
+/// final version.
+fn run_churn(index: &ConcurrentIndex<f32>, rounds: usize, tag: &str) -> u64 {
+    let mut oracle = Oracle::<2>::new();
+    oracle.insert(&seed_rects(600));
+    let mut last_version = index.version();
+    for round in 0..rounds {
+        let step = churn_step(&oracle, round);
+        index.update(&step.update_ids, &step.update_rects).unwrap();
+        oracle.update(&step.update_ids, &step.update_rects);
+        index.delete(&step.delete_ids).unwrap();
+        oracle.delete(&step.delete_ids);
+        index.insert(&step.insert_rects).unwrap();
+        oracle.insert(&step.insert_rects);
+
+        let v = index.version();
+        assert!(
+            v > last_version,
+            "{tag}: versions must stay strictly monotone (round {round})"
+        );
+        last_version = v;
+        assert_matches_oracle(index, &oracle, tag);
+    }
+    last_version
+}
+
+#[test]
+fn churn_policy_on_off_oracle_equivalence() {
+    let _g = lock();
+    let policy = policy();
+    let on = ConcurrentIndex::with_rects(&seed_rects(600), IndexOptions::default())
+        .unwrap()
+        .with_policy(policy.clone());
+    let off = ConcurrentIndex::with_rects(&seed_rects(600), IndexOptions::default()).unwrap();
+
+    let v_on = run_churn(&on, 6, "policy-on");
+    let v_off = run_churn(&off, 6, "policy-off");
+
+    // Maintenance published extra (ordinary) versions on top of the
+    // 3-per-round mutation batches.
+    assert_eq!(v_off, 18, "policy-off publishes exactly one per batch");
+    assert!(
+        v_on > v_off,
+        "policy-on must have auto-published maintained versions \
+         (on {v_on} vs off {v_off})"
+    );
+
+    // Post-maintenance quality: the policy-on index ends within the
+    // thresholds; the policy-off twin shows the drift maintenance
+    // removed.
+    let report_on = on.maintenance_report();
+    assert!(
+        report_on.within_thresholds(&policy),
+        "policy-on must end within thresholds: sah {} overlap {} dead {}",
+        report_on.worst_sah_drift(),
+        report_on.worst_overlap_drift(),
+        report_on.dead_fraction
+    );
+    let report_off = off.snapshot().maintenance_report(&policy);
+    assert!(
+        !report_off.within_thresholds(&policy)
+            || report_off.dead_fraction > policy.max_dead_fraction,
+        "policy-off churn must visibly degrade: sah {} overlap {} dead {}",
+        report_off.worst_sah_drift(),
+        report_off.worst_overlap_drift(),
+        report_off.dead_fraction
+    );
+
+    // Manual maintenance on the off index converges it too.
+    off.set_maintenance_policy(Some(policy.clone()));
+    let outcome = off.maintain();
+    assert!(outcome.acted(), "degraded index must need work");
+    assert!(off.maintenance_report().within_thresholds(&policy));
+}
+
+#[test]
+fn maintenance_decision_counters_are_thread_invariant() {
+    let _g = lock();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 4, cpus];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let keys = [
+        "maintenance.checks",
+        "maintenance.noops",
+        "maintenance.refits",
+        "maintenance.rebuilds",
+        "maintenance.compacts",
+        "maintenance.deferred",
+    ];
+    let mut reference: Option<(usize, Vec<(&str, u64)>)> = None;
+    for &n in &counts {
+        let before = exec::with_threads(n, obs::snapshot);
+        exec::with_threads(n, || {
+            let index = ConcurrentIndex::with_rects(&seed_rects(600), IndexOptions::default())
+                .unwrap()
+                .with_policy(policy());
+            run_churn(&index, 6, "invariance");
+        });
+        let delta = exec::with_threads(n, obs::snapshot).delta_since(&before);
+        let stable = delta.stable_only();
+        let observed: Vec<(&str, u64)> = keys
+            .iter()
+            .map(|&k| (k, stable.counter(k).unwrap_or(0)))
+            .collect();
+        let checks = observed
+            .iter()
+            .find(|(k, _)| *k == "maintenance.checks")
+            .unwrap()
+            .1;
+        assert!(checks > 0, "driver must have run at {n} threads");
+        let actions: u64 = observed
+            .iter()
+            .filter(|(k, _)| *k != "maintenance.checks" && *k != "maintenance.noops")
+            .map(|&(_, v)| v)
+            .sum();
+        assert!(actions > 0, "churn must trigger actions at {n} threads");
+        match &reference {
+            None => reference = Some((n, observed)),
+            Some((n0, want)) => assert_eq!(
+                &observed, want,
+                "maintenance decisions diverge between {n0} and {n} threads \
+                 — the policy must be driven only by modeled costs"
+            ),
+        }
+    }
+}
+
+#[test]
+fn churn_3d_policy_matches_fresh_build() {
+    let _g = lock();
+    let boxes: Vec<Rect<f32, 3>> = (0..400)
+        .map(|i| {
+            let x = (i % 20) as f32 * 40.0;
+            let y = (i / 20) as f32 * 40.0;
+            Rect::xyzxyz(x, y, 0.0, x + 25.0, y + 25.0, 10.0)
+        })
+        .collect();
+    let policy = policy();
+    let index = ConcurrentIndex3::build(&boxes, IndexOptions::default())
+        .unwrap()
+        .with_policy(policy.clone());
+
+    let mut cur = boxes;
+    let mut deleted: Vec<bool> = vec![false; cur.len()];
+    let mut last_version = index.version();
+    for round in 0..4usize {
+        let ids: Vec<u32> = (0..cur.len() as u32)
+            .filter(|&i| !deleted[i as usize])
+            .step_by(3)
+            .collect();
+        let moved: Vec<Rect<f32, 3>> = ids
+            .iter()
+            .map(|&id| {
+                let k = (id as usize).wrapping_mul(40503).wrapping_add(round * 71) % 750;
+                let x = k as f32;
+                let y = ((k * 7) % 750) as f32;
+                Rect::xyzxyz(x, y, 0.0, x + 3.0, y + 3.0, 3.0)
+            })
+            .collect();
+        index.update(&ids, &moved).unwrap();
+        for (pos, &id) in ids.iter().enumerate() {
+            cur[id as usize] = moved[pos];
+        }
+        let victims: Vec<u32> = (0..cur.len() as u32)
+            .filter(|&i| !deleted[i as usize])
+            .skip(1)
+            .step_by(23)
+            .take(6)
+            .collect();
+        index.delete(&victims).unwrap();
+        for &id in &victims {
+            deleted[id as usize] = true;
+        }
+
+        let v = index.version();
+        assert!(v > last_version, "3-D versions stay monotone");
+        last_version = v;
+
+        // Exact equality against a fresh build over the live set.
+        let live: Vec<Rect<f32, 3>> = cur
+            .iter()
+            .zip(&deleted)
+            .filter(|&(_, &d)| !d)
+            .map(|(b, _)| *b)
+            .collect();
+        let id_of: Vec<u32> = (0..cur.len() as u32)
+            .filter(|&i| !deleted[i as usize])
+            .collect();
+        let fresh = RTSIndex3::build(&live, IndexOptions::default()).unwrap();
+        let pts: Vec<Point<f32, 3>> = (0..48)
+            .map(|i| {
+                let k = (i * 131) % 800;
+                Point::xyz(k as f32, ((k * 3) % 800) as f32, 1.5)
+            })
+            .collect();
+        let got = index.snapshot().collect_point_query(&pts);
+        let want: Vec<(u32, u32)> = fresh
+            .collect_point_query(&pts)
+            .into_iter()
+            .map(|(rid, qid)| (id_of[rid as usize], qid))
+            .collect();
+        let mut want = want;
+        want.sort_unstable();
+        assert_eq!(got, want, "3-D maintained results diverge (round {round})");
+    }
+    assert!(index.maintenance_report().within_thresholds(&policy));
+}

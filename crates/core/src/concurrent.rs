@@ -67,6 +67,7 @@ use crate::config::IndexOptions;
 use crate::error::IndexError;
 use crate::index::RTSIndex;
 use crate::index3d::RTSIndex3;
+use crate::maintenance::{MaintenanceOutcome, MaintenancePolicy, MaintenanceReport};
 use crate::report::MutationReport;
 
 // ---------------------------------------------------------------------------
@@ -408,6 +409,30 @@ impl<E: Clone + Send + Sync> SnapCore<E> {
             }
         }
     }
+
+    /// Applies `f` to the private successor and publishes **only when
+    /// `f` returns `Some`** — the automatic-maintenance entry point. On
+    /// `None` nothing is published, no version is consumed, and no
+    /// publish counter moves; `f` must leave the successor untouched in
+    /// that case (the maintenance no-op contract: a pass that takes no
+    /// action does not mutate the engine).
+    fn mutate_if<R>(&self, f: impl FnOnce(&mut E) -> Option<R>) -> Option<(R, u64)> {
+        let mut st = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = f(&mut st.next)?;
+        st.version += 1;
+        let version = st.version;
+        let span = obs::span!("concurrent.publish");
+        let published = Arc::new(Published {
+            version,
+            engine: st.next.clone(),
+        });
+        self.cell.publish(published);
+        self.latest.store(version, Ordering::SeqCst);
+        drop(span);
+        m_publishes().inc();
+        m_version().set(version.min(i64::MAX as u64) as i64);
+        Some((out, version))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -461,6 +486,9 @@ pub enum BatchOp<C: Coord> {
 /// ```
 pub struct ConcurrentIndex<C: Coord> {
     core: SnapCore<RTSIndex<C>>,
+    /// Automatic-maintenance policy; `None` (the default) disables the
+    /// driver entirely and the writer loop behaves exactly as before.
+    policy: Mutex<Option<MaintenancePolicy>>,
 }
 
 impl<C: Coord> Default for ConcurrentIndex<C> {
@@ -474,6 +502,7 @@ impl<C: Coord> ConcurrentIndex<C> {
     pub fn new(opts: IndexOptions) -> Self {
         Self {
             core: SnapCore::new(RTSIndex::new(opts)),
+            policy: Mutex::new(None),
         }
     }
 
@@ -481,7 +510,70 @@ impl<C: Coord> ConcurrentIndex<C> {
     pub fn from_index(index: RTSIndex<C>) -> Self {
         Self {
             core: SnapCore::new(index),
+            policy: Mutex::new(None),
         }
+    }
+
+    /// Builder form of [`ConcurrentIndex::set_maintenance_policy`].
+    pub fn with_policy(self, policy: MaintenancePolicy) -> Self {
+        self.set_maintenance_policy(Some(policy));
+        self
+    }
+
+    /// Installs (or with `None` removes) the automatic-maintenance
+    /// policy. While a policy is set, the writer runs a maintenance
+    /// pass after every successful mutation batch; when the pass takes
+    /// a structural action (refit / rebuild / repack) the maintained
+    /// successor is published as an ordinary next version — readers see
+    /// it exactly like any other publish, with byte-identical query
+    /// results to the unmaintained state.
+    pub fn set_maintenance_policy(&self, policy: Option<MaintenancePolicy>) {
+        *self.policy.lock().unwrap_or_else(PoisonError::into_inner) = policy;
+    }
+
+    /// The currently installed automatic-maintenance policy.
+    pub fn maintenance_policy(&self) -> Option<MaintenancePolicy> {
+        self.policy
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Runs one maintenance pass under the installed policy (or the
+    /// default policy when none is installed), publishing a new version
+    /// only if the pass acted. Returns what the pass did.
+    pub fn maintain(&self) -> MaintenanceOutcome {
+        let policy = self.maintenance_policy().unwrap_or_default();
+        self.maintain_with(&policy)
+    }
+
+    /// As [`ConcurrentIndex::maintain`] with an explicit policy.
+    pub fn maintain_with(&self, policy: &MaintenancePolicy) -> MaintenanceOutcome {
+        let mut outcome = MaintenanceOutcome::default();
+        self.core.mutate_if(|next| {
+            outcome = next.maintain(policy);
+            outcome.acted().then_some(())
+        });
+        outcome
+    }
+
+    /// Quality drift and amortization state of the newest published
+    /// snapshot, measured under the installed policy (or the default).
+    pub fn maintenance_report(&self) -> MaintenanceReport {
+        let policy = self.maintenance_policy().unwrap_or_default();
+        self.snapshot().maintenance_report(&policy)
+    }
+
+    /// The automatic driver: one policy-gated maintenance pass, run by
+    /// the writer after each successful mutation batch.
+    fn auto_maintain(&self) {
+        let Some(policy) = self.maintenance_policy() else {
+            return;
+        };
+        self.core.mutate_if(|next| {
+            let outcome = next.maintain(&policy);
+            outcome.acted().then_some(())
+        });
     }
 
     /// Convenience: creates a concurrent index pre-loaded with one
@@ -524,21 +616,31 @@ impl<C: Coord> ConcurrentIndex<C> {
     /// [`RTSIndex::insert`]). Returns the new ids; on error nothing is
     /// published.
     pub fn insert(&self, batch: &[Rect<C, 2>]) -> Result<Range<u32>, IndexError> {
-        self.core.mutate(|next| next.insert(batch)).map(|(r, _)| r)
+        let out = self
+            .core
+            .mutate(|next| next.insert(batch))
+            .map(|(r, _)| r)?;
+        self.auto_maintain();
+        Ok(out)
     }
 
     /// Deletes by id and publishes the successor (see
     /// [`RTSIndex::delete`]).
     pub fn delete(&self, ids: &[u32]) -> Result<MutationReport, IndexError> {
-        self.core.mutate(|next| next.delete(ids)).map(|(r, _)| r)
+        let out = self.core.mutate(|next| next.delete(ids)).map(|(r, _)| r)?;
+        self.auto_maintain();
+        Ok(out)
     }
 
     /// Updates coordinates and publishes the successor (see
     /// [`RTSIndex::update`]).
     pub fn update(&self, ids: &[u32], rects: &[Rect<C, 2>]) -> Result<MutationReport, IndexError> {
-        self.core
+        let out = self
+            .core
             .mutate(|next| next.update(ids, rects))
-            .map(|(r, _)| r)
+            .map(|(r, _)| r)?;
+        self.auto_maintain();
+        Ok(out)
     }
 
     /// Compacts into a single batch and publishes (see
@@ -569,9 +671,11 @@ impl<C: Coord> ConcurrentIndex<C> {
     /// successor is restored — readers keep seeing the previous version
     /// exactly.
     ///
-    /// Returns the version the batch published.
+    /// Returns the version the batch published (a maintenance pass
+    /// triggered by the batch may publish a further version on top).
     pub fn apply(&self, ops: &[BatchOp<C>]) -> Result<u64, IndexError> {
-        self.core
+        let v = self
+            .core
             .mutate(|next| {
                 for op in ops {
                     match op {
@@ -592,7 +696,9 @@ impl<C: Coord> ConcurrentIndex<C> {
                 }
                 Ok(())
             })
-            .map(|((), v)| v)
+            .map(|((), v)| v)?;
+        self.auto_maintain();
+        Ok(v)
     }
 }
 
@@ -607,10 +713,14 @@ impl<C: Coord> ConcurrentIndex<C> {
 /// `Arc`, so a publish is structurally shared just like the 2-D
 /// engine's: cloning the successor shares the GAS, and the writer's
 /// refit copies it on write ([`std::sync::Arc::make_mut`]) without
-/// disturbing published snapshots. The 3-D engine's only mutation is
-/// [`delete`](Self::delete).
+/// disturbing published snapshots. Mutations mirror the 2-D engine:
+/// [`delete`](Self::delete), [`update`](Self::update),
+/// [`compact`](Self::compact), [`rebuild`](Self::rebuild), plus the
+/// same automatic-maintenance driver.
 pub struct ConcurrentIndex3<C: Coord> {
     core: SnapCore<RTSIndex3<C>>,
+    /// See [`ConcurrentIndex::set_maintenance_policy`].
+    policy: Mutex<Option<MaintenancePolicy>>,
 }
 
 impl<C: Coord> ConcurrentIndex3<C> {
@@ -618,7 +728,61 @@ impl<C: Coord> ConcurrentIndex3<C> {
     pub fn build(boxes: &[Rect<C, 3>], opts: IndexOptions) -> Result<Self, IndexError> {
         Ok(Self {
             core: SnapCore::new(RTSIndex3::build(boxes, opts)?),
+            policy: Mutex::new(None),
         })
+    }
+
+    /// Builder form of [`ConcurrentIndex3::set_maintenance_policy`].
+    pub fn with_policy(self, policy: MaintenancePolicy) -> Self {
+        self.set_maintenance_policy(Some(policy));
+        self
+    }
+
+    /// Installs (or removes) the automatic-maintenance policy — same
+    /// contract as [`ConcurrentIndex::set_maintenance_policy`].
+    pub fn set_maintenance_policy(&self, policy: Option<MaintenancePolicy>) {
+        *self.policy.lock().unwrap_or_else(PoisonError::into_inner) = policy;
+    }
+
+    /// The currently installed automatic-maintenance policy.
+    pub fn maintenance_policy(&self) -> Option<MaintenancePolicy> {
+        self.policy
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Runs one maintenance pass (see [`ConcurrentIndex::maintain`]).
+    pub fn maintain(&self) -> MaintenanceOutcome {
+        let policy = self.maintenance_policy().unwrap_or_default();
+        self.maintain_with(&policy)
+    }
+
+    /// As [`ConcurrentIndex3::maintain`] with an explicit policy.
+    pub fn maintain_with(&self, policy: &MaintenancePolicy) -> MaintenanceOutcome {
+        let mut outcome = MaintenanceOutcome::default();
+        self.core.mutate_if(|next| {
+            outcome = next.maintain(policy);
+            outcome.acted().then_some(())
+        });
+        outcome
+    }
+
+    /// Quality drift and amortization state of the newest published
+    /// snapshot, measured under the installed policy (or the default).
+    pub fn maintenance_report(&self) -> MaintenanceReport {
+        let policy = self.maintenance_policy().unwrap_or_default();
+        self.snapshot().maintenance_report(&policy)
+    }
+
+    fn auto_maintain(&self) {
+        let Some(policy) = self.maintenance_policy() else {
+            return;
+        };
+        self.core.mutate_if(|next| {
+            let outcome = next.maintain(&policy);
+            outcome.acted().then_some(())
+        });
     }
 
     /// Acquires a read snapshot of the newest published version.
@@ -644,7 +808,41 @@ impl<C: Coord> ConcurrentIndex3<C> {
     /// Deletes by id and publishes the successor (see
     /// [`RTSIndex3::delete`]).
     pub fn delete(&self, ids: &[u32]) -> Result<MutationReport, IndexError> {
-        self.core.mutate(|next| next.delete(ids)).map(|(r, _)| r)
+        let out = self.core.mutate(|next| next.delete(ids)).map(|(r, _)| r)?;
+        self.auto_maintain();
+        Ok(out)
+    }
+
+    /// Updates box coordinates and publishes the successor (see
+    /// [`RTSIndex3::update`]).
+    pub fn update(&self, ids: &[u32], boxes: &[Rect<C, 3>]) -> Result<MutationReport, IndexError> {
+        let out = self
+            .core
+            .mutate(|next| next.update(ids, boxes))
+            .map(|(r, _)| r)?;
+        self.auto_maintain();
+        Ok(out)
+    }
+
+    /// Compacts away deleted slots and publishes (see
+    /// [`RTSIndex3::compact`]). Returns the old-id → new-id remap.
+    pub fn compact(&self) -> Vec<u32> {
+        self.core
+            .mutate(|next| Ok(next.compact()))
+            .map(|(r, _)| r)
+            .expect("compact is infallible")
+    }
+
+    /// Rebuilds the GAS from scratch and publishes (see
+    /// [`RTSIndex3::rebuild`]).
+    pub fn rebuild(&self) {
+        self.core
+            .mutate(|next| {
+                next.rebuild();
+                Ok(())
+            })
+            .map(|_: ((), u64)| ())
+            .expect("rebuild is infallible")
     }
 }
 
@@ -774,6 +972,110 @@ mod tests {
             weak.upgrade().is_none(),
             "last reader dropped — the old snapshot must be freed"
         );
+    }
+
+    #[test]
+    fn auto_maintenance_publishes_ordinary_versions_with_identical_results() {
+        use crate::config::Predicate;
+        use crate::maintenance::MaintenancePolicy;
+        // Tight thresholds so one heavy scatter round reliably triggers.
+        let policy = MaintenancePolicy {
+            max_sah_drift: 1.05,
+            max_overlap_drift: 0.05,
+            ..MaintenancePolicy::eager()
+        };
+        let rects: Vec<Rect<f32, 2>> = (0..512)
+            .map(|i| {
+                let x = (i % 32) as f32 * 2.0;
+                let y = (i / 32) as f32 * 2.0;
+                r(x, y, x + 1.0, y + 1.0)
+            })
+            .collect();
+        let on = ConcurrentIndex::with_rects(&rects, IndexOptions::default())
+            .unwrap()
+            .with_policy(policy.clone());
+        let off = ConcurrentIndex::with_rects(&rects, IndexOptions::default()).unwrap();
+
+        let mut last = on.version();
+        for round in 0..4usize {
+            let ids: Vec<u32> = (0..512).step_by(3).collect();
+            let moved: Vec<Rect<f32, 2>> = ids
+                .iter()
+                .map(|&id| {
+                    let k = (id as usize * 37 + round * 101) % 1000;
+                    let x = k as f32 * 11.0;
+                    let y = ((k * 7) % 900) as f32 * 5.0;
+                    r(x, y, x + 1.0, y + 1.0)
+                })
+                .collect();
+            on.update(&ids, &moved).unwrap();
+            off.update(&ids, &moved).unwrap();
+            let v = on.version();
+            assert!(v > last, "versions stay monotone through maintenance");
+            last = v;
+            // Maintained and unmaintained snapshots answer identically.
+            let q = [r(-1.0, -1.0, 20000.0, 20000.0)];
+            assert_eq!(
+                on.snapshot().collect_range_query(Predicate::Intersects, &q),
+                off.snapshot()
+                    .collect_range_query(Predicate::Intersects, &q)
+            );
+        }
+        assert!(
+            on.version() > off.version(),
+            "maintenance must have published extra versions"
+        );
+        assert!(on.maintenance_report().within_thresholds(&policy));
+        assert!(
+            !off.maintenance_report().within_thresholds(&policy),
+            "policy-off twin must show the drift maintenance removed"
+        );
+    }
+
+    #[test]
+    fn concurrent_index3_update_and_maintenance() {
+        let boxes: Vec<Rect<f32, 3>> = (0..256)
+            .map(|i| {
+                let x = (i % 16) as f32 * 3.0;
+                let y = (i / 16) as f32 * 3.0;
+                Rect::xyzxyz(x, y, 0.0, x + 2.0, y + 2.0, 2.0)
+            })
+            .collect();
+        let index = ConcurrentIndex3::build(&boxes, IndexOptions::default())
+            .unwrap()
+            .with_policy(crate::maintenance::MaintenancePolicy {
+                max_sah_drift: 1.05,
+                max_overlap_drift: 0.05,
+                ..crate::maintenance::MaintenancePolicy::eager()
+            });
+        let ids: Vec<u32> = (0..256).step_by(2).collect();
+        let moved: Vec<Rect<f32, 3>> = ids
+            .iter()
+            .map(|&id| {
+                let k = (id as usize * 53) % 777;
+                let (x, y) = (k as f32 * 13.0, ((k * 3) % 700) as f32 * 7.0);
+                Rect::xyzxyz(x, y, 0.0, x + 2.0, y + 2.0, 2.0)
+            })
+            .collect();
+        index.update(&ids, &moved).unwrap();
+        assert!(index.version() >= 1);
+        // Maintained snapshot answers exactly like a fresh build.
+        let mut cur = boxes;
+        for (pos, &id) in ids.iter().enumerate() {
+            cur[id as usize] = moved[pos];
+        }
+        let fresh = RTSIndex3::build(&cur, IndexOptions::default()).unwrap();
+        let q = [Rect::xyzxyz(0.0f32, 0.0, 0.0, 100.0, 100.0, 2.0)];
+        assert_eq!(
+            index.snapshot().collect_intersects(&q),
+            fresh.collect_intersects(&q)
+        );
+
+        // Compact publishes and remaps.
+        index.delete(&[1]).unwrap();
+        let remap = index.compact();
+        assert_eq!(remap[1], u32::MAX);
+        assert_eq!(index.snapshot().capacity_ids(), 255);
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub struct IndexOptions {
     pub cost_model: CostModel,
     /// Range-Intersects deduplication strategy (ablation knob).
     pub dedup: DedupStrategy,
+    /// Largest batch a [`crate::RTSIndex::compact`] re-split produces.
+    /// Compaction used to collapse every survivor into one mega-batch
+    /// GAS, after which any later mutation refit the *entire* index;
+    /// bounding the batch size keeps post-compact refit work local to
+    /// the touched batch.
+    pub compact_batch_size: usize,
 }
 
 impl Default for IndexOptions {
@@ -43,6 +49,7 @@ impl Default for IndexOptions {
             multicast: MulticastConfig::default(),
             cost_model: CostModel::default(),
             dedup: DedupStrategy::default(),
+            compact_batch_size: 4096,
         }
     }
 }

@@ -17,6 +17,7 @@ use rtcore::{BuildOptions, Device, Gas, GasCache, Ias, Instance};
 use crate::config::{IndexOptions, Predicate};
 use crate::error::IndexError;
 use crate::handlers::{CollectingHandler, QueryHandler, ResultPair};
+use crate::maintenance::MaintenanceCredit;
 use crate::queries;
 use crate::report::{MutationReport, QueryReport};
 
@@ -39,31 +40,34 @@ use crate::report::{MutationReport, QueryReport};
 /// assert_eq!(handler.into_sorted_vec(), vec![(0, 0)]);
 /// ```
 pub struct RTSIndex<C: Coord> {
-    opts: IndexOptions,
-    device: Device,
+    pub(crate) opts: IndexOptions,
+    pub(crate) device: Device,
     /// Global primitive cache: every rectangle ever inserted, in id
     /// order; deleted entries are degenerated (§4.2) but keep their slot
     /// so ids stay stable.
-    rects: Vec<Rect<C, 2>>,
+    pub(crate) rects: Vec<Rect<C, 2>>,
     /// Deletion bitmap (degenerate extent alone cannot distinguish a
     /// deleted rect from a user-supplied zero-area one).
-    deleted: Vec<bool>,
-    live: usize,
+    pub(crate) deleted: Vec<bool>,
+    pub(crate) live: usize,
     /// One GAS per insert batch (bottom level).
-    gases: Vec<Arc<Gas<C>>>,
+    pub(crate) gases: Vec<Arc<Gas<C>>>,
     /// Prefix sums: `batch_offsets[i]` is the global id of batch `i`'s
     /// first rectangle; `batch_offsets[batches]` == total count (the
     /// array `A` of §4.1).
-    batch_offsets: Vec<u32>,
+    pub(crate) batch_offsets: Vec<u32>,
     /// Top level; rebuilt after every mutation (cheap — stores no
     /// primitives).
-    ias: Ias<C>,
+    pub(crate) ias: Ias<C>,
     /// Cache of query-side GASes keyed on the exact placed query batch:
     /// a repeated Range-Intersects batch (an EXPLAIN'd query re-run for
     /// real, a polling dashboard) skips the Phase-2 `bvh_build` wall
     /// time entirely. Shared across clones — the cache is
     /// content-addressed, so sharing can never leak stale structures.
     query_gas_cache: Arc<GasCache<C>>,
+    /// Amortization ledger for [`RTSIndex::maintain`]: modeled device
+    /// time accrued by mutations vs spent on maintenance.
+    pub(crate) maint: MaintenanceCredit,
 }
 
 impl<C: Coord> Default for RTSIndex<C> {
@@ -89,6 +93,7 @@ impl<C: Coord> Clone for RTSIndex<C> {
             batch_offsets: self.batch_offsets.clone(),
             ias: self.ias.clone(),
             query_gas_cache: Arc::clone(&self.query_gas_cache),
+            maint: self.maint,
         }
     }
 }
@@ -110,6 +115,7 @@ impl<C: Coord> RTSIndex<C> {
             batch_offsets: vec![0],
             ias: Ias::build(&[]).expect("empty IAS build cannot fail"),
             query_gas_cache: Arc::new(GasCache::new()),
+            maint: MaintenanceCredit::default(),
         }
     }
 
@@ -236,6 +242,7 @@ impl<C: Coord> RTSIndex<C> {
         let device_time = model.build_time(batch.len(), rtcore::TraversalBackend::RtCore)
             + model.ias_build_time(self.gases.len());
         span.device(device_time);
+        self.maint.accrue(device_time);
         obs::counter("index.inserted_rects").add(batch.len() as u64);
         Ok((
             first..self.rects.len() as u32,
@@ -265,6 +272,7 @@ impl<C: Coord> RTSIndex<C> {
         let model = &self.device.cost_model;
         let device_time = model.refit_time(touched) + model.ias_refit_time(self.gases.len());
         span.device(device_time);
+        self.maint.accrue(device_time);
         obs::counter("index.deleted_rects").add(ids.len() as u64);
         Ok(MutationReport {
             affected: ids.len(),
@@ -302,6 +310,7 @@ impl<C: Coord> RTSIndex<C> {
         let model = &self.device.cost_model;
         let device_time = model.refit_time(touched) + model.ias_refit_time(self.gases.len());
         span.device(device_time);
+        self.maint.accrue(device_time);
         obs::counter("index.updated_rects").add(ids.len() as u64);
         Ok(MutationReport {
             affected: ids.len(),
@@ -322,7 +331,12 @@ impl<C: Coord> RTSIndex<C> {
         self.rebuild_ias();
     }
 
-    /// Compacts the index into a single batch, dropping deleted slots.
+    /// Compacts the index, dropping deleted slots. Survivors are
+    /// re-split into fresh GASes of at most
+    /// [`IndexOptions::compact_batch_size`] rectangles each (in id
+    /// order), so post-compact mutations keep refitting only the batch
+    /// they touch — compaction used to collapse everything into one
+    /// mega-batch, making every later refit O(index).
     /// **Ids are remapped**: the returned vector maps old id → new id
     /// (`u32::MAX` for deleted). This is an extension beyond the paper's
     /// API, useful after heavy churn.
@@ -336,32 +350,50 @@ impl<C: Coord> RTSIndex<C> {
                 kept.push(*r);
             }
         }
-        *self = Self::new(self.opts.clone());
-        if !kept.is_empty() {
-            self.insert(&kept)
-                .expect("kept rects were already validated");
-        }
+        self.rects = kept;
+        self.deleted = vec![false; self.rects.len()];
+        self.live = self.rects.len();
+        self.maint = MaintenanceCredit::default();
+        let target = self.opts.compact_batch_size.max(1);
+        self.rebuild_batches(target);
+        obs::counter("index.compactions").inc();
         remap
     }
 
-    fn check_ids(&self, ids: &[u32]) -> Result<(), IndexError> {
-        // A bitmap over the id space doubles as the duplicate detector:
-        // a repeated id in one batch would double-apply the mutation
-        // (delete would decrement `live` twice for one slot).
-        let mut seen = vec![false; self.rects.len()];
-        for &id in ids {
-            let i = id as usize;
-            if i >= self.rects.len() {
-                return Err(IndexError::UnknownId { id });
-            }
-            if self.deleted[i] {
-                return Err(IndexError::AlreadyDeleted { id });
-            }
-            if std::mem::replace(&mut seen[i], true) {
-                return Err(IndexError::DuplicateId { id });
-            }
+    pub(crate) fn check_ids(&self, ids: &[u32]) -> Result<(), IndexError> {
+        check_id_batch(ids, &self.deleted)
+    }
+
+    /// Rebuilds the bottom level from the global rectangle cache: drops
+    /// every existing GAS and re-splits the id space into contiguous
+    /// batches of at most `target` primitives, then rebuilds the IAS.
+    /// Id-stable — slot `i` keeps global id `i`; deleted slots (already
+    /// degenerated in the cache) ride along unhittable.
+    pub(crate) fn rebuild_batches(&mut self, target: usize) {
+        // Drop the IAS's shared references first so nothing retains the
+        // old bottom level.
+        self.ias = Ias::build(&[]).expect("empty IAS");
+        self.gases.clear();
+        self.batch_offsets = vec![0];
+        let total = self.rects.len();
+        let mut lo = 0usize;
+        while lo < total {
+            let hi = (lo + target).min(total);
+            let aabbs: Vec<Rect<C, 3>> = self.rects[lo..hi].iter().map(lift).collect();
+            let gas = Gas::build(
+                aabbs,
+                BuildOptions {
+                    allow_update: true,
+                    quality: self.opts.quality,
+                    leaf_size: self.opts.leaf_size,
+                },
+            )
+            .expect("cached rectangles are always finite");
+            self.gases.push(Arc::new(gas));
+            self.batch_offsets.push(hi as u32);
+            lo = hi;
         }
-        Ok(())
+        self.rebuild_ias();
     }
 
     /// Applies `mutate(global_cache, slot, position_in_ids)` for each id,
@@ -400,7 +432,7 @@ impl<C: Coord> RTSIndex<C> {
         }
     }
 
-    fn rebuild_ias(&mut self) {
+    pub(crate) fn rebuild_ias(&mut self) {
         let instances: Vec<Instance<C>> = self
             .gases
             .iter()
@@ -533,6 +565,69 @@ pub(crate) fn lift<C: Coord>(r: &Rect<C, 2>) -> Rect<C, 3> {
     r.lift(C::ZERO, C::ZERO)
 }
 
+/// Validates a mutation id batch against the deletion bitmap (the id
+/// space is `0..deleted.len()`): every id must name an existing live
+/// slot, and no id may repeat within the batch — a duplicate would
+/// double-apply the mutation (a repeated delete decrements `live` twice
+/// for one slot). Shared by the 2-D and 3-D engines.
+///
+/// O(k log k) in the batch size `k`. The previous implementation
+/// allocated an O(n) bitmap over the whole id space per call, so a
+/// one-id delete on a 10M-rect index paid a 10MB zeroing.
+///
+/// Error precedence is positional, matching the original left-to-right
+/// scan: the reported error is the one at the smallest *position* in
+/// `ids`, and at a tied position unknown/already-deleted wins over
+/// duplicate (a repeated unknown id reports `UnknownId`).
+pub(crate) fn check_id_batch(ids: &[u32], deleted: &[bool]) -> Result<(), IndexError> {
+    let len = deleted.len();
+    let mut bad: Option<(usize, IndexError)> = None;
+    for (pos, &id) in ids.iter().enumerate() {
+        let i = id as usize;
+        if i >= len {
+            bad = Some((pos, IndexError::UnknownId { id }));
+            break;
+        }
+        if deleted[i] {
+            bad = Some((pos, IndexError::AlreadyDeleted { id }));
+            break;
+        }
+    }
+    // The scan above stops at the first unknown/deleted id; a duplicate
+    // whose second occurrence sits strictly *before* that position won
+    // in the original scan and must still win here.
+    let scan_end = bad.as_ref().map_or(ids.len(), |(p, _)| *p);
+    if ids.len() > 1 {
+        let mut pairs: Vec<(u32, u32)> = ids
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, pos as u32))
+            .collect();
+        pairs.sort_unstable();
+        // Earliest second occurrence of any repeated id: sorting keeps
+        // equal ids position-ordered, so each adjacent equal pair's
+        // right element is a second (or later) occurrence.
+        let mut dup: Option<(usize, u32)> = None;
+        for w in pairs.windows(2) {
+            if w[0].0 == w[1].0 {
+                let pos = w[1].1 as usize;
+                if dup.is_none_or(|(dpos, _)| pos < dpos) {
+                    dup = Some((pos, w[1].0));
+                }
+            }
+        }
+        if let Some((dpos, id)) = dup {
+            if dpos < scan_end {
+                return Err(IndexError::DuplicateId { id });
+            }
+        }
+    }
+    match bad {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,5 +678,110 @@ mod tests {
             gas_sum + index.ias.tlas_memory_bytes()
         );
         assert!(index.memory_bytes() >= gas_sum);
+    }
+
+    /// The compact() batching fix: survivors are re-split into GASes of
+    /// at most `compact_batch_size` rects, and a post-compact mutation
+    /// refits only its own batch — pinned through the deterministic
+    /// cost-model device time, which charges exactly the touched
+    /// primitive count plus the IAS refit.
+    #[test]
+    fn compact_resplits_batches_and_localizes_refit() {
+        let opts = IndexOptions {
+            compact_batch_size: 32,
+            ..Default::default()
+        };
+        let mut index = RTSIndex::<f32>::new(opts);
+        for b in 0..4 {
+            let batch: Vec<Rect<f32, 2>> = (0..40)
+                .map(|i| {
+                    let x = (b * 40 + i) as f32 * 3.0;
+                    r(x, 0.0, x + 2.0, 2.0)
+                })
+                .collect();
+            index.insert(&batch).unwrap();
+        }
+        let victims: Vec<u32> = (0..160).step_by(20).collect(); // 8 ids
+        index.delete(&victims).unwrap();
+        assert_eq!(index.len(), 152);
+
+        let remap = index.compact();
+        // Survivors keep insertion order under new contiguous ids.
+        assert_eq!(remap.len(), 160);
+        assert!(victims.iter().all(|&v| remap[v as usize] == u32::MAX));
+        let survivors: Vec<u32> = remap.iter().copied().filter(|&v| v != u32::MAX).collect();
+        assert_eq!(survivors, (0..152).collect::<Vec<u32>>());
+        // Bounded re-split instead of one mega-batch.
+        assert_eq!(index.batch_count(), 152usize.div_ceil(32));
+        assert_eq!(index.capacity_ids(), 152);
+
+        // A single delete now touches one 32-rect batch, not the whole
+        // index: the modeled device time is exact and deterministic.
+        let report = index.delete(&[0]).unwrap();
+        let model = index.options().cost_model;
+        assert_eq!(
+            report.device_time,
+            model.refit_time(32) + model.ias_refit_time(index.batch_count())
+        );
+
+        // And results survive the remap (old id 21 — not a victim).
+        let hits = index.collect_point_query(&[Point::xy(3.0 * 21.0 + 1.0, 1.0)]);
+        assert_eq!(hits, vec![(remap[21], 0)]);
+    }
+
+    /// The O(batch)-validation rewrite keeps the exact positional error
+    /// precedence of the old left-to-right bitmap scan.
+    #[test]
+    fn check_ids_positional_precedence() {
+        let mut index = RTSIndex::<f32>::new(IndexOptions::default());
+        index
+            .insert(
+                &(0..8)
+                    .map(|i| r(i as f32, 0.0, i as f32 + 0.5, 1.0))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        index.delete(&[3]).unwrap();
+
+        // Duplicate's second occurrence before the unknown id: dup wins.
+        assert_eq!(
+            index.delete(&[1, 1, 99]),
+            Err(IndexError::DuplicateId { id: 1 })
+        );
+        // Unknown id before the duplicate pair: unknown wins.
+        assert_eq!(
+            index.delete(&[99, 1, 1]),
+            Err(IndexError::UnknownId { id: 99 })
+        );
+        // A repeated unknown id reports UnknownId (position tie).
+        assert_eq!(
+            index.delete(&[99, 99]),
+            Err(IndexError::UnknownId { id: 99 })
+        );
+        // A repeated deleted id reports AlreadyDeleted (position tie).
+        assert_eq!(
+            index.delete(&[3, 3]),
+            Err(IndexError::AlreadyDeleted { id: 3 })
+        );
+        // Already-deleted before a later duplicate: deleted wins.
+        assert_eq!(
+            index.delete(&[0, 3, 1, 1]),
+            Err(IndexError::AlreadyDeleted { id: 3 })
+        );
+        // Duplicate strictly before the deleted id: dup wins.
+        assert_eq!(
+            index.delete(&[0, 2, 0, 3]),
+            Err(IndexError::DuplicateId { id: 0 })
+        );
+        // Three occurrences: the *second* is the offence; it precedes
+        // the unknown id here.
+        assert_eq!(
+            index.delete(&[5, 5, 99, 5]),
+            Err(IndexError::DuplicateId { id: 5 })
+        );
+        // Failed batches must not have mutated anything.
+        assert_eq!(index.len(), 7);
+        index.delete(&[0, 1, 2]).unwrap();
+        assert_eq!(index.len(), 4);
     }
 }

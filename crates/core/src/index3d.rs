@@ -24,6 +24,8 @@ use rtcore::{BuildOptions, Device, Gas, GasCache, HitContext, IsResult, RtProgra
 use crate::config::IndexOptions;
 use crate::error::IndexError;
 use crate::handlers::{CollectingHandler, QueryHandler, ResultPair};
+use crate::index::check_id_batch;
+use crate::maintenance::MaintenanceCredit;
 use crate::report::{Breakdown, MutationReport, Phase, QueryReport};
 
 /// A 3-D rectangle (box) index supporting point queries, Range-Contains,
@@ -33,15 +35,15 @@ use crate::report::{Breakdown, MutationReport, Phase, QueryReport};
 /// but it supports the paper's §4.2 deletion trick directly on its single
 /// GAS: deleted boxes are degenerated to zero extent and refit.
 pub struct RTSIndex3<C: Coord> {
-    device: Device,
-    boxes: Vec<Rect<C, 3>>,
-    deleted: Vec<bool>,
-    live: usize,
+    pub(crate) device: Device,
+    pub(crate) boxes: Vec<Rect<C, 3>>,
+    pub(crate) deleted: Vec<bool>,
+    pub(crate) live: usize,
     /// The single data GAS, behind an [`Arc`] so `clone` is structural
     /// sharing rather than a deep copy. Mutation goes through
     /// [`Arc::make_mut`] — copy-on-write, so clones published elsewhere
     /// (e.g. by `ConcurrentIndex3`) are never disturbed.
-    gas: Arc<Gas<C>>,
+    pub(crate) gas: Arc<Gas<C>>,
     /// Content-addressed cache of per-batch query-side GASes built by
     /// [`RTSIndex3::intersects_query`]. Shared across clones: the cache
     /// keys on the exact expanded query batch, so sharing can never
@@ -51,7 +53,10 @@ pub struct RTSIndex3<C: Coord> {
     /// Minkowski bound used by the intersects candidate pass. Kept at
     /// its build-time value after deletions (still a valid upper bound
     /// for every live box).
-    max_half: Point<C, 3>,
+    pub(crate) max_half: Point<C, 3>,
+    /// Amortization ledger for automatic maintenance (modeled device
+    /// time accrued by mutations vs spent by maintenance).
+    pub(crate) maint: MaintenanceCredit,
 }
 
 impl<C: Coord> Clone for RTSIndex3<C> {
@@ -69,6 +74,7 @@ impl<C: Coord> Clone for RTSIndex3<C> {
             gas: Arc::clone(&self.gas),
             query_gas_cache: Arc::clone(&self.query_gas_cache),
             max_half: self.max_half,
+            maint: self.maint,
         }
     }
 }
@@ -172,7 +178,14 @@ impl<C: Coord> RTSIndex3<C> {
             gas: Arc::new(gas),
             query_gas_cache: Arc::new(GasCache::new()),
             max_half,
+            maint: MaintenanceCredit::default(),
         })
+    }
+
+    /// Total id capacity including deleted slots (ids are stable until
+    /// [`RTSIndex3::compact`]).
+    pub fn capacity_ids(&self) -> usize {
+        self.boxes.len()
     }
 
     /// Number of live (non-deleted) boxes.
@@ -188,22 +201,10 @@ impl<C: Coord> RTSIndex3<C> {
     /// Validates a mutation id batch: every id must name an existing,
     /// live box, and no id may repeat within the batch (a duplicate
     /// would double-count the live decrement — same invariant as
-    /// [`crate::RTSIndex`]).
+    /// [`crate::RTSIndex`]). Shares the sort-based validator with the
+    /// 2-D engine, including its positional error precedence.
     fn check_ids(&self, ids: &[u32]) -> Result<(), IndexError> {
-        let mut seen = vec![false; self.boxes.len()];
-        for &id in ids {
-            let i = id as usize;
-            if i >= self.boxes.len() {
-                return Err(IndexError::UnknownId { id });
-            }
-            if self.deleted[i] {
-                return Err(IndexError::AlreadyDeleted { id });
-            }
-            if std::mem::replace(&mut seen[i], true) {
-                return Err(IndexError::DuplicateId { id });
-            }
-        }
-        Ok(())
+        check_id_batch(ids, &self.deleted)
     }
 
     /// Deletes boxes by id — the paper's §4.2 trick: each deleted box is
@@ -229,12 +230,105 @@ impl<C: Coord> RTSIndex3<C> {
         self.live -= ids.len();
         let device_time = self.device.cost_model.refit_time(self.boxes.len());
         span.device(device_time);
+        self.maint.accrue(device_time);
         obs::counter("index3.deleted_rects").add(ids.len() as u64);
         Ok(MutationReport {
             affected: ids.len(),
             device_time,
             wall_time: start.elapsed(),
         })
+    }
+
+    /// Updates box coordinates in place: overwrites the cached
+    /// primitives and refits the single GAS (§4.2) — the 3-D
+    /// counterpart of [`crate::RTSIndex::update`]. The Minkowski bound
+    /// `max_half` grows monotonically when an update enlarges a box
+    /// (shrinking it would invalidate the intersects candidate pass for
+    /// boxes still at the old extent), so heavy growth-then-shrink
+    /// churn leaves the bound conservative — correct, just more
+    /// candidates, and [`RTSIndex3::compact`] re-tightens it.
+    pub fn update(
+        &mut self,
+        ids: &[u32],
+        boxes: &[Rect<C, 3>],
+    ) -> Result<MutationReport, IndexError> {
+        let span = obs::span!("index3.update");
+        let start = Instant::now();
+        if ids.len() != boxes.len() {
+            return Err(IndexError::LengthMismatch {
+                ids: ids.len(),
+                rects: boxes.len(),
+            });
+        }
+        self.check_ids(ids)?;
+        for (i, b) in boxes.iter().enumerate() {
+            if !(b.min.is_finite() && b.max.is_finite()) || b.is_empty() {
+                return Err(IndexError::InvalidRect { index: i });
+            }
+        }
+        Arc::make_mut(&mut self.gas)
+            .refit_in_place(|aabbs| {
+                for (pos, &id) in ids.iter().enumerate() {
+                    aabbs[id as usize] = boxes[pos];
+                }
+            })
+            .map_err(IndexError::Accel)?;
+        for (pos, &id) in ids.iter().enumerate() {
+            self.boxes[id as usize] = boxes[pos];
+            for d in 0..3 {
+                self.max_half.coords[d] =
+                    self.max_half.coords[d].max_c(boxes[pos].extent(d) * C::HALF);
+            }
+        }
+        let device_time = self.device.cost_model.refit_time(self.boxes.len());
+        span.device(device_time);
+        self.maint.accrue(device_time);
+        obs::counter("index3.updated_rects").add(ids.len() as u64);
+        Ok(MutationReport {
+            affected: ids.len(),
+            device_time,
+            wall_time: start.elapsed(),
+        })
+    }
+
+    /// Rebuilds the GAS from scratch over the current coordinates — the
+    /// recovery path when refit quality has degraded (§4.2, §6.7).
+    /// Id-stable: deleted slots stay degenerated.
+    pub fn rebuild(&mut self) {
+        let _span = obs::span!("index3.rebuild");
+        Arc::make_mut(&mut self.gas).rebuild();
+    }
+
+    /// Compacts the index, dropping deleted slots and re-tightening the
+    /// Minkowski bound — the 3-D counterpart of
+    /// [`crate::RTSIndex::compact`]. **Ids are remapped**: the returned
+    /// vector maps old id → new id (`u32::MAX` for deleted).
+    pub fn compact(&mut self) -> Vec<u32> {
+        let _span = obs::span!("index3.compact");
+        let mut remap = vec![u32::MAX; self.boxes.len()];
+        let mut kept = Vec::with_capacity(self.live);
+        for (i, (b, &dead)) in self.boxes.iter().zip(&self.deleted).enumerate() {
+            if !dead {
+                remap[i] = kept.len() as u32;
+                kept.push(*b);
+            }
+        }
+        let mut max_half: Point<C, 3> = Point::origin();
+        for b in &kept {
+            for d in 0..3 {
+                max_half.coords[d] = max_half.coords[d].max_c(b.extent(d) * C::HALF);
+            }
+        }
+        let gas =
+            Gas::build(kept.clone(), self.gas.options()).expect("cached boxes are always finite");
+        self.boxes = kept;
+        self.deleted = vec![false; self.boxes.len()];
+        self.live = self.boxes.len();
+        self.gas = Arc::new(gas);
+        self.max_half = max_half;
+        self.maint = MaintenanceCredit::default();
+        obs::counter("index3.compactions").inc();
+        remap
     }
 
     /// 3-D point query (§3.1 in three dimensions): one probe ray per
@@ -666,6 +760,99 @@ mod tests {
         }
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn update_3d_moves_boxes_and_grows_minkowski_bound() {
+        let boxes = grid3(4);
+        let mut index = RTSIndex3::build(&boxes, IndexOptions::default()).unwrap();
+        // Move box 0 far away and make it larger than any other box, so
+        // the intersects pass is only exact if `max_half` grew with it.
+        let moved = Rect::xyzxyz(100.0, 100.0, 100.0, 110.0, 104.0, 104.0);
+        index.update(&[0], &[moved]).unwrap();
+        assert_eq!(
+            index.collect_point_query(&[Point::xyz(105.0, 102.0, 102.0)]),
+            vec![(0, 0)]
+        );
+        assert!(
+            index
+                .collect_point_query(&[Point::xyz(1.0, 1.0, 1.0)])
+                .is_empty(),
+            "old location must no longer answer"
+        );
+        let mut cur = boxes.clone();
+        cur[0] = moved;
+        let qs = vec![
+            Rect::xyzxyz(99.0f32, 99.0, 99.0, 101.0, 101.0, 101.0),
+            Rect::xyzxyz(0.0, 0.0, 0.0, 5.0, 5.0, 5.0),
+        ];
+        let got = index.collect_intersects(&qs);
+        let mut want = vec![];
+        for (ri, r) in cur.iter().enumerate() {
+            for (qi, q) in qs.iter().enumerate() {
+                if r.intersects(q) {
+                    want.push((ri as u32, qi as u32));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+
+        // Validation mirrors the 2-D engine and mutates nothing on error.
+        assert!(matches!(
+            index.update(&[999], &[moved]),
+            Err(IndexError::UnknownId { id: 999 })
+        ));
+        assert!(matches!(
+            index.update(&[1], &[]),
+            Err(IndexError::LengthMismatch { ids: 1, rects: 0 })
+        ));
+        let bad = Rect {
+            min: Point::xyz(f32::NAN, 0.0, 0.0),
+            max: Point::xyz(1.0, 1.0, 1.0),
+        };
+        assert!(matches!(
+            index.update(&[1], &[bad]),
+            Err(IndexError::InvalidRect { index: 0 })
+        ));
+        assert_eq!(
+            index.collect_point_query(&[Point::xyz(105.0, 102.0, 102.0)]),
+            vec![(0, 0)]
+        );
+    }
+
+    #[test]
+    fn compact_3d_remaps_ids_and_preserves_results() {
+        let boxes = grid3(4);
+        let n = boxes.len();
+        let mut index = RTSIndex3::build(&boxes, IndexOptions::default()).unwrap();
+        let victims: Vec<u32> = (0..n as u32).step_by(4).collect();
+        index.delete(&victims).unwrap();
+
+        let remap = index.compact();
+        assert_eq!(remap.len(), n);
+        assert!(victims.iter().all(|&v| remap[v as usize] == u32::MAX));
+        assert_eq!(index.capacity_ids(), n - victims.len());
+        assert_eq!(index.len(), n - victims.len());
+
+        let q = Rect::xyzxyz(0.0f32, 0.0, 0.0, 5.0, 5.0, 5.0);
+        let got = index.collect_intersects(&[q]);
+        let mut want = vec![];
+        for (old, b) in boxes.iter().enumerate() {
+            let nid = remap[old];
+            if nid != u32::MAX && b.intersects(&q) {
+                want.push((nid, 0));
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+
+        // Remapped ids are live and mutable again.
+        index.delete(&[0]).unwrap();
+        assert!(matches!(
+            index.delete(&[0]),
+            Err(IndexError::AlreadyDeleted { id: 0 })
+        ));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod error;
 pub mod handlers;
 pub mod index;
 pub mod index3d;
+pub mod maintenance;
 pub mod multicast;
 pub mod nearest;
 pub mod pip;
@@ -66,6 +67,9 @@ pub use handlers::{
 };
 pub use index::RTSIndex;
 pub use index3d::RTSIndex3;
+pub use maintenance::{
+    GasDrift, MaintenanceAction, MaintenanceOutcome, MaintenancePolicy, MaintenanceReport,
+};
 pub use multicast::{MulticastAxis, MulticastConfig, MulticastMode};
 pub use nearest::Nearest;
 pub use pip::PipIndex;

@@ -5,6 +5,7 @@ use geom::{Coord, Rect};
 
 use crate::bvh::{BuildQuality, Bvh};
 use crate::bvh4::Bvh4;
+use crate::quality::{analyze, QualityReport};
 
 /// Build options, mirroring the OptiX acceleration-structure build flags
 /// that LibRTS relies on.
@@ -76,6 +77,14 @@ pub struct Gas<C: Coord> {
     wide: Bvh4<C>,
     aabbs: Vec<Rect<C, 3>>,
     options: BuildOptions,
+    /// Quality of the BVH as it left the last full build (`build` /
+    /// [`Gas::rebuild`]) — the fresh-build reference the maintenance
+    /// layer compares against (§6.7 degradation is *drift from this*).
+    baseline_quality: QualityReport,
+    /// Quality after the most recent build or refit. Refit preserves
+    /// topology, so re-measuring is a single O(nodes) walk — the same
+    /// order of work as the refit itself — and reading it back is free.
+    current_quality: QualityReport,
 }
 
 impl<C: Coord> Gas<C> {
@@ -92,11 +101,14 @@ impl<C: Coord> Gas<C> {
         let wide = Bvh4::collapse(&bvh);
         obs::counter("rtcore.gas_builds").inc();
         obs::counter("rtcore.gas_build_prims").add(aabbs.len() as u64);
+        let quality = analyze(&bvh);
         Ok(Self {
             bvh,
             wide,
             aabbs,
             options,
+            baseline_quality: quality,
+            current_quality: quality,
         })
     }
 
@@ -142,6 +154,19 @@ impl<C: Coord> Gas<C> {
         self.options
     }
 
+    /// Quality of the BVH as it left the last full build — the
+    /// fresh-build baseline refit degradation is measured against.
+    #[inline]
+    pub fn quality_baseline(&self) -> QualityReport {
+        self.baseline_quality
+    }
+
+    /// Quality of the BVH right now (re-measured on every refit).
+    #[inline]
+    pub fn quality(&self) -> QualityReport {
+        self.current_quality
+    }
+
     /// Refits the GAS to fully replaced primitive coordinates — the OptiX
     /// *update* operation: topology is preserved, only bounds change.
     pub fn refit(&mut self, aabbs: Vec<Rect<C, 3>>) -> Result<(), AccelError> {
@@ -162,6 +187,7 @@ impl<C: Coord> Gas<C> {
         self.aabbs = aabbs;
         self.bvh.refit(&self.aabbs);
         self.wide.refit_from(&self.bvh);
+        self.current_quality = analyze(&self.bvh);
         obs::counter("rtcore.gas_refits").inc();
         obs::counter("rtcore.gas_refit_prims").add(self.aabbs.len() as u64);
         Ok(())
@@ -185,18 +211,22 @@ impl<C: Coord> Gas<C> {
         }
         self.bvh.refit(&self.aabbs);
         self.wide.refit_from(&self.bvh);
+        self.current_quality = analyze(&self.bvh);
         obs::counter("rtcore.gas_refits").inc();
         obs::counter("rtcore.gas_refit_prims").add(self.aabbs.len() as u64);
         Ok(())
     }
 
     /// Rebuilds the BVH from the current primitives — what a user does
-    /// when refit quality has degraded too far (§4.2, §6.7).
+    /// when refit quality has degraded too far (§4.2, §6.7). Resets the
+    /// quality baseline: the rebuilt tree is the new fresh-build state.
     pub fn rebuild(&mut self) {
         self.bvh = Bvh::build(&self.aabbs, self.options.quality, self.options.leaf_size);
         self.wide = Bvh4::collapse(&self.bvh);
         obs::counter("rtcore.gas_builds").inc();
         obs::counter("rtcore.gas_build_prims").add(self.aabbs.len() as u64);
+        self.baseline_quality = analyze(&self.bvh);
+        self.current_quality = self.baseline_quality;
     }
 
     /// Device-memory footprint of this GAS in bytes: the primitive AABB
@@ -301,6 +331,33 @@ mod tests {
         gas.refit(scattered).unwrap();
         gas.rebuild();
         gas.bvh().validate(gas.aabbs()).unwrap();
+    }
+
+    #[test]
+    fn quality_tracks_refit_and_resets_on_rebuild() {
+        let mut gas = Gas::build(sample(), BuildOptions::default()).unwrap();
+        let base = gas.quality_baseline();
+        assert_eq!(gas.quality(), base, "fresh build: current == baseline");
+
+        let scattered: Vec<_> = sample()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.translated(&Point::xyz((i as f32) * 37.0, (i as f32) * -13.0, 0.0)))
+            .collect();
+        gas.refit(scattered).unwrap();
+        assert_eq!(gas.quality_baseline(), base, "refit keeps the baseline");
+        assert!(
+            gas.quality().sah_cost > base.sah_cost,
+            "scatter-refit must register as SAH degradation"
+        );
+
+        gas.rebuild();
+        assert_eq!(
+            gas.quality(),
+            gas.quality_baseline(),
+            "rebuild resets the baseline to the rebuilt tree"
+        );
+        assert!(gas.quality().sah_cost < base.sah_cost * 100.0);
     }
 
     #[test]
