@@ -7,8 +7,10 @@
 //! cargo run --release -p bench --bin runme            # smoke + full eval
 //! cargo run --release -p bench --bin runme -- --smoke-only
 //! cargo run --release -p bench --bin runme -- --seed 7   # replayable run
-//! cargo run --release -p bench --bin runme -- --trace trace.json
+//! cargo run --release -p bench --bin runme -- --trace            # target/trace.json
+//! cargo run --release -p bench --bin runme -- --trace my.json
 //! cargo run --release -p bench --bin runme -- --kernel bvh2
+//! cargo run --release -p bench --bin runme -- --serve 127.0.0.1:9000
 //! ```
 //!
 //! `--seed N` pins every workload generator, making the whole run
@@ -18,14 +20,23 @@
 //! (default `bvh4`, the wide kernel); the kernel A/B study measures
 //! both regardless, inside scoped overrides.
 //!
-//! `--trace PATH` additionally records the full span/launch/query
+//! `--trace [PATH]` additionally records the full span/launch/query
 //! timeline and exports it as a Chrome Trace Format file loadable in
-//! Perfetto (`ui.perfetto.dev`) or `chrome://tracing`. Query-level trace
-//! records (per-batch latency, chosen `k`, prediction error) are always
-//! collected and aggregated into `BENCH_perf.json`; slow-query capture
-//! is armed via `LIBRTS_SLOW_QUERY_MS`.
+//! Perfetto (`ui.perfetto.dev`) or `chrome://tracing`; the default
+//! path is `target/trace.json` so the export never dirties the
+//! checkout. Query-level trace records (per-batch latency, chosen `k`,
+//! prediction error) are always collected and aggregated into
+//! `BENCH_perf.json`; slow-query capture is armed via
+//! `LIBRTS_SLOW_QUERY_MS`.
+//!
+//! `--serve ADDR` brings up the live observability plane for the
+//! duration of the run: the HTTP introspection server on `ADDR`
+//! (`/metrics`, `/health`, `/index`, …), the time-series sampler, the
+//! default SLO health rules, and a flight-recorder panic hook writing
+//! `target/flight.json`. Point `curl` or a browser at the printed URL
+//! while the figures run. Everything shuts down when the run ends.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use baselines::{lbvh::Lbvh, rtree::RTree};
 use bench::{figures, EvalConfig, PerfReport};
@@ -37,27 +48,53 @@ fn main() {
     let smoke_only = args.iter().any(|a| a == "--smoke-only");
     let mut seed: Option<u64> = None;
     let mut trace_path: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--seed" {
-            seed = Some(
-                it.next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed takes an integer"),
-            );
-        } else if a == "--trace" {
-            trace_path = Some(it.next().expect("--trace takes a path").clone());
-        } else if a == "--kernel" {
-            let v = it.next().expect("--kernel takes bvh2 or bvh4");
-            let k = rtcore::Kernel::parse(v)
-                .unwrap_or_else(|| panic!("--kernel: unknown kernel {v:?} (want bvh2 or bvh4)"));
-            // Before any launch: the process-wide default is still
-            // unresolved, so this also reaches worker/reader threads.
-            assert!(
-                rtcore::set_default_kernel(k),
-                "--kernel must be applied before any launch runs"
-            );
+    let mut serve_addr: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke-only" => {}
+            "--seed" => {
+                i += 1;
+                seed = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed takes an integer"),
+                );
+            }
+            "--trace" => {
+                // The path is optional: a bare `--trace` exports to
+                // target/trace.json, keeping the checkout clean.
+                if args.get(i + 1).is_some_and(|v| !v.starts_with("--")) {
+                    i += 1;
+                    trace_path = Some(args[i].clone());
+                } else {
+                    trace_path = Some("target/trace.json".to_string());
+                }
+            }
+            "--kernel" => {
+                i += 1;
+                let v = args.get(i).expect("--kernel takes bvh2 or bvh4");
+                let k = rtcore::Kernel::parse(v).unwrap_or_else(|| {
+                    panic!("--kernel: unknown kernel {v:?} (want bvh2 or bvh4)")
+                });
+                // Before any launch: the process-wide default is still
+                // unresolved, so this also reaches worker/reader threads.
+                assert!(
+                    rtcore::set_default_kernel(k),
+                    "--kernel must be applied before any launch runs"
+                );
+            }
+            "--serve" => {
+                i += 1;
+                serve_addr = Some(
+                    args.get(i)
+                        .expect("--serve takes an address, e.g. 127.0.0.1:9000")
+                        .clone(),
+                );
+            }
+            other => panic!("unknown argument {other:?}"),
         }
+        i += 1;
     }
     // Per-query records always on (they feed the per-figure latency and
     // prediction-error stats in BENCH_perf.json); the full span/launch
@@ -67,6 +104,25 @@ fn main() {
     } else {
         obs::trace::enable_queries();
     }
+    // The live plane, opt-in via --serve: HTTP introspection server,
+    // time-series sampler, default SLO rules behind /health, and a
+    // flight-recorder panic hook for post-mortems.
+    let server = serve_addr.as_deref().map(|addr| {
+        obs::health::install(obs::HealthEngine::new(obs::health::default_rules(40)));
+        obs::flight::install_panic_hook("target/flight.json");
+        assert!(
+            obs::timeseries::start(Duration::from_millis(250)),
+            "time-series sampler already running"
+        );
+        let handle = obs::server::start(addr, 4)
+            .unwrap_or_else(|e| panic!("--serve: cannot bind {addr}: {e}"));
+        println!(
+            "live plane: http://{}/  (endpoints: /metrics /metrics.json /timeseries \
+             /traces /slow /explain /health /flight /index)\n",
+            handle.addr()
+        );
+        handle
+    });
     println!("LibRTS reproduction — artifact evaluation runner");
     println!(
         "host: {} logical CPUs, {} executor threads (LIBRTS_THREADS), {} traversal kernel, simulated RT device (see DESIGN.md §2)\n",
@@ -126,9 +182,11 @@ fn main() {
         perf.kernel_ab_study(&cfg);
         perf.concurrency_study(&cfg);
         perf.maintenance_study(&cfg);
+        perf.serving_obs_study(&cfg);
         perf.record_explain(&cfg);
         perf.write("BENCH_perf.json");
         export_trace(trace_path.as_deref());
+        shutdown_live_plane(server);
         return;
     }
 
@@ -163,15 +221,30 @@ fn main() {
     perf.kernel_ab_study(&cfg);
     perf.concurrency_study(&cfg);
     perf.maintenance_study(&cfg);
+    perf.serving_obs_study(&cfg);
     perf.record_explain(&cfg);
     perf.write("BENCH_perf.json");
     export_trace(trace_path.as_deref());
+    shutdown_live_plane(server);
     println!("\nall experiments completed; see EXPERIMENTS.md for interpretation.");
+}
+
+/// Tears down everything `--serve` started (no-op without it).
+fn shutdown_live_plane(server: Option<obs::server::ServerHandle>) {
+    let Some(handle) = server else { return };
+    obs::timeseries::stop();
+    handle.shutdown();
+    println!("\nlive plane shut down");
 }
 
 /// Writes the Chrome Trace Format export when `--trace` was given.
 fn export_trace(path: Option<&str>) {
     let Some(path) = path else { return };
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
     match obs::chrome::write(path) {
         Ok(()) => {
             let dropped = obs::trace::dropped_events();

@@ -89,8 +89,14 @@ impl ConcurrencyRecord {
 /// The writer's churn loop: alternating translations of a rotating
 /// stride-subset of the rectangles, one `update` (= one publish) per
 /// iteration. The writer keeps its own coordinate mirror so it never
-/// reads back from the index it is mutating.
-fn writer_churn(index: &ConcurrentIndex<f32>, rects: &mut [Rect<f32, 2>], publishes: u64) {
+/// reads back from the index it is mutating. Shared with the
+/// serving-observability study ([`crate::serving_obs`]), which times
+/// the identical loop with and without the live plane attached.
+pub(crate) fn writer_churn(
+    index: &ConcurrentIndex<f32>,
+    rects: &mut [Rect<f32, 2>],
+    publishes: u64,
+) {
     for p in 0..publishes {
         let offset = (p % 7) as usize;
         let sign = if p % 2 == 0 { 1.0 } else { -1.0 };

@@ -12,8 +12,10 @@ pub mod config;
 pub mod figures;
 pub mod maintenance;
 pub mod perf;
+pub mod serving_obs;
 pub mod table;
 
 pub use concurrency::{ConcurrencyRecord, READER_COUNTS};
 pub use config::EvalConfig;
 pub use perf::PerfReport;
+pub use serving_obs::ServingObsRecord;

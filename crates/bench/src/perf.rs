@@ -103,7 +103,7 @@ impl QueryStats {
 
 /// Exact `q`-quantile (upper) of a sorted sample: the `⌈q·n⌉`-th
 /// smallest value.
-fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+pub(crate) fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
@@ -230,6 +230,7 @@ pub struct PerfReport {
     kernel_ab: Option<KernelAbRecord>,
     concurrency: Vec<crate::concurrency::ConcurrencyRecord>,
     maintenance: Option<crate::maintenance::MaintenanceRecord>,
+    serving_obs: Option<crate::serving_obs::ServingObsRecord>,
     explain: Option<obs::QueryPlan>,
 }
 
@@ -250,6 +251,7 @@ impl PerfReport {
             kernel_ab: None,
             concurrency: Vec::new(),
             maintenance: None,
+            serving_obs: None,
             explain: None,
         }
     }
@@ -387,6 +389,27 @@ impl PerfReport {
         self.maintenance = Some(r);
     }
 
+    /// Runs the serving-observability overhead study (writer churn with
+    /// the live plane off vs on, see [`crate::serving_obs`]), records
+    /// it, and prints a one-line summary.
+    pub fn serving_obs_study(&mut self, cfg: &EvalConfig) {
+        use crate::serving_obs::{run_serving_obs_study, SERVING_PUBLISHES};
+        let r = run_serving_obs_study(cfg, SERVING_PUBLISHES);
+        println!(
+            "\n== Serving observability: {} publishes over {} rects, plane off vs on ==\n\
+             off: {}   on: {}   overhead {:.2}%   {} scrapes (p50 {}, p99 {})",
+            r.publishes,
+            r.rects,
+            fmt_dur(r.wall_off),
+            fmt_dur(r.wall_on),
+            r.overhead_percent,
+            r.scrapes,
+            fmt_dur(r.scrape_p50),
+            fmt_dur(r.scrape_p99),
+        );
+        self.serving_obs = Some(r);
+    }
+
     /// Serializes the report as JSON.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -469,6 +492,12 @@ impl PerfReport {
                 s.push_str(&format!("    \"policy_off\": {}\n", r.off.to_json()));
                 s.push_str("  },\n");
             }
+        }
+        // Serving-observability overhead study (live plane off vs on,
+        // ISSUE 9); the CI serving-obs job gates overhead_percent < 2.
+        match &self.serving_obs {
+            None => s.push_str("  \"serving_obs\": null,\n"),
+            Some(r) => s.push_str(&format!("  \"serving_obs\": {},\n", r.to_json())),
         }
         // Traversal-kernel A/B (binary vs wide on the Fig. 8 batch).
         match &self.kernel_ab {
@@ -704,7 +733,7 @@ pub fn run_kernel_ab(cfg: &EvalConfig, n_queries: usize) -> KernelAbRecord {
     }
 }
 
-fn ns(d: Duration) -> u64 {
+pub(crate) fn ns(d: Duration) -> u64 {
     d.as_nanos().min(u64::MAX as u128) as u64
 }
 
@@ -785,8 +814,27 @@ mod tests {
             },
             speedup: 1.5,
         });
+        rep.serving_obs = Some(crate::serving_obs::ServingObsRecord {
+            rects: 20,
+            publishes: 24,
+            samples: 3,
+            sampler_interval_ms: 25,
+            wall_off: Duration::from_micros(800),
+            wall_on: Duration::from_micros(810),
+            wall_off_samples: vec![Duration::from_micros(800), Duration::from_micros(820)],
+            wall_on_samples: vec![Duration::from_micros(830), Duration::from_micros(810)],
+            overhead_percent: 1.25,
+            scrapes: 15,
+            scrape_errors: 0,
+            scrape_p50: Duration::from_micros(90),
+            scrape_p99: Duration::from_micros(400),
+        });
         let j = rep.to_json();
         assert!(j.contains("\"artifact\": \"BENCH_perf\""));
+        assert!(j.contains("\"serving_obs\": {"));
+        assert!(j.contains("\"overhead_percent\": 1.2500"));
+        assert!(j.contains("\"wall_off_samples_ns\": [800000, 820000]"));
+        assert!(j.contains("\"scrape_p99_ns\": 400000"));
         assert!(j.contains("\"kernel_ab\": {"));
         assert!(j.contains("\"bvh2\": {\"kernel\": \"bvh2\", \"wall_ns\": 300000"));
         assert!(j.contains("\"wall_samples_ns\": [210000, 200000]"));

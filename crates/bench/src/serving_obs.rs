@@ -1,0 +1,321 @@
+//! Serving-observability overhead study: the `"serving_obs"` section
+//! of `BENCH_perf.json`.
+//!
+//! The live plane (ISSUE 9 — the [`obs::timeseries`] sampler and the
+//! [`obs::server`] HTTP introspection endpoints) is strictly opt-in,
+//! and this study puts a number on what opting in costs. Each round
+//! runs the same writer-churn loop as the concurrency study
+//! ([`crate::concurrency`]) three ways:
+//!
+//! 1. **off** (timed): nothing running but the writer;
+//! 2. **on** (timed): the sampler ticking at [`SAMPLER_INTERVAL`] and
+//!    the HTTP server bound to loopback — the passive cost of the
+//!    plane, which is what the CI serving-obs job gates below 2 %;
+//! 3. **scrape pass** (untimed): the same churn again with a scraper
+//!    thread cycling through [`SCRAPE_ENDPOINTS`], every completed
+//!    scrape a latency measurement.
+//!
+//! Timed samples are interleaved off/on so host drift hits both
+//! configurations symmetrically, per-configuration walls are best-of
+//! minima (the protocol of [`crate::perf::run_intersects_scaling`]),
+//! and `overhead_percent` is the relative slowdown of the best
+//! on-sample over the best off-sample. Active scraping is kept out of
+//! the timed region deliberately: on a small host a scraper steals
+//! whole timeslices from the writer, which measures the host's core
+//! count, not the plane. The scrape pass still answers "how fast does
+//! a scrape come back while the index churns?" via the exact p50/p99
+//! in the record.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use datasets::Dataset;
+use librts::{ConcurrentIndex, IndexOptions};
+
+use crate::concurrency::writer_churn;
+use crate::config::EvalConfig;
+use crate::perf::{exact_quantile, ns};
+
+/// Interleaved samples per configuration (off and on).
+pub const SERVING_SAMPLES: usize = 3;
+
+/// Publishes the writer performs per sample (matches the concurrency
+/// study's churn volume).
+pub const SERVING_PUBLISHES: u64 = 24;
+
+/// Cadence of the background sampler while the plane is on. Coarse
+/// enough that sampling cost stays well under the 2 % CI gate, fine
+/// enough that short churn windows still get sampled.
+pub const SAMPLER_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Endpoints the scraper cycles through while the writer churns.
+pub const SCRAPE_ENDPOINTS: &[&str] = &[
+    "/metrics",
+    "/metrics.json",
+    "/timeseries",
+    "/health",
+    "/index",
+];
+
+/// Pause between scrape cycles — a realistic scraper polls, it does
+/// not hammer the server back-to-back.
+const SCRAPE_PAUSE: Duration = Duration::from_millis(10);
+
+/// The `"serving_obs"` section of `BENCH_perf.json`.
+#[derive(Clone, Debug)]
+pub struct ServingObsRecord {
+    /// Number of indexed rectangles.
+    pub rects: usize,
+    /// Publishes per timed sample.
+    pub publishes: u64,
+    /// Interleaved samples per configuration.
+    pub samples: usize,
+    /// Sampler cadence while the plane was on, in milliseconds.
+    pub sampler_interval_ms: u64,
+    /// Best (minimum) writer wall-clock with the plane off.
+    pub wall_off: Duration,
+    /// Best (minimum) writer wall-clock with the plane on.
+    pub wall_on: Duration,
+    /// All plane-off samples, in measurement order.
+    pub wall_off_samples: Vec<Duration>,
+    /// All plane-on samples, in measurement order.
+    pub wall_on_samples: Vec<Duration>,
+    /// `max(0, (wall_on − wall_off) / wall_off · 100)` — the sampler +
+    /// server overhead the CI serving-obs job gates below 2 %.
+    pub overhead_percent: f64,
+    /// HTTP scrapes completed successfully across all on-samples.
+    pub scrapes: u64,
+    /// Scrapes that failed (connect/read errors or a non-HTTP reply).
+    pub scrape_errors: u64,
+    /// Exact median scrape latency (connect → full body read).
+    pub scrape_p50: Duration,
+    /// Exact p99 (upper) scrape latency.
+    pub scrape_p99: Duration,
+}
+
+impl ServingObsRecord {
+    /// Multi-line JSON object (hand-rolled like the rest of the
+    /// artifact; one scalar per line so line-scanners can gate on
+    /// `overhead_percent`).
+    pub fn to_json(&self) -> String {
+        let ns_list = |ds: &[Duration]| {
+            ds.iter()
+                .map(|d| ns(*d).to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!(
+            "{{\n    \"rects\": {},\n    \"publishes\": {},\n    \"samples\": {},\n    \
+             \"sampler_interval_ms\": {},\n    \"wall_off_ns\": {},\n    \"wall_on_ns\": {},\n    \
+             \"wall_off_samples_ns\": [{}],\n    \"wall_on_samples_ns\": [{}],\n    \
+             \"overhead_percent\": {:.4},\n    \"scrapes\": {},\n    \"scrape_errors\": {},\n    \
+             \"scrape_p50_ns\": {},\n    \"scrape_p99_ns\": {}\n  }}",
+            self.rects,
+            self.publishes,
+            self.samples,
+            self.sampler_interval_ms,
+            ns(self.wall_off),
+            ns(self.wall_on),
+            ns_list(&self.wall_off_samples),
+            ns_list(&self.wall_on_samples),
+            self.overhead_percent,
+            self.scrapes,
+            self.scrape_errors,
+            ns(self.scrape_p50),
+            ns(self.scrape_p99),
+        )
+    }
+}
+
+/// One blocking HTTP GET against the introspection server: connect,
+/// send, read the whole `Connection: close` response. Returns the
+/// total bytes received once the reply looks like HTTP.
+fn scrape(addr: SocketAddr, path: &str) -> std::io::Result<usize> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    if buf.starts_with(b"HTTP/1.1 ") {
+        Ok(buf.len())
+    } else {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "reply is not HTTP/1.1",
+        ))
+    }
+}
+
+/// The study body, parameterized over churn volume so tests can run a
+/// miniature version. See the module docs for the protocol.
+pub fn run_serving_obs_study(cfg: &EvalConfig, publishes: u64) -> ServingObsRecord {
+    let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
+    let n_rects = rects.len();
+    let index = Arc::new(
+        ConcurrentIndex::with_rects(&rects, IndexOptions::default())
+            .expect("generated data is valid"),
+    );
+    let mut mirror = rects;
+
+    // The /index endpoint serves this index for the whole study.
+    index.install_status_source();
+
+    // The study owns the process-global sampler while it runs: a
+    // `runme --serve` session keeps its own sampler going, which would
+    // contaminate the plane-off samples. Pause it, resume at the end.
+    let resume_sampler = obs::timeseries::stop();
+
+    // Warm-up churn, untimed: fault in the index, pay the first
+    // refit/rebuild decisions before either configuration is timed.
+    writer_churn(&index, &mut mirror, publishes);
+
+    // One timed churn pass in a private metrics epoch (the scaling
+    // study's convention — samples never inherit accumulated state).
+    let timed_churn = |mirror: &mut Vec<geom::Rect<f32, 2>>| {
+        let epoch = obs::snapshot();
+        let t0 = Instant::now();
+        writer_churn(&index, mirror, publishes);
+        let wall = t0.elapsed();
+        let _ = obs::snapshot().delta_since(&epoch); // epoch closed
+        wall
+    };
+
+    let mut wall_off_samples = Vec::with_capacity(SERVING_SAMPLES);
+    let mut wall_on_samples = Vec::with_capacity(SERVING_SAMPLES);
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut scrape_errors = 0u64;
+
+    // One timed scrape appended to `out`; failures count separately.
+    let collect = |addr: SocketAddr, path: &str, out: &Mutex<(Vec<u64>, u64)>| {
+        let t0 = Instant::now();
+        let ok = scrape(addr, path).is_ok();
+        let dt = t0.elapsed();
+        let mut guard = out.lock().expect("scrape results lock");
+        if ok {
+            guard.0.push(dt.as_nanos().min(u64::MAX as u128) as u64);
+        } else {
+            guard.1 += 1;
+        }
+    };
+
+    for _ in 0..SERVING_SAMPLES {
+        // Plane off (timed): nothing running but the writer.
+        wall_off_samples.push(timed_churn(&mut mirror));
+
+        // Plane on (timed): sampler ticking, server bound but idle —
+        // the passive cost of the plane. Setup stays outside the clock.
+        assert!(
+            obs::timeseries::start(SAMPLER_INTERVAL),
+            "sampler already running — another study left it on"
+        );
+        let server = obs::server::start("127.0.0.1:0", 2).expect("bind loopback");
+        let addr = server.addr();
+        wall_on_samples.push(timed_churn(&mut mirror));
+
+        // Scrape pass (untimed): churn again with a scraper cycling
+        // through the endpoints, collecting per-scrape latencies.
+        let stop = Arc::new(AtomicBool::new(false));
+        let collected = Arc::new(Mutex::new((Vec::<u64>::new(), 0u64)));
+        let scraper = {
+            let stop = Arc::clone(&stop);
+            let collected = Arc::clone(&collected);
+            std::thread::Builder::new()
+                .name("serving-obs-scraper".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        for path in SCRAPE_ENDPOINTS {
+                            collect(addr, path, &collected);
+                        }
+                        std::thread::sleep(SCRAPE_PAUSE);
+                    }
+                })
+                .expect("spawn scraper")
+        };
+        writer_churn(&index, &mut mirror, publishes);
+        stop.store(true, Ordering::Release);
+        scraper.join().expect("scraper panicked");
+
+        // One guaranteed full endpoint cycle per sample, so the record
+        // carries scrape latencies even when the churn window is
+        // shorter than the scraper's first pause.
+        for path in SCRAPE_ENDPOINTS {
+            collect(addr, path, &collected);
+        }
+
+        server.shutdown();
+        assert!(obs::timeseries::stop(), "sampler stopped underneath us");
+        let (lat, errs) = {
+            let mut guard = collected.lock().expect("scrape results lock");
+            (std::mem::take(&mut guard.0), guard.1)
+        };
+        latencies_ns.extend(lat);
+        scrape_errors += errs;
+    }
+
+    obs::server::clear_status_source();
+    if resume_sampler {
+        obs::timeseries::start(SAMPLER_INTERVAL);
+    }
+
+    let wall_off = *wall_off_samples.iter().min().expect("samples >= 1");
+    let wall_on = *wall_on_samples.iter().min().expect("samples >= 1");
+    let overhead_percent =
+        ((ns(wall_on) as f64 - ns(wall_off) as f64) / (ns(wall_off) as f64).max(1.0) * 100.0)
+            .max(0.0);
+
+    latencies_ns.sort_unstable();
+    ServingObsRecord {
+        rects: n_rects,
+        publishes,
+        samples: SERVING_SAMPLES,
+        sampler_interval_ms: SAMPLER_INTERVAL.as_millis() as u64,
+        wall_off,
+        wall_on,
+        wall_off_samples,
+        wall_on_samples,
+        overhead_percent,
+        scrapes: latencies_ns.len() as u64,
+        scrape_errors,
+        scrape_p50: Duration::from_nanos(exact_quantile(&latencies_ns, 0.50)),
+        scrape_p99: Duration::from_nanos(exact_quantile(&latencies_ns, 0.99)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miniature_study_measures_overhead_and_scrapes() {
+        let cfg = EvalConfig::smoke();
+        let rec = run_serving_obs_study(&cfg, 4);
+        assert_eq!(rec.publishes, 4);
+        assert_eq!(rec.samples, SERVING_SAMPLES);
+        assert_eq!(rec.wall_off_samples.len(), SERVING_SAMPLES);
+        assert_eq!(rec.wall_on_samples.len(), SERVING_SAMPLES);
+        assert!(rec.wall_off > Duration::ZERO);
+        assert!(rec.overhead_percent >= 0.0 && rec.overhead_percent.is_finite());
+        // The guaranteed post-churn cycle alone yields one latency per
+        // endpoint per on-sample.
+        assert!(
+            rec.scrapes >= (SCRAPE_ENDPOINTS.len() * SERVING_SAMPLES) as u64,
+            "expected at least one scrape cycle per sample, got {} ({} errors)",
+            rec.scrapes,
+            rec.scrape_errors,
+        );
+        assert_eq!(rec.scrape_errors, 0, "loopback scrapes must not fail");
+        assert!(rec.scrape_p99 >= rec.scrape_p50);
+        // The plane is fully torn down: sampler stopped, source cleared.
+        assert!(!obs::timeseries::running());
+        assert!(obs::server::serving_status().is_none());
+        let json = rec.to_json();
+        assert!(json.contains("\"overhead_percent\": "));
+        assert!(json.contains("\"scrape_p99_ns\": "));
+    }
+}

@@ -57,6 +57,7 @@
 //! `ConcurrentIndex` and plain `RTSIndex` on the query path.
 
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::ops::{Deref, Range};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
@@ -67,7 +68,9 @@ use crate::config::IndexOptions;
 use crate::error::IndexError;
 use crate::index::RTSIndex;
 use crate::index3d::RTSIndex3;
-use crate::maintenance::{MaintenanceOutcome, MaintenancePolicy, MaintenanceReport};
+use crate::maintenance::{
+    MaintenanceAction, MaintenanceOutcome, MaintenancePolicy, MaintenanceReport,
+};
 use crate::report::MutationReport;
 
 // ---------------------------------------------------------------------------
@@ -102,6 +105,56 @@ fn m_snapshot_age() -> &'static Arc<obs::Gauge> {
 fn m_stale_reads() -> &'static Arc<obs::Counter> {
     static M: OnceLock<Arc<obs::Counter>> = OnceLock::new();
     M.get_or_init(|| obs::global().counter("concurrent.stale_reads", obs::Class::Host))
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance-decision introspection
+// ---------------------------------------------------------------------------
+
+/// Maintenance decisions each concurrent index retains for `/index`.
+const DECISION_RETENTION: usize = 16;
+
+fn action_label(action: MaintenanceAction) -> &'static str {
+    match action {
+        MaintenanceAction::NoOp => "none",
+        MaintenanceAction::Refit => "refit",
+        MaintenanceAction::Rebuild => "rebuild",
+        MaintenanceAction::Compact => "compact",
+    }
+}
+
+fn record_decision(
+    log: &Mutex<VecDeque<obs::MaintenanceDecision>>,
+    outcome: &MaintenanceOutcome,
+    version: u64,
+) {
+    let mut log = log.lock().unwrap_or_else(PoisonError::into_inner);
+    if log.len() == DECISION_RETENTION {
+        log.pop_front();
+    }
+    log.push_back(obs::MaintenanceDecision {
+        version,
+        ts_ns: obs::trace::now_ns(),
+        refits: outcome.refits,
+        rebuilds: outcome.rebuilds,
+        compacted: outcome.compacted,
+        deferred: outcome.deferred,
+        device_ns: outcome.device_time.as_nanos().min(u64::MAX as u128) as u64,
+    });
+}
+
+fn drift_statuses(report: &MaintenanceReport) -> Vec<obs::GasDriftStatus> {
+    report
+        .gases
+        .iter()
+        .map(|g| obs::GasDriftStatus {
+            batch: g.batch,
+            prims: g.prims,
+            sah_drift: g.sah_drift,
+            overlap_drift: g.overlap_drift,
+            wanted: action_label(g.wanted),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -347,6 +400,9 @@ struct SnapCore<E> {
     /// Mirror of the newest published version, shared with handles for
     /// staleness accounting.
     latest: Arc<AtomicU64>,
+    /// `obs::trace::now_ns()` of the newest publish (0 before the
+    /// first), for `/index` snapshot-age introspection.
+    last_publish_ns: AtomicU64,
     /// Writer exclusivity: all mutations serialize here; the query path
     /// never touches it.
     writer: Mutex<WriterState<E>>,
@@ -361,16 +417,23 @@ impl<E: Clone + Send + Sync> SnapCore<E> {
                 engine: initial,
             })),
             latest: Arc::new(AtomicU64::new(0)),
+            last_publish_ns: AtomicU64::new(0),
             writer: Mutex::new(WriterState { next, version: 0 }),
         }
     }
 
     fn snapshot(&self) -> SnapshotRef<E> {
         m_reader_snapshots().inc();
-        SnapshotRef {
+        let handle = SnapshotRef {
             inner: self.cell.load(),
             latest: Arc::clone(&self.latest),
-        }
+        };
+        // Refresh the age gauge on pin, not only on drop: a process
+        // holding long-lived handles would otherwise report the
+        // staleness of whatever handle happened to drop last, and the
+        // live plane's sampler would never see current staleness.
+        m_snapshot_age().set(handle.staleness().min(i64::MAX as u64) as i64);
+        handle
     }
 
     fn version(&self) -> u64 {
@@ -397,6 +460,8 @@ impl<E: Clone + Send + Sync> SnapCore<E> {
                 });
                 self.cell.publish(published);
                 self.latest.store(version, Ordering::SeqCst);
+                self.last_publish_ns
+                    .store(obs::trace::now_ns(), Ordering::SeqCst);
                 drop(span);
                 m_publishes().inc();
                 m_version().set(version.min(i64::MAX as u64) as i64);
@@ -428,6 +493,8 @@ impl<E: Clone + Send + Sync> SnapCore<E> {
         });
         self.cell.publish(published);
         self.latest.store(version, Ordering::SeqCst);
+        self.last_publish_ns
+            .store(obs::trace::now_ns(), Ordering::SeqCst);
         drop(span);
         m_publishes().inc();
         m_version().set(version.min(i64::MAX as u64) as i64);
@@ -489,6 +556,8 @@ pub struct ConcurrentIndex<C: Coord> {
     /// Automatic-maintenance policy; `None` (the default) disables the
     /// driver entirely and the writer loop behaves exactly as before.
     policy: Mutex<Option<MaintenancePolicy>>,
+    /// Recent maintenance decisions for `/index` introspection.
+    decisions: Mutex<VecDeque<obs::MaintenanceDecision>>,
 }
 
 impl<C: Coord> Default for ConcurrentIndex<C> {
@@ -503,6 +572,7 @@ impl<C: Coord> ConcurrentIndex<C> {
         Self {
             core: SnapCore::new(RTSIndex::new(opts)),
             policy: Mutex::new(None),
+            decisions: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -511,6 +581,7 @@ impl<C: Coord> ConcurrentIndex<C> {
         Self {
             core: SnapCore::new(index),
             policy: Mutex::new(None),
+            decisions: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -550,10 +621,12 @@ impl<C: Coord> ConcurrentIndex<C> {
     /// As [`ConcurrentIndex::maintain`] with an explicit policy.
     pub fn maintain_with(&self, policy: &MaintenancePolicy) -> MaintenanceOutcome {
         let mut outcome = MaintenanceOutcome::default();
-        self.core.mutate_if(|next| {
+        if let Some(((), version)) = self.core.mutate_if(|next| {
             outcome = next.maintain(policy);
             outcome.acted().then_some(())
-        });
+        }) {
+            record_decision(&self.decisions, &outcome, version);
+        }
         outcome
     }
 
@@ -570,10 +643,13 @@ impl<C: Coord> ConcurrentIndex<C> {
         let Some(policy) = self.maintenance_policy() else {
             return;
         };
-        self.core.mutate_if(|next| {
-            let outcome = next.maintain(&policy);
+        let mut outcome = MaintenanceOutcome::default();
+        if let Some(((), version)) = self.core.mutate_if(|next| {
+            outcome = next.maintain(&policy);
             outcome.acted().then_some(())
-        });
+        }) {
+            record_decision(&self.decisions, &outcome, version);
+        }
     }
 
     /// Convenience: creates a concurrent index pre-loaded with one
@@ -700,6 +776,43 @@ impl<C: Coord> ConcurrentIndex<C> {
         self.auto_maintain();
         Ok(v)
     }
+
+    /// A point-in-time [`obs::ServingStatus`] of this index: version,
+    /// publish recency, live/dead counts, per-GAS drift under the
+    /// installed policy (default policy when none is installed), and
+    /// the recent maintenance decisions. This is what `/index` serves
+    /// after [`ConcurrentIndex::install_status_source`].
+    pub fn serving_status(&self) -> obs::ServingStatus {
+        let snap = self.snapshot();
+        let policy = self.maintenance_policy();
+        let report = snap.maintenance_report(&policy.clone().unwrap_or_default());
+        obs::ServingStatus {
+            dimensions: 2,
+            version: snap.version(),
+            last_publish_ns: self.core.last_publish_ns.load(Ordering::SeqCst),
+            live: snap.len(),
+            dead: snap.capacity_ids().saturating_sub(snap.len()),
+            memory_bytes: snap.memory_bytes(),
+            policy_active: policy.is_some(),
+            gases: drift_statuses(&report),
+            decisions: self
+                .decisions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Register this index as the process-wide `/index` status source
+    /// (see [`obs::server::set_status_source`]). Holds only a `Weak`
+    /// reference: once the last `Arc` drops, `/index` serves `null`
+    /// again.
+    pub fn install_status_source(self: &Arc<Self>) {
+        let weak = Arc::downgrade(self);
+        obs::server::set_status_source(move || weak.upgrade().map(|ix| ix.serving_status()));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -721,6 +834,8 @@ pub struct ConcurrentIndex3<C: Coord> {
     core: SnapCore<RTSIndex3<C>>,
     /// See [`ConcurrentIndex::set_maintenance_policy`].
     policy: Mutex<Option<MaintenancePolicy>>,
+    /// Recent maintenance decisions for `/index` introspection.
+    decisions: Mutex<VecDeque<obs::MaintenanceDecision>>,
 }
 
 impl<C: Coord> ConcurrentIndex3<C> {
@@ -729,6 +844,7 @@ impl<C: Coord> ConcurrentIndex3<C> {
         Ok(Self {
             core: SnapCore::new(RTSIndex3::build(boxes, opts)?),
             policy: Mutex::new(None),
+            decisions: Mutex::new(VecDeque::new()),
         })
     }
 
@@ -761,10 +877,12 @@ impl<C: Coord> ConcurrentIndex3<C> {
     /// As [`ConcurrentIndex3::maintain`] with an explicit policy.
     pub fn maintain_with(&self, policy: &MaintenancePolicy) -> MaintenanceOutcome {
         let mut outcome = MaintenanceOutcome::default();
-        self.core.mutate_if(|next| {
+        if let Some(((), version)) = self.core.mutate_if(|next| {
             outcome = next.maintain(policy);
             outcome.acted().then_some(())
-        });
+        }) {
+            record_decision(&self.decisions, &outcome, version);
+        }
         outcome
     }
 
@@ -779,10 +897,13 @@ impl<C: Coord> ConcurrentIndex3<C> {
         let Some(policy) = self.maintenance_policy() else {
             return;
         };
-        self.core.mutate_if(|next| {
-            let outcome = next.maintain(&policy);
+        let mut outcome = MaintenanceOutcome::default();
+        if let Some(((), version)) = self.core.mutate_if(|next| {
+            outcome = next.maintain(&policy);
             outcome.acted().then_some(())
-        });
+        }) {
+            record_decision(&self.decisions, &outcome, version);
+        }
     }
 
     /// Acquires a read snapshot of the newest published version.
@@ -843,6 +964,40 @@ impl<C: Coord> ConcurrentIndex3<C> {
             })
             .map(|_: ((), u64)| ())
             .expect("rebuild is infallible")
+    }
+
+    /// A point-in-time [`obs::ServingStatus`] of this index — the 3-D
+    /// counterpart of [`ConcurrentIndex::serving_status`].
+    /// `memory_bytes` reports 0: `RTSIndex3` does not expose a memory
+    /// estimate.
+    pub fn serving_status(&self) -> obs::ServingStatus {
+        let snap = self.snapshot();
+        let policy = self.maintenance_policy();
+        let report = snap.maintenance_report(&policy.clone().unwrap_or_default());
+        obs::ServingStatus {
+            dimensions: 3,
+            version: snap.version(),
+            last_publish_ns: self.core.last_publish_ns.load(Ordering::SeqCst),
+            live: snap.len(),
+            dead: snap.capacity_ids().saturating_sub(snap.len()),
+            memory_bytes: 0,
+            policy_active: policy.is_some(),
+            gases: drift_statuses(&report),
+            decisions: self
+                .decisions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Register this index as the process-wide `/index` status source
+    /// (see [`ConcurrentIndex::install_status_source`]).
+    pub fn install_status_source(self: &Arc<Self>) {
+        let weak = Arc::downgrade(self);
+        obs::server::set_status_source(move || weak.upgrade().map(|ix| ix.serving_status()));
     }
 }
 
@@ -1098,5 +1253,86 @@ mod tests {
             Err(IndexError::AlreadyDeleted { id: 0 })
         );
         assert_eq!(index.version(), 1, "failed delete does not publish");
+    }
+
+    #[test]
+    fn serving_status_reports_live_state_and_decisions() {
+        let index = ConcurrentIndex::<f32>::new(IndexOptions::default());
+        let s0 = index.serving_status();
+        assert_eq!(s0.dimensions, 2);
+        assert_eq!(s0.version, 0);
+        assert_eq!(s0.last_publish_ns, 0, "no publish yet");
+        assert!(!s0.policy_active);
+        assert!(s0.decisions.is_empty());
+
+        index
+            .insert(
+                &(0..64)
+                    .map(|i| r(i as f32, 0.0, i as f32 + 1.0, 1.0))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        index.delete(&[0, 1, 2]).unwrap();
+        let s = index.serving_status();
+        assert_eq!(s.version, 2);
+        assert!(s.last_publish_ns > 0);
+        assert_eq!(s.live, 61);
+        assert_eq!(s.dead, 3);
+        assert!(s.memory_bytes > 0);
+        assert!(!s.gases.is_empty());
+
+        // An eager, dead-intolerant policy makes the next mutation
+        // (dead fraction 4/64 > 1%) record a compaction decision.
+        index.set_maintenance_policy(Some(MaintenancePolicy {
+            max_dead_fraction: 0.01,
+            ..MaintenancePolicy::eager()
+        }));
+        index.delete(&[3]).unwrap();
+        let s = index.serving_status();
+        assert!(s.policy_active);
+        assert!(
+            !s.decisions.is_empty(),
+            "eager maintenance after a delete should record a decision"
+        );
+        let json = s.to_json();
+        assert!(json.contains("\"dimensions\": 2"));
+        assert!(json.contains("\"decisions\": [{"));
+    }
+
+    #[test]
+    fn status_source_serves_and_unregisters_on_drop() {
+        let index = Arc::new(ConcurrentIndex::<f32>::new(IndexOptions::default()));
+        index.insert(&[r(0.0, 0.0, 1.0, 1.0)]).unwrap();
+        index.install_status_source();
+        let via_obs = obs::server::serving_status().expect("source registered");
+        assert_eq!(via_obs.version, 1);
+        assert_eq!(via_obs.live, 1);
+        drop(index);
+        assert!(
+            obs::server::serving_status().is_none(),
+            "weak source must expire with the index"
+        );
+        obs::server::clear_status_source();
+    }
+
+    #[test]
+    fn snapshot_age_gauge_refreshes_on_pin() {
+        let index = ConcurrentIndex::<f32>::new(IndexOptions::default());
+        index.insert(&[r(0.0, 0.0, 1.0, 1.0)]).unwrap();
+        let held = index.snapshot(); // age 0 at pin
+        index.insert(&[r(2.0, 0.0, 3.0, 1.0)]).unwrap();
+        assert_eq!(held.staleness(), 1);
+        // A fresh pin (current version) must reset the gauge to 0 even
+        // while the stale handle is still held. Other tests share the
+        // global gauge, so allow a few attempts before declaring the
+        // pin path broken.
+        let refreshed = (0..50).any(|_| {
+            let _fresh = index.snapshot();
+            obs::snapshot().gauge("concurrent.snapshot_age") == Some(0)
+        });
+        assert!(
+            refreshed,
+            "pinning a current snapshot never zeroed the age gauge"
+        );
     }
 }

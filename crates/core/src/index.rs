@@ -501,6 +501,8 @@ impl<C: Coord> RTSIndex<C> {
             None,
             Some(&mut plan),
         );
+        // Remember the plan for the live plane's `/explain` endpoint.
+        obs::explain::set_last_plan(&plan);
         plan
     }
 

@@ -202,6 +202,41 @@ impl Default for QueryPlan {
     }
 }
 
+fn last_plan_cell() -> &'static std::sync::Mutex<Option<QueryPlan>> {
+    static CELL: std::sync::OnceLock<std::sync::Mutex<Option<QueryPlan>>> =
+        std::sync::OnceLock::new();
+    CELL.get_or_init(|| std::sync::Mutex::new(None))
+}
+
+/// Remember `plan` as the most recent EXPLAIN output; the live plane's
+/// `/explain` endpoint serves it. `RTSIndex::explain_intersects` calls
+/// this on every run.
+pub fn set_last_plan(plan: &QueryPlan) {
+    *last_plan_cell()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(plan.clone());
+}
+
+/// The most recent recorded plan, if any EXPLAIN has run.
+pub fn last_plan() -> Option<QueryPlan> {
+    last_plan_cell()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// JSON of the most recent recorded plan.
+pub fn last_plan_json() -> Option<String> {
+    last_plan().map(|p| p.to_json())
+}
+
+/// Forget the recorded plan (test isolation).
+pub fn clear_last_plan() {
+    *last_plan_cell()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +297,19 @@ mod tests {
         assert!(json.contains("\"device_ns\": {\"k_prediction\": 0"));
         // Deterministic: same plan renders the same bytes.
         assert_eq!(json, plan().to_json());
+    }
+
+    #[test]
+    fn last_plan_cell_round_trips() {
+        let _guard = crate::test_lock();
+        clear_last_plan();
+        assert_eq!(last_plan(), None);
+        assert_eq!(last_plan_json(), None);
+        let p = plan();
+        set_last_plan(&p);
+        assert_eq!(last_plan(), Some(p.clone()));
+        assert_eq!(last_plan_json(), Some(p.to_json()));
+        clear_last_plan();
+        assert_eq!(last_plan(), None);
     }
 }

@@ -1,0 +1,291 @@
+//! Flight recorder: a single-file JSON black box for post-mortems.
+//!
+//! [`dump_json`] assembles everything the live plane knows into one
+//! JSON document — recent query records and timeline events, the slow
+//! query log, a full metrics snapshot, the time-series rings, the
+//! health verdict, the `/index` serving status, and a fingerprinted
+//! `LIBRTS_*` environment listing. [`dump`] writes it to a path, and
+//! [`install_panic_hook`] arranges for a dump to be written
+//! automatically when any thread panics (chaining to the previously
+//! installed hook, with a reentrancy guard so a panic *inside* the
+//! dump cannot recurse).
+//!
+//! Everything in a dump is Host-class forensic data; producing one
+//! never mutates the registry beyond the `flight.dumps` self-counter.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use crate::trace::now_ns;
+
+/// How many recent query records a dump retains.
+pub const DUMP_QUERY_CAP: usize = 128;
+/// How many recent timeline events a dump retains.
+pub const DUMP_EVENT_CAP: usize = 32;
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// `LIBRTS_*` environment variables, sorted by name.
+fn librts_env() -> Vec<(String, String)> {
+    let mut vars: Vec<(String, String)> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("LIBRTS_"))
+        .collect();
+    vars.sort();
+    vars
+}
+
+/// FNV-1a over the sorted `LIBRTS_*` environment — a cheap config
+/// fingerprint for correlating dumps from the same deployment shape.
+pub fn config_fingerprint() -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for (k, v) in librts_env() {
+        for b in k.bytes().chain([b'=']).chain(v.bytes()) {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn m_dumps() -> &'static Arc<crate::Counter> {
+    static M: OnceLock<Arc<crate::Counter>> = OnceLock::new();
+    M.get_or_init(|| crate::host_counter("flight.dumps"))
+}
+
+/// Assemble the black box as a JSON string. `cause` labels why the
+/// dump was taken (`"manual"`, `"panic"`, …); `detail` carries the
+/// panic payload when there is one.
+pub fn dump_json_with_cause(cause: &str, detail: Option<&str>) -> String {
+    let snap = crate::snapshot();
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "\"cause\": \"{}\",\n\"detail\": {},\n\"ts_ns\": {},\n",
+        json_escape(cause),
+        match detail {
+            Some(d) => format!("\"{}\"", json_escape(d)),
+            None => "null".to_string(),
+        },
+        now_ns(),
+    ));
+    out.push_str(&format!(
+        "\"config_fingerprint\": \"{:016x}\",\n\"env\": {{",
+        config_fingerprint()
+    ));
+    for (i, (k, v)) in librts_env().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)));
+    }
+    out.push_str("},\n");
+
+    // Health and serving status (null when not configured).
+    out.push_str(&format!(
+        "\"health\": {},\n",
+        match crate::health::evaluate_installed() {
+            Some(v) => format!(
+                "{{\"status\": \"{}\", \"http\": {}}}",
+                v.label(),
+                v.http_status()
+            ),
+            None => "null".to_string(),
+        }
+    ));
+    out.push_str(&format!(
+        "\"serving\": {},\n",
+        crate::server::serving_status()
+            .map(|s| s.to_json())
+            .unwrap_or_else(|| "null".to_string())
+    ));
+
+    // Recent per-query records and slow queries.
+    let queries = crate::trace::query_records();
+    let qstart = queries.len().saturating_sub(DUMP_QUERY_CAP);
+    out.push_str("\"queries\": [");
+    for (i, q) in queries[qstart..].iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&q.to_json());
+    }
+    out.push_str("],\n\"slow_queries\": [");
+    for (i, q) in crate::trace::slow_queries().iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&q.to_json());
+    }
+    out.push_str("],\n");
+
+    // The tail of the timeline event ring (sequence numbers only — the
+    // Chrome exporter owns the full rendering).
+    let events = crate::trace::events();
+    let estart = events.len().saturating_sub(DUMP_EVENT_CAP);
+    out.push_str("\"event_seqs\": [");
+    for (i, e) in events[estart..].iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&e.seq().to_string());
+    }
+    out.push_str(&format!(
+        "],\n\"dropped_events\": {},\n",
+        crate::trace::dropped_events()
+    ));
+
+    // Time-series rings and the full metrics snapshot, verbatim.
+    out.push_str(&format!(
+        "\"timeseries\": {},\n",
+        crate::timeseries::to_json()
+    ));
+    out.push_str(&format!("\"metrics\": {}\n}}\n", snap.to_json(2)));
+    out
+}
+
+/// [`dump_json_with_cause`] with cause `"manual"`.
+pub fn dump_json() -> String {
+    dump_json_with_cause("manual", None)
+}
+
+/// Write the black box to `path` (creating parent directories).
+pub fn dump(path: impl AsRef<Path>) -> std::io::Result<()> {
+    dump_with_cause(path, "manual", None)
+}
+
+/// Write the black box to `path` with an explicit cause.
+pub fn dump_with_cause(
+    path: impl AsRef<Path>,
+    cause: &str,
+    detail: Option<&str>,
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, dump_json_with_cause(cause, detail))?;
+    m_dumps().inc();
+    Ok(())
+}
+
+fn hook_path() -> &'static Mutex<Option<PathBuf>> {
+    static PATH: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    PATH.get_or_init(|| Mutex::new(None))
+}
+
+/// Install (or retarget) the panic hook: any panic in any thread
+/// writes a `"panic"`-caused dump to `path` before the previous hook
+/// runs. Installing twice only updates the target path. A reentrancy
+/// guard makes a panic during the dump fall through to the previous
+/// hook instead of recursing.
+pub fn install_panic_hook(path: impl Into<PathBuf>) {
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    static DUMPING: AtomicBool = AtomicBool::new(false);
+    *hook_path().lock().unwrap_or_else(PoisonError::into_inner) = Some(path.into());
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return; // hook already chained; only the path changed
+    }
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !DUMPING.swap(true, Ordering::SeqCst) {
+            let target = hook_path()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone();
+            if let Some(target) = target {
+                let detail = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| info.to_string());
+                let _ = dump_with_cause(&target, "panic", Some(&detail));
+            }
+            DUMPING.store(false, Ordering::SeqCst);
+        }
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced(json: &str) -> bool {
+        // Brace/bracket balance outside strings — a cheap structural
+        // parse that catches truncation and nesting bugs.
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0 && !in_str
+    }
+
+    #[test]
+    fn dump_json_is_structurally_sound_and_complete() {
+        let _guard = crate::test_lock();
+        crate::counter("flight.test.metric").add(2);
+        let json = dump_json();
+        assert!(balanced(&json), "unbalanced dump:\n{json}");
+        for key in [
+            "\"cause\": \"manual\"",
+            "\"config_fingerprint\"",
+            "\"env\"",
+            "\"health\"",
+            "\"serving\"",
+            "\"queries\"",
+            "\"slow_queries\"",
+            "\"event_seqs\"",
+            "\"timeseries\"",
+            "\"metrics\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(json.contains("flight.test.metric"));
+    }
+
+    #[test]
+    fn dump_writes_a_file_and_counts_itself() {
+        let _guard = crate::test_lock();
+        let dir = std::env::temp_dir().join("librts_flight_test");
+        let path = dir.join("nested").join("box.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let before = crate::snapshot().counter("flight.dumps").unwrap_or(0);
+        dump(&path).expect("dump");
+        let written = std::fs::read_to_string(&path).expect("read back");
+        assert!(balanced(&written));
+        assert!(crate::snapshot().counter("flight.dumps").unwrap_or(0) > before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_process() {
+        assert_eq!(config_fingerprint(), config_fingerprint());
+    }
+}

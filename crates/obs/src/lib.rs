@@ -81,20 +81,43 @@
 //! single-threaded `ConcurrentIndex` byte-identical to a plain
 //! `RTSIndex` under [`Snapshot::stable_only`] (pinned by the
 //! conformance stress tier).
+//!
+//! ## The live plane
+//!
+//! Four opt-in modules turn the dump-at-exit surfaces above into a
+//! live operational view — none of them starts anything by default:
+//!
+//! - [`timeseries`] — a background sampler recording registry deltas
+//!   into bounded rings, with `rate()` and windowed p99s;
+//! - [`server`] — a dependency-free HTTP/1.1 introspection server
+//!   (`/metrics`, `/health`, `/index`, …) plus the [`server::ServingStatus`]
+//!   contract a `ConcurrentIndex` registers itself through;
+//! - [`health`] — declarative SLO rules with hysteresis folding into a
+//!   Healthy/Degraded/Unhealthy verdict behind `/health`;
+//! - [`flight`] — a panic-hook-driven JSON black box for post-mortems.
+//!
+//! Everything the live plane derives is Host-class, so the Stable
+//! byte-identity contract is unaffected whether it runs or not.
 
 #![warn(missing_docs)]
 
 pub mod chrome;
 pub mod explain;
+pub mod flight;
+pub mod health;
 pub mod metrics;
 pub mod registry;
+pub mod server;
 pub mod snapshot;
 pub mod spans;
+pub mod timeseries;
 pub mod trace;
 
 pub use explain::{KCandidate, QueryPlan};
+pub use health::{HealthEngine, HealthRule, Severity, Signal, Verdict};
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::{global, Registry};
+pub use server::{GasDriftStatus, MaintenanceDecision, ServingStatus};
 pub use snapshot::{MetricValue, Snapshot, Value};
 pub use spans::{span, Span};
 pub use trace::{PhaseNanos, QueryTrace};

@@ -1,0 +1,517 @@
+//! Dependency-free HTTP/1.1 introspection server.
+//!
+//! [`start`] binds a `std::net::TcpListener` and serves `GET`-only
+//! HTTP/1.1 from a small bounded pool of worker threads (no external
+//! crates, `Content-Length` on every response, `Connection: close`).
+//! The routing table is the pure function [`respond`], so every
+//! endpoint is unit-testable without a socket:
+//!
+//! | Path            | Payload                                               |
+//! |-----------------|-------------------------------------------------------|
+//! | `/metrics`      | Prometheus text export of the global registry         |
+//! | `/metrics.json` | JSON export of the global registry                    |
+//! | `/timeseries`   | [`crate::timeseries::to_json`] rings                  |
+//! | `/traces`       | recent per-query records (bounded)                    |
+//! | `/slow`         | the slow-query log                                    |
+//! | `/explain`      | last recorded [`crate::QueryPlan`]                    |
+//! | `/health`       | [`crate::health`] verdict; status 200/429/503         |
+//! | `/flight`       | the flight-recorder black box                         |
+//! | `/index`        | [`ServingStatus`] from the registered index           |
+//!
+//! The server never starts on its own — a process that does not call
+//! [`start`] binds nothing and spawns nothing.
+//!
+//! ## `ServingStatus` and the status source
+//!
+//! `obs` sits below the index crates, so it cannot name
+//! `ConcurrentIndex`. Instead the serving types live here and the
+//! owning crate registers a closure via [`set_status_source`]
+//! (`librts::ConcurrentIndex{,3}::install_status_source` does this with
+//! a `Weak` upgrade, so a dropped index unregisters itself naturally).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::trace::json_f64;
+
+/// Per-GAS drift as seen by the maintenance policy at status time.
+#[derive(Clone, Debug)]
+pub struct GasDriftStatus {
+    /// Batch id of the GAS.
+    pub batch: usize,
+    /// Live primitives in the GAS.
+    pub prims: usize,
+    /// SAH cost drift relative to the post-build baseline.
+    pub sah_drift: f64,
+    /// Overlap-area drift relative to the post-build baseline.
+    pub overlap_drift: f64,
+    /// Action the policy wants for this GAS (`"none"`, `"refit"`,
+    /// `"rebuild"`, …).
+    pub wanted: &'static str,
+}
+
+/// One maintenance decision retained by a `ConcurrentIndex`.
+#[derive(Clone, Debug)]
+pub struct MaintenanceDecision {
+    /// Version the decision published.
+    pub version: u64,
+    /// ns since the trace origin when the decision landed.
+    pub ts_ns: u64,
+    /// GASes refitted.
+    pub refits: usize,
+    /// GASes rebuilt.
+    pub rebuilds: usize,
+    /// Whether the pass compacted the index.
+    pub compacted: bool,
+    /// Wanted actions skipped by the amortization budget.
+    pub deferred: usize,
+    /// Modelled device ns spent by the action.
+    pub device_ns: u64,
+}
+
+/// Introspection summary of a live `ConcurrentIndex{,3}` for `/index`.
+#[derive(Clone, Debug, Default)]
+pub struct ServingStatus {
+    /// Spatial dimensionality of the index (2 or 3).
+    pub dimensions: u32,
+    /// Latest published snapshot version.
+    pub version: u64,
+    /// ns since the trace origin of the latest publication (0 before
+    /// the first publish).
+    pub last_publish_ns: u64,
+    /// Live (valid) entries in the latest snapshot.
+    pub live: usize,
+    /// Dead (tombstoned) id slots awaiting compaction.
+    pub dead: usize,
+    /// Estimated index memory in bytes (0 when the index does not
+    /// report it).
+    pub memory_bytes: usize,
+    /// Whether a maintenance policy is configured.
+    pub policy_active: bool,
+    /// Per-GAS drift from `maintenance_report()` (empty without a
+    /// policy).
+    pub gases: Vec<GasDriftStatus>,
+    /// Most recent maintenance decisions, oldest first.
+    pub decisions: Vec<MaintenanceDecision>,
+}
+
+impl ServingStatus {
+    /// JSON rendering served by `/index`.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"dimensions\": {}, \"version\": {}, \"last_publish_ns\": {}, \
+             \"live\": {}, \"dead\": {}, \"memory_bytes\": {}, \
+             \"policy_active\": {}, \"gases\": [",
+            self.dimensions,
+            self.version,
+            self.last_publish_ns,
+            self.live,
+            self.dead,
+            self.memory_bytes,
+            self.policy_active,
+        );
+        for (i, g) in self.gases.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"batch\": {}, \"prims\": {}, \"sah_drift\": {}, \
+                 \"overlap_drift\": {}, \"wanted\": \"{}\"}}",
+                g.batch,
+                g.prims,
+                json_f64(g.sah_drift),
+                json_f64(g.overlap_drift),
+                g.wanted,
+            ));
+        }
+        out.push_str("], \"decisions\": [");
+        for (i, d) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"version\": {}, \"ts_ns\": {}, \"refits\": {}, \
+                 \"rebuilds\": {}, \"compacted\": {}, \"deferred\": {}, \
+                 \"device_ns\": {}}}",
+                d.version, d.ts_ns, d.refits, d.rebuilds, d.compacted, d.deferred, d.device_ns,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+type StatusSource = Box<dyn Fn() -> Option<ServingStatus> + Send + Sync>;
+
+fn status_source() -> MutexGuard<'static, Option<StatusSource>> {
+    static SOURCE: OnceLock<Mutex<Option<StatusSource>>> = OnceLock::new();
+    SOURCE
+        .get_or_init(|| Mutex::new(None))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Register the `/index` status source (replacing any previous one).
+/// Return `None` from the closure when the underlying index is gone.
+pub fn set_status_source(source: impl Fn() -> Option<ServingStatus> + Send + Sync + 'static) {
+    *status_source() = Some(Box::new(source));
+}
+
+/// Drop the `/index` status source (serves `null` afterwards).
+pub fn clear_status_source() {
+    *status_source() = None;
+}
+
+/// Current [`ServingStatus`], if a source is registered and its index
+/// is still alive.
+pub fn serving_status() -> Option<ServingStatus> {
+    status_source().as_ref().and_then(|f| f())
+}
+
+/// How many `/traces` records a single response carries at most.
+pub const TRACES_RESPONSE_CAP: usize = 256;
+
+/// One routed response: status code, content type, body.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body (its length becomes `Content-Length`).
+    pub body: String,
+}
+
+fn json(body: String) -> Response {
+    Response {
+        status: 200,
+        content_type: "application/json",
+        body,
+    }
+}
+
+fn query_array(records: &[crate::QueryTrace]) -> String {
+    let start = records.len().saturating_sub(TRACES_RESPONSE_CAP);
+    let mut out = String::from("[");
+    for (i, r) in records[start..].iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&r.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Route a request path to its response — the whole server, minus the
+/// sockets. Unknown paths get 404; the root path lists the endpoints.
+pub fn respond(path: &str) -> Response {
+    // Strip any query string: the endpoints take no parameters.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: crate::snapshot().to_prometheus(),
+        },
+        "/metrics.json" => json(crate::snapshot().to_json(2)),
+        "/timeseries" => json(crate::timeseries::to_json()),
+        "/traces" => json(query_array(&crate::trace::query_records())),
+        "/slow" => json(query_array(&crate::trace::slow_queries())),
+        "/explain" => json(format!(
+            "{{\"plan\": {}}}",
+            crate::explain::last_plan_json().unwrap_or_else(|| "null".into())
+        )),
+        "/health" => {
+            let (status, body) = crate::health::http_response();
+            Response {
+                status,
+                content_type: "application/json",
+                body,
+            }
+        }
+        "/flight" => json(crate::flight::dump_json()),
+        "/index" => json(
+            serving_status()
+                .map(|s| s.to_json())
+                .unwrap_or_else(|| "null".into()),
+        ),
+        "/" => Response {
+            status: 200,
+            content_type: "text/plain",
+            body: "librts introspection endpoints:\n\
+                   /metrics /metrics.json /timeseries /traces /slow \
+                   /explain /health /flight /index\n"
+                .into(),
+        },
+        _ => Response {
+            status: 404,
+            content_type: "text/plain",
+            body: format!("no such endpoint: {path}\n"),
+        },
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, r: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        r.status,
+        status_text(r.status),
+        r.content_type,
+        r.body.len(),
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(r.body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    // Read until the end of the request head (or the buffer fills —
+    // the endpoints take no bodies, so 8 KiB is plenty).
+    let mut buf = [0u8; 8192];
+    let mut len = 0usize;
+    while len < buf.len() && !buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => len += n,
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => {
+            m_bad_requests().inc();
+            write_response(
+                &mut stream,
+                &Response {
+                    status: 400,
+                    content_type: "text/plain",
+                    body: "malformed request\n".into(),
+                },
+            );
+            return;
+        }
+    };
+    if method != "GET" {
+        m_bad_requests().inc();
+        write_response(
+            &mut stream,
+            &Response {
+                status: 405,
+                content_type: "text/plain",
+                body: "GET only\n".into(),
+            },
+        );
+        return;
+    }
+    m_requests().inc();
+    let response = respond(path);
+    write_response(&mut stream, &response);
+}
+
+fn m_requests() -> &'static Arc<crate::Counter> {
+    static M: OnceLock<Arc<crate::Counter>> = OnceLock::new();
+    M.get_or_init(|| crate::host_counter("server.requests"))
+}
+
+fn m_bad_requests() -> &'static Arc<crate::Counter> {
+    static M: OnceLock<Arc<crate::Counter>> = OnceLock::new();
+    M.get_or_init(|| crate::host_counter("server.bad_requests"))
+}
+
+/// A running introspection server. Dropping the handle **without**
+/// calling [`ServerHandle::shutdown`] leaves the workers serving for
+/// the life of the process.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake every worker, and join them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // One self-connect per worker unblocks its `accept`.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve the introspection endpoints from `threads`
+/// worker threads (clamped to 1..=16). Returns the handle once the
+/// listener is bound; shut it down with [`ServerHandle::shutdown`].
+pub fn start(addr: impl ToSocketAddrs, threads: usize) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads = threads.clamp(1, 16);
+    let mut workers = Vec::with_capacity(threads);
+    for i in 0..threads {
+        let listener = listener.try_clone()?;
+        let stop = Arc::clone(&stop);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("obs-http-{i}"))
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if stop.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                handle_connection(stream);
+                            }
+                            Err(_) => {
+                                if stop.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                        }
+                    }
+                })
+                .expect("spawning an obs-http worker"),
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        stop,
+        workers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respond_routes_every_endpoint() {
+        let _guard = crate::test_lock();
+        crate::counter("server.test.metric").add(3);
+        for path in [
+            "/metrics",
+            "/metrics.json",
+            "/timeseries",
+            "/traces",
+            "/slow",
+            "/explain",
+            "/health",
+            "/flight",
+            "/index",
+            "/",
+        ] {
+            let r = respond(path);
+            assert_eq!(r.status, 200, "{path} should not 5xx without state");
+            assert!(!r.body.is_empty(), "{path} body empty");
+        }
+        assert_eq!(respond("/nope").status, 404);
+        assert_eq!(respond("/metrics?x=1").status, 200, "query string ignored");
+        let metrics = respond("/metrics");
+        assert!(metrics.body.contains("server_test_metric"));
+        assert!(respond("/explain").body.starts_with("{\"plan\":"));
+    }
+
+    #[test]
+    fn serving_status_round_trips_through_the_source() {
+        let _guard = crate::test_lock();
+        set_status_source(|| {
+            Some(ServingStatus {
+                dimensions: 2,
+                version: 7,
+                live: 100,
+                dead: 3,
+                policy_active: true,
+                gases: vec![GasDriftStatus {
+                    batch: 0,
+                    prims: 100,
+                    sah_drift: 0.25,
+                    overlap_drift: 0.0,
+                    wanted: "refit",
+                }],
+                decisions: vec![MaintenanceDecision {
+                    version: 7,
+                    ts_ns: 123,
+                    refits: 1,
+                    rebuilds: 0,
+                    compacted: false,
+                    deferred: 0,
+                    device_ns: 456,
+                }],
+                ..ServingStatus::default()
+            })
+        });
+        let body = respond("/index").body;
+        assert!(body.contains("\"version\": 7"));
+        assert!(body.contains("\"wanted\": \"refit\""));
+        assert!(body.contains("\"refits\": 1"));
+        clear_status_source();
+        assert_eq!(respond("/index").body, "null");
+    }
+
+    #[test]
+    fn server_serves_over_a_real_socket_and_shuts_down() {
+        let _guard = crate::test_lock();
+        let handle = start("127.0.0.1:0", 2).expect("bind");
+        let addr = handle.addr();
+        let fetch = |path: &str| -> String {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let req = format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n");
+            s.write_all(req.as_bytes()).unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        let resp = fetch("/metrics");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        let (head, body) = resp.split_once("\r\n\r\n").expect("head/body split");
+        let clen: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length")
+            .parse()
+            .unwrap();
+        assert_eq!(clen, body.len(), "Content-Length matches body");
+        let post = {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        assert!(post.starts_with("HTTP/1.1 405"));
+        handle.shutdown();
+        // The port is released: a fresh bind to the same address works.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port still held after shutdown");
+    }
+}

@@ -214,18 +214,18 @@ impl Snapshot {
         out
     }
 
-    /// Prometheus-style text export. Dots in names become underscores;
-    /// histograms expand into cumulative `_bucket{le="…"}` series plus
-    /// `_sum` and `_count`.
+    /// Prometheus-style text export. Metric names are sanitized by
+    /// [`prometheus_name`]; histograms expand into cumulative
+    /// `_bucket{le="…"}` series plus `_sum` and `_count`. Known metric
+    /// families get a `# HELP` line from [`describe_metric`].
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for e in &self.entries {
-            let name: String = e
-                .name
-                .chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                .collect();
+            let name = prometheus_name(&e.name);
             let class = e.class.label();
+            if let Some(help) = describe_metric(&e.name) {
+                out.push_str(&format!("# HELP {name} {help}\n"));
+            }
             match &e.value {
                 Value::Counter(v) => {
                     out.push_str(&format!("# TYPE {name} counter\n"));
@@ -263,6 +263,165 @@ impl Snapshot {
         }
         out
     }
+}
+
+/// Sanitize a dotted metric name into a Prometheus series name: every
+/// run of non-alphanumeric characters collapses to a single `_` (so
+/// `a::b-c` and `a.b.c` both stay three stable segments, instead of
+/// sprouting `a__b_c` the moment a name contains `::` or `-`), and a
+/// leading digit gains a `_` prefix.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut pending_sep = false;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            if pending_sep && !out.is_empty() {
+                out.push('_');
+            }
+            pending_sep = false;
+            out.push(c);
+        } else {
+            pending_sep = true;
+        }
+    }
+    if out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// One-line description of a metric for the exporter's `# HELP` lines.
+/// Exact names are matched first, then family prefixes (`span.`,
+/// `launch.`); unknown metrics get no HELP line.
+pub fn describe_metric(name: &str) -> Option<&'static str> {
+    // Exact dotted names, kept sorted for readability.
+    static EXACT: &[(&str, &str)] = &[
+        (
+            "concurrent.failed_publishes",
+            "Writer publications abandoned because the mutation closure returned an error.",
+        ),
+        (
+            "concurrent.publishes",
+            "Snapshot versions published by ConcurrentIndex writers.",
+        ),
+        (
+            "concurrent.reader_snapshots",
+            "SnapshotRef pins taken by readers.",
+        ),
+        (
+            "concurrent.snapshot_age",
+            "Versions behind latest observed by the most recent reader pin or drop.",
+        ),
+        (
+            "concurrent.stale_reads",
+            "Reader snapshots that were at least one version behind latest when dropped.",
+        ),
+        (
+            "concurrent.version",
+            "Latest published ConcurrentIndex version.",
+        ),
+        (
+            "exec.busy_ns",
+            "Wall nanoseconds exec workers spent running closures.",
+        ),
+        ("exec.chunks", "Work chunks executed by the exec pool."),
+        (
+            "exec.fanouts",
+            "Parallel fan-outs entered by the exec pool.",
+        ),
+        ("exec.items", "Items dispatched across exec fan-outs."),
+        (
+            "exec.steals",
+            "Chunks executed by a worker other than the enqueuer.",
+        ),
+        ("maintenance.checks", "Maintenance policy evaluations."),
+        (
+            "maintenance.compacts",
+            "Maintenance actions that compacted dead entries.",
+        ),
+        (
+            "maintenance.deferred",
+            "Maintenance actions skipped by the amortization budget.",
+        ),
+        (
+            "maintenance.noops",
+            "Maintenance checks that found all GASes within thresholds.",
+        ),
+        (
+            "maintenance.rebuilds",
+            "Per-GAS rebuild actions taken by maintenance.",
+        ),
+        (
+            "maintenance.refits",
+            "Per-GAS refit actions taken by maintenance.",
+        ),
+        (
+            "maintenance.worst_overlap_drift_milli",
+            "Worst per-GAS overlap drift at last check, in thousandths.",
+        ),
+        (
+            "maintenance.worst_sah_drift_milli",
+            "Worst per-GAS SAH drift at last check, in thousandths.",
+        ),
+        (
+            "query.wall_ns",
+            "Host wall time per query, nanoseconds (always-on feed for windowed SLOs).",
+        ),
+        (
+            "rtcore.aabb_tests",
+            "Ray-AABB tests performed by the simulated device.",
+        ),
+        (
+            "rtcore.is_calls",
+            "Intersection-shader invocations on the simulated device.",
+        ),
+        (
+            "rtcore.launches",
+            "Ray launches submitted to the simulated device.",
+        ),
+        ("rtcore.rays", "Rays cast on the simulated device."),
+        (
+            "timeseries.sample_ns",
+            "Wall nanoseconds spent taking timeseries samples.",
+        ),
+        (
+            "timeseries.samples",
+            "Samples taken by the timeseries recorder.",
+        ),
+        (
+            "trace.dropped_events",
+            "Timeline events dropped by the bounded trace ring.",
+        ),
+        (
+            "trace.dropped_queries",
+            "Query records dropped by the bounded trace ring.",
+        ),
+    ];
+    if let Ok(i) = EXACT.binary_search_by(|(n, _)| n.cmp(&name)) {
+        return Some(EXACT[i].1);
+    }
+    // Family prefixes and suffixes.
+    if let Some(rest) = name.strip_prefix("span.") {
+        return Some(if rest.ends_with(".device_ns") {
+            "Modelled device nanoseconds attributed to this span path."
+        } else if rest.ends_with(".wall_ns") {
+            "Host wall nanoseconds spent inside this span path."
+        } else if rest.ends_with(".calls") {
+            "Times this span path was entered."
+        } else {
+            "Hierarchical span metric."
+        });
+    }
+    if name.starts_with("launch.") {
+        return Some("Per-launch shape histogram from the simulated device.");
+    }
+    if name.starts_with("server.") {
+        return Some("Introspection HTTP server activity.");
+    }
+    if name.starts_with("health.") {
+        return Some("SLO health engine state.");
+    }
+    None
 }
 
 fn json_escape(s: &str) -> String {
@@ -438,6 +597,52 @@ mod tests {
         assert!(json.contains("\"p50\": 7"));
         assert!(json.contains("\"p90\": 7"));
         assert!(json.contains("\"p99\": 63"));
+    }
+
+    #[test]
+    fn prometheus_name_collapses_runs_of_separators() {
+        assert_eq!(prometheus_name("rtcore.rays"), "rtcore_rays");
+        assert_eq!(prometheus_name("a::b-c"), "a_b_c");
+        assert_eq!(prometheus_name("a..b"), "a_b");
+        assert_eq!(prometheus_name(".leading.trailing."), "leading_trailing");
+        assert_eq!(prometheus_name("2fast"), "_2fast");
+    }
+
+    #[test]
+    fn prometheus_emits_help_for_described_metrics() {
+        let s = snap(vec![
+            counter("rtcore.rays", Class::Stable, 4),
+            counter("obs.test.undocumented", Class::Host, 1),
+            counter("span.q.calls", Class::Stable, 2),
+        ]);
+        let prom = s.to_prometheus();
+        assert!(prom.contains("# HELP rtcore_rays "));
+        assert!(prom.contains("# HELP span_q_calls Times this span path was entered.\n"));
+        // HELP precedes TYPE for the same series.
+        let help_at = prom.find("# HELP rtcore_rays").unwrap();
+        let type_at = prom.find("# TYPE rtcore_rays").unwrap();
+        assert!(help_at < type_at);
+        // Unknown metrics still export, just without a HELP line.
+        assert!(prom.contains("obs_test_undocumented{"));
+        assert!(!prom.contains("# HELP obs_test_undocumented"));
+    }
+
+    #[test]
+    fn describe_metric_table_is_binary_searchable() {
+        // Every exact entry must be findable (i.e. the table is sorted).
+        for name in [
+            "concurrent.publishes",
+            "exec.steals",
+            "maintenance.rebuilds",
+            "maintenance.refits",
+            "query.wall_ns",
+            "rtcore.rays",
+            "timeseries.samples",
+            "trace.dropped_queries",
+        ] {
+            assert!(describe_metric(name).is_some(), "{name} undescribed");
+        }
+        assert!(describe_metric("no.such.metric").is_none());
     }
 
     #[test]

@@ -1,0 +1,553 @@
+//! Time-series recorder: periodic registry samples in bounded rings.
+//!
+//! The aggregate registry ([`crate::snapshot`]) answers "how much, in
+//! total" — it has no history, so it cannot answer "how fast, right
+//! now" or "what was the p99 over the last minute". This module adds
+//! that live dimension without touching the determinism contract:
+//!
+//! - [`sample_now`] diffs the global registry against the previous
+//!   sample and appends one point per metric to a fixed-capacity ring
+//!   (counters store the interval **delta**, gauges the current level,
+//!   histograms the sparse per-bucket delta);
+//! - [`start`] runs `sample_now` on a background thread at a fixed
+//!   cadence. The sampler is **never started by default** — an
+//!   unobserved process takes zero samples and spawns zero threads;
+//! - [`rate`] and [`window_quantile`] / [`window_p99`] derive
+//!   per-second rates and windowed quantiles (via the registry's
+//!   power-of-two bucket bounds) from the rings;
+//! - [`to_json`] exports every ring for the `/timeseries` endpoint.
+//!
+//! ## Determinism
+//!
+//! Everything here is **derived, Host-class data**: sample timestamps,
+//! interval deltas and windowed quantiles all depend on when the
+//! sampler fired on *this* host. The recorder never writes back into
+//! the registry except through two explicitly Host-class self-metering
+//! counters (`timeseries.samples`, `timeseries.sample_ns`), so
+//! [`crate::Snapshot::stable_only`] byte-identity at any
+//! `LIBRTS_THREADS` is untouched whether the sampler runs or not (the
+//! conformance serving tier pins this).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::{quantile_upper_bound, HISTOGRAM_BUCKETS};
+use crate::snapshot::{Snapshot, Value};
+use crate::trace::now_ns;
+use crate::Class;
+
+/// Default per-metric ring capacity (points retained per series).
+pub const DEFAULT_CAPACITY: usize = 240;
+
+/// One sampled point of one metric's ring.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Point {
+    /// Counter increment over the sampling interval ending at `ts_ns`.
+    Delta {
+        /// Sample timestamp, ns since the trace origin.
+        ts_ns: u64,
+        /// Counter increment since the previous sample.
+        delta: u64,
+    },
+    /// Gauge level at `ts_ns`.
+    Level {
+        /// Sample timestamp, ns since the trace origin.
+        ts_ns: u64,
+        /// Gauge value at sample time.
+        level: i64,
+    },
+    /// Histogram activity over the sampling interval ending at `ts_ns`.
+    Hist {
+        /// Sample timestamp, ns since the trace origin.
+        ts_ns: u64,
+        /// Observations landed during the interval.
+        count: u64,
+        /// Sum of observations landed during the interval.
+        sum: u64,
+        /// Sparse per-bucket deltas: `(bucket index, increment)`,
+        /// ascending, zero buckets omitted.
+        buckets: Vec<(u16, u64)>,
+    },
+}
+
+impl Point {
+    fn ts_ns(&self) -> u64 {
+        match self {
+            Point::Delta { ts_ns, .. } | Point::Level { ts_ns, .. } | Point::Hist { ts_ns, .. } => {
+                *ts_ns
+            }
+        }
+    }
+}
+
+/// One metric's ring of sampled points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Determinism class of the *source* metric (the series itself is
+    /// always Host-class derived data).
+    pub class: Class,
+    /// Retained points, oldest first, capped at the recorder capacity.
+    pub points: VecDeque<Point>,
+}
+
+struct Store {
+    capacity: usize,
+    interval: Duration,
+    samples: u64,
+    prev: Option<Snapshot>,
+    series: BTreeMap<String, Series>,
+}
+
+impl Store {
+    const fn new() -> Self {
+        Self {
+            capacity: DEFAULT_CAPACITY,
+            interval: Duration::from_millis(250),
+            samples: 0,
+            prev: None,
+            series: BTreeMap::new(),
+        }
+    }
+
+    fn push(&mut self, name: &str, class: Class, point: Point) {
+        let series = self.series.entry(name.to_string()).or_insert(Series {
+            class,
+            points: VecDeque::new(),
+        });
+        if series.points.len() >= self.capacity {
+            series.points.pop_front();
+        }
+        series.points.push_back(point);
+    }
+}
+
+fn store() -> MutexGuard<'static, Store> {
+    static STORE: Mutex<Store> = Mutex::new(Store::new());
+    STORE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn m_samples() -> &'static Arc<crate::Counter> {
+    static M: OnceLock<Arc<crate::Counter>> = OnceLock::new();
+    M.get_or_init(|| crate::host_counter("timeseries.samples"))
+}
+
+fn m_sample_ns() -> &'static Arc<crate::Counter> {
+    static M: OnceLock<Arc<crate::Counter>> = OnceLock::new();
+    M.get_or_init(|| crate::host_counter("timeseries.sample_ns"))
+}
+
+/// Override the per-metric ring capacity (also truncates existing
+/// rings). Mostly for tests; the default is [`DEFAULT_CAPACITY`].
+pub fn set_capacity(capacity: usize) {
+    let mut st = store();
+    st.capacity = capacity.max(1);
+    let cap = st.capacity;
+    for series in st.series.values_mut() {
+        while series.points.len() > cap {
+            series.points.pop_front();
+        }
+    }
+}
+
+/// Take one sample synchronously: snapshot the registry, diff against
+/// the previous sample, and append one point per metric. The first call
+/// only establishes the baseline for counters and histograms (gauges
+/// record a level immediately). Returns the number of points appended.
+pub fn sample_now() -> usize {
+    let t0 = now_ns();
+    let snap = crate::snapshot();
+    let ts_ns = now_ns();
+    let mut st = store();
+    let prev = st.prev.take();
+    let mut appended = 0usize;
+    for e in snap.entries() {
+        let prev_value = prev.as_ref().and_then(|p| {
+            p.entries()
+                .binary_search_by(|pe| pe.name.as_str().cmp(&e.name))
+                .ok()
+                .map(|i| &p.entries()[i].value)
+        });
+        let point = match (&e.value, prev_value) {
+            (Value::Gauge(level), _) => Some(Point::Level {
+                ts_ns,
+                level: *level,
+            }),
+            (Value::Counter(v), Some(Value::Counter(p))) => Some(Point::Delta {
+                ts_ns,
+                delta: v.saturating_sub(*p),
+            }),
+            (
+                Value::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                },
+                Some(Value::Histogram {
+                    count: pc,
+                    sum: ps,
+                    buckets: pb,
+                }),
+            ) => {
+                let sparse: Vec<(u16, u64)> = buckets
+                    .iter()
+                    .zip(pb.iter().chain(std::iter::repeat(&0)))
+                    .enumerate()
+                    .filter_map(|(b, (n, p))| {
+                        let d = n.saturating_sub(*p);
+                        (d > 0).then_some((b as u16, d))
+                    })
+                    .collect();
+                Some(Point::Hist {
+                    ts_ns,
+                    count: count.saturating_sub(*pc),
+                    sum: sum.saturating_sub(*ps),
+                    buckets: sparse,
+                })
+            }
+            // First sighting of a counter/histogram: baseline only.
+            _ => None,
+        };
+        if let Some(point) = point {
+            appended += 1;
+            st.push(&e.name, e.class, point);
+        }
+    }
+    st.prev = Some(snap);
+    st.samples += 1;
+    drop(st);
+    m_samples().inc();
+    m_sample_ns().add(now_ns().saturating_sub(t0));
+    appended
+}
+
+/// Total samples taken since the last [`clear`].
+pub fn sample_count() -> u64 {
+    store().samples
+}
+
+/// The retained ring of metric `name`, if any points were recorded.
+pub fn series(name: &str) -> Option<Series> {
+    store().series.get(name).cloned()
+}
+
+/// Per-second rate of counter `name` over (up to) the last `window`
+/// samples: the summed deltas divided by the wall time they cover.
+/// `None` when fewer than one delta point exists.
+pub fn rate(name: &str, window: usize) -> Option<f64> {
+    let st = store();
+    let series = st.series.get(name)?;
+    let start = series.points.len().saturating_sub(window.max(1));
+    let mut total = 0u64;
+    let mut first_ts = u64::MAX;
+    let mut last_ts = 0u64;
+    let mut n = 0usize;
+    for p in series.points.iter().skip(start) {
+        if let Point::Delta { ts_ns, delta } = p {
+            total += delta;
+            first_ts = first_ts.min(*ts_ns);
+            last_ts = last_ts.max(*ts_ns);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return None;
+    }
+    // Each point covers one interval ending at its timestamp, so the
+    // window spans (last - first) plus one leading interval.
+    let interval_ns = st.interval.as_nanos() as u64;
+    let span_ns = last_ts.saturating_sub(first_ts) + interval_ns.max(1);
+    Some(total as f64 / (span_ns as f64 / 1e9))
+}
+
+/// Upper-bound `q`-quantile of histogram `name` over (up to) the last
+/// `window` samples, via the merged sparse bucket deltas and the
+/// registry's power-of-two bounds. `None` when no histogram points
+/// exist; `Some(0)` when the window saw no observations.
+pub fn window_quantile(name: &str, q: f64, window: usize) -> Option<u64> {
+    let st = store();
+    let series = st.series.get(name)?;
+    let start = series.points.len().saturating_sub(window.max(1));
+    let mut merged = [0u64; HISTOGRAM_BUCKETS];
+    let mut n = 0usize;
+    for p in series.points.iter().skip(start) {
+        if let Point::Hist { buckets, .. } = p {
+            for (b, d) in buckets {
+                merged[*b as usize] += d;
+            }
+            n += 1;
+        }
+    }
+    (n > 0).then(|| quantile_upper_bound(&merged, q))
+}
+
+/// [`window_quantile`] at q = 0.99 — the SLO-facing windowed p99.
+pub fn window_p99(name: &str, window: usize) -> Option<u64> {
+    window_quantile(name, 0.99, window)
+}
+
+/// Last recorded level of gauge `name`.
+pub fn gauge_level(name: &str) -> Option<i64> {
+    let st = store();
+    st.series.get(name)?.points.iter().rev().find_map(|p| {
+        if let Point::Level { level, .. } = p {
+            Some(*level)
+        } else {
+            None
+        }
+    })
+}
+
+/// Drop every ring, the diff baseline and the sample counter (the
+/// sampler thread, if running, keeps going and re-baselines).
+pub fn clear() {
+    let mut st = store();
+    st.prev = None;
+    st.series.clear();
+    st.samples = 0;
+}
+
+/// JSON export of every ring (one object per metric; histograms render
+/// per-point interval count/sum plus the interval p99 rather than raw
+/// sparse buckets). All values are Host-class derived data.
+pub fn to_json() -> String {
+    let st = store();
+    let mut out = String::from("{");
+    out.push_str(&format!("\"samples\": {}, ", st.samples));
+    out.push_str(&format!("\"capacity\": {}, ", st.capacity));
+    out.push_str(&format!(
+        "\"interval_ms\": {}, ",
+        st.interval.as_millis().min(u64::MAX as u128)
+    ));
+    out.push_str("\"series\": {");
+    for (i, (name, series)) in st.series.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let kind = match series.points.back() {
+            Some(Point::Delta { .. }) => "counter",
+            Some(Point::Level { .. }) => "gauge",
+            Some(Point::Hist { .. }) => "histogram",
+            None => "empty",
+        };
+        out.push_str(&format!(
+            "\n\"{}\": {{\"class\": \"{}\", \"kind\": \"{kind}\", \"points\": [",
+            name,
+            series.class.label()
+        ));
+        for (j, p) in series.points.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let ts_ms = p.ts_ns() / 1_000_000;
+            match p {
+                Point::Delta { delta, .. } => {
+                    out.push_str(&format!("{{\"ts_ms\": {ts_ms}, \"delta\": {delta}}}"));
+                }
+                Point::Level { level, .. } => {
+                    out.push_str(&format!("{{\"ts_ms\": {ts_ms}, \"level\": {level}}}"));
+                }
+                Point::Hist {
+                    count,
+                    sum,
+                    buckets,
+                    ..
+                } => {
+                    let mut merged = [0u64; HISTOGRAM_BUCKETS];
+                    for (b, d) in buckets {
+                        merged[*b as usize] += d;
+                    }
+                    out.push_str(&format!(
+                        "{{\"ts_ms\": {ts_ms}, \"count\": {count}, \"sum\": {sum}, \"p99\": {}}}",
+                        quantile_upper_bound(&merged, 0.99)
+                    ));
+                }
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n}}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The sampler thread
+// ---------------------------------------------------------------------------
+
+struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+fn sampler_slot() -> MutexGuard<'static, Option<Sampler>> {
+    static SAMPLER: Mutex<Option<Sampler>> = Mutex::new(None);
+    SAMPLER.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Start the background sampler at `interval` (clamped to >= 1 ms).
+/// Returns `false` (without spawning) when a sampler is already
+/// running. The thread takes one sample immediately (the baseline),
+/// then one per interval until [`stop`].
+pub fn start(interval: Duration) -> bool {
+    let mut slot = sampler_slot();
+    if slot.is_some() {
+        return false;
+    }
+    let interval = interval.max(Duration::from_millis(1));
+    store().interval = interval;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_thread = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("obs-timeseries".into())
+        .spawn(move || {
+            sample_now(); // baseline
+            while !stop_thread.load(Ordering::Acquire) {
+                // Sleep in small slices so stop() never waits a full
+                // interval.
+                let mut slept = Duration::ZERO;
+                while slept < interval && !stop_thread.load(Ordering::Acquire) {
+                    let slice = (interval - slept).min(Duration::from_millis(10));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                if stop_thread.load(Ordering::Acquire) {
+                    break;
+                }
+                sample_now();
+            }
+        })
+        .expect("spawning the timeseries sampler thread");
+    *slot = Some(Sampler { stop, handle });
+    true
+}
+
+/// Stop and join the background sampler. Returns `false` when none was
+/// running. Retained rings survive (use [`clear`] to drop them).
+pub fn stop() -> bool {
+    let sampler = sampler_slot().take();
+    match sampler {
+        None => false,
+        Some(s) => {
+            s.stop.store(true, Ordering::Release);
+            let _ = s.handle.join();
+            true
+        }
+    }
+}
+
+/// Whether the background sampler is currently running.
+pub fn running() -> bool {
+    sampler_slot().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_record_interval_deltas_not_totals() {
+        let _guard = crate::test_lock();
+        clear();
+        let c = crate::host_counter("ts.test.deltas");
+        c.add(100);
+        sample_now(); // baseline for this counter
+        c.add(7);
+        sample_now();
+        c.add(3);
+        sample_now();
+        let s = series("ts.test.deltas").expect("series exists");
+        let deltas: Vec<u64> = s
+            .points
+            .iter()
+            .filter_map(|p| match p {
+                Point::Delta { delta, .. } => Some(*delta),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deltas, vec![7, 3]);
+        assert!(rate("ts.test.deltas", 8).unwrap() > 0.0);
+        clear();
+    }
+
+    #[test]
+    fn window_p99_merges_sparse_bucket_deltas() {
+        let _guard = crate::test_lock();
+        clear();
+        let h = crate::host_histogram("ts.test.hist");
+        h.observe(1);
+        sample_now(); // baseline
+        for _ in 0..99 {
+            h.observe(4); // bucket 3, upper bound 7
+        }
+        sample_now();
+        h.observe(1000); // bucket 9, upper bound 1023
+        sample_now();
+        // Window of 1: only the 1000-observation interval.
+        assert_eq!(window_p99("ts.test.hist", 1), Some(1023));
+        // Window of 2: 99 small + 1 large → p99 still the small bucket.
+        assert_eq!(window_p99("ts.test.hist", 2), Some(7));
+        assert_eq!(window_quantile("ts.test.hist", 1.0, 2), Some(1023));
+        assert_eq!(window_p99("ts.test.missing", 4), None);
+        clear();
+    }
+
+    #[test]
+    fn rings_are_bounded_and_gauges_record_levels() {
+        let _guard = crate::test_lock();
+        clear();
+        set_capacity(4);
+        let g = crate::gauge("ts.test.level");
+        for i in 0..10 {
+            g.set(i);
+            sample_now();
+        }
+        let s = series("ts.test.level").expect("series exists");
+        assert_eq!(s.points.len(), 4, "ring capped at capacity");
+        assert_eq!(gauge_level("ts.test.level"), Some(9));
+        set_capacity(DEFAULT_CAPACITY);
+        clear();
+    }
+
+    #[test]
+    fn sampler_thread_starts_once_and_stops() {
+        let _guard = crate::test_lock();
+        clear();
+        assert!(!running());
+        assert!(start(Duration::from_millis(1)));
+        assert!(!start(Duration::from_millis(1)), "second start refused");
+        assert!(running());
+        // The sampler takes its baseline sample immediately.
+        let t0 = std::time::Instant::now();
+        while sample_count() == 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(sample_count() >= 1);
+        assert!(stop());
+        assert!(!stop(), "second stop is a no-op");
+        assert!(!running());
+        clear();
+    }
+
+    #[test]
+    fn json_export_is_balanced_and_typed() {
+        let _guard = crate::test_lock();
+        clear();
+        let c = crate::host_counter("ts.test.json");
+        c.inc();
+        sample_now();
+        c.inc();
+        sample_now();
+        let json = to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert!(json.contains("\"ts.test.json\""));
+        assert!(json.contains("\"kind\": \"counter\""));
+        assert!(json.contains("\"delta\": 1"));
+        clear();
+    }
+}

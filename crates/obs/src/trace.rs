@@ -355,6 +355,13 @@ fn dropped_counter() -> &'static Arc<crate::Counter> {
     CTR.get_or_init(|| crate::host_counter("trace.dropped_events"))
 }
 
+/// Always-on Host-class per-query wall-time histogram (`query.wall_ns`)
+/// feeding the live plane's windowed SLOs.
+fn wall_histogram() -> &'static Arc<crate::Histogram> {
+    static H: OnceLock<Arc<crate::Histogram>> = OnceLock::new();
+    H.get_or_init(|| crate::host_histogram("query.wall_ns"))
+}
+
 static QUERIES_ON: AtomicBool = AtomicBool::new(false);
 static SPANS_ON: AtomicBool = AtomicBool::new(false);
 
@@ -461,6 +468,10 @@ pub fn slow_queries() -> Vec<QueryTrace> {
 /// here; callers fill everything else. Returns the assigned sequence
 /// number (or `None` when nothing captured it).
 pub fn record_query(mut record: QueryTrace) -> Option<u64> {
+    // Always-on Host-class latency feed: the live plane's windowed p99
+    // ([`crate::timeseries::window_p99`], the `/health` SLO rules) must
+    // see every query's wall time even when query tracing is disabled.
+    wall_histogram().observe(record.wall_ns);
     let queries = queries_enabled();
     let slow = slow_cell().load(Ordering::Relaxed);
     let is_slow = record.wall_ns >= slow;

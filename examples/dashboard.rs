@@ -1,0 +1,178 @@
+//! Live dashboard — the whole observability plane around a churning
+//! index: the HTTP introspection server ([`obs::server`]), the
+//! time-series sampler ([`obs::timeseries`]), SLO health rules
+//! ([`obs::health`]) and the flight recorder ([`obs::flight`]), all
+//! wired to a [`librts::ConcurrentIndex`] that a writer keeps mutating.
+//!
+//! The demo is its own client: while the writer churns, it scrapes the
+//! server's endpoints over real loopback sockets and prints a compact
+//! dashboard — current version, snapshot age, live/dead counts, the
+//! health verdict, the windowed query-latency p99 and the publish rate
+//! — exactly what `curl http://<addr>/index` and friends would show.
+//!
+//! ```sh
+//! cargo run --release --example dashboard
+//! ```
+//!
+//! For an interactive session against a long-running process, use
+//! `runme --serve 127.0.0.1:9000` and point a browser or `curl` at it.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use geom::{Point, Rect};
+use librts::{ConcurrentIndex, CountingHandler, Predicate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WORLD: f32 = 1_000.0;
+const VEHICLES: usize = 4_000;
+const PUBLISHES: u64 = 30;
+const FENCES: usize = 48;
+
+/// One blocking GET against the introspection server; returns the body.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("dashboard server is up");
+    s.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .expect("request");
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("response");
+    reply
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default()
+}
+
+/// First `"key": <number>` occurrence in a JSON body (the payloads are
+/// flat enough that a scan suffices for a demo).
+fn num(body: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let rest = &body[body.find(&pat)? + pat.len()..];
+    rest.split([',', '}', '\n']).next()?.trim().parse().ok()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let fleet: Vec<Rect<f32, 2>> = (0..VEHICLES)
+        .map(|_| {
+            let (x, y) = (rng.gen::<f32>() * WORLD, rng.gen::<f32>() * WORLD);
+            Rect::xyxy(x, y, x + 2.0, y + 2.0)
+        })
+        .collect();
+    let fences: Vec<Rect<f32, 2>> = (0..FENCES)
+        .map(|_| {
+            let (x, y) = (rng.gen::<f32>() * WORLD, rng.gen::<f32>() * WORLD);
+            Rect::xyxy(x, y, x + 60.0, y + 60.0)
+        })
+        .collect();
+
+    let index = Arc::new(
+        ConcurrentIndex::with_rects(&fleet, Default::default()).expect("fleet rects are valid"),
+    );
+
+    // Wire up the live plane: /index serves this index, /health runs
+    // the default SLO rules, the sampler feeds /timeseries, and a
+    // panic anywhere would leave a black box in target/.
+    index.install_status_source();
+    obs::health::install(obs::HealthEngine::new(obs::health::default_rules(20)));
+    obs::flight::install_panic_hook("target/dashboard_flight.json");
+    assert!(obs::timeseries::start(Duration::from_millis(20)));
+    let server = obs::server::start("127.0.0.1:0", 2).expect("bind loopback");
+    let addr = server.addr();
+    println!("live plane on http://{addr}/  (try: curl http://{addr}/index)");
+    println!(
+        "{:>8} {:>8} {:>6} {:>6} {:>12} {:>12}  health",
+        "version", "age_ms", "live", "dead", "p99_query", "publishes"
+    );
+
+    // Writer churn in the background: every publish moves a rotating
+    // tenth of the fleet.
+    let done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let (index, done) = (Arc::clone(&index), Arc::clone(&done));
+        let mut positions = fleet;
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(78);
+            for p in 0..PUBLISHES {
+                let ids: Vec<u32> = (0..VEHICLES)
+                    .filter(|i| i % 10 == (p as usize) % 10)
+                    .map(|i| i as u32)
+                    .collect();
+                let moved: Vec<Rect<f32, 2>> = ids
+                    .iter()
+                    .map(|&id| {
+                        let r = positions[id as usize]
+                            .translated(&Point::xy(rng.gen::<f32>() - 0.5, rng.gen::<f32>() - 0.5));
+                        positions[id as usize] = r;
+                        r
+                    })
+                    .collect();
+                index.update(&ids, &moved).expect("movers are live");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            done.store(true, Ordering::Release);
+        })
+    };
+
+    // The dashboard loop: query a snapshot (feeding the latency SLO),
+    // then scrape /index, /health and /timeseries like any external
+    // monitor would.
+    let mut ticks = 0u64;
+    while !done.load(Ordering::Acquire) || ticks == 0 {
+        let h = CountingHandler::new();
+        index
+            .snapshot()
+            .range_query(Predicate::Intersects, &fences, &h);
+
+        let status = scrape(addr, "/index");
+        let health = scrape(addr, "/health");
+        let verdict = ["healthy", "degraded", "unhealthy"]
+            .iter()
+            .find(|v| health.contains(&format!("\"{v}\"")))
+            .copied()
+            .unwrap_or("unconfigured");
+        let metrics = scrape(addr, "/metrics.json");
+        // A metric entry renders as `"name": {"class": …, "value": N}`;
+        // scan to the entry, then read its value field.
+        let publishes = metrics
+            .find("\"concurrent.publishes\"")
+            .and_then(|at| num(&metrics[at..], "value"))
+            .unwrap_or(0.0) as u64;
+        let p99 = obs::timeseries::window_p99("query.wall_ns", 20).unwrap_or(0);
+        println!(
+            "{:>8} {:>8.1} {:>6} {:>6} {:>10}us {:>12}  {verdict}",
+            num(&status, "version").unwrap_or(0.0) as u64,
+            num(&status, "last_publish_ns").map_or(0.0, |ns| {
+                (obs::trace::now_ns().saturating_sub(ns as u64)) as f64 / 1e6
+            }),
+            num(&status, "live").unwrap_or(0.0) as u64,
+            num(&status, "dead").unwrap_or(0.0) as u64,
+            p99 / 1_000,
+            publishes,
+        );
+        ticks += 1;
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    writer.join().expect("writer panicked");
+
+    // Final scrape set, the way a post-incident review would read it.
+    let flight = scrape(addr, "/flight");
+    println!(
+        "\nfinal: version {} after {PUBLISHES} publishes; flight recorder holds {} metric chars",
+        index.version(),
+        flight.len()
+    );
+    assert_eq!(index.version(), PUBLISHES);
+    assert!(flight.contains("\"config_fingerprint\""));
+
+    server.shutdown();
+    obs::timeseries::stop();
+    obs::health::uninstall();
+    obs::server::clear_status_source();
+    println!("dashboard demo done ({ticks} ticks); live plane shut down");
+}

@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "dynamic_fleet",
     "airspace_3d",
     "concurrent_server",
+    "dashboard",
 ];
 
 /// `target/<profile>/examples`, derived from this test binary's own
