@@ -8,7 +8,7 @@
 //!
 //! Experiments: `table1 table2 fig6a fig6b fig7a fig7b fig8 fig8d fig9a
 //! fig9b fig10a fig10b fig10c fig11 fig12 scaling kernel_ab concurrency
-//! maintenance serving_obs all`.
+//! maintenance serving_obs chaos all`.
 //!
 //! Flags: `--scale N` divides dataset cardinalities (default 64),
 //! `--queries N` divides query counts (default 10), `--seed N`,
@@ -108,6 +108,9 @@ fn run(exp: &str, cfg: &EvalConfig, perf: &mut PerfReport) {
         "serving_obs" => {
             perf.serving_obs_study(cfg);
         }
+        "chaos" => {
+            perf.chaos_study(cfg);
+        }
         "all" => {
             for e in [
                 "table1",
@@ -130,6 +133,7 @@ fn run(exp: &str, cfg: &EvalConfig, perf: &mut PerfReport) {
                 "concurrency",
                 "maintenance",
                 "serving_obs",
+                "chaos",
             ] {
                 run(e, cfg, perf);
             }

@@ -183,6 +183,7 @@ fn main() {
         perf.concurrency_study(&cfg);
         perf.maintenance_study(&cfg);
         perf.serving_obs_study(&cfg);
+        perf.chaos_study(&cfg);
         perf.record_explain(&cfg);
         perf.write("BENCH_perf.json");
         export_trace(trace_path.as_deref());
@@ -222,6 +223,7 @@ fn main() {
     perf.concurrency_study(&cfg);
     perf.maintenance_study(&cfg);
     perf.serving_obs_study(&cfg);
+    perf.chaos_study(&cfg);
     perf.record_explain(&cfg);
     perf.write("BENCH_perf.json");
     export_trace(trace_path.as_deref());

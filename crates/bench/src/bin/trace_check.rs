@@ -4,6 +4,7 @@
 //! ```sh
 //! trace_check [trace.json] [BENCH_perf.json] [--max-prediction-error X]
 //! trace_check serve [BENCH_perf.json]
+//! trace_check chaos [BENCH_perf.json]
 //! ```
 //!
 //! The `serve` mode (ISSUE 9) stands up the whole live plane in-process
@@ -19,6 +20,15 @@
 //! slow-query storm, and a flight-recorder dump written and re-parsed.
 //! With a `BENCH_perf.json` argument it additionally gates the
 //! `serving_obs` study's sampler overhead below 2 % of the writer wall.
+//!
+//! The `chaos` mode (ISSUE 10) gates the chaos resilience study in
+//! `BENCH_perf.json`: the seeded fault schedule must actually have
+//! fired (`injected_faults >= 1`), the writer must have absorbed every
+//! fault without losing an operation (`ops == rounds`, availability
+//! `>= 80 %`), recovery latencies must have been measured, and the
+//! faulted run must have **converged** — the surviving index answers
+//! byte-identically to a fault-free reference built from the same
+//! committed batches.
 //!
 //! The default mode validates the Chrome Trace Format export without a
 //! JSON library (the offline workspace carries none), exploiting the
@@ -63,6 +73,11 @@ fn main() {
     if args.first().map(String::as_str) == Some("serve") {
         check_serve(args.get(1).map(String::as_str));
         println!("trace_check: all serve checks passed");
+        return;
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        check_chaos(args.get(1).map(String::as_str).unwrap_or("BENCH_perf.json"));
+        println!("trace_check: all chaos checks passed");
         return;
     }
     let mut paths: Vec<&str> = Vec::new();
@@ -859,6 +874,59 @@ fn check_serve(perf_path: Option<&str>) {
     }
     println!(
         "trace_check: {path}: serving_obs overhead {overhead:.2}% < 2% over {scrapes} scrapes OK"
+    );
+}
+
+/// `trace_check chaos` — gates the chaos resilience study (see the
+/// module docs for the criteria).
+fn check_chaos(path: &str) {
+    let content =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let start = content.find("\"chaos\": {").unwrap_or_else(|| {
+        fail(format!(
+            "{path}: no chaos section (the chaos resilience study did not run)"
+        ))
+    });
+    let block = &content[start..];
+    let num = |key: &str| -> f64 {
+        num_field(block, key).unwrap_or_else(|| fail(format!("{path}: chaos has no {key}")))
+    };
+    let injected = num("injected_faults");
+    if injected < 1.0 {
+        fail(format!(
+            "{path}: chaos study injected no faults — the schedule never fired"
+        ));
+    }
+    let (rounds, ops) = (num("rounds"), num("ops"));
+    if ops != rounds {
+        fail(format!(
+            "{path}: chaos writer completed {ops} of {rounds} operations — recovery lost work"
+        ));
+    }
+    let availability = num("availability_percent");
+    if availability < 80.0 {
+        fail(format!(
+            "{path}: chaos availability {availability:.2}% < 80% — \
+             the schedule cost more retries than the recovery budget allows"
+        ));
+    }
+    let recoveries = num("recoveries");
+    let p99 = num("recovery_p99_ns");
+    if recoveries >= 1.0 && p99 <= 0.0 {
+        fail(format!(
+            "{path}: chaos recorded {recoveries} recoveries but no recovery latency"
+        ));
+    }
+    match field(block, "converged").map(str::trim) {
+        Some("true") => {}
+        other => fail(format!(
+            "{path}: chaos study did not converge (converged = {other:?}) — \
+             the faulted index diverged from the fault-free reference"
+        )),
+    }
+    println!(
+        "trace_check: {path}: chaos {injected} injected faults, availability \
+         {availability:.2}% >= 80%, {recoveries} recoveries (p99 {p99} ns), converged OK"
     );
 }
 

@@ -1,0 +1,251 @@
+//! Chaos resilience study: the `"chaos"` section of `BENCH_perf.json`.
+//!
+//! The fault-injection plane (ISSUE 10 — the `chaos` crate's seeded
+//! schedules threaded through the mutation and publish paths) exists so
+//! failures are a tested code path, and this study puts numbers on what
+//! recovery costs. A [`librts::ConcurrentIndex`] is churned through
+//! [`CHAOS_ROUNDS`] update publishes under [`chaos_schedule`] — transient
+//! `core.mutation` faults surfacing as typed [`IndexError::Injected`]
+//! errors the writer retries at the API, plus a `concurrent.publish`
+//! burst absorbed invisibly by the internal backoff ladder — while two
+//! reader threads keep answering point queries from snapshots.
+//!
+//! The record reports **availability** (successful writer operations
+//! over total attempts), **recovery latency** (wall clock from the
+//! first typed error of an operation to its eventual success; exact
+//! p50/p99), the retry/backoff work the publish ladder did, and
+//! **convergence**: after the faulted churn, the index must answer
+//! point queries byte-identically to a fresh fault-free index built
+//! from the writer's coordinate mirror. The CI chaos job gates
+//! `converged == true`, `availability_percent >= 80`, and
+//! `injected_faults >= 1` via `trace_check chaos`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use datasets::Dataset;
+use geom::{Point, Rect};
+use librts::{ConcurrentIndex, IndexError, IndexOptions, Priority, RTSIndex};
+
+use crate::config::EvalConfig;
+use crate::perf::{exact_quantile, ns};
+
+/// Update publishes the faulted writer drives per study run.
+pub const CHAOS_ROUNDS: u64 = 24;
+
+/// Reader threads racing the faulted writer.
+pub const CHAOS_READERS: usize = 2;
+
+/// The study's seeded fault schedule, sized so it fits inside a run of
+/// `rounds >= 12` operations: two transient `core.mutation` faults
+/// (each costs the writer one visible retry) and a two-deep
+/// `concurrent.publish` burst (absorbed below the API by the backoff
+/// ladder, visible only in the `concurrent.publish_retries` counter).
+pub fn chaos_schedule() -> chaos::Schedule {
+    chaos::Schedule::new()
+        .fail("core.mutation", 2)
+        .fail("core.mutation", 9)
+        .fail_range("concurrent.publish", 5, 2)
+}
+
+/// The `"chaos"` section of `BENCH_perf.json`.
+#[derive(Clone, Debug)]
+pub struct ChaosRecord {
+    /// Number of indexed rectangles.
+    pub rects: usize,
+    /// Update publishes the writer was asked to complete.
+    pub rounds: u64,
+    /// Operations that eventually succeeded (must equal `rounds`).
+    pub ops: u64,
+    /// Total mutation attempts, including faulted ones.
+    pub attempts: u64,
+    /// Faults the schedule injected (`chaos.injected_fails` delta).
+    pub injected_faults: u64,
+    /// Typed errors the writer absorbed and retried at the API.
+    pub absorbed_errors: u64,
+    /// Publish attempts the internal backoff ladder retried.
+    pub publish_retries: u64,
+    /// Deterministic virtual backoff the ladder charged, in ns.
+    pub backoff_virtual_ns: u64,
+    /// Faulted operations that recovered (one latency sample each).
+    pub recoveries: u64,
+    /// Exact median wall clock from first typed error to success.
+    pub recovery_p50: Duration,
+    /// Exact p99 (upper) recovery wall clock.
+    pub recovery_p99: Duration,
+    /// Snapshot query batches the reader pool completed during churn.
+    pub reader_batches: u64,
+    /// Reader batches denied admission (zero in Normal mode).
+    pub reader_failures: u64,
+    /// `ops / attempts * 100` — the headline availability figure.
+    pub availability_percent: f64,
+    /// The post-churn index answers point queries identically to a
+    /// fault-free index built from the writer's coordinate mirror.
+    pub converged: bool,
+}
+
+impl ChaosRecord {
+    /// Multi-line JSON object (hand-rolled like the rest of the
+    /// artifact; one scalar per line so line-scanners can gate on
+    /// `availability_percent` and `converged`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"rects\": {},\n    \"rounds\": {},\n    \"ops\": {},\n    \
+             \"attempts\": {},\n    \"injected_faults\": {},\n    \"absorbed_errors\": {},\n    \
+             \"publish_retries\": {},\n    \"backoff_virtual_ns\": {},\n    \
+             \"recoveries\": {},\n    \"recovery_p50_ns\": {},\n    \"recovery_p99_ns\": {},\n    \
+             \"reader_batches\": {},\n    \"reader_failures\": {},\n    \
+             \"availability_percent\": {:.4},\n    \"converged\": {}\n  }}",
+            self.rects,
+            self.rounds,
+            self.ops,
+            self.attempts,
+            self.injected_faults,
+            self.absorbed_errors,
+            self.publish_retries,
+            self.backoff_virtual_ns,
+            self.recoveries,
+            ns(self.recovery_p50),
+            ns(self.recovery_p99),
+            self.reader_batches,
+            self.reader_failures,
+            self.availability_percent,
+            self.converged,
+        )
+    }
+}
+
+/// Deterministic probe points for the convergence check: one point in
+/// the thick of the data per stride-step over the mirror.
+fn probe_points(mirror: &[Rect<f32, 2>]) -> Vec<Point<f32, 2>> {
+    let stride = (mirror.len() / 64).max(1);
+    mirror.iter().step_by(stride).map(Rect::center).collect()
+}
+
+/// The study body, parameterized over churn volume so tests can run a
+/// miniature version (`rounds >= 12` so the whole schedule fires). See
+/// the module docs for the protocol.
+///
+/// The whole run executes inside `chaos::with_faults`, which is
+/// process-global: nothing else in the process may be firing injection
+/// points concurrently (the `paper_eval` harness runs studies
+/// sequentially, and the smoke test lives in its own test binary).
+pub fn run_chaos_study(cfg: &EvalConfig, rounds: u64) -> ChaosRecord {
+    assert!(rounds >= 12, "the schedule needs >= 12 ops to fully fire");
+    let rects = Dataset::UsCensus.generate(cfg.scale, cfg.seed);
+    let n_rects = rects.len();
+    let index = Arc::new(
+        ConcurrentIndex::with_rects(&rects, IndexOptions::default())
+            .expect("generated data is valid"),
+    );
+    let mut mirror = rects;
+
+    let retries = obs::counter("concurrent.publish_retries");
+    let backoff = obs::counter("concurrent.backoff_virtual_ns");
+    let (r0, b0) = (retries.value(), backoff.value());
+    let stats0 = chaos::stats();
+
+    // Readers race the faulted writer the whole run: snapshots must
+    // keep answering no matter what the schedule does to the writer.
+    let done = Arc::new(AtomicBool::new(false));
+    let batches = Arc::new(AtomicU64::new(0));
+    let denied = Arc::new(AtomicU64::new(0));
+    let pts = probe_points(&mirror);
+    let readers: Vec<_> = (0..CHAOS_READERS)
+        .map(|_| {
+            let index = Arc::clone(&index);
+            let done = Arc::clone(&done);
+            let batches = Arc::clone(&batches);
+            let denied = Arc::clone(&denied);
+            let pts = pts.clone();
+            std::thread::spawn(move || loop {
+                let finished = done.load(Ordering::Acquire);
+                if librts::admit_read(Priority::Normal).is_err() {
+                    denied.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let _ = index.snapshot().collect_point_query(&pts);
+                    batches.fetch_add(1, Ordering::Relaxed);
+                }
+                if finished {
+                    return;
+                }
+            })
+        })
+        .collect();
+
+    // The faulted churn loop: the concurrency study's stride-update
+    // shape, but the mirror commits only after the index accepts the
+    // batch, so an injected failure never desynchronizes them.
+    let mut ops = 0u64;
+    let mut attempts = 0u64;
+    let mut absorbed = 0u64;
+    let mut recovery_ns: Vec<u64> = Vec::new();
+    chaos::with_faults(chaos_schedule(), || {
+        for p in 0..rounds {
+            let offset = (p % 7) as usize;
+            let sign = if p % 2 == 0 { 1.0 } else { -1.0 };
+            let delta = Point::xy(0.37 * sign, -0.21 * sign);
+            let ids: Vec<u32> = (offset..mirror.len())
+                .step_by(7)
+                .map(|i| i as u32)
+                .collect();
+            let moved: Vec<Rect<f32, 2>> = ids
+                .iter()
+                .map(|&id| mirror[id as usize].translated(&delta))
+                .collect();
+            let mut first_failure: Option<Instant> = None;
+            loop {
+                attempts += 1;
+                match index.update(&ids, &moved) {
+                    Ok(_) => {
+                        if let Some(t0) = first_failure {
+                            recovery_ns.push(ns(t0.elapsed()));
+                        }
+                        break;
+                    }
+                    Err(IndexError::Injected { .. } | IndexError::PublishFailed { .. }) => {
+                        absorbed += 1;
+                        first_failure.get_or_insert_with(Instant::now);
+                    }
+                    Err(other) => panic!("unabsorbable error during faulted churn: {other}"),
+                }
+            }
+            for (i, &id) in ids.iter().enumerate() {
+                mirror[id as usize] = moved[i];
+            }
+            ops += 1;
+        }
+    });
+    done.store(true, Ordering::Release);
+    for r in readers {
+        r.join().expect("reader must not panic");
+    }
+
+    // Convergence: the survivor answers exactly like a fault-free index
+    // built from the mirror the writer committed batch by batch.
+    let reference =
+        RTSIndex::with_rects(&mirror, IndexOptions::default()).expect("mirror stays valid");
+    let converged = index.snapshot().collect_point_query(&pts)
+        == reference.collect_point_query(&pts)
+        && index.len() == mirror.len();
+
+    recovery_ns.sort_unstable();
+    ChaosRecord {
+        rects: n_rects,
+        rounds,
+        ops,
+        attempts,
+        injected_faults: chaos::stats().injected_fails - stats0.injected_fails,
+        absorbed_errors: absorbed,
+        publish_retries: retries.value() - r0,
+        backoff_virtual_ns: backoff.value() - b0,
+        recoveries: recovery_ns.len() as u64,
+        recovery_p50: Duration::from_nanos(exact_quantile(&recovery_ns, 0.50)),
+        recovery_p99: Duration::from_nanos(exact_quantile(&recovery_ns, 0.99)),
+        reader_batches: batches.load(Ordering::Relaxed),
+        reader_failures: denied.load(Ordering::Relaxed),
+        availability_percent: ops as f64 / attempts.max(1) as f64 * 100.0,
+        converged,
+    }
+}

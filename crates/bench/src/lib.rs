@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod concurrency;
 pub mod config;
 pub mod figures;
@@ -15,6 +16,8 @@ pub mod perf;
 pub mod serving_obs;
 pub mod table;
 
+// `self::` disambiguates the module from the `chaos` crate it wraps.
+pub use self::chaos::ChaosRecord;
 pub use concurrency::{ConcurrencyRecord, READER_COUNTS};
 pub use config::EvalConfig;
 pub use perf::PerfReport;

@@ -231,6 +231,7 @@ pub struct PerfReport {
     concurrency: Vec<crate::concurrency::ConcurrencyRecord>,
     maintenance: Option<crate::maintenance::MaintenanceRecord>,
     serving_obs: Option<crate::serving_obs::ServingObsRecord>,
+    chaos: Option<crate::chaos::ChaosRecord>,
     explain: Option<obs::QueryPlan>,
 }
 
@@ -252,6 +253,7 @@ impl PerfReport {
             concurrency: Vec::new(),
             maintenance: None,
             serving_obs: None,
+            chaos: None,
             explain: None,
         }
     }
@@ -410,6 +412,29 @@ impl PerfReport {
         self.serving_obs = Some(r);
     }
 
+    /// Runs the chaos resilience study (faulted writer churn under the
+    /// seeded schedule, see [`crate::chaos`]), records it, and prints a
+    /// one-line summary.
+    pub fn chaos_study(&mut self, cfg: &EvalConfig) {
+        use crate::chaos::{run_chaos_study, CHAOS_ROUNDS};
+        let r = run_chaos_study(cfg, CHAOS_ROUNDS);
+        println!(
+            "\n== Chaos resilience: {} faulted publishes over {} rects ==\n\
+             {} injected faults, {} absorbed, {} publish retries   \
+             availability {:.1}%   recovery p50 {} p99 {}   converged: {}",
+            r.rounds,
+            r.rects,
+            r.injected_faults,
+            r.absorbed_errors,
+            r.publish_retries,
+            r.availability_percent,
+            fmt_dur(r.recovery_p50),
+            fmt_dur(r.recovery_p99),
+            r.converged,
+        );
+        self.chaos = Some(r);
+    }
+
     /// Serializes the report as JSON.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -498,6 +523,13 @@ impl PerfReport {
         match &self.serving_obs {
             None => s.push_str("  \"serving_obs\": null,\n"),
             Some(r) => s.push_str(&format!("  \"serving_obs\": {},\n", r.to_json())),
+        }
+        // Chaos resilience study (faulted churn under the seeded
+        // schedule, ISSUE 10); the CI chaos job gates convergence and
+        // availability via `trace_check chaos`.
+        match &self.chaos {
+            None => s.push_str("  \"chaos\": null,\n"),
+            Some(r) => s.push_str(&format!("  \"chaos\": {},\n", r.to_json())),
         }
         // Traversal-kernel A/B (binary vs wide on the Fig. 8 batch).
         match &self.kernel_ab {
@@ -829,12 +861,33 @@ mod tests {
             scrape_p50: Duration::from_micros(90),
             scrape_p99: Duration::from_micros(400),
         });
+        rep.chaos = Some(crate::chaos::ChaosRecord {
+            rects: 20,
+            rounds: 24,
+            ops: 24,
+            attempts: 26,
+            injected_faults: 4,
+            absorbed_errors: 2,
+            publish_retries: 2,
+            backoff_virtual_ns: 3 << 20,
+            recoveries: 2,
+            recovery_p50: Duration::from_micros(50),
+            recovery_p99: Duration::from_micros(120),
+            reader_batches: 40,
+            reader_failures: 0,
+            availability_percent: 92.3077,
+            converged: true,
+        });
         let j = rep.to_json();
         assert!(j.contains("\"artifact\": \"BENCH_perf\""));
         assert!(j.contains("\"serving_obs\": {"));
         assert!(j.contains("\"overhead_percent\": 1.2500"));
         assert!(j.contains("\"wall_off_samples_ns\": [800000, 820000]"));
         assert!(j.contains("\"scrape_p99_ns\": 400000"));
+        assert!(j.contains("\"chaos\": {"));
+        assert!(j.contains("\"availability_percent\": 92.3077"));
+        assert!(j.contains("\"converged\": true"));
+        assert!(j.contains("\"recovery_p99_ns\": 120000"));
         assert!(j.contains("\"kernel_ab\": {"));
         assert!(j.contains("\"bvh2\": {\"kernel\": \"bvh2\", \"wall_ns\": 300000"));
         assert!(j.contains("\"wall_samples_ns\": [210000, 200000]"));

@@ -1,0 +1,55 @@
+//! Smoke test for the chaos resilience study.
+//!
+//! Isolated in its own test binary: `run_chaos_study` installs a
+//! process-global fault schedule, and the in-crate unit tests (the
+//! serving-obs miniature study in particular) churn the very mutation
+//! and publish paths the schedule targets — sharing a process would
+//! let a concurrent test consume the schedule's hits.
+
+use bench::chaos::{run_chaos_study, CHAOS_READERS};
+use bench::EvalConfig;
+
+#[test]
+fn miniature_study_injects_recovers_and_converges() {
+    let cfg = EvalConfig::smoke();
+    let rec = run_chaos_study(&cfg, 12);
+
+    // Every operation eventually succeeded, at full schedule coverage:
+    // two API-visible mutation faults plus the two-deep publish burst.
+    assert_eq!(rec.rounds, 12);
+    assert_eq!(rec.ops, 12);
+    assert_eq!(
+        rec.injected_faults, 4,
+        "the whole seeded schedule must fire within 12 rounds"
+    );
+    assert_eq!(
+        rec.absorbed_errors, 2,
+        "only the core.mutation faults surface as typed errors"
+    );
+    assert_eq!(rec.attempts, rec.ops + rec.absorbed_errors);
+    assert_eq!(
+        rec.publish_retries, 2,
+        "the publish burst is absorbed by the internal backoff ladder"
+    );
+    assert!(rec.backoff_virtual_ns > 0, "backoff is charged virtually");
+
+    // Each faulted operation recovered, and the clock saw it.
+    assert_eq!(rec.recoveries, 2);
+    assert!(rec.recovery_p99 >= rec.recovery_p50);
+    assert!(rec.recovery_p50.as_nanos() > 0);
+
+    // Availability: 12 successes over 14 attempts.
+    assert!((rec.availability_percent - 12.0 / 14.0 * 100.0).abs() < 1e-9);
+
+    // Readers kept answering throughout and were never shed (the study
+    // runs in Normal serving mode).
+    assert!(rec.reader_batches >= CHAOS_READERS as u64);
+    assert_eq!(rec.reader_failures, 0);
+
+    assert!(rec.converged, "faulted churn must converge to the mirror");
+
+    let json = rec.to_json();
+    assert!(json.contains("\"availability_percent\": "));
+    assert!(json.contains("\"converged\": true"));
+    assert!(json.contains("\"recovery_p99_ns\": "));
+}

@@ -7,7 +7,10 @@
 //! that the engine still agrees with brute force on the edge case.
 
 use geom::{Point, Rect};
-use librts::{BatchOp, ConcurrentIndex, IndexError, IndexOptions, Predicate, RTSIndex, RTSIndex3};
+use librts::{
+    deadline, BatchOp, CollectingHandler, ConcurrentIndex, IndexError, IndexOptions, Predicate,
+    Priority, RTSIndex, RTSIndex3,
+};
 
 use crate::oracle::Oracle;
 
@@ -563,6 +566,226 @@ pub fn cases() -> Vec<InjectionCase> {
     ]
 }
 
+/// Restores [`obs::ServingMode::Normal`] on drop, so a failing chaos
+/// row cannot leak a degraded mode into the next row.
+struct NormalModeGuard;
+
+impl NormalModeGuard {
+    fn install() -> Self {
+        obs::health::set_serving_mode(obs::ServingMode::Normal);
+        NormalModeGuard
+    }
+}
+
+impl Drop for NormalModeGuard {
+    fn drop(&mut self) {
+        obs::health::set_serving_mode(obs::ServingMode::Normal);
+    }
+}
+
+/// A dense uniform layout for the deadline row (the base pack is too
+/// small for the backward pass to cost anything).
+fn dense_rects(n: usize) -> Vec<Rect<f32, 2>> {
+    (0..n)
+        .map(|i| {
+            let x = (i % 16) as f32 * 2.0;
+            let y = (i / 16) as f32 * 2.0;
+            Rect::xyxy(x, y, x + 1.5, y + 1.5)
+        })
+        .collect()
+}
+
+fn dense_queries(n: usize) -> Vec<Rect<f32, 2>> {
+    (0..n)
+        .map(|i| {
+            let x = (i % 8) as f32 * 4.0 + 0.5;
+            let y = (i / 8) as f32 * 4.0 + 0.5;
+            Rect::xyxy(x, y, x + 2.0, y + 2.0)
+        })
+        .collect()
+}
+
+/// The chaos table: seeded fault schedules and degraded serving modes
+/// against the concurrent layer, each row pinning the exact typed error
+/// *and* that the index still answers exactly like the oracle after
+/// recovery.
+///
+/// Driven only by the dedicated `tests/chaos.rs` binary: fault
+/// schedules and the serving mode are process-global, so these rows
+/// must never share a process with fault-naive tests.
+pub fn chaos_cases() -> Vec<InjectionCase> {
+    vec![
+        InjectionCase {
+            name: "chaos_publish_retry_absorbs_transient_failures",
+            run: || {
+                let index =
+                    ConcurrentIndex::with_rects(&base_rects(), IndexOptions::default()).unwrap();
+                let v0 = index.version();
+                let extra = Rect::xyxy(50.0, 50.0, 60.0, 60.0);
+                chaos::with_faults(
+                    chaos::Schedule::new().fail_range("concurrent.publish", 0, 2),
+                    || {
+                        index.insert(&[extra]).unwrap();
+                        assert_eq!(
+                            chaos::hits("concurrent.publish"),
+                            3,
+                            "two failed attempts, then the third publishes"
+                        );
+                    },
+                );
+                assert_eq!(index.version(), v0 + 1, "exactly one publish");
+                let mut live = live_of(&base_rects());
+                live.push((3, extra));
+                assert_agrees(&index.snapshot(), &live);
+            },
+        },
+        InjectionCase {
+            name: "chaos_publish_exhaustion_invisible_to_racing_readers",
+            run: || {
+                let index = std::sync::Arc::new(
+                    ConcurrentIndex::with_rects(&base_rects(), IndexOptions::default()).unwrap(),
+                );
+                let v0 = index.version();
+                with_racing_reader(&index, &live_of(&base_rects()), || {
+                    chaos::with_faults(
+                        chaos::Schedule::new().fail_range("concurrent.publish", 0, 4),
+                        || {
+                            assert_eq!(
+                                index.insert(&[Rect::xyxy(50.0, 50.0, 60.0, 60.0)]),
+                                Err(IndexError::PublishFailed { attempts: 4 }),
+                            );
+                        },
+                    );
+                });
+                // The exhausted ladder rolled the successor back; the
+                // next writer starts from the published state.
+                assert_eq!(index.version(), v0);
+                assert_agrees(&index.snapshot(), &live_of(&base_rects()));
+                index.insert(&[Rect::xyxy(50.0, 50.0, 60.0, 60.0)]).unwrap();
+                assert_eq!(index.version(), v0 + 1);
+            },
+        },
+        InjectionCase {
+            name: "chaos_panic_during_maintenance_publish_rolls_back",
+            run: || {
+                let index =
+                    ConcurrentIndex::with_rects(&base_rects(), IndexOptions::default()).unwrap();
+                let v0 = index.version();
+                let panicked = chaos::with_faults(
+                    chaos::Schedule::new().panic("concurrent.publish", 0),
+                    || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| index.rebuild()))
+                            .unwrap_err()
+                    },
+                );
+                assert!(chaos::is_injected_panic(panicked.as_ref()));
+                // The rebuilt-but-unpublished successor was discarded.
+                assert_eq!(index.version(), v0);
+                assert_agrees(&index.snapshot(), &live_of(&base_rects()));
+                index.rebuild().unwrap();
+                assert_eq!(index.version(), v0 + 1);
+                assert_agrees(&index.snapshot(), &live_of(&base_rects()));
+            },
+        },
+        InjectionCase {
+            name: "chaos_deadline_expires_inside_backward_launch",
+            run: || {
+                let index =
+                    RTSIndex::with_rects(&dense_rects(256), IndexOptions::default()).unwrap();
+                let qs = dense_queries(64);
+                let h = CollectingHandler::new();
+                let clean = index
+                    .try_range_query(Predicate::Intersects, &qs, &h)
+                    .expect("no deadline installed");
+                let total = clean.breakdown.total().device.as_nanos() as u64;
+                let partial = (clean.breakdown.k_prediction.device
+                    + clean.breakdown.bvh_build.device
+                    + clean.breakdown.forward.device)
+                    .as_nanos() as u64;
+                assert!(partial < total, "the backward pass must cost something");
+                // Enough budget to reach the backward launch, not enough
+                // to finish it: the deadline expires mid-launch and trips
+                // at the phase boundary with the overrun visible.
+                let budget = partial + (total - partial) / 2;
+                let h = CollectingHandler::new();
+                let err = deadline::with_deadline(std::time::Duration::from_nanos(budget), || {
+                    index.try_range_query(Predicate::Intersects, &qs, &h)
+                })
+                .unwrap_err();
+                assert_eq!(
+                    err,
+                    IndexError::DeadlineExceeded {
+                        budget_ns: budget,
+                        spent_ns: total,
+                    }
+                );
+                // The aborted batch left no residue.
+                let h = CollectingHandler::new();
+                let again = index
+                    .try_range_query(Predicate::Intersects, &qs, &h)
+                    .unwrap();
+                assert_eq!(again.breakdown.total().device.as_nanos() as u64, total);
+            },
+        },
+        InjectionCase {
+            name: "chaos_shed_then_admit_follows_the_mode_ladder",
+            run: || {
+                let _mode = NormalModeGuard::install();
+                let index =
+                    ConcurrentIndex::with_rects(&base_rects(), IndexOptions::default()).unwrap();
+                assert!(index.snapshot_with_priority(Priority::Low).is_ok());
+
+                // Degraded sheds the lowest-priority reads before any
+                // writer: the shed is a typed rejection, not an error in
+                // the data path.
+                obs::health::set_serving_mode(obs::ServingMode::Degraded);
+                assert_eq!(
+                    index.snapshot_with_priority(Priority::Low).err(),
+                    Some(IndexError::Overloaded)
+                );
+                assert!(index.snapshot_with_priority(Priority::Normal).is_ok());
+                let extra = Rect::xyxy(50.0, 50.0, 60.0, 60.0);
+                index.insert(&[extra]).unwrap();
+
+                // ReadOnly rejects writers; reads keep serving last-good.
+                obs::health::set_serving_mode(obs::ServingMode::ReadOnly);
+                assert_eq!(index.insert(&[extra]).err(), Some(IndexError::ReadOnly));
+                assert!(index.snapshot_with_priority(Priority::High).is_ok());
+
+                // Recovery: the exact call that was shed is admitted.
+                obs::health::set_serving_mode(obs::ServingMode::Normal);
+                assert!(index.snapshot_with_priority(Priority::Low).is_ok());
+                let mut live = live_of(&base_rects());
+                live.push((3, extra));
+                assert_agrees(&index.snapshot(), &live);
+            },
+        },
+        InjectionCase {
+            name: "chaos_transient_mutation_fault_retries_to_oracle",
+            run: || {
+                let index =
+                    ConcurrentIndex::with_rects(&base_rects(), IndexOptions::default()).unwrap();
+                chaos::with_faults(chaos::Schedule::new().fail("core.mutation", 0), || {
+                    assert_eq!(
+                        index.delete(&[1]),
+                        Err(IndexError::Injected {
+                            point: "core.mutation"
+                        })
+                    );
+                    // The fault fired before anything applied: the same
+                    // batch retries cleanly.
+                    index.delete(&[1]).unwrap();
+                });
+                let live: Vec<_> = live_of(&base_rects())
+                    .into_iter()
+                    .filter(|&(id, _)| id != 1)
+                    .collect();
+                assert_agrees(&index.snapshot(), &live);
+            },
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -575,5 +798,17 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), cases.len());
         assert!(cases.len() >= 12, "the pack must stay comprehensive");
+    }
+
+    #[test]
+    fn chaos_rows_are_uniquely_named_and_disjoint_from_the_base_pack() {
+        let chaos = chaos_cases();
+        assert!(chaos.len() >= 6, "the chaos pack must stay comprehensive");
+        let mut names: Vec<_> = cases().iter().chain(chaos.iter()).map(|c| c.name).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+        assert!(chaos.iter().all(|c| c.name.starts_with("chaos_")));
     }
 }

@@ -217,7 +217,7 @@ pub fn replay_concurrent(
                 index.version()
             }
             MutationStep::Rebuild => {
-                index.rebuild();
+                index.rebuild().expect("rebuild is admitted and publishes");
                 index.version()
             }
         };

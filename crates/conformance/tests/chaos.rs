@@ -1,0 +1,284 @@
+//! The chaos conformance tier: seeded fault schedules replayed against
+//! the [`VersionedOracle`], plus the table-driven chaos rows from
+//! `conformance::inject::chaos_cases`.
+//!
+//! Isolated in its own test binary: fault schedules and the serving
+//! mode are process-global, so nothing here may share a process with
+//! fault-naive tests, and the tests serialize against each other.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use conformance::versioned::{mutation_steps, probe_points};
+use conformance::{smoke_suite, MutationStep, Oracle, Scenario, VersionedOracle};
+use geom::Rect;
+use librts::{ConcurrentIndex, IndexError, IndexOptions, Priority};
+
+/// Serializes the tests in this binary: schedules, the serving mode,
+/// and the chaos/`concurrent.*` counters are process-global.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lifecycle() -> Scenario {
+    smoke_suite()
+        .into_iter()
+        .find(|s| s.name == "life_churn_mixed")
+        .expect("canonical lifecycle scenario exists")
+}
+
+/// The seeded fault schedule of the tier: transient mutation faults and
+/// a publish-retry burst, all absorbed by the recovery paths. The
+/// lifecycle scenario has 4 mutation steps; with one retry per injected
+/// mutation fault the `core.mutation` hits are 0..=5, and the publish
+/// attempts are 0..=5 (hit 3 and 4 fail, absorbed by the backoff
+/// ladder below the API).
+fn tier_schedule() -> chaos::Schedule {
+    chaos::Schedule::new()
+        .fail("core.mutation", 0)
+        .fail("core.mutation", 2)
+        .fail_range("concurrent.publish", 3, 2)
+}
+
+/// Replays the lifecycle scenario's mutation stream against `index`
+/// under the installed fault schedule, recording ground truth into
+/// `oracle` before every publish and retrying any step that fails with
+/// an injected or publish error. Returns the typed errors the writer
+/// absorbed, in order.
+fn replay_with_recovery(
+    scenario: &Scenario,
+    index: &ConcurrentIndex<f32>,
+    oracle: &VersionedOracle,
+) -> Vec<IndexError> {
+    assert_eq!(index.version(), 0, "index must be fresh");
+    let mut mirror: Oracle<2> = Oracle::new();
+    if oracle.at(0).is_none() {
+        oracle.record(0, &mirror);
+    }
+    let mut absorbed = Vec::new();
+    for step in mutation_steps(scenario) {
+        step.apply_to_oracle(&mut mirror);
+        let next = index.version() + 1;
+        oracle.record(next, &mirror);
+        loop {
+            let outcome = match &step {
+                MutationStep::Insert(batch) => index.insert(batch).map(|_| ()),
+                MutationStep::Delete(ids) => index.delete(ids).map(|_| ()),
+                MutationStep::Update { ids, rects } => index.update(ids, rects).map(|_| ()),
+                MutationStep::Rebuild => index.rebuild(),
+            };
+            match outcome {
+                Ok(()) => break,
+                Err(e @ (IndexError::Injected { .. } | IndexError::PublishFailed { .. })) => {
+                    absorbed.push(e)
+                }
+                Err(other) => panic!("unabsorbable error during replay: {other}"),
+            }
+        }
+        assert_eq!(index.version(), next, "recovery publishes exactly once");
+    }
+    absorbed
+}
+
+#[test]
+fn chaos_injection_table_contracts_hold() {
+    let _guard = serial();
+    let mut failures = Vec::new();
+    for case in conformance::inject::chaos_cases() {
+        // Run every row even if an earlier one fails, so a regression
+        // reports its full blast radius at once.
+        if let Err(panic) = std::panic::catch_unwind(case.run) {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic");
+            failures.push(format!("{}: {msg}", case.name));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "chaos injection contracts violated:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn faulted_replay_converges_and_readers_never_see_uncommitted_versions() {
+    let _guard = serial();
+    let scenario = lifecycle();
+    let index = Arc::new(ConcurrentIndex::<f32>::new(scenario.opts.options()));
+    let oracle = Arc::new(VersionedOracle::new());
+    // Pre-record version 0 so readers starting before the writer have
+    // ground truth for the empty index.
+    oracle.record(0, &Oracle::new());
+
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|r| {
+            let index = Arc::clone(&index);
+            let oracle = Arc::clone(&oracle);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let pts = probe_points(32, 1000 + r);
+                let mut checks = 0u64;
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let snap = index.snapshot();
+                    let version = snap.version();
+                    // Every observable version has pre-recorded ground
+                    // truth: failed batches never published, and no
+                    // publish raced ahead of its oracle record.
+                    let truth = oracle
+                        .at(version)
+                        .unwrap_or_else(|| panic!("reader observed uncommitted version {version}"));
+                    assert_eq!(
+                        snap.collect_point_query(&pts),
+                        truth.point_query(&pts),
+                        "snapshot v{version} diverged from its ground truth"
+                    );
+                    checks += 1;
+                    if finished {
+                        return checks;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let before = chaos::stats();
+    let absorbed = chaos::with_faults(tier_schedule(), || {
+        replay_with_recovery(&scenario, &index, &oracle)
+    });
+    done.store(true, Ordering::Release);
+    for r in readers {
+        assert!(r.join().expect("reader must not panic") > 0);
+    }
+
+    // The schedule actually fired: both transient mutation faults were
+    // absorbed as typed errors (the publish burst is swallowed by the
+    // retry ladder below the API).
+    let fired = chaos::stats().injected_fails - before.injected_fails;
+    assert!(fired >= 2, "schedule injected only {fired} faults");
+    assert!(
+        absorbed
+            .iter()
+            .filter(|e| matches!(e, IndexError::Injected { .. }))
+            .count()
+            >= 2,
+        "absorbed errors: {absorbed:?}"
+    );
+
+    // Recovery converged: the final index answers exactly like the
+    // final recorded ground truth.
+    let last = oracle.max_version().expect("at least version 0 recorded");
+    assert_eq!(index.version(), last);
+    let truth = oracle.at(last).unwrap();
+    assert_eq!(index.len(), truth.len());
+    let pts = probe_points(64, 77);
+    assert_eq!(
+        index.snapshot().collect_point_query(&pts),
+        truth.point_query(&pts)
+    );
+}
+
+#[test]
+fn flight_recorder_captures_injected_panics() {
+    let _guard = serial();
+    let path =
+        std::env::temp_dir().join(format!("librts-chaos-flight-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    obs::flight::install_panic_hook(&path);
+    let index = ConcurrentIndex::<f32>::new(IndexOptions::default());
+    index.insert(&[Rect::xyxy(0.0, 0.0, 1.0, 1.0)]).unwrap();
+    let panicked = chaos::with_faults(chaos::Schedule::new().panic("core.mutation", 0), || {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            index.insert(&[Rect::xyxy(2.0, 2.0, 3.0, 3.0)])
+        }))
+        .unwrap_err()
+    });
+    assert!(chaos::is_injected_panic(panicked.as_ref()));
+    let dump = std::fs::read_to_string(&path).expect("panic hook wrote the flight dump");
+    assert!(dump.contains("\"cause\": \"panic\""), "{dump}");
+    assert!(
+        dump.contains("chaos: injected panic at core.mutation"),
+        "the dump must carry the injected payload"
+    );
+    let _ = std::fs::remove_file(&path);
+    // The writer survived: the rollback left it serviceable.
+    index.insert(&[Rect::xyxy(2.0, 2.0, 3.0, 3.0)]).unwrap();
+    assert_eq!(index.len(), 2);
+}
+
+/// One faulted replay plus a shed-decision sweep, summarized for
+/// byte-exact comparison across thread counts.
+fn faulted_replay_summary() -> (u64, usize, Vec<String>, u64, u64, u64, u64, Vec<bool>) {
+    let retries = obs::counter("concurrent.publish_retries");
+    let backoff = obs::counter("concurrent.backoff_virtual_ns");
+    let (r0, b0) = (retries.value(), backoff.value());
+    let scenario = lifecycle();
+    let index = ConcurrentIndex::<f32>::new(scenario.opts.options());
+    let oracle = VersionedOracle::new();
+    let (absorbed, mutation_hits, publish_hits) = chaos::with_faults(tier_schedule(), || {
+        let absorbed = replay_with_recovery(&scenario, &index, &oracle);
+        (
+            absorbed,
+            chaos::hits("core.mutation"),
+            chaos::hits("concurrent.publish"),
+        )
+    });
+
+    // Shed decisions are a pure function of (mode, priority).
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            obs::health::set_serving_mode(obs::ServingMode::Normal);
+        }
+    }
+    let _restore = Restore;
+    obs::health::set_serving_mode(obs::ServingMode::Degraded);
+    let sheds: Vec<bool> = [Priority::Low, Priority::Normal, Priority::High]
+        .iter()
+        .cycle()
+        .take(12)
+        .map(|&p| librts::admit_read(p).is_err())
+        .collect();
+
+    (
+        index.version(),
+        index.len(),
+        absorbed.iter().map(|e| e.to_string()).collect(),
+        mutation_hits,
+        publish_hits,
+        retries.value() - r0,
+        backoff.value() - b0,
+        sheds,
+    )
+}
+
+#[test]
+fn chaos_schedules_and_recovery_are_thread_invariant() {
+    let _guard = serial();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 4, cpus];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut reference = None;
+    for &n in &counts {
+        let summary = exec::with_threads(n, faulted_replay_summary);
+        match &reference {
+            None => reference = Some((n, summary)),
+            Some((n0, want)) => assert_eq!(
+                &summary, want,
+                "faulted replay diverges between {n0} and {n} threads: \
+                 schedules, backoff ladders, and shed decisions must be \
+                 byte-identical at any thread count"
+            ),
+        }
+    }
+}

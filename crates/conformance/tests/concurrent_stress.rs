@@ -211,7 +211,7 @@ fn single_threaded_equivalence_results_and_stable_counters() {
                     MutationStep::Update { ids, rects } => {
                         concurrent.update(ids, rects).unwrap();
                     }
-                    MutationStep::Rebuild => concurrent.rebuild(),
+                    MutationStep::Rebuild => concurrent.rebuild().unwrap(),
                 }
 
                 // Same deterministic workload against both engines; the

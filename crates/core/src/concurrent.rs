@@ -42,6 +42,11 @@
 //!
 //! - `concurrent.publishes` / `concurrent.failed_publishes`
 //!   (Stable counters) — successful and rejected mutation batches;
+//! - `concurrent.publish_retries` / `concurrent.backoff_virtual_ns`
+//!   (Stable counters) — transient publish failures (the chaos
+//!   `concurrent.publish` point) absorbed by the deterministic
+//!   retry-with-backoff ladder, and the virtual backoff time the
+//!   ladder charged (never slept — the ladder is virtual-time);
 //! - `span.concurrent.publish.*` (Stable span counters + Host wall) —
 //!   publication cost;
 //! - `concurrent.version` (Host gauge) — latest published version;
@@ -87,6 +92,16 @@ fn m_failed_publishes() -> &'static Arc<obs::Counter> {
     M.get_or_init(|| obs::counter("concurrent.failed_publishes"))
 }
 
+fn m_publish_retries() -> &'static Arc<obs::Counter> {
+    static M: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    M.get_or_init(|| obs::counter("concurrent.publish_retries"))
+}
+
+fn m_backoff_ns() -> &'static Arc<obs::Counter> {
+    static M: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    M.get_or_init(|| obs::counter("concurrent.backoff_virtual_ns"))
+}
+
 fn m_version() -> &'static Arc<obs::Gauge> {
     static M: OnceLock<Arc<obs::Gauge>> = OnceLock::new();
     M.get_or_init(|| obs::gauge("concurrent.version"))
@@ -120,6 +135,18 @@ fn action_label(action: MaintenanceAction) -> &'static str {
         MaintenanceAction::Refit => "refit",
         MaintenanceAction::Rebuild => "rebuild",
         MaintenanceAction::Compact => "compact",
+    }
+}
+
+/// The degraded-mode ladder's maintenance clamp: `Normal` passes the
+/// policy through, `Degraded` strips structural work (refit-only),
+/// `ReadOnly` suppresses the pass (`None`) — a read-only index must
+/// not publish.
+fn mode_clamped(policy: &MaintenancePolicy) -> Option<MaintenancePolicy> {
+    match obs::health::serving_mode() {
+        obs::health::ServingMode::Normal => Some(policy.clone()),
+        obs::health::ServingMode::Degraded => Some(policy.refit_only()),
+        obs::health::ServingMode::ReadOnly => None,
     }
 }
 
@@ -440,50 +467,45 @@ impl<E: Clone + Send + Sync> SnapCore<E> {
         self.latest.load(Ordering::SeqCst)
     }
 
-    /// Applies `f` to the private successor. On `Ok` the successor is
-    /// published under the next version; on `Err` nothing is published
-    /// and the successor is restored from the last published snapshot,
-    /// so a partially applied multi-op batch leaves no residue.
-    fn mutate<R>(
-        &self,
-        f: impl FnOnce(&mut E) -> Result<R, IndexError>,
-    ) -> Result<(R, u64), IndexError> {
-        let mut st = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        match f(&mut st.next) {
-            Ok(out) => {
-                st.version += 1;
-                let version = st.version;
-                let span = obs::span!("concurrent.publish");
-                let published = Arc::new(Published {
-                    version,
-                    engine: st.next.clone(),
-                });
-                self.cell.publish(published);
-                self.latest.store(version, Ordering::SeqCst);
-                self.last_publish_ns
-                    .store(obs::trace::now_ns(), Ordering::SeqCst);
-                drop(span);
-                m_publishes().inc();
-                m_version().set(version.min(i64::MAX as u64) as i64);
-                Ok((out, version))
-            }
-            Err(e) => {
-                st.next = self.cell.load().engine.clone();
-                m_failed_publishes().inc();
-                Err(e)
-            }
-        }
+    /// Rolls the private successor back to the last published engine —
+    /// every failed or panicked mutation path funnels through here so a
+    /// partially applied batch leaves no residue for the next writer.
+    fn restore_successor(&self, st: &mut WriterState<E>) {
+        st.next = self.cell.load().engine.clone();
+        m_failed_publishes().inc();
     }
 
-    /// Applies `f` to the private successor and publishes **only when
-    /// `f` returns `Some`** — the automatic-maintenance entry point. On
-    /// `None` nothing is published, no version is consumed, and no
-    /// publish counter moves; `f` must leave the successor untouched in
-    /// that case (the maintenance no-op contract: a pass that takes no
-    /// action does not mutate the engine).
-    fn mutate_if<R>(&self, f: impl FnOnce(&mut E) -> Option<R>) -> Option<(R, u64)> {
-        let mut st = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        let out = f(&mut st.next)?;
+    /// Runs the deterministic retry ladder against the chaos
+    /// `concurrent.publish` point, then publishes the staged successor
+    /// under the next version. A transiently failing publish (an
+    /// injected `fail` rule) is retried up to
+    /// [`MAX_PUBLISH_ATTEMPTS`] times with an exponential *virtual*
+    /// backoff — `PUBLISH_BACKOFF_BASE_NS << retry` nanoseconds charged
+    /// to `concurrent.backoff_virtual_ns`, never slept, so the ladder
+    /// is byte-identical at any thread count. On exhaustion the
+    /// successor is rolled back and `PublishFailed` returned.
+    fn publish_locked(&self, st: &mut WriterState<E>) -> Result<u64, IndexError> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match chaos::fire("concurrent.publish") {
+                // `slow` models a sluggish (but successful) publish; its
+                // virtual time is already tallied in `chaos.slow_virtual_ns`.
+                None | Some(chaos::FaultAction::Slow(_)) => break,
+                Some(chaos::FaultAction::Panic) => {
+                    self.restore_successor(st);
+                    panic!("chaos: injected panic at concurrent.publish");
+                }
+                Some(chaos::FaultAction::Fail) if attempts < MAX_PUBLISH_ATTEMPTS => {
+                    m_publish_retries().inc();
+                    m_backoff_ns().add(PUBLISH_BACKOFF_BASE_NS << (attempts - 1));
+                }
+                Some(chaos::FaultAction::Fail) => {
+                    self.restore_successor(st);
+                    return Err(IndexError::PublishFailed { attempts });
+                }
+            }
+        }
         st.version += 1;
         let version = st.version;
         let span = obs::span!("concurrent.publish");
@@ -498,9 +520,74 @@ impl<E: Clone + Send + Sync> SnapCore<E> {
         drop(span);
         m_publishes().inc();
         m_version().set(version.min(i64::MAX as u64) as i64);
-        Some((out, version))
+        Ok(version)
+    }
+
+    /// Applies `f` to the private successor. On `Ok` the successor is
+    /// published under the next version (through the retry ladder of
+    /// [`publish_locked`](Self::publish_locked)); on `Err` — and on
+    /// *panic*, e.g. an injected worker fault unwinding out of a
+    /// mid-batch fan-out — nothing is published and the successor is
+    /// restored from the last published snapshot, so a partially
+    /// applied batch leaves no residue. Panics are re-raised after the
+    /// rollback.
+    fn mutate<R>(
+        &self,
+        f: impl FnOnce(&mut E) -> Result<R, IndexError>,
+    ) -> Result<(R, u64), IndexError> {
+        let mut st = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut st.next))) {
+            Ok(Ok(out)) => out,
+            Ok(Err(e)) => {
+                self.restore_successor(&mut st);
+                return Err(e);
+            }
+            Err(payload) => {
+                // AssertUnwindSafe is sound *because* of this rollback:
+                // whatever broken state `f` left behind is discarded
+                // before anything can observe it.
+                self.restore_successor(&mut st);
+                drop(st);
+                std::panic::resume_unwind(payload);
+            }
+        };
+        let version = self.publish_locked(&mut st)?;
+        Ok((out, version))
+    }
+
+    /// Applies `f` to the private successor and publishes **only when
+    /// `f` returns `Some`** — the automatic-maintenance entry point. On
+    /// `None` nothing is published, no version is consumed, and no
+    /// publish counter moves; `f` must leave the successor untouched in
+    /// that case (the maintenance no-op contract: a pass that takes no
+    /// action does not mutate the engine). A panic inside `f` rolls the
+    /// successor back and re-raises; a publish failing through the
+    /// whole retry ladder also rolls back — maintenance is best-effort,
+    /// so exhaustion reads as "pass did nothing" (`None`).
+    fn mutate_if<R>(&self, f: impl FnOnce(&mut E) -> Option<R>) -> Option<(R, u64)> {
+        let mut st = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut st.next))) {
+            Ok(Some(out)) => out,
+            Ok(None) => return None,
+            Err(payload) => {
+                self.restore_successor(&mut st);
+                drop(st);
+                std::panic::resume_unwind(payload);
+            }
+        };
+        match self.publish_locked(&mut st) {
+            Ok(version) => Some((out, version)),
+            Err(_) => None,
+        }
     }
 }
+
+/// Publish attempts (initial try + retries) before
+/// [`IndexError::PublishFailed`] is returned.
+const MAX_PUBLISH_ATTEMPTS: u32 = 4;
+
+/// First-retry virtual backoff; doubles per retry (1 MiB ns ≈ 1.05 ms).
+const PUBLISH_BACKOFF_BASE_NS: u64 = 1 << 20;
 
 // ---------------------------------------------------------------------------
 // ConcurrentIndex (2-D)
@@ -618,11 +705,17 @@ impl<C: Coord> ConcurrentIndex<C> {
         self.maintain_with(&policy)
     }
 
-    /// As [`ConcurrentIndex::maintain`] with an explicit policy.
+    /// As [`ConcurrentIndex::maintain`] with an explicit policy. The
+    /// serving mode clamps the pass: `Degraded` runs it refit-only,
+    /// `ReadOnly` skips it entirely (maintenance mutates — a read-only
+    /// index publishes nothing).
     pub fn maintain_with(&self, policy: &MaintenancePolicy) -> MaintenanceOutcome {
+        let Some(policy) = mode_clamped(policy) else {
+            return MaintenanceOutcome::default();
+        };
         let mut outcome = MaintenanceOutcome::default();
         if let Some(((), version)) = self.core.mutate_if(|next| {
-            outcome = next.maintain(policy);
+            outcome = next.maintain(&policy);
             outcome.acted().then_some(())
         }) {
             record_decision(&self.decisions, &outcome, version);
@@ -638,9 +731,10 @@ impl<C: Coord> ConcurrentIndex<C> {
     }
 
     /// The automatic driver: one policy-gated maintenance pass, run by
-    /// the writer after each successful mutation batch.
+    /// the writer after each successful mutation batch. Clamped by the
+    /// serving mode like [`maintain_with`](Self::maintain_with).
     fn auto_maintain(&self) {
-        let Some(policy) = self.maintenance_policy() else {
+        let Some(policy) = self.maintenance_policy().as_ref().and_then(mode_clamped) else {
             return;
         };
         let mut outcome = MaintenanceOutcome::default();
@@ -660,9 +754,23 @@ impl<C: Coord> ConcurrentIndex<C> {
 
     /// Acquires a read snapshot of the newest published version.
     /// Lock-free; the handle stays valid (and unchanged) across any
-    /// number of concurrent publishes.
+    /// number of concurrent publishes. Never shed — use
+    /// [`snapshot_with_priority`](Self::snapshot_with_priority) for
+    /// admission-controlled reads.
     pub fn snapshot(&self) -> SnapshotRef<RTSIndex<C>> {
         self.core.snapshot()
+    }
+
+    /// As [`snapshot`](Self::snapshot), but subject to admission
+    /// control: under a degraded serving mode,
+    /// [`Priority::Low`](crate::admission::Priority::Low) readers are
+    /// shed with `Err(Overloaded)` before any snapshot is pinned.
+    pub fn snapshot_with_priority(
+        &self,
+        priority: crate::admission::Priority,
+    ) -> Result<SnapshotRef<RTSIndex<C>>, IndexError> {
+        crate::admission::admit_read(priority)?;
+        Ok(self.core.snapshot())
     }
 
     /// Version of the newest published snapshot (monotone; starts at 0,
@@ -690,8 +798,9 @@ impl<C: Coord> ConcurrentIndex<C> {
 
     /// Inserts a batch and publishes the successor (see
     /// [`RTSIndex::insert`]). Returns the new ids; on error nothing is
-    /// published.
+    /// published. `Err(ReadOnly)` when the serving mode rejects writes.
     pub fn insert(&self, batch: &[Rect<C, 2>]) -> Result<Range<u32>, IndexError> {
+        crate::admission::admit_write()?;
         let out = self
             .core
             .mutate(|next| next.insert(batch))
@@ -703,6 +812,7 @@ impl<C: Coord> ConcurrentIndex<C> {
     /// Deletes by id and publishes the successor (see
     /// [`RTSIndex::delete`]).
     pub fn delete(&self, ids: &[u32]) -> Result<MutationReport, IndexError> {
+        crate::admission::admit_write()?;
         let out = self.core.mutate(|next| next.delete(ids)).map(|(r, _)| r)?;
         self.auto_maintain();
         Ok(out)
@@ -711,6 +821,7 @@ impl<C: Coord> ConcurrentIndex<C> {
     /// Updates coordinates and publishes the successor (see
     /// [`RTSIndex::update`]).
     pub fn update(&self, ids: &[u32], rects: &[Rect<C, 2>]) -> Result<MutationReport, IndexError> {
+        crate::admission::admit_write()?;
         let out = self
             .core
             .mutate(|next| next.update(ids, rects))
@@ -721,23 +832,25 @@ impl<C: Coord> ConcurrentIndex<C> {
 
     /// Compacts into a single batch and publishes (see
     /// [`RTSIndex::compact`]). Returns the old-id → new-id remap.
-    pub fn compact(&self) -> Vec<u32> {
-        self.core
-            .mutate(|next| Ok(next.compact()))
-            .map(|(r, _)| r)
-            .expect("compact is infallible")
+    /// Fails only on write rejection (`ReadOnly`) or a publish that
+    /// exhausts the retry ladder (`PublishFailed`); the compaction
+    /// itself cannot fail.
+    pub fn compact(&self) -> Result<Vec<u32>, IndexError> {
+        crate::admission::admit_write()?;
+        self.core.mutate(|next| Ok(next.compact())).map(|(r, _)| r)
     }
 
     /// Rebuilds every GAS from scratch and publishes (see
-    /// [`RTSIndex::rebuild`]).
-    pub fn rebuild(&self) {
+    /// [`RTSIndex::rebuild`]). Same failure modes as
+    /// [`compact`](Self::compact).
+    pub fn rebuild(&self) -> Result<(), IndexError> {
+        crate::admission::admit_write()?;
         self.core
             .mutate(|next| {
                 next.rebuild();
                 Ok(())
             })
             .map(|_: ((), u64)| ())
-            .expect("rebuild is infallible")
     }
 
     /// Applies a multi-op mutation batch **atomically with respect to
@@ -750,6 +863,7 @@ impl<C: Coord> ConcurrentIndex<C> {
     /// Returns the version the batch published (a maintenance pass
     /// triggered by the batch may publish a further version on top).
     pub fn apply(&self, ops: &[BatchOp<C>]) -> Result<u64, IndexError> {
+        crate::admission::admit_write()?;
         let v = self
             .core
             .mutate(|next| {
@@ -874,11 +988,16 @@ impl<C: Coord> ConcurrentIndex3<C> {
         self.maintain_with(&policy)
     }
 
-    /// As [`ConcurrentIndex3::maintain`] with an explicit policy.
+    /// As [`ConcurrentIndex3::maintain`] with an explicit policy; the
+    /// serving mode clamps the pass exactly like
+    /// [`ConcurrentIndex::maintain_with`].
     pub fn maintain_with(&self, policy: &MaintenancePolicy) -> MaintenanceOutcome {
+        let Some(policy) = mode_clamped(policy) else {
+            return MaintenanceOutcome::default();
+        };
         let mut outcome = MaintenanceOutcome::default();
         if let Some(((), version)) = self.core.mutate_if(|next| {
-            outcome = next.maintain(policy);
+            outcome = next.maintain(&policy);
             outcome.acted().then_some(())
         }) {
             record_decision(&self.decisions, &outcome, version);
@@ -894,7 +1013,7 @@ impl<C: Coord> ConcurrentIndex3<C> {
     }
 
     fn auto_maintain(&self) {
-        let Some(policy) = self.maintenance_policy() else {
+        let Some(policy) = self.maintenance_policy().as_ref().and_then(mode_clamped) else {
             return;
         };
         let mut outcome = MaintenanceOutcome::default();
@@ -909,6 +1028,16 @@ impl<C: Coord> ConcurrentIndex3<C> {
     /// Acquires a read snapshot of the newest published version.
     pub fn snapshot(&self) -> SnapshotRef<RTSIndex3<C>> {
         self.core.snapshot()
+    }
+
+    /// Admission-controlled read — see
+    /// [`ConcurrentIndex::snapshot_with_priority`].
+    pub fn snapshot_with_priority(
+        &self,
+        priority: crate::admission::Priority,
+    ) -> Result<SnapshotRef<RTSIndex3<C>>, IndexError> {
+        crate::admission::admit_read(priority)?;
+        Ok(self.core.snapshot())
     }
 
     /// Version of the newest published snapshot.
@@ -929,6 +1058,7 @@ impl<C: Coord> ConcurrentIndex3<C> {
     /// Deletes by id and publishes the successor (see
     /// [`RTSIndex3::delete`]).
     pub fn delete(&self, ids: &[u32]) -> Result<MutationReport, IndexError> {
+        crate::admission::admit_write()?;
         let out = self.core.mutate(|next| next.delete(ids)).map(|(r, _)| r)?;
         self.auto_maintain();
         Ok(out)
@@ -937,6 +1067,7 @@ impl<C: Coord> ConcurrentIndex3<C> {
     /// Updates box coordinates and publishes the successor (see
     /// [`RTSIndex3::update`]).
     pub fn update(&self, ids: &[u32], boxes: &[Rect<C, 3>]) -> Result<MutationReport, IndexError> {
+        crate::admission::admit_write()?;
         let out = self
             .core
             .mutate(|next| next.update(ids, boxes))
@@ -947,23 +1078,22 @@ impl<C: Coord> ConcurrentIndex3<C> {
 
     /// Compacts away deleted slots and publishes (see
     /// [`RTSIndex3::compact`]). Returns the old-id → new-id remap.
-    pub fn compact(&self) -> Vec<u32> {
-        self.core
-            .mutate(|next| Ok(next.compact()))
-            .map(|(r, _)| r)
-            .expect("compact is infallible")
+    /// Same failure modes as [`ConcurrentIndex::compact`].
+    pub fn compact(&self) -> Result<Vec<u32>, IndexError> {
+        crate::admission::admit_write()?;
+        self.core.mutate(|next| Ok(next.compact())).map(|(r, _)| r)
     }
 
     /// Rebuilds the GAS from scratch and publishes (see
     /// [`RTSIndex3::rebuild`]).
-    pub fn rebuild(&self) {
+    pub fn rebuild(&self) -> Result<(), IndexError> {
+        crate::admission::admit_write()?;
         self.core
             .mutate(|next| {
                 next.rebuild();
                 Ok(())
             })
             .map(|_: ((), u64)| ())
-            .expect("rebuild is infallible")
     }
 
     /// A point-in-time [`obs::ServingStatus`] of this index — the 3-D
@@ -1118,7 +1248,7 @@ mod tests {
 
         // Publish a successor; the cell retires its own reference to
         // the old version, leaving `handle` as the only owner.
-        index.compact();
+        index.compact().unwrap();
         index.delete(&(0..256).collect::<Vec<u32>>()).unwrap();
         assert!(weak.upgrade().is_some(), "held handle keeps it alive");
 
@@ -1228,7 +1358,7 @@ mod tests {
 
         // Compact publishes and remaps.
         index.delete(&[1]).unwrap();
-        let remap = index.compact();
+        let remap = index.compact().unwrap();
         assert_eq!(remap[1], u32::MAX);
         assert_eq!(index.snapshot().capacity_ids(), 255);
     }

@@ -1,0 +1,169 @@
+//! Per-query deadline budgets over **modeled device time**.
+//!
+//! A deadline is a budget of cost-model nanoseconds installed on the
+//! issuing thread with [`with_deadline`]. The query engine charges the
+//! budget with each phase's modeled device time (k-prediction sweep,
+//! query-GAS build, forward launch, backward launch) and checks it at
+//! every phase boundary; when the budget runs out the batch aborts with
+//! a clean [`IndexError::DeadlineExceeded`] instead of burning the
+//! remaining phases.
+//!
+//! Because the currency is the deterministic cost model — never wall
+//! clock — a deadline trips at the *same phase boundary* on every run
+//! and at every `LIBRTS_THREADS` value, which is what lets the chaos
+//! conformance tier replay expiry scenarios byte-for-byte. An injected
+//! `rtcore.launch` `slow=N` fault charges its virtual nanoseconds into
+//! the same ledger, so chaos schedules can push a query over its
+//! deadline without touching real time.
+//!
+//! Cancellation is *boundary-checked*, not preemptive: the phase that
+//! overruns still completes (its side effects — handler callbacks — may
+//! have happened) and the overrun is visible in
+//! [`DeadlineExceeded::spent_ns`](IndexError::DeadlineExceeded). This
+//! mirrors how a real device launch cannot be interrupted mid-flight.
+//!
+//! Scopes nest: an inner [`with_deadline`] shadows the outer one and
+//! the outer budget resumes (un-charged by the inner scope) on exit.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use crate::error::IndexError;
+
+#[derive(Clone, Copy)]
+struct State {
+    budget_ns: u64,
+    spent_ns: u64,
+}
+
+thread_local! {
+    static DEADLINE: Cell<Option<State>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with a modeled-device-time budget installed on this thread.
+/// Queries issued inside the scope abort with
+/// [`IndexError::DeadlineExceeded`] once their accumulated modeled
+/// device time exceeds `budget`. Restores the previous scope (if any)
+/// on exit, including on panic.
+pub fn with_deadline<R>(budget: Duration, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<State>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DEADLINE.with(|c| c.set(self.0));
+        }
+    }
+    let fresh = State {
+        budget_ns: budget.as_nanos().min(u64::MAX as u128) as u64,
+        spent_ns: 0,
+    };
+    let _restore = Restore(DEADLINE.with(|c| c.replace(Some(fresh))));
+    f()
+}
+
+/// `true` when a deadline scope is active on this thread.
+pub fn active() -> bool {
+    DEADLINE.with(|c| c.get()).is_some()
+}
+
+/// Budget still unspent in the innermost active scope, if any.
+/// Saturates at zero once overrun.
+pub fn remaining() -> Option<Duration> {
+    DEADLINE
+        .with(|c| c.get())
+        .map(|s| Duration::from_nanos(s.budget_ns.saturating_sub(s.spent_ns)))
+}
+
+/// Charges modeled device time against the active scope (no-op when
+/// none is installed). Charging never fails by itself — expiry is
+/// detected by the next [`check`].
+pub(crate) fn charge(d: Duration) {
+    DEADLINE.with(|c| {
+        if let Some(mut s) = c.get() {
+            s.spent_ns = s
+                .spent_ns
+                .saturating_add(d.as_nanos().min(u64::MAX as u128) as u64);
+            c.set(Some(s));
+        }
+    });
+}
+
+/// Phase-boundary check: `Err(DeadlineExceeded)` once the active
+/// scope's charges exceed its budget. Always `Ok` outside a scope.
+pub(crate) fn check() -> Result<(), IndexError> {
+    match DEADLINE.with(|c| c.get()) {
+        Some(s) if s.spent_ns > s.budget_ns => Err(IndexError::DeadlineExceeded {
+            budget_ns: s.budget_ns,
+            spent_ns: s.spent_ns,
+        }),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_scope_never_trips() {
+        charge(Duration::from_secs(1_000_000));
+        assert!(check().is_ok());
+        assert!(!active());
+        assert_eq!(remaining(), None);
+    }
+
+    #[test]
+    fn charges_accumulate_and_trip_at_the_boundary() {
+        with_deadline(Duration::from_nanos(100), || {
+            assert!(active());
+            charge(Duration::from_nanos(60));
+            assert!(check().is_ok());
+            assert_eq!(remaining(), Some(Duration::from_nanos(40)));
+            charge(Duration::from_nanos(60));
+            assert_eq!(remaining(), Some(Duration::ZERO));
+            match check() {
+                Err(IndexError::DeadlineExceeded {
+                    budget_ns,
+                    spent_ns,
+                }) => {
+                    assert_eq!(budget_ns, 100);
+                    assert_eq!(spent_ns, 120);
+                }
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        });
+        assert!(!active());
+    }
+
+    #[test]
+    fn exact_budget_is_not_an_overrun() {
+        with_deadline(Duration::from_nanos(100), || {
+            charge(Duration::from_nanos(100));
+            assert!(check().is_ok(), "spent == budget is within deadline");
+        });
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        with_deadline(Duration::from_nanos(100), || {
+            charge(Duration::from_nanos(90));
+            with_deadline(Duration::from_nanos(10), || {
+                // Inner scope starts fresh.
+                assert_eq!(remaining(), Some(Duration::from_nanos(10)));
+                charge(Duration::from_nanos(50));
+                assert!(check().is_err());
+            });
+            // Outer scope resumes, un-charged by the inner one.
+            assert_eq!(remaining(), Some(Duration::from_nanos(10)));
+            assert!(check().is_ok());
+        });
+    }
+
+    #[test]
+    fn restores_on_panic() {
+        let r = std::panic::catch_unwind(|| {
+            with_deadline(Duration::from_nanos(1), || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert!(!active());
+    }
+}

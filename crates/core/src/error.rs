@@ -37,6 +37,39 @@ pub enum IndexError {
     },
     /// The underlying acceleration structure rejected the operation.
     Accel(AccelError),
+    /// The query's modeled device-time budget (a
+    /// [`deadline::with_deadline`](crate::deadline::with_deadline)
+    /// scope) ran out. Checked at phase boundaries, so partial results
+    /// may already have reached the handler; the report is discarded.
+    DeadlineExceeded {
+        /// The installed budget, in modeled device nanoseconds.
+        budget_ns: u64,
+        /// What had been charged when the check tripped (≥ `budget_ns`).
+        spent_ns: u64,
+    },
+    /// Snapshot publication kept failing after the full deterministic
+    /// retry-with-backoff ladder. The staged engine was rolled back; the
+    /// last published snapshot is unchanged and still being served.
+    PublishFailed {
+        /// Publish attempts made (initial try + retries).
+        attempts: u32,
+    },
+    /// Admission control shed this request: the serving mode (driven by
+    /// `obs::health`) is degraded and the request's priority is below
+    /// the shedding floor. The 429-equivalent — retry later or resubmit
+    /// at a higher priority.
+    Overloaded,
+    /// The index is serving in read-only mode
+    /// ([`ServingMode::ReadOnly`](obs::health::ServingMode::ReadOnly)):
+    /// mutations are rejected, the last-good snapshot keeps serving
+    /// reads. The 503-equivalent for writers.
+    ReadOnly,
+    /// A fault injected by the `chaos` plane at a core-layer point
+    /// (e.g. `core.mutation`) — models a transient mid-batch failure.
+    Injected {
+        /// Name of the injection point that fired.
+        point: &'static str,
+    },
 }
 
 impl std::fmt::Display for IndexError {
@@ -54,6 +87,24 @@ impl std::fmt::Display for IndexError {
                 write!(f, "{ids} ids vs {rects} rectangles")
             }
             IndexError::Accel(e) => write!(f, "acceleration structure error: {e}"),
+            IndexError::DeadlineExceeded {
+                budget_ns,
+                spent_ns,
+            } => write!(
+                f,
+                "deadline exceeded: {spent_ns}ns modeled device time spent \
+                 against a {budget_ns}ns budget"
+            ),
+            IndexError::PublishFailed { attempts } => {
+                write!(f, "snapshot publication failed after {attempts} attempts")
+            }
+            IndexError::Overloaded => {
+                write!(f, "overloaded: request shed by admission control")
+            }
+            IndexError::ReadOnly => {
+                write!(f, "index is serving read-only: mutations are rejected")
+            }
+            IndexError::Injected { point } => write!(f, "injected fault at {point}"),
         }
     }
 }
@@ -78,5 +129,27 @@ mod tests {
         assert!(IndexError::UnknownId { id: 9 }.to_string().contains("9"));
         let e: IndexError = AccelError::UpdateNotAllowed.into();
         assert!(matches!(e, IndexError::Accel(_)));
+    }
+
+    #[test]
+    fn robustness_display_messages() {
+        let d = IndexError::DeadlineExceeded {
+            budget_ns: 100,
+            spent_ns: 150,
+        };
+        assert!(d.to_string().contains("100"));
+        assert!(d.to_string().contains("150"));
+        assert!(IndexError::PublishFailed { attempts: 4 }
+            .to_string()
+            .contains("4 attempts"));
+        assert!(IndexError::Overloaded.to_string().contains("shed"));
+        assert!(IndexError::ReadOnly.to_string().contains("read-only"));
+        assert_eq!(
+            IndexError::Injected {
+                point: "core.mutation"
+            }
+            .to_string(),
+            "injected fault at core.mutation"
+        );
     }
 }

@@ -205,6 +205,12 @@ impl<C: Coord> RTSIndex<C> {
         batch: &[Rect<C, 2>],
     ) -> Result<(Range<u32>, MutationReport), IndexError> {
         let span = obs::span!("index.insert");
+        // Chaos point: fires before anything is applied, so an injected
+        // failure is clean — mid-batch semantics come from `apply`
+        // batches, where op N failing leaves ops 0..N staged-but-unpublished.
+        if let Err(fault) = chaos::inject("core.mutation") {
+            return Err(IndexError::Injected { point: fault.point });
+        }
         let start = Instant::now();
         for (i, r) in batch.iter().enumerate() {
             if !(r.min.is_finite() && r.max.is_finite()) || r.is_empty() {
@@ -259,6 +265,9 @@ impl<C: Coord> RTSIndex<C> {
     /// Fails (without mutating) on unknown or already-deleted ids.
     pub fn delete(&mut self, ids: &[u32]) -> Result<MutationReport, IndexError> {
         let span = obs::span!("index.delete");
+        if let Err(fault) = chaos::inject("core.mutation") {
+            return Err(IndexError::Injected { point: fault.point });
+        }
         let start = Instant::now();
         self.check_ids(ids)?;
         let touched = self.apply_and_refit(ids, |rects, slot, _| {
@@ -290,6 +299,9 @@ impl<C: Coord> RTSIndex<C> {
         rects: &[Rect<C, 2>],
     ) -> Result<MutationReport, IndexError> {
         let span = obs::span!("index.update");
+        if let Err(fault) = chaos::inject("core.mutation") {
+            return Err(IndexError::Injected { point: fault.point });
+        }
         let start = Instant::now();
         if ids.len() != rects.len() {
             return Err(IndexError::LengthMismatch {
@@ -453,14 +465,33 @@ impl<C: Coord> RTSIndex<C> {
     }
 
     /// Range query `Q(R, S)` with the given predicate (§3.2–§3.3).
+    ///
+    /// Panics under a [`crate::deadline`] scope or a chaos fault
+    /// schedule — those are the only ways the engine can fail; use
+    /// [`try_range_query`](Self::try_range_query) there.
     pub fn range_query<H: QueryHandler>(
         &self,
         predicate: Predicate,
         queries_in: &[Rect<C, 2>],
         handler: &H,
     ) -> QueryReport {
+        self.try_range_query(predicate, queries_in, handler)
+            .unwrap_or_else(|e| panic!("range_query aborted: {e}"))
+    }
+
+    /// Fallible range query: `Err(DeadlineExceeded)` when an enclosing
+    /// [`crate::deadline::with_deadline`] budget runs out at a phase
+    /// boundary, `Err(Accel(Injected))` when a chaos fault hits the
+    /// query-side GAS build. Identical to
+    /// [`range_query`](Self::range_query) otherwise.
+    pub fn try_range_query<H: QueryHandler>(
+        &self,
+        predicate: Predicate,
+        queries_in: &[Rect<C, 2>],
+        handler: &H,
+    ) -> Result<QueryReport, IndexError> {
         match predicate {
-            Predicate::Contains => queries::contains::run(self.snapshot(), queries_in, handler),
+            Predicate::Contains => Ok(queries::contains::run(self.snapshot(), queries_in, handler)),
             Predicate::Intersects => {
                 queries::intersects::run(self.snapshot(), queries_in, handler, None)
             }
@@ -468,7 +499,8 @@ impl<C: Coord> RTSIndex<C> {
     }
 
     /// Range-Intersects with an explicit multicast `k` (Fig. 9a sweep);
-    /// bypasses the cost-model prediction.
+    /// bypasses the cost-model prediction. Panics where
+    /// [`range_query`](Self::range_query) would.
     pub fn range_intersects_with_k<H: QueryHandler>(
         &self,
         queries_in: &[Rect<C, 2>],
@@ -476,6 +508,7 @@ impl<C: Coord> RTSIndex<C> {
         k: usize,
     ) -> QueryReport {
         queries::intersects::run(self.snapshot(), queries_in, handler, Some(k))
+            .unwrap_or_else(|e| panic!("range_intersects_with_k aborted: {e}"))
     }
 
     /// EXPLAIN for Range-Intersects: runs the batch like
@@ -500,7 +533,8 @@ impl<C: Coord> RTSIndex<C> {
             handler,
             None,
             Some(&mut plan),
-        );
+        )
+        .unwrap_or_else(|e| panic!("explain_intersects aborted: {e}"));
         // Remember the plan for the live plane's `/explain` endpoint.
         obs::explain::set_last_plan(&plan);
         plan

@@ -213,6 +213,10 @@ impl<C: Coord> RTSIndex3<C> {
     /// probe that lands exactly on the collapsed corner.
     pub fn delete(&mut self, ids: &[u32]) -> Result<MutationReport, IndexError> {
         let span = obs::span!("index3.delete");
+        // Same chaos point as the 2-D index: one hit per mutation batch.
+        if let Err(fault) = chaos::inject("core.mutation") {
+            return Err(IndexError::Injected { point: fault.point });
+        }
         let start = Instant::now();
         self.check_ids(ids)?;
         // Copy-on-write: clones sharing this GAS (concurrent readers)
@@ -253,6 +257,9 @@ impl<C: Coord> RTSIndex3<C> {
         boxes: &[Rect<C, 3>],
     ) -> Result<MutationReport, IndexError> {
         let span = obs::span!("index3.update");
+        if let Err(fault) = chaos::inject("core.mutation") {
+            return Err(IndexError::Injected { point: fault.point });
+        }
         let start = Instant::now();
         if ids.len() != boxes.len() {
             return Err(IndexError::LengthMismatch {

@@ -45,8 +45,10 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod concurrent;
 pub mod config;
+pub mod deadline;
 pub mod error;
 pub mod handlers;
 pub mod index;
@@ -58,8 +60,10 @@ pub mod pip;
 mod queries;
 pub mod report;
 
+pub use admission::{admit_read, admit_write, Priority};
 pub use concurrent::{BatchOp, ConcurrentIndex, ConcurrentIndex3, SnapshotRef, WeakSnapshotRef};
 pub use config::{DedupStrategy, IndexOptions, Predicate};
+pub use deadline::with_deadline;
 pub use error::IndexError;
 pub use handlers::{
     CollectingHandler, CountingHandler, FnHandler, LockFreeCollectingHandler, QueryHandler,

@@ -125,6 +125,12 @@ pub struct MaintenancePolicy {
     /// device time mutations have accrued (minus what maintenance
     /// already spent). `f64::INFINITY` disables the budget gate.
     pub amortize_factor: f64,
+    /// When `false`, structural work — per-GAS rebuilds and whole-index
+    /// repacks — is disabled and drifted GASes are only ever refit (the
+    /// bounded stopgap). This is the degraded-serving-mode clamp (see
+    /// [`MaintenancePolicy::refit_only`]): under pressure, maintenance
+    /// keeps bounds tight without spending rebuild-sized device time.
+    pub allow_structural: bool,
 }
 
 impl Default for MaintenancePolicy {
@@ -137,6 +143,7 @@ impl Default for MaintenancePolicy {
             target_batch_size: 4096,
             min_gas_prims: 32,
             amortize_factor: 4.0,
+            allow_structural: true,
         }
     }
 }
@@ -148,6 +155,16 @@ impl MaintenancePolicy {
         Self {
             amortize_factor: f64::INFINITY,
             ..Default::default()
+        }
+    }
+
+    /// This policy with structural work disabled — what the concurrent
+    /// maintenance drivers apply while the process is serving in
+    /// [`Degraded`](obs::health::ServingMode::Degraded) mode.
+    pub fn refit_only(&self) -> Self {
+        Self {
+            allow_structural: false,
+            ..self.clone()
         }
     }
 }
@@ -390,7 +407,9 @@ impl<C: Coord> RTSIndex<C> {
         // along degenerated, so automatic maintenance never remaps ids
         // under a serving workload.
         let target = policy.target_batch_size.max(1);
-        if dead_fraction > policy.max_dead_fraction || self.gases.len() > policy.max_batches {
+        if policy.allow_structural
+            && (dead_fraction > policy.max_dead_fraction || self.gases.len() > policy.max_batches)
+        {
             let cost = model.build_time(self.rects.len(), TraversalBackend::RtCore)
                 + model.ias_build_time(self.rects.len().div_ceil(target));
             let cost_ns = cost.as_nanos() as f64;
@@ -418,11 +437,13 @@ impl<C: Coord> RTSIndex<C> {
                 if !drift.exceeds(policy) {
                     continue;
                 }
-                let rebuild = model.build_time(gas.len(), TraversalBackend::RtCore);
-                if rebuild.as_nanos() as f64 <= budget {
-                    budget -= rebuild.as_nanos() as f64;
-                    plan.push((b, MaintenanceAction::Rebuild, rebuild));
-                    continue;
+                if policy.allow_structural {
+                    let rebuild = model.build_time(gas.len(), TraversalBackend::RtCore);
+                    if rebuild.as_nanos() as f64 <= budget {
+                        budget -= rebuild.as_nanos() as f64;
+                        plan.push((b, MaintenanceAction::Rebuild, rebuild));
+                        continue;
+                    }
                 }
                 let refit = model.refit_time(gas.len());
                 if refit.as_nanos() as f64 <= budget {
@@ -542,7 +563,7 @@ impl<C: Coord> RTSIndex3<C> {
         if report.wanted == MaintenanceAction::Rebuild {
             let rebuild = model.build_time(self.gas.len(), TraversalBackend::RtCore);
             let refit = model.refit_time(self.gas.len());
-            if rebuild.as_nanos() as f64 <= budget {
+            if policy.allow_structural && rebuild.as_nanos() as f64 <= budget {
                 Arc::make_mut(&mut self.gas).rebuild();
                 self.maint.spend(rebuild);
                 outcome.rebuilds = 1;

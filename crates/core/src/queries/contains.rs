@@ -70,6 +70,8 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
         session.trace(snap.ias, &program, &ray, &mut (i as u32));
     });
     span.device(launch.device_time);
+    // Same single-launch deadline accounting as the point query.
+    crate::deadline::charge(launch.device_time);
     let forward = Phase {
         device: launch.device_time,
         wall: launch.wall_time,

@@ -19,6 +19,8 @@ use geom::{anti_diagonal, diagonal, Coord, Ray, Rect};
 use rtcore::{BuildOptions, HitContext, IsResult, RtProgram, TraversalBackend};
 
 use crate::config::DedupStrategy;
+use crate::deadline;
+use crate::error::IndexError;
 use crate::handlers::QueryHandler;
 use crate::index::Snapshot;
 use crate::multicast::{
@@ -135,12 +137,17 @@ impl<H: QueryHandler> QueryHandler for HashDedupHandler<'_, H> {
 
 /// Runs the Range-Intersects query. `forced_k` bypasses the cost-model
 /// prediction (Fig. 9a sweep).
+///
+/// Fails only under a [`deadline`] scope (the modeled-device-time
+/// budget ran out at a phase boundary) or an injected fault (a chaos
+/// `rtcore.gas_build` rule hitting the Phase 2 query-side build);
+/// without either, the result is always `Ok`.
 pub(crate) fn run<C: Coord, H: QueryHandler>(
     snap: Snapshot<'_, C>,
     queries: &[Rect<C, 2>],
     handler: &H,
     forced_k: Option<usize>,
-) -> QueryReport {
+) -> Result<QueryReport, IndexError> {
     run_with_plan(snap, queries, handler, forced_k, None)
 }
 
@@ -152,7 +159,7 @@ pub(crate) fn run_with_plan<C: Coord, H: QueryHandler>(
     handler: &H,
     forced_k: Option<usize>,
     plan: Option<&mut obs::QueryPlan>,
-) -> QueryReport {
+) -> Result<QueryReport, IndexError> {
     let results = obs::Counter::standalone();
     // Wrapped *inside* the dedup layer, so the tally is post-dedup and
     // matches what the caller's handler actually saw.
@@ -280,7 +287,7 @@ fn run_inner<C: Coord, H: QueryHandler>(
     check_backward: bool,
     results: &obs::Counter,
     plan: Option<&mut obs::QueryPlan>,
-) -> QueryReport {
+) -> Result<QueryReport, IndexError> {
     let wall_start = Instant::now();
     let mode = mode_label(forced_k, snap.opts.multicast.mode);
     let weight = snap.opts.multicast.weight;
@@ -304,7 +311,26 @@ fn run_inner<C: Coord, H: QueryHandler>(
             wall_start,
             plan,
         );
-        return report;
+        return Ok(report);
+    }
+    // Fail fast when an enclosing deadline scope is already exhausted
+    // (e.g. by earlier batches in the same scope): don't start phases
+    // the budget can't pay for.
+    if let Err(e) = deadline::check() {
+        finish_batch(
+            &report,
+            queries.len() as u64,
+            0,
+            snap.live as u64,
+            mode,
+            weight,
+            sample_size,
+            Vec::new(),
+            results.value(),
+            wall_start,
+            plan,
+        );
+        return Err(e);
     }
     // Live index slots and valid queries, in stable id order. Both
     // passes, the cost model, and the query-side GAS work over these
@@ -333,9 +359,36 @@ fn run_inner<C: Coord, H: QueryHandler>(
             wall_start,
             plan,
         );
-        return report;
+        return Ok(report);
     }
     let model = &snap.device.cost_model;
+
+    // Charges the enclosing deadline scope with a finished phase's
+    // modeled device time and aborts the batch at the boundary when the
+    // budget is gone — the batch's one trace record is still emitted
+    // (overrun visible in `spent_ns`), the report is discarded. Moves
+    // `plan`/`candidates` only on the diverging path.
+    macro_rules! charge_phase {
+        ($device:expr, $candidates:expr) => {
+            deadline::charge($device);
+            if let Err(e) = deadline::check() {
+                finish_batch(
+                    &report,
+                    queries.len() as u64,
+                    valid_ids.len() as u64,
+                    live_ids.len() as u64,
+                    mode,
+                    weight,
+                    sample_size,
+                    $candidates,
+                    results.value(),
+                    wall_start,
+                    plan,
+                );
+                return Err(e);
+            }
+        };
+    }
 
     // ---- Phase 1: k prediction (§3.4) --------------------------------
     let t0 = Instant::now();
@@ -387,6 +440,7 @@ fn run_inner<C: Coord, H: QueryHandler>(
         device: k_pred_device,
         wall: t0.elapsed(),
     };
+    charge_phase!(k_pred_device, candidates);
 
     // ---- Phase 2: query-side BVH build (timed per §6.1) ---------------
     let t1 = Instant::now();
@@ -409,17 +463,36 @@ fn run_inner<C: Coord, H: QueryHandler>(
     // Modelled build time below is charged either way: the device being
     // simulated has no such cache, and the conformance tier pins its
     // stable figures across hit and miss.
-    let query_gas = snap
-        .query_gas_cache
-        .get_or_build(
-            &placed,
-            BuildOptions {
-                allow_update: false,
-                quality: snap.opts.quality,
-                leaf_size: snap.opts.leaf_size,
-            },
-        )
-        .expect("query AABBs were placed from finite inputs");
+    // The placed AABBs are finite by construction, so a build failure
+    // here is only ever an injected `rtcore.gas_build` fault — surface
+    // it as a typed error with the batch's trace record still emitted.
+    let query_gas = match snap.query_gas_cache.get_or_build(
+        &placed,
+        BuildOptions {
+            allow_update: false,
+            quality: snap.opts.quality,
+            leaf_size: snap.opts.leaf_size,
+        },
+    ) {
+        Ok(gas) => gas,
+        Err(e) => {
+            drop(phase_span);
+            finish_batch(
+                &report,
+                queries.len() as u64,
+                valid_ids.len() as u64,
+                live_ids.len() as u64,
+                mode,
+                weight,
+                sample_size,
+                candidates,
+                results.value(),
+                wall_start,
+                plan,
+            );
+            return Err(IndexError::Accel(e));
+        }
+    };
     let build_device = model.build_time(valid_ids.len(), TraversalBackend::RtCore);
     phase_span.device(build_device);
     drop(phase_span);
@@ -427,6 +500,7 @@ fn run_inner<C: Coord, H: QueryHandler>(
         device: build_device,
         wall: t1.elapsed(),
     };
+    charge_phase!(build_device, candidates);
 
     // ---- Phase 3: forward casting -------------------------------------
     let phase_span = obs::span!("forward");
@@ -451,6 +525,7 @@ fn run_inner<C: Coord, H: QueryHandler>(
         wall: fwd.wall_time,
     };
     report.launch.merge(&fwd);
+    charge_phase!(fwd.device_time, candidates);
 
     // ---- Phase 4: backward casting (multicast, §3.4) -------------------
     let phase_span = obs::span!("backward");
@@ -487,6 +562,10 @@ fn run_inner<C: Coord, H: QueryHandler>(
     };
     report.launch.merge(&bwd);
     span.device(k_pred_device + build_device + fwd.device_time + bwd.device_time);
+    // The deadline can expire *inside* the backward launch: the launch
+    // itself cannot be interrupted, but its charge trips this final
+    // boundary and the batch still fails cleanly.
+    charge_phase!(bwd.device_time, candidates);
     finish_batch(
         &report,
         queries.len() as u64,
@@ -500,7 +579,7 @@ fn run_inner<C: Coord, H: QueryHandler>(
         wall_start,
         plan,
     );
-    report
+    Ok(report)
 }
 
 /// Normalization frame: bounds of live data and valid queries combined,

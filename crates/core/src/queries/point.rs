@@ -67,6 +67,10 @@ pub(crate) fn run<C: Coord, H: QueryHandler>(
         session.trace(snap.ias, &program, &ray, &mut (i as u32));
     });
     span.device(launch.device_time);
+    // Single-launch query: it cannot be aborted mid-flight, but its
+    // modeled cost still depletes any enclosing deadline scope so a
+    // following batch fails fast.
+    crate::deadline::charge(launch.device_time);
     let forward = Phase {
         device: launch.device_time,
         wall: launch.wall_time,

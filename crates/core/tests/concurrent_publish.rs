@@ -185,7 +185,7 @@ fn dropping_last_reader_frees_old_snapshot_and_memory_tracks_plain_index() {
     let ids: Vec<u32> = (0..M as u32).collect();
     index.delete(&ids).unwrap();
     mirror.delete(&ids).unwrap();
-    let remap = index.compact();
+    let remap = index.compact().unwrap();
     assert_eq!(mirror.compact(), remap);
     assert_eq!(index.snapshot().memory_bytes(), mirror.memory_bytes());
     assert_eq!(index.len(), 0);

@@ -43,8 +43,18 @@ use std::cell::Cell;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
+
+/// Poison-tolerant lock: a panic inside one fan-out body (including a
+/// chaos-injected worker panic) must never wedge later fan-outs — the
+/// protected state (completion latches, job lists, shards, the panic
+/// slot itself) is always left consistent by the panicking path, so the
+/// poison flag carries no information here.
+#[inline]
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 pub mod radix;
 
@@ -375,21 +385,24 @@ impl Job {
             let body = unsafe { &*self.body };
             let t0 = Instant::now();
             if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(range))) {
-                let mut slot = self.panic.lock().unwrap();
+                let mut slot = lock(&self.panic);
                 slot.get_or_insert(payload);
             }
             STAT_BUSY_NS.add(t0.elapsed().as_nanos() as u64);
             if self.pending.fetch_sub(len, Ordering::AcqRel) == len {
-                *self.done.lock().unwrap() = true;
+                *lock(&self.done) = true;
                 self.done_cv.notify_all();
             }
         }
     }
 
     fn wait_done(&self) {
-        let mut done = self.done.lock().unwrap();
+        let mut done = lock(&self.done);
         while !*done {
-            done = self.done_cv.wait(done).unwrap();
+            done = self
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -419,7 +432,7 @@ fn ensure_workers(target: usize) {
     if pool.spawned.load(Ordering::Acquire) >= target {
         return;
     }
-    let jobs = pool.jobs.lock().unwrap();
+    let jobs = lock(&pool.jobs);
     let mut n = pool.spawned.load(Ordering::Acquire);
     while n < target && n < MAX_THREADS {
         let slot = n + 1;
@@ -438,12 +451,12 @@ fn worker_loop(slot: usize) {
     let pool = pool();
     loop {
         let job = {
-            let mut jobs = pool.jobs.lock().unwrap();
+            let mut jobs = lock(&pool.jobs);
             loop {
                 if let Some(job) = jobs.iter().find(|j| j.has_work()) {
                     break Arc::clone(job);
                 }
-                jobs = pool.wake.wait(jobs).unwrap();
+                jobs = pool.wake.wait(jobs).unwrap_or_else(PoisonError::into_inner);
             }
         };
         job.help(slot, true);
@@ -472,6 +485,26 @@ pub fn for_each_chunk(n: usize, min_chunk: usize, body: impl Fn(Range<usize>) + 
     let participants = threads.min(n.div_ceil(chunk));
     STAT_FANOUTS.add(1);
     STAT_ITEMS.add(n as u64);
+    // The `exec.worker` chaos point fires on the chunk containing item 0
+    // — every fan-out executes exactly one such chunk at any thread
+    // count, so the hit index is the fan-out ordinal (deterministic),
+    // while the chunk itself runs on whichever participant claims it
+    // (exercising worker panic capture when a pool worker does).
+    let chaos_armed = chaos::active();
+    let body = move |range: Range<usize>| {
+        if chaos_armed && range.start == 0 {
+            match chaos::fire("exec.worker") {
+                // Fan-outs are infallible, so Fail is fail-stop too.
+                Some(chaos::FaultAction::Fail) | Some(chaos::FaultAction::Panic) => {
+                    panic!("chaos: injected panic at exec.worker")
+                }
+                // Slow workers are virtual: the delay lands in the
+                // chaos stats, never in wall clock.
+                Some(chaos::FaultAction::Slow(_)) | None => {}
+            }
+        }
+        body(range)
+    };
     if participants <= 1 {
         STAT_CHUNKS.add(1);
         let t0 = Instant::now();
@@ -514,7 +547,7 @@ pub fn for_each_chunk(n: usize, min_chunk: usize, body: impl Fn(Range<usize>) + 
 
     ensure_workers(participants - 1);
     {
-        let mut jobs = pool().jobs.lock().unwrap();
+        let mut jobs = lock(&pool().jobs);
         jobs.push(Arc::clone(&job));
     }
     pool().wake.notify_all();
@@ -527,12 +560,12 @@ pub fn for_each_chunk(n: usize, min_chunk: usize, body: impl Fn(Range<usize>) + 
     job.wait_done();
 
     {
-        let mut jobs = pool().jobs.lock().unwrap();
+        let mut jobs = lock(&pool().jobs);
         if let Some(pos) = jobs.iter().position(|j| Arc::ptr_eq(j, &job)) {
             jobs.swap_remove(pos);
         }
     }
-    let payload = job.panic.lock().unwrap().take();
+    let payload = lock(&job.panic).take();
     if let Some(payload) = payload {
         panic::resume_unwind(payload);
     }
@@ -631,7 +664,7 @@ impl<T> Shards<T> {
     /// Mutate the current participant's shard.
     pub fn with(&self, f: impl FnOnce(&mut T)) {
         let slot = WORKER_SLOT.with(Cell::get) % self.slots.len();
-        f(&mut self.slots[slot].lock().unwrap());
+        f(&mut lock(&self.slots[slot]));
     }
 
     /// Fold all shards (in slot order) into a single value with `merge`.
@@ -641,7 +674,10 @@ impl<T> Shards<T> {
     {
         let mut acc = T::default();
         for slot in self.slots.into_vec() {
-            merge(&mut acc, slot.into_inner().unwrap());
+            merge(
+                &mut acc,
+                slot.into_inner().unwrap_or_else(PoisonError::into_inner),
+            );
         }
         acc
     }

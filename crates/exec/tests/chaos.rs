@@ -1,0 +1,81 @@
+//! Fault-injection tests for the work-stealing pool, isolated in their
+//! own test binary: a chaos schedule is process-global, so these tests
+//! must never share a process with fan-outs that don't expect faults.
+
+use std::sync::{Mutex, PoisonError};
+
+use exec::{for_each_chunk, with_threads};
+
+/// Serializes the tests in this binary: an installed schedule arms
+/// every fan-out in the process, so a concurrently running sibling
+/// test would consume hits (or panics) meant for another.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn injected_worker_panic_propagates_and_does_not_wedge_the_pool() {
+    let _guard = serial();
+    let result = std::panic::catch_unwind(|| {
+        chaos::with_faults(chaos::Schedule::new().panic("exec.worker", 0), || {
+            with_threads(4, || {
+                for_each_chunk(10_000, 16, |range| {
+                    std::hint::black_box(range.len());
+                });
+            });
+        })
+    });
+    assert!(result.is_err(), "the injected panic must reach the caller");
+    // The poisoned job/pool locks must not wedge later fan-outs.
+    let total: u64 = with_threads(4, || {
+        let acc = std::sync::atomic::AtomicU64::new(0);
+        for_each_chunk(10_000, 16, |range| {
+            acc.fetch_add(
+                range.map(|i| i as u64).sum(),
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        });
+        acc.into_inner()
+    });
+    assert_eq!(total, 10_000u64 * 9_999 / 2);
+}
+
+#[test]
+fn worker_point_fires_once_per_fanout_at_any_thread_count() {
+    let _guard = serial();
+    // No rule matches, so nothing is injected — but the hit counter
+    // advances exactly once per fan-out regardless of thread count.
+    for threads in [1, 3, 8] {
+        chaos::with_faults(chaos::Schedule::new(), || {
+            with_threads(threads, || {
+                for _ in 0..5 {
+                    for_each_chunk(4_000, 16, |range| {
+                        std::hint::black_box(range.len());
+                    });
+                }
+            });
+            assert_eq!(chaos::hits("exec.worker"), 5, "threads={threads}");
+        });
+    }
+}
+
+#[test]
+fn slow_rule_counts_but_does_not_fail() {
+    let _guard = serial();
+    chaos::with_faults(
+        chaos::Schedule::new().slow("exec.worker", 0, 1_000_000),
+        || {
+            with_threads(2, || {
+                for_each_chunk(1_000, 16, |range| {
+                    std::hint::black_box(range.len());
+                });
+            });
+            let stats = chaos::stats();
+            assert_eq!(chaos::hits("exec.worker"), 1);
+            assert!(stats.injected_slow >= 1);
+            assert!(stats.slow_virtual_ns >= 1_000_000);
+        },
+    );
+}

@@ -311,6 +311,106 @@ pub fn http_response() -> (u16, String) {
     }
 }
 
+// ---------------------------------------------------------------------
+// The serving-mode ladder (ISSUE 10): one process-wide knob the layers
+// below consult to degrade gracefully instead of merely reporting.
+// ---------------------------------------------------------------------
+
+/// The process-wide degraded-mode ladder.
+///
+/// The serving stack reacts to each rung by *policy*, not just
+/// reporting:
+///
+/// - **Normal** — full service.
+/// - **Degraded** (maps from [`Verdict::Degraded`]) — `rtcore` forces
+///   the cheaper binary (`Bvh2`) traversal kernel unless a scoped
+///   override pins one, `librts` maintenance clamps to refit-only (no
+///   rebuild/compact amplification under load), and low-priority query
+///   batches are shed with a 429-equivalent typed error before any
+///   writer is touched.
+/// - **ReadOnly** (maps from [`Verdict::Unhealthy`]) — mutations are
+///   rejected with a typed error; readers keep serving the last-good
+///   published snapshot.
+///
+/// The mode is only ever changed explicitly ([`set_serving_mode`], or
+/// [`apply_verdict`] wired to a health evaluation) so chaos/conformance
+/// tests stay deterministic: nothing in the live plane flips it behind
+/// the caller's back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServingMode {
+    /// Full service.
+    Normal,
+    /// Shed low-priority reads, force the cheap kernel, refit-only
+    /// maintenance.
+    Degraded,
+    /// Reject mutations; serve the last-good snapshot read-only.
+    ReadOnly,
+}
+
+impl ServingMode {
+    /// Lower-case label (`normal` / `degraded` / `read_only`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServingMode::Normal => "normal",
+            ServingMode::Degraded => "degraded",
+            ServingMode::ReadOnly => "read_only",
+        }
+    }
+
+    /// The rung a health verdict maps to.
+    pub fn from_verdict(verdict: &Verdict) -> Self {
+        match verdict {
+            Verdict::Healthy => ServingMode::Normal,
+            Verdict::Degraded { .. } => ServingMode::Degraded,
+            Verdict::Unhealthy { .. } => ServingMode::ReadOnly,
+        }
+    }
+}
+
+static SERVING_MODE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// The current process-wide serving mode (default `Normal`).
+pub fn serving_mode() -> ServingMode {
+    match SERVING_MODE.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => ServingMode::Degraded,
+        2 => ServingMode::ReadOnly,
+        _ => ServingMode::Normal,
+    }
+}
+
+/// Sets the process-wide serving mode, mirroring it into the
+/// `serving.mode` gauge (0/1/2). Returns the previous mode.
+pub fn set_serving_mode(mode: ServingMode) -> ServingMode {
+    let raw = match mode {
+        ServingMode::Normal => 0u8,
+        ServingMode::Degraded => 1,
+        ServingMode::ReadOnly => 2,
+    };
+    let prev = SERVING_MODE.swap(raw, std::sync::atomic::Ordering::SeqCst);
+    m_serving_mode().set(raw as i64);
+    match prev {
+        1 => ServingMode::Degraded,
+        2 => ServingMode::ReadOnly,
+        _ => ServingMode::Normal,
+    }
+}
+
+/// Folds a health verdict into the serving-mode ladder and installs the
+/// resulting rung. This is the one sanctioned bridge from the *observed*
+/// health state to the *enforced* degraded mode — callers invoke it
+/// deliberately (e.g. a serving loop after each evaluation), it never
+/// runs implicitly.
+pub fn apply_verdict(verdict: &Verdict) -> ServingMode {
+    let mode = ServingMode::from_verdict(verdict);
+    set_serving_mode(mode);
+    mode
+}
+
+fn m_serving_mode() -> &'static std::sync::Arc<crate::Gauge> {
+    static M: OnceLock<std::sync::Arc<crate::Gauge>> = OnceLock::new();
+    M.get_or_init(|| crate::gauge("serving.mode"))
+}
+
 /// A generous default rule set for a serving index: windowed query-p99
 /// SLOs on the always-on `query.wall_ns` feed, a failed-publish rate
 /// guard, and a Degrade on runaway SAH drift. `window` is in sampler
@@ -482,6 +582,30 @@ mod tests {
         assert_eq!(status, 503);
         assert!(body.contains("\"status\": \"unhealthy\""));
         uninstall();
+    }
+
+    #[test]
+    fn serving_mode_ladder_follows_verdicts() {
+        let _guard = crate::test_lock();
+        set_serving_mode(ServingMode::Normal);
+        assert_eq!(serving_mode(), ServingMode::Normal);
+        assert_eq!(
+            apply_verdict(&Verdict::Degraded {
+                reasons: vec!["x".into()]
+            }),
+            ServingMode::Degraded
+        );
+        assert_eq!(serving_mode(), ServingMode::Degraded);
+        assert_eq!(
+            apply_verdict(&Verdict::Unhealthy {
+                reasons: vec!["y".into()]
+            }),
+            ServingMode::ReadOnly
+        );
+        assert_eq!(serving_mode(), ServingMode::ReadOnly);
+        let prev = set_serving_mode(ServingMode::Normal);
+        assert_eq!(prev, ServingMode::ReadOnly);
+        assert_eq!(serving_mode(), ServingMode::Normal);
     }
 
     #[test]

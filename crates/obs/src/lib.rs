@@ -98,6 +98,21 @@
 //!
 //! Everything the live plane derives is Host-class, so the Stable
 //! byte-identity contract is unaffected whether it runs or not.
+//!
+//! ## Fault injection: the `chaos.*` family
+//!
+//! When a `chaos` fault schedule is installed (`chaos::with_faults` or
+//! `LIBRTS_FAULTS`), every evaluated injection point and every injected
+//! fault is mirrored into the **Stable** `chaos.*` counters on each
+//! [`snapshot`]: `chaos.checks`, `chaos.injected_fails`,
+//! `chaos.injected_panics`, `chaos.injected_slow` and
+//! `chaos.slow_virtual_ns`. They are Stable because injection points
+//! fire only at logical events (builds, launches, publishes, fan-outs)
+//! and schedules match on `(point, hit index)` — never wall clock or
+//! scheduling — so a seeded schedule injects byte-identical fault sets
+//! at any `LIBRTS_THREADS`. Without a schedule the family stays at
+//! zero. The serving-path reaction to faults (admission control, the
+//! degraded-mode ladder) hangs off [`health::ServingMode`].
 
 #![warn(missing_docs)]
 
@@ -114,7 +129,7 @@ pub mod timeseries;
 pub mod trace;
 
 pub use explain::{KCandidate, QueryPlan};
-pub use health::{HealthEngine, HealthRule, Severity, Signal, Verdict};
+pub use health::{HealthEngine, HealthRule, ServingMode, Severity, Signal, Verdict};
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::{global, Registry};
 pub use server::{GasDriftStatus, MaintenanceDecision, ServingStatus};
@@ -170,9 +185,11 @@ pub fn host_histogram(name: &str) -> Arc<Histogram> {
 }
 
 /// Snapshot the global registry (after mirroring the `exec` pool stats
-/// into their `exec.*` Host-class counters).
+/// into their `exec.*` Host-class counters and the fault-injection
+/// totals into the `chaos.*` Stable family).
 pub fn snapshot() -> Snapshot {
     registry::sync_exec_stats(global());
+    registry::sync_chaos_stats(global());
     global().snapshot()
 }
 
@@ -180,6 +197,7 @@ pub fn snapshot() -> Snapshot {
 /// handles stay valid and keep counting from zero.
 pub fn reset() {
     registry::sync_exec_stats(global());
+    registry::sync_chaos_stats(global());
     global().reset();
 }
 

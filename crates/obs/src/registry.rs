@@ -169,6 +169,36 @@ pub(crate) fn sync_exec_stats(reg: &Registry) {
     *last = Some(cur);
 }
 
+/// Mirrors `chaos::stats()` into the `chaos.*` counters of `reg`, same
+/// diff-sync protocol as [`sync_exec_stats`].
+///
+/// Unlike the pool stats these are [`Class::Stable`]: every chaos
+/// injection point fires at a *logical* event (a build, a launch, a
+/// publish, a fan-out) whose occurrence count is identical at any
+/// `LIBRTS_THREADS`, and schedules match on `(point, hit index)` alone
+/// — so under a given fault schedule the injected-fault totals are
+/// byte-identical across thread counts (pinned by
+/// `conformance/tests/thread_invariance.rs`).
+pub(crate) fn sync_chaos_stats(reg: &Registry) {
+    static LAST: Mutex<Option<chaos::ChaosStats>> = Mutex::new(None);
+    let mut last = LAST
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let cur = chaos::stats();
+    let prev = last.unwrap_or_default();
+    reg.counter("chaos.checks", Class::Stable)
+        .add(cur.checks.wrapping_sub(prev.checks));
+    reg.counter("chaos.injected_fails", Class::Stable)
+        .add(cur.injected_fails.wrapping_sub(prev.injected_fails));
+    reg.counter("chaos.injected_panics", Class::Stable)
+        .add(cur.injected_panics.wrapping_sub(prev.injected_panics));
+    reg.counter("chaos.injected_slow", Class::Stable)
+        .add(cur.injected_slow.wrapping_sub(prev.injected_slow));
+    reg.counter("chaos.slow_virtual_ns", Class::Stable)
+        .add(cur.slow_virtual_ns.wrapping_sub(prev.slow_virtual_ns));
+    *last = Some(cur);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,7 +34,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::trace::json_f64;
 
@@ -262,7 +262,9 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -281,19 +283,84 @@ fn write_response(stream: &mut TcpStream, r: &Response) {
     let _ = stream.flush();
 }
 
+/// Per-socket read/write timeout. A single `read`/`write` may block at
+/// most this long before the connection is abandoned.
+pub const SOCKET_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Total wall-clock budget for receiving the request head. A client
+/// dripping one byte per read (slow loris) resets the socket timeout
+/// on every byte; this deadline bounds the whole head regardless.
+pub const HEAD_DEADLINE: Duration = Duration::from_secs(1);
+
+/// Per-connection byte cap on the request head. The endpoints take no
+/// bodies, so anything larger is rejected with 431, not buffered.
+pub const MAX_HEAD_BYTES: usize = 8192;
+
 fn handle_connection(mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-    // Read until the end of the request head (or the buffer fills —
-    // the endpoints take no bodies, so 8 KiB is plenty).
-    let mut buf = [0u8; 8192];
-    let mut len = 0usize;
-    while len < buf.len() && !buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
-        match stream.read(&mut buf[len..]) {
-            Ok(0) => break,
-            Ok(n) => len += n,
-            Err(_) => break,
+    // One chaos hit per accepted connection: `Fail` models a broken
+    // client (connection dropped before any response), `Panic` checks
+    // the worker pool survives a handler crash, `Slow` charges virtual
+    // ns without stalling a real socket.
+    match chaos::fire("obs.server.conn") {
+        Some(chaos::FaultAction::Fail) => {
+            m_dropped_conns().inc();
+            return;
         }
+        Some(chaos::FaultAction::Panic) => {
+            panic!("chaos: injected panic at obs.server.conn");
+        }
+        Some(chaos::FaultAction::Slow(ns)) => m_conn_virtual_ns().add(ns),
+        None => {}
+    }
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    // Read until the end of the request head, the byte cap, or the
+    // head deadline — whichever comes first.
+    let deadline = Instant::now() + HEAD_DEADLINE;
+    let mut buf = [0u8; MAX_HEAD_BYTES];
+    let mut len = 0usize;
+    let mut eof = false;
+    let head_complete = |b: &[u8]| b.windows(4).any(|w| w == b"\r\n\r\n");
+    while len < buf.len() && !head_complete(&buf[..len]) && !eof {
+        if Instant::now() >= deadline {
+            break;
+        }
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => eof = true,
+            Ok(n) => len += n,
+            // A timed-out read is the stall signal, not end-of-stream.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                break
+            }
+            Err(_) => eof = true,
+        }
+    }
+    if !head_complete(&buf[..len]) {
+        // Never parse a half-received head: a stalled client gets 408,
+        // an oversized one 431, and both connections are closed.
+        let (status, body) = if len >= buf.len() {
+            (431, "request head exceeds the per-connection byte cap\n")
+        } else {
+            if !eof {
+                m_stalled_conns().inc();
+            }
+            (408, "request head incomplete before the read deadline\n")
+        };
+        m_bad_requests().inc();
+        write_response(
+            &mut stream,
+            &Response {
+                status,
+                content_type: "text/plain",
+                body: body.into(),
+            },
+        );
+        return;
     }
     let head = String::from_utf8_lossy(&buf[..len]);
     let mut parts = head.split_whitespace();
@@ -337,6 +404,26 @@ fn m_requests() -> &'static Arc<crate::Counter> {
 fn m_bad_requests() -> &'static Arc<crate::Counter> {
     static M: OnceLock<Arc<crate::Counter>> = OnceLock::new();
     M.get_or_init(|| crate::host_counter("server.bad_requests"))
+}
+
+fn m_stalled_conns() -> &'static Arc<crate::Counter> {
+    static M: OnceLock<Arc<crate::Counter>> = OnceLock::new();
+    M.get_or_init(|| crate::host_counter("server.stalled_conns"))
+}
+
+fn m_dropped_conns() -> &'static Arc<crate::Counter> {
+    static M: OnceLock<Arc<crate::Counter>> = OnceLock::new();
+    M.get_or_init(|| crate::host_counter("server.dropped_conns"))
+}
+
+fn m_conn_virtual_ns() -> &'static Arc<crate::Counter> {
+    static M: OnceLock<Arc<crate::Counter>> = OnceLock::new();
+    M.get_or_init(|| crate::host_counter("server.conn_virtual_ns"))
+}
+
+fn m_handler_panics() -> &'static Arc<crate::Counter> {
+    static M: OnceLock<Arc<crate::Counter>> = OnceLock::new();
+    M.get_or_init(|| crate::host_counter("server.handler_panics"))
 }
 
 /// A running introspection server. Dropping the handle **without**
@@ -389,7 +476,16 @@ pub fn start(addr: impl ToSocketAddrs, threads: usize) -> std::io::Result<Server
                                 if stop.load(Ordering::Acquire) {
                                     break;
                                 }
-                                handle_connection(stream);
+                                // A panicking handler (broken client,
+                                // injected fault) must not shrink the
+                                // worker pool for the process lifetime.
+                                let caught =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        handle_connection(stream)
+                                    }));
+                                if caught.is_err() {
+                                    m_handler_panics().inc();
+                                }
                             }
                             Err(_) => {
                                 if stop.load(Ordering::Acquire) {
@@ -513,5 +609,46 @@ mod tests {
         // The port is released: a fresh bind to the same address works.
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok(), "port still held after shutdown");
+    }
+
+    #[test]
+    fn stalled_and_oversized_clients_are_rejected() {
+        let _guard = crate::test_lock();
+        let handle = start("127.0.0.1:0", 1).expect("bind");
+        let addr = handle.addr();
+
+        // Slow loris: a partial head that never terminates. The server
+        // answers 408 once the head deadline expires instead of holding
+        // the worker hostage.
+        let stalled_before = m_stalled_conns().value();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: loris")
+            .unwrap();
+        let started = Instant::now();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+        assert!(
+            started.elapsed() < HEAD_DEADLINE + SOCKET_TIMEOUT + Duration::from_secs(3),
+            "the stalled connection outlived the deadline by too much"
+        );
+        assert!(m_stalled_conns().value() > stalled_before);
+
+        // Byte cap: a head that fills the buffer without terminating is
+        // rejected with 431 immediately — nothing past the cap is read.
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&vec![b'a'; MAX_HEAD_BYTES]).unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 431"), "{out}");
+
+        // The same worker still serves a well-formed request.
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 "), "{out}");
+        handle.shutdown();
     }
 }

@@ -1,0 +1,94 @@
+//! Fault-injection tests for the obs HTTP server, isolated in their
+//! own test binary: chaos schedules are process-global, so these tests
+//! must never share a process with connections that don't expect
+//! faults.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, PoisonError};
+
+/// Serializes the tests in this binary: schedules and the `server.*`
+/// counters are process-global.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One GET round trip; tolerates the server dropping the connection
+/// before (or instead of) a response and returns whatever arrived.
+fn fetch(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let req = format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n");
+    let _ = s.write_all(req.as_bytes());
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn injected_connection_faults_drop_clients_but_not_workers() {
+    let _guard = serial();
+    // One worker thread: if the injected panic killed it, every later
+    // request in this test would hang or get nothing.
+    let handle = obs::server::start("127.0.0.1:0", 1).expect("bind");
+    let addr = handle.addr();
+    chaos::with_faults(
+        chaos::Schedule::new()
+            .fail("obs.server.conn", 0)
+            .panic("obs.server.conn", 1),
+        || {
+            // Hit 0: the connection is dropped before any response.
+            let out = fetch(addr, "/metrics");
+            assert!(out.is_empty(), "dropped connection sent {out:?}");
+            // Hit 1: the handler panics; the catch_unwind shield in the
+            // worker loop absorbs it.
+            let out = fetch(addr, "/metrics");
+            assert!(out.is_empty(), "panicked handler sent {out:?}");
+            // Hit 2: no rule — the same (sole) worker serves normally,
+            // proving the pool survived both faults.
+            let out = fetch(addr, "/health");
+            assert!(out.starts_with("HTTP/1.1 "), "{out}");
+            assert_eq!(chaos::hits("obs.server.conn"), 3);
+        },
+    );
+    handle.shutdown();
+
+    // The injected faults are mirrored into the Stable chaos.* family.
+    let snap = obs::snapshot();
+    let find = |name: &str| {
+        snap.entries()
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("{name} not registered"))
+    };
+    for name in ["chaos.injected_fails", "chaos.injected_panics"] {
+        let m = find(name);
+        assert_eq!(m.class, obs::Class::Stable);
+        match m.value {
+            obs::Value::Counter(n) => assert!(n >= 1, "{name} never fired"),
+            ref other => panic!("expected a counter for {name}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn slow_connection_faults_charge_virtual_time_only() {
+    let _guard = serial();
+    let virt = obs::host_counter("server.conn_virtual_ns");
+    let before = virt.value();
+    let handle = obs::server::start("127.0.0.1:0", 1).expect("bind");
+    let addr = handle.addr();
+    chaos::with_faults(
+        chaos::Schedule::new().slow("obs.server.conn", 0, 5_000_000),
+        || {
+            let started = std::time::Instant::now();
+            let out = fetch(addr, "/health");
+            assert!(out.starts_with("HTTP/1.1 "), "{out}");
+            // The slowness is virtual: charged to a counter, never slept.
+            assert!(started.elapsed() < obs::server::HEAD_DEADLINE);
+        },
+    );
+    handle.shutdown();
+    assert_eq!(virt.value() - before, 5_000_000);
+}

@@ -46,6 +46,13 @@ pub enum AccelError {
         /// Index of the offending primitive.
         index: usize,
     },
+    /// A fault injected by the `chaos` plane (the `rtcore.gas_build` /
+    /// `rtcore.ias_build` points) — models a transient device-side
+    /// build failure (OptiX `OPTIX_ERROR_*` at accel-build time).
+    Injected {
+        /// Name of the injection point that fired.
+        point: &'static str,
+    },
 }
 
 impl std::fmt::Display for AccelError {
@@ -59,6 +66,9 @@ impl std::fmt::Display for AccelError {
             }
             AccelError::NonFiniteAabb { index } => {
                 write!(f, "primitive {index} has non-finite coordinates")
+            }
+            AccelError::Injected { point } => {
+                write!(f, "injected fault at {point}")
             }
         }
     }
@@ -92,6 +102,9 @@ impl<C: Coord> Gas<C> {
     /// — degenerate (zero-extent) boxes are accepted, as the §4.2
     /// deletion trick requires.
     pub fn build(aabbs: Vec<Rect<C, 3>>, options: BuildOptions) -> Result<Self, AccelError> {
+        if let Err(fault) = chaos::inject("rtcore.gas_build") {
+            return Err(AccelError::Injected { point: fault.point });
+        }
         for (i, b) in aabbs.iter().enumerate() {
             if !(b.min.is_finite() && b.max.is_finite()) {
                 return Err(AccelError::NonFiniteAabb { index: i });

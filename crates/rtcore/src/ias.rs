@@ -78,6 +78,9 @@ impl<C: Coord> Ias<C> {
     /// retained but never traversed. Instances whose transform is
     /// singular are rejected.
     pub fn build(instances: &[Instance<C>]) -> Result<Self, AccelError> {
+        if let Err(fault) = chaos::inject("rtcore.ias_build") {
+            return Err(AccelError::Injected { point: fault.point });
+        }
         let mut world_bounds = Vec::with_capacity(instances.len());
         let mut records = Vec::with_capacity(instances.len());
         for inst in instances {

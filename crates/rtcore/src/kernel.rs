@@ -15,8 +15,12 @@
 //! choice composes safely with any `LIBRTS_THREADS` value.
 //!
 //! Override order: [`with_kernel`] scope on the issuing thread, then
-//! the `LIBRTS_KERNEL` environment variable (`bvh2`/`bvh4`), then the
-//! default [`Kernel::Bvh4`].
+//! the degraded-mode clamp (a [`obs::health::ServingMode::Degraded`]
+//! serving mode forces [`Kernel::Bvh2`] — the cheaper, refit-friendly
+//! kernel — as the first rung of the fault-reaction ladder), then the
+//! `LIBRTS_KERNEL` environment variable (`bvh2`/`bvh4`), then the
+//! default [`Kernel::Bvh4`]. An explicit scope outranks the clamp so
+//! A/B harnesses keep control even while degraded.
 
 use std::cell::Cell;
 use std::sync::OnceLock;
@@ -79,13 +83,19 @@ thread_local! {
 }
 
 /// The kernel a launch issued from this thread will use: the innermost
-/// [`with_kernel`] override if one is active, otherwise the
+/// [`with_kernel`] override if one is active; else [`Kernel::Bvh2`]
+/// when the process is serving in
+/// [`Degraded`](obs::health::ServingMode::Degraded) mode; else the
 /// process-wide `LIBRTS_KERNEL` default (itself defaulting to
 /// [`Kernel::Bvh4`]).
 pub fn current_kernel() -> Kernel {
-    KERNEL_OVERRIDE
-        .with(|c| c.get())
-        .unwrap_or_else(env_default)
+    if let Some(k) = KERNEL_OVERRIDE.with(|c| c.get()) {
+        return k;
+    }
+    if obs::health::serving_mode() == obs::health::ServingMode::Degraded {
+        return Kernel::Bvh2;
+    }
+    env_default()
 }
 
 /// Runs `f` with launches issued from this thread pinned to `kernel`.

@@ -265,6 +265,18 @@ impl Device {
         if width == 0 {
             return LaunchReport::default();
         }
+        // Chaos injection point: a launch has no error channel (OptiX
+        // launches are fire-and-forget), so Fail is fail-stop like Panic;
+        // Slow charges extra *modelled* device time — the deadline layer
+        // in `core` sees it, wall clock does not.
+        let mut injected_ns = 0u64;
+        match chaos::fire("rtcore.launch") {
+            Some(chaos::FaultAction::Fail) | Some(chaos::FaultAction::Panic) => {
+                panic!("chaos: injected panic at rtcore.launch")
+            }
+            Some(chaos::FaultAction::Slow(ns)) => injected_ns = ns,
+            None => {}
+        }
         // Resolve the traversal kernel ONCE, on the issuing thread, so a
         // `with_kernel` scope on the caller governs the whole fan-out:
         // pool workers must never consult their own (unset) overrides.
@@ -310,7 +322,8 @@ impl Device {
             lane_times.extend_from_slice(lanes);
         }
         lane_times.truncate(width.next_multiple_of(WARP_SIZE).min(lane_times.len()));
-        let device_time = self.cost_model.device_time(&lane_times);
+        let device_time =
+            self.cost_model.device_time(&lane_times) + std::time::Duration::from_nanos(injected_ns);
         let report = LaunchReport {
             width,
             totals: merged.stats,
